@@ -1,0 +1,73 @@
+//! Criterion benchmarks of the scheduling pipeline itself (B1-B3 of
+//! the experiment index): start-up scheduling, one rotate-remap pass,
+//! and full cyclo-compaction, across workload sizes and machines.
+
+use ccs_core::remap::{rotate_remap, RemapConfig};
+use ccs_core::{cyclo_compact, startup_schedule, CompactConfig, StartupConfig};
+use ccs_model::transform::slowdown;
+use ccs_topology::Machine;
+use ccs_workloads::{random_csdfg, OpTimes, RandomGraphConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_startup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("startup_schedule");
+    for (name, graph) in [
+        ("fig1/6n", ccs_workloads::paper::fig1_example()),
+        ("fig7/19n", ccs_workloads::paper::fig7_example()),
+        ("elliptic/34n", ccs_workloads::filters::elliptic_wave_filter(OpTimes::default())),
+        (
+            "random/64n",
+            random_csdfg(RandomGraphConfig { nodes: 64, back_edges: 20, ..Default::default() }, 7),
+        ),
+    ] {
+        let machine = Machine::mesh(4, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, g| {
+            b.iter(|| {
+                startup_schedule(black_box(g), &machine, StartupConfig::default()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rotate_remap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rotate_remap_pass");
+    for machine in [Machine::linear_array(8), Machine::complete(8), Machine::hypercube(3)] {
+        let g = ccs_workloads::paper::fig7_example();
+        let sched = startup_schedule(&g, &machine, StartupConfig::default()).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(machine.name().to_string()),
+            &(g, sched, machine),
+            |b, (g, sched, machine)| {
+                b.iter(|| rotate_remap(black_box(g), machine, sched, RemapConfig::default()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_compaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cyclo_compact");
+    group.sample_size(20);
+    let machine = Machine::mesh(4, 2);
+    for (name, graph) in [
+        ("fig7/19n", ccs_workloads::paper::fig7_example()),
+        (
+            "elliptic_s3/34n",
+            slowdown(&ccs_workloads::filters::elliptic_wave_filter(OpTimes::default()), 3),
+        ),
+        (
+            "random/48n",
+            random_csdfg(RandomGraphConfig { nodes: 48, back_edges: 16, ..Default::default() }, 11),
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, g| {
+            b.iter(|| cyclo_compact(black_box(g), &machine, CompactConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_startup, bench_rotate_remap, bench_full_compaction);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion benchmarks of the substrate crates (B4-B5): topology
+//! distance queries, retiming analyses, schedule-table operations, and
+//! simulator throughput.
+
+use ccs_core::{startup_schedule, StartupConfig};
+use ccs_model::NodeId;
+use ccs_retiming::{clock_period, iteration_bound};
+use ccs_schedule::Schedule;
+use ccs_sim::{replay_static, run_self_timed};
+use ccs_topology::{Machine, Pe};
+use ccs_workloads::{random_csdfg, OpTimes, RandomGraphConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_topology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology");
+    group.bench_function("build/hypercube_10", |b| {
+        b.iter(|| Machine::hypercube(black_box(10)))
+    });
+    let m = Machine::hypercube(10);
+    group.bench_function("distance/hypercube_10", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in (0..1024).step_by(37) {
+                for j in (0..1024).step_by(41) {
+                    acc += u64::from(m.distance(Pe(i), Pe(j)));
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("build/mesh_32x32", |b| b.iter(|| Machine::mesh(32, 32)));
+    group.finish();
+}
+
+fn bench_retiming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("retiming");
+    for nodes in [16usize, 48, 96] {
+        let g = random_csdfg(
+            RandomGraphConfig { nodes, back_edges: nodes / 3, ..Default::default() },
+            5,
+        );
+        group.bench_with_input(BenchmarkId::new("iteration_bound", nodes), &g, |b, g| {
+            b.iter(|| iteration_bound(black_box(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("min_clock_period", nodes), &g, |b, g| {
+            b.iter(|| clock_period::min_clock_period(black_box(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_schedule_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_table");
+    group.bench_function("place_remove_1k", |b| {
+        b.iter(|| {
+            let mut s = Schedule::new(8);
+            for i in 0..1000usize {
+                let pe = Pe((i % 8) as u32);
+                let cs = (i / 8 * 3 + 1) as u32;
+                s.place(NodeId::from_index(i), pe, cs, 2).unwrap();
+            }
+            for i in 0..1000usize {
+                s.remove(NodeId::from_index(i)).unwrap();
+            }
+            s
+        })
+    });
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    let g = ccs_workloads::filters::elliptic_wave_filter(OpTimes::default());
+    let machine = Machine::hypercube(3);
+    let s = startup_schedule(&g, &machine, StartupConfig::default()).unwrap();
+    group.bench_function("replay_static/elliptic_x100", |b| {
+        b.iter(|| replay_static(black_box(&g), &machine, &s, 100))
+    });
+    group.bench_function("self_timed/elliptic_x100", |b| {
+        b.iter(|| run_self_timed(black_box(&g), &machine, &s, 100))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_topology,
+    bench_retiming,
+    bench_schedule_table,
+    bench_simulator
+);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E11 — ablation of the §3 design choice: the communication-sensitive
+//! priority function `PF` against mobility-only (classic critical-path
+//! list scheduling) and FIFO ready lists, measured by start-up
+//! schedule length.
+
+use ccs_bench::experiments::priority_ablation;
+use ccs_bench::TextTable;
+
+fn main() {
+    println!("=== priority-function ablation: start-up schedule lengths ===\n");
+    let rows = priority_ablation();
+    let mut table = TextTable::new(["workload", "machine", "PF", "mobility", "FIFO"]);
+    let mut sums = [0u64; 3];
+    for r in &rows {
+        table.row([
+            r.workload.to_string(),
+            r.machine.clone(),
+            r.lengths[0].to_string(),
+            r.lengths[1].to_string(),
+            r.lengths[2].to_string(),
+        ]);
+        for (sum, &len) in sums.iter_mut().zip(&r.lengths) {
+            *sum += u64::from(len);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "aggregate control steps: PF {}, mobility-only {}, FIFO {}",
+        sums[0], sums[1], sums[2]
+    );
+    println!(
+        "[{}] PF is no worse than FIFO in aggregate",
+        if sums[0] <= sums[2] { "ok" } else { "FAIL" }
+    );
+}

@@ -1,0 +1,47 @@
+//! E2 — regenerates the paper's Figure 5/8: the experiment machine
+//! suite, with per-machine structural statistics and the link lists
+//! (DOT output on request via `--dot`).
+
+use ccs_bench::TextTable;
+use ccs_topology::Machine;
+
+fn main() {
+    let dot = std::env::args().any(|a| a == "--dot");
+    let machines = [
+        Machine::linear_array(8),
+        Machine::ring(8),
+        Machine::complete(8),
+        Machine::mesh(4, 2),
+        Machine::hypercube(3),
+        // the paper's Figure 1(a) 4-PE mesh for completeness
+        Machine::mesh(2, 2),
+    ];
+
+    let mut table = TextTable::new(["machine", "PEs", "links", "diameter", "mean dist", "max degree"]);
+    for m in &machines {
+        let max_deg = m.pes().map(|p| m.degree(p)).max().unwrap_or(0);
+        table.row([
+            m.name().to_string(),
+            m.num_pes().to_string(),
+            m.links().len().to_string(),
+            m.diameter().to_string(),
+            format!("{:.2}", m.mean_distance()),
+            max_deg.to_string(),
+        ]);
+    }
+    println!("=== Figure 5/8: experiment architectures ===\n");
+    println!("{}", table.render());
+
+    for m in &machines {
+        println!("{}:", m.name());
+        let links: Vec<String> = m
+            .links()
+            .iter()
+            .map(|&(a, b)| format!("pe{}-pe{}", a + 1, b + 1))
+            .collect();
+        println!("  links: {}", links.join(" "));
+        if dot {
+            println!("{}", m.to_dot());
+        }
+    }
+}

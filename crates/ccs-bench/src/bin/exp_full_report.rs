@@ -1,0 +1,18 @@
+//! Emits the full machine-readable experiment report as JSON on
+//! stdout — for archival, dashboards, and regression diffing.
+//!
+//! Usage: `exp_full_report [sweep-seeds] [replay-iterations]`
+//! (defaults 10 and 10).
+
+fn main() {
+    let sweep_seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let replay_iters: u32 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let report = ccs_bench::report::collect(sweep_seeds, replay_iters);
+    println!("{}", serde_json::to_string_pretty(&report).expect("report serializes"));
+}

@@ -1,0 +1,36 @@
+//! E16 (extension) — processor-count scaling: compacted schedule
+//! length of a workload on completely connected machines of 1..=N PEs,
+//! against the PE-independent iteration-bound floor.  Shows where
+//! adding processors stops helping (the loop-carried cycles take
+//! over).
+//!
+//! Usage: `exp_pe_scaling [workload] [max-pes]` (default `elliptic` 12).
+
+use ccs_bench::experiments::pe_scaling;
+use ccs_bench::TextTable;
+
+fn main() {
+    let workload = std::env::args().nth(1).unwrap_or_else(|| "elliptic".into());
+    let max_pes: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    println!("=== PE scaling: {workload} on completely connected 1..={max_pes} ===\n");
+    let rows = pe_scaling(&workload, max_pes);
+    let mut table = TextTable::new(["PEs", "compacted length", "bound floor", "floor gap"]);
+    for r in &rows {
+        table.row([
+            r.pes.to_string(),
+            r.length.to_string(),
+            r.bound.to_string(),
+            format!("{:.2}x", f64::from(r.length) / r.bound as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    let saturation = rows
+        .windows(2)
+        .find(|w| w[1].length >= w[0].length)
+        .map(|w| w[0].pes)
+        .unwrap_or(max_pes);
+    println!("speedup saturates around {saturation} PEs (loop-carried cycles dominate).");
+}

@@ -1,0 +1,20 @@
+//! E4-E8 — regenerates Tables 1-10: the 19-node example (Figure 7,
+//! reconstructed — see DESIGN.md §3) scheduled on the five 8-PE
+//! machines; for each machine the start-up table (odd-numbered tables)
+//! and the cyclo-compacted table (even-numbered tables).
+
+use ccs_bench::experiments::nineteen_node;
+
+fn main() {
+    println!("=== Tables 1-10: 19-node example on the paper's 8-PE machines ===");
+    println!("(graph reconstructed; compare shapes, not cells — see DESIGN.md §3)\n");
+    for r in nineteen_node() {
+        println!("---------------- {} ----------------", r.machine);
+        println!("Start-up schedule ({} control steps):", r.startup_len);
+        println!("{}", r.startup_table);
+        println!("After cyclo-compaction ({} control steps):", r.compacted_len);
+        println!("{}", r.compacted_table);
+    }
+    println!("paper shape: start-up lengths 12-15, compacted 5-7,");
+    println!("completely connected shortest after compaction.");
+}

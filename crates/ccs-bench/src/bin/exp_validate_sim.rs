@@ -1,0 +1,27 @@
+//! E13 — validation experiment: every workload x machine x policy
+//! schedule (plus the baselines) is checked by the algebraic validator
+//! AND replayed cycle-accurately in the simulator; self-timed
+//! execution must not run slower than the static period.
+//!
+//! Usage: `exp_validate_sim [replay-iterations]` (default 20).
+
+use ccs_bench::experiments::validate_everything;
+
+fn main() {
+    let iters: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    println!("=== simulator cross-validation ({iters} replay iterations each) ===\n");
+    let s = validate_everything(iters);
+    println!("schedules checked:        {}", s.schedules);
+    println!("passed all three checks:  {}", s.passed);
+    println!("replay iterations total:  {}", s.replay_iterations);
+    println!("messages simulated:       {}", s.messages);
+    if s.passed == s.schedules {
+        println!("\n[ok] every schedule is valid under checker, replay, and self-timed run");
+    } else {
+        println!("\n[FAIL] {} schedules failed validation", s.schedules - s.passed);
+        std::process::exit(1);
+    }
+}

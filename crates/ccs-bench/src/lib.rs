@@ -1,0 +1,29 @@
+//! # ccs-bench
+//!
+//! The experiment harness of the reproduction: drivers that regenerate
+//! every table and figure of the paper (see `DESIGN.md` §5 for the
+//! experiment index), shared by the `exp_*` binaries and the Criterion
+//! benches.
+//!
+//! Binaries (run with `cargo run -p ccs-bench --release --bin <name>`):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `exp_fig1_example` | Figures 1-4, 6 and the Figure 2/3 schedule tables |
+//! | `exp_architectures` | Figures 5 and 8 (machine suite) |
+//! | `exp_tables_19node` | Tables 1-10 (19-node example on 5 machines) |
+//! | `exp_table11` | Table 11 (elliptic + lattice, both policies) |
+//! | `exp_ablation_relaxation` | §4 relaxation design choice |
+//! | `exp_ablation_priority` | §3 priority-function design choice |
+//! | `exp_random_sweep` | extension: random-graph sweep |
+//! | `exp_validate_sim` | simulator cross-validation of every schedule |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod report;
+pub mod table;
+
+pub use experiments::*;
+pub use table::TextTable;

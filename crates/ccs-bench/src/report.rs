@@ -1,0 +1,188 @@
+//! Machine-readable experiment report: one JSON document aggregating
+//! every experiment, for archival and regression diffing.
+
+use crate::experiments;
+use serde::Serialize;
+
+/// The full report (`exp_full_report` emits it as JSON).
+#[derive(Clone, Debug, Serialize)]
+pub struct FullReport {
+    /// Tool version (crate version at compile time).
+    pub version: &'static str,
+    /// E9: Table 11 cells.
+    pub table11: Vec<Table11Json>,
+    /// E4-E8: 19-node lengths per machine.
+    pub nineteen_node: Vec<NineteenJson>,
+    /// E11: priority ablation rows.
+    pub priority: Vec<PriorityJson>,
+    /// E12: random sweep aggregates.
+    pub sweep: Vec<SweepJson>,
+    /// E13: validation summary.
+    pub validation: ValidationJson,
+    /// E17: multi-row rotation aggregates.
+    pub multirow: Vec<MultirowJson>,
+}
+
+/// JSON shape of one Table 11 row.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table11Json {
+    /// Application name.
+    pub application: String,
+    /// Relaxation policy label.
+    pub relax: String,
+    /// `(machine, init, after)` triples.
+    pub cells: Vec<(String, u32, u32)>,
+}
+
+/// JSON shape of one 19-node row.
+#[derive(Clone, Debug, Serialize)]
+pub struct NineteenJson {
+    /// Machine name.
+    pub machine: String,
+    /// Start-up length.
+    pub startup: u32,
+    /// Compacted length.
+    pub compacted: u32,
+}
+
+/// JSON shape of one priority-ablation row.
+#[derive(Clone, Debug, Serialize)]
+pub struct PriorityJson {
+    /// Workload name.
+    pub workload: String,
+    /// Machine name.
+    pub machine: String,
+    /// `PF` start-up length.
+    pub pf: u32,
+    /// Mobility-only start-up length.
+    pub mobility: u32,
+    /// FIFO start-up length.
+    pub fifo: u32,
+}
+
+/// JSON shape of one sweep row.
+#[derive(Clone, Debug, Serialize)]
+pub struct SweepJson {
+    /// Graph size.
+    pub nodes: usize,
+    /// Machine name.
+    pub machine: String,
+    /// Mean start-up length.
+    pub startup: f64,
+    /// Mean compacted length.
+    pub compacted: f64,
+    /// Mean oblivious-list length.
+    pub oblivious: f64,
+    /// Mean gap to the iteration-bound ceiling.
+    pub bound_gap: f64,
+}
+
+/// JSON shape of the validation summary.
+#[derive(Clone, Debug, Serialize)]
+pub struct ValidationJson {
+    /// Schedules checked.
+    pub schedules: usize,
+    /// Schedules passing all checks.
+    pub passed: usize,
+}
+
+/// JSON shape of one multirow-ablation row.
+#[derive(Clone, Debug, Serialize)]
+pub struct MultirowJson {
+    /// Workload name.
+    pub workload: String,
+    /// Machine name.
+    pub machine: String,
+    /// Best lengths rotating 1, 2 and 3 rows per pass.
+    pub lengths: [u32; 3],
+}
+
+/// Runs the (fast subset of the) experiments and assembles the report.
+///
+/// `sweep_seeds` controls the E12 sample size; `replay_iters` the E13
+/// replay depth.
+pub fn collect(sweep_seeds: u64, replay_iters: u32) -> FullReport {
+    let machines: Vec<String> = experiments::table11_machines()
+        .iter()
+        .map(|m| m.name().to_string())
+        .collect();
+    let table11 = experiments::table11()
+        .into_iter()
+        .map(|r| Table11Json {
+            application: r.application.to_string(),
+            relax: r.relax.to_string(),
+            cells: machines
+                .iter()
+                .cloned()
+                .zip(r.cells.iter().copied())
+                .map(|(m, (i, a))| (m, i, a))
+                .collect(),
+        })
+        .collect();
+    let nineteen_node = experiments::nineteen_node()
+        .into_iter()
+        .map(|r| NineteenJson {
+            machine: r.machine,
+            startup: r.startup_len,
+            compacted: r.compacted_len,
+        })
+        .collect();
+    let priority = experiments::priority_ablation()
+        .into_iter()
+        .map(|r| PriorityJson {
+            workload: r.workload.to_string(),
+            machine: r.machine,
+            pf: r.lengths[0],
+            mobility: r.lengths[1],
+            fifo: r.lengths[2],
+        })
+        .collect();
+    let sweep = experiments::random_sweep(&[10, 20, 40], sweep_seeds)
+        .into_iter()
+        .map(|r| SweepJson {
+            nodes: r.nodes,
+            machine: r.machine,
+            startup: r.mean_startup,
+            compacted: r.mean_compacted,
+            oblivious: r.mean_oblivious,
+            bound_gap: r.mean_bound_gap,
+        })
+        .collect();
+    let v = experiments::validate_everything(replay_iters);
+    let multirow = experiments::multirow_ablation()
+        .into_iter()
+        .map(|r| MultirowJson {
+            workload: r.workload.to_string(),
+            machine: r.machine,
+            lengths: r.lengths,
+        })
+        .collect();
+    FullReport {
+        version: env!("CARGO_PKG_VERSION"),
+        table11,
+        nineteen_node,
+        priority,
+        sweep,
+        validation: ValidationJson { schedules: v.schedules, passed: v.passed },
+        multirow,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_collects_and_serializes() {
+        let report = collect(2, 3);
+        assert_eq!(report.table11.len(), 4);
+        assert_eq!(report.nineteen_node.len(), 5);
+        assert_eq!(report.validation.schedules, report.validation.passed);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("\"table11\""));
+        assert!(json.contains("Completely Connected 8"));
+        // Parseable back as generic JSON.
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(value["sweep"].as_array().unwrap().len() >= 3);
+    }
+}

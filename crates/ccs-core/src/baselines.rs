@@ -1,0 +1,138 @@
+//! Communication-oblivious baselines the paper argues against.
+//!
+//! Both baselines make their decisions against an *ideal* machine
+//! (free communication — see [`Machine::ideal`]) and are then made to
+//! run on the real machine by [`crate::startup::legalize`]:
+//! processor assignments and per-PE execution order are kept, start
+//! times are re-derived with real communication costs, and the table is
+//! padded to cover all projected schedule lengths.  The gap between the
+//! oblivious length and cyclo-compaction's length is what the paper's
+//! communication-sensitivity buys.
+
+use crate::compact::{cyclo_compact, CompactConfig};
+use crate::startup::{legalize, startup_schedule, StartupConfig};
+use ccs_model::{Csdfg, ModelError};
+use ccs_schedule::{required_length, Schedule};
+use ccs_topology::Machine;
+
+/// Result of running a communication-oblivious baseline.
+#[derive(Clone, Debug)]
+pub struct BaselineResult {
+    /// Schedule length the baseline *believed* it achieved (on the
+    /// ideal machine).
+    pub believed_length: u32,
+    /// The schedule after legalization on the real machine.
+    pub schedule: Schedule,
+    /// Actual schedule length on the real machine.
+    pub actual_length: u32,
+}
+
+/// Classic list scheduling (mobility priority, no communication in the
+/// placement decisions), legalized on `machine`.
+pub fn oblivious_list_scheduling(
+    g: &Csdfg,
+    machine: &Machine,
+) -> Result<BaselineResult, ModelError> {
+    let ideal = Machine::ideal(machine.num_pes());
+    let cfg = StartupConfig { ignore_communication: true, ..Default::default() };
+    let believed = startup_schedule(g, &ideal, cfg)?;
+    let believed_length = believed.length();
+    let mut schedule = legalize(g, machine, &believed);
+    schedule.pad_to(required_length(g, machine, &schedule));
+    let actual_length = schedule.length();
+    Ok(BaselineResult { believed_length, schedule, actual_length })
+}
+
+/// Rotation scheduling in the style of Chao–LaPaugh–Sha (DAC'93):
+/// loop pipelining by rotation, but with all scheduling decisions made
+/// against the ideal machine.  The final (retimed) schedule is
+/// legalized on the real machine.
+///
+/// Returns the baseline result plus the retimed graph it applies to.
+pub fn oblivious_rotation_scheduling(
+    g: &Csdfg,
+    machine: &Machine,
+    passes: usize,
+) -> Result<(BaselineResult, Csdfg), ModelError> {
+    let ideal = Machine::ideal(machine.num_pes());
+    let cfg = CompactConfig { passes, ..Default::default() };
+    let result = cyclo_compact(g, &ideal, cfg)?;
+    let believed_length = result.best_length;
+    let mut schedule = legalize(&result.graph, machine, &result.schedule);
+    schedule.pad_to(required_length(&result.graph, machine, &schedule));
+    let actual_length = schedule.length();
+    Ok((BaselineResult { believed_length, schedule, actual_length }, result.graph))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_schedule::validate;
+
+    fn fig1() -> Csdfg {
+        let mut g = Csdfg::new();
+        let ids: Vec<_> = ["A", "B", "C", "D", "E", "F"]
+            .iter()
+            .map(|n| {
+                let t = if *n == "B" || *n == "E" { 2 } else { 1 };
+                g.add_task(*n, t).unwrap()
+            })
+            .collect();
+        let (a, b, c, d, e, f) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+        g.add_dep(a, b, 0, 1).unwrap();
+        g.add_dep(a, c, 0, 1).unwrap();
+        g.add_dep(a, e, 0, 1).unwrap();
+        g.add_dep(b, d, 0, 1).unwrap();
+        g.add_dep(b, e, 0, 2).unwrap();
+        g.add_dep(c, e, 0, 1).unwrap();
+        g.add_dep(d, a, 3, 3).unwrap();
+        g.add_dep(d, f, 0, 2).unwrap();
+        g.add_dep(e, f, 0, 1).unwrap();
+        g.add_dep(f, e, 1, 1).unwrap();
+        g
+    }
+
+    #[test]
+    fn oblivious_list_is_valid_after_legalization() {
+        let g = fig1();
+        for m in Machine::paper_suite() {
+            let r = oblivious_list_scheduling(&g, &m).unwrap();
+            assert!(validate(&g, &m, &r.schedule).is_ok(), "{}", m.name());
+            assert!(r.actual_length >= r.believed_length);
+        }
+    }
+
+    #[test]
+    fn oblivious_rotation_is_valid_after_legalization() {
+        let g = fig1();
+        for m in Machine::paper_suite() {
+            let (r, retimed) = oblivious_rotation_scheduling(&g, &m, 16).unwrap();
+            assert!(validate(&retimed, &m, &r.schedule).is_ok(), "{}", m.name());
+            assert!(r.actual_length >= r.believed_length);
+        }
+    }
+
+    #[test]
+    fn ideal_machine_makes_believed_equal_actual() {
+        let g = fig1();
+        let m = Machine::ideal(4);
+        let r = oblivious_list_scheduling(&g, &m).unwrap();
+        assert_eq!(r.believed_length, r.actual_length);
+    }
+
+    #[test]
+    fn communication_sensitivity_pays_off_on_sparse_machines() {
+        // On a linear array the communication-aware pipeline should be
+        // at least as short as the oblivious one.
+        let g = fig1();
+        let m = Machine::linear_array(4);
+        let aware = cyclo_compact(&g, &m, CompactConfig::default()).unwrap();
+        let (oblivious, _) = oblivious_rotation_scheduling(&g, &m, 64).unwrap();
+        assert!(
+            aware.best_length <= oblivious.actual_length,
+            "aware {} vs oblivious {}",
+            aware.best_length,
+            oblivious.actual_length
+        );
+    }
+}

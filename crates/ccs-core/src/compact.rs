@@ -1,0 +1,259 @@
+//! The cyclo-compaction driver (paper §4, `Algorithm Cyclo-Compact`).
+
+use crate::remap::{rotate_remap, PassOutcome, RemapConfig, RemapMode};
+use crate::startup::{startup_schedule, StartupConfig};
+use ccs_model::{Csdfg, ModelError, NodeId};
+use ccs_retiming::Retiming;
+use ccs_schedule::Schedule;
+use ccs_topology::Machine;
+
+/// Options for [`cyclo_compact`].
+#[derive(Clone, Copy, Debug)]
+pub struct CompactConfig {
+    /// Maximum number of rotate-remap passes (the paper's `z`).
+    pub passes: usize,
+    /// Start-up scheduler options.
+    pub startup: StartupConfig,
+    /// Remapping options (relaxation policy, growth budget).
+    pub remap: RemapConfig,
+    /// Stop as soon as a pass is reverted (the search has stalled).
+    /// With relaxation this is rare; without relaxation it is the
+    /// natural fixpoint.
+    pub stop_on_revert: bool,
+}
+
+impl Default for CompactConfig {
+    fn default() -> Self {
+        CompactConfig {
+            passes: 64,
+            startup: StartupConfig::default(),
+            remap: RemapConfig::default(),
+            stop_on_revert: true,
+        }
+    }
+}
+
+impl CompactConfig {
+    /// Convenience: default configuration with the given relaxation
+    /// mode.
+    pub fn with_mode(mode: RemapMode) -> Self {
+        CompactConfig { remap: RemapConfig { mode, ..Default::default() }, ..Default::default() }
+    }
+}
+
+/// Telemetry for one pass of the driver.
+#[derive(Clone, Debug)]
+pub struct PassRecord {
+    /// 1-based pass number.
+    pub pass: usize,
+    /// Nodes rotated in this pass.
+    pub rotated: Vec<NodeId>,
+    /// Schedule length after the pass.
+    pub length: u32,
+    /// Whether the pass was rolled back.
+    pub reverted: bool,
+}
+
+/// Result of [`cyclo_compact`].
+#[derive(Clone, Debug)]
+pub struct Compaction {
+    /// The best (shortest) schedule observed, the paper's `Q`.
+    pub schedule: Schedule,
+    /// The retimed graph matching [`Compaction::schedule`].
+    pub graph: Csdfg,
+    /// Cumulative retiming from the input graph to
+    /// [`Compaction::graph`].
+    pub retiming: Retiming,
+    /// The start-up schedule the search began from.
+    pub initial: Schedule,
+    /// Length of the start-up schedule.
+    pub initial_length: u32,
+    /// Length of the best schedule.
+    pub best_length: u32,
+    /// Per-pass telemetry.
+    pub history: Vec<PassRecord>,
+}
+
+impl Compaction {
+    /// Relative improvement `initial / best` (>= 1).
+    pub fn speedup(&self) -> f64 {
+        f64::from(self.initial_length) / f64::from(self.best_length)
+    }
+}
+
+/// Runs start-up scheduling followed by up to `config.passes`
+/// rotate-remap passes, returning the best schedule seen (paper's
+/// `Cyclo-Compact(G, z)`).
+///
+/// # Errors
+///
+/// Returns an error if `g` is not a legal CSDFG.
+pub fn cyclo_compact(
+    g: &Csdfg,
+    machine: &Machine,
+    config: CompactConfig,
+) -> Result<Compaction, ModelError> {
+    let initial = startup_schedule(g, machine, config.startup)?;
+    let initial_length = initial.length();
+
+    let mut cur_sched = initial.clone();
+    let mut cur_graph = g.clone();
+    let mut retiming = Retiming::zero_for(g);
+    let mut best_sched = initial.clone();
+    let mut best_graph = g.clone();
+    let mut best_retiming = retiming.clone();
+    let mut history = Vec::with_capacity(config.passes);
+
+    for pass in 1..=config.passes {
+        let PassOutcome { schedule, graph, rotated, reverted } =
+            rotate_remap(&cur_graph, machine, &cur_sched, config.remap);
+        history.push(PassRecord {
+            pass,
+            rotated: rotated.clone(),
+            length: schedule.length(),
+            reverted,
+        });
+        if reverted {
+            if config.stop_on_revert {
+                break;
+            }
+            continue;
+        }
+        for &v in &rotated {
+            retiming.bump(v, 1);
+        }
+        cur_sched = schedule;
+        cur_graph = graph;
+        if cur_sched.length() < best_sched.length() {
+            best_sched = cur_sched.clone();
+            best_graph = cur_graph.clone();
+            best_retiming = retiming.clone();
+        }
+    }
+
+    let best_length = best_sched.length();
+    Ok(Compaction {
+        schedule: best_sched,
+        graph: best_graph,
+        retiming: best_retiming,
+        initial,
+        initial_length,
+        best_length,
+        history,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_schedule::validate;
+
+    fn fig1() -> (Csdfg, Vec<NodeId>, Machine) {
+        let mut g = Csdfg::new();
+        let ids: Vec<_> = ["A", "B", "C", "D", "E", "F"]
+            .iter()
+            .map(|n| {
+                let t = if *n == "B" || *n == "E" { 2 } else { 1 };
+                g.add_task(*n, t).unwrap()
+            })
+            .collect();
+        let (a, b, c, d, e, f) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+        g.add_dep(a, b, 0, 1).unwrap();
+        g.add_dep(a, c, 0, 1).unwrap();
+        g.add_dep(a, e, 0, 1).unwrap();
+        g.add_dep(b, d, 0, 1).unwrap();
+        g.add_dep(b, e, 0, 2).unwrap();
+        g.add_dep(c, e, 0, 1).unwrap();
+        g.add_dep(d, a, 3, 3).unwrap();
+        g.add_dep(d, f, 0, 2).unwrap();
+        g.add_dep(e, f, 0, 1).unwrap();
+        g.add_dep(f, e, 1, 1).unwrap();
+        (g, ids, Machine::mesh(2, 2))
+    }
+
+    #[test]
+    fn paper_example_compacts_from_seven_to_five() {
+        let (g, _, m) = fig1();
+        let result = cyclo_compact(&g, &m, CompactConfig::default()).unwrap();
+        assert_eq!(result.initial_length, 7);
+        assert!(result.best_length <= 5, "got {}", result.best_length);
+        assert!(validate(&result.graph, &m, &result.schedule).is_ok());
+        assert!(result.speedup() >= 1.4 - 1e-9);
+    }
+
+    #[test]
+    fn best_schedule_matches_retimed_graph() {
+        let (g, _, m) = fig1();
+        let result = cyclo_compact(&g, &m, CompactConfig::default()).unwrap();
+        // The recorded retiming applied to the input graph must equal
+        // the returned graph.
+        assert!(result.retiming.is_legal(&g));
+        let reapplied = result.retiming.apply(&g);
+        for e in g.deps() {
+            assert_eq!(reapplied.delay(e), result.graph.delay(e));
+        }
+    }
+
+    #[test]
+    fn without_relaxation_lengths_monotone() {
+        let (g, _, m) = fig1();
+        let result =
+            cyclo_compact(&g, &m, CompactConfig::with_mode(RemapMode::WithoutRelaxation))
+                .unwrap();
+        let mut prev = result.initial_length;
+        for rec in &result.history {
+            if !rec.reverted {
+                assert!(rec.length <= prev, "pass {} grew {} -> {}", rec.pass, prev, rec.length);
+                prev = rec.length;
+            }
+        }
+    }
+
+    #[test]
+    fn both_modes_valid_on_all_paper_machines() {
+        let (g, _, _) = fig1();
+        for machine in Machine::paper_suite() {
+            for mode in [RemapMode::WithoutRelaxation, RemapMode::WithRelaxation] {
+                let result =
+                    cyclo_compact(&g, &machine, CompactConfig::with_mode(mode)).unwrap();
+                assert!(
+                    validate(&result.graph, &machine, &result.schedule).is_ok(),
+                    "{mode:?} on {}",
+                    machine.name()
+                );
+                assert!(result.best_length <= result.initial_length);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_passes_returns_startup() {
+        let (g, _, m) = fig1();
+        let cfg = CompactConfig { passes: 0, ..Default::default() };
+        let result = cyclo_compact(&g, &m, cfg).unwrap();
+        assert_eq!(result.best_length, result.initial_length);
+        assert!(result.history.is_empty());
+    }
+
+    #[test]
+    fn history_records_every_pass() {
+        let (g, _, m) = fig1();
+        let cfg = CompactConfig { passes: 5, stop_on_revert: false, ..Default::default() };
+        let result = cyclo_compact(&g, &m, cfg).unwrap();
+        assert_eq!(result.history.len(), 5);
+        for (i, rec) in result.history.iter().enumerate() {
+            assert_eq!(rec.pass, i + 1);
+        }
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 2).unwrap();
+        g.add_dep(a, a, 1, 1).unwrap();
+        let m = Machine::complete(2);
+        let result = cyclo_compact(&g, &m, CompactConfig::default()).unwrap();
+        assert_eq!(result.best_length, 2);
+        assert!(validate(&result.graph, &m, &result.schedule).is_ok());
+    }
+}

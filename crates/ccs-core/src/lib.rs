@@ -1,0 +1,155 @@
+//! # ccs-core
+//!
+//! The primary contribution of Tongsima, Passos & Sha (ICPP 1995):
+//! **cyclo-compaction scheduling** — architecture-dependent loop
+//! scheduling of cyclic, communication-sensitive data-flow graphs via
+//! communication-sensitive remapping.
+//!
+//! Pipeline:
+//!
+//! 1. [`startup::startup_schedule`] — the modified list scheduler of
+//!    §3: priority function [`priority::evaluate`] (`PF`,
+//!    Definition 3.6), processor choice by the `cm < cs` rule;
+//! 2. [`remap::rotate_remap`] — one pass of §4: rotate the first
+//!    schedule row (implicit retiming), remap each rotated node using
+//!    the anticipation function `AN` (Lemma 4.2), repair inter-
+//!    iteration slack via the projected schedule length (Lemma 4.3);
+//! 3. [`compact::cyclo_compact`] — the driver that iterates passes and
+//!    keeps the best schedule (`Q`), with per-pass telemetry;
+//! 4. [`baselines`] — the communication-oblivious comparators (classic
+//!    list scheduling, Chao–LaPaugh–Sha rotation scheduling).
+//!
+//! ```
+//! use ccs_core::compact::{cyclo_compact, CompactConfig};
+//! use ccs_model::Csdfg;
+//! use ccs_topology::Machine;
+//!
+//! let mut g = Csdfg::new();
+//! let a = g.add_task("A", 1).unwrap();
+//! let b = g.add_task("B", 2).unwrap();
+//! g.add_dep(a, b, 0, 1).unwrap();
+//! g.add_dep(b, a, 2, 1).unwrap();
+//!
+//! let machine = Machine::mesh(2, 2);
+//! let result = cyclo_compact(&g, &machine, CompactConfig::default()).unwrap();
+//! assert!(result.best_length <= result.initial_length);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod baselines;
+pub mod compact;
+pub mod optimal;
+pub mod presets;
+pub mod priority;
+pub mod refine;
+pub mod remap;
+pub mod startup;
+
+pub use compact::{cyclo_compact, CompactConfig, Compaction};
+pub use priority::Priority;
+pub use remap::{RemapConfig, RemapMode};
+pub use startup::{startup_schedule, StartupConfig};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use ccs_model::Csdfg;
+    use ccs_schedule::validate;
+    use ccs_topology::Machine;
+    use proptest::prelude::*;
+
+    fn arb_csdfg() -> impl Strategy<Value = Csdfg> {
+        (2usize..9).prop_flat_map(|n| {
+            let times = proptest::collection::vec(1u32..4, n);
+            let edges = proptest::collection::vec((0..n, 0..n, 0u32..3, 1u32..4), 1..n * 2);
+            (times, edges).prop_map(move |(times, edges)| {
+                let mut g = Csdfg::new();
+                let ids: Vec<_> = times
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &t)| g.add_task(format!("v{i}"), t).unwrap())
+                    .collect();
+                for (a, b, d, c) in edges {
+                    let delay = if a < b { d } else { d.max(1) };
+                    g.add_dep(ids[a], ids[b], delay, c).unwrap();
+                }
+                g
+            })
+        })
+    }
+
+    fn arb_machine() -> impl Strategy<Value = Machine> {
+        prop_oneof![
+            (2usize..6).prop_map(Machine::linear_array),
+            (3usize..7).prop_map(Machine::ring),
+            (2usize..6).prop_map(Machine::complete),
+            Just(Machine::mesh(2, 2)),
+            Just(Machine::hypercube(2)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn startup_schedules_are_always_valid(g in arb_csdfg(), m in arb_machine()) {
+            let s = startup_schedule(&g, &m, StartupConfig::default()).unwrap();
+            prop_assert!(validate(&g, &m, &s).is_ok());
+            prop_assert_eq!(s.placed_count(), g.task_count());
+        }
+
+        #[test]
+        fn compaction_output_is_valid_and_no_longer(g in arb_csdfg(), m in arb_machine()) {
+            let cfg = CompactConfig { passes: 12, ..Default::default() };
+            let r = cyclo_compact(&g, &m, cfg).unwrap();
+            prop_assert!(validate(&r.graph, &m, &r.schedule).is_ok());
+            prop_assert!(r.best_length <= r.initial_length);
+        }
+
+        #[test]
+        fn theorem_4_4_without_relaxation_is_monotone(g in arb_csdfg(), m in arb_machine()) {
+            let cfg = CompactConfig {
+                passes: 12,
+                remap: RemapConfig { mode: RemapMode::WithoutRelaxation, max_growth: 0, rows_per_pass: 1 },
+                ..Default::default()
+            };
+            let r = cyclo_compact(&g, &m, cfg).unwrap();
+            let mut prev = r.initial_length;
+            for rec in &r.history {
+                if !rec.reverted {
+                    prop_assert!(rec.length <= prev);
+                    prev = rec.length;
+                }
+            }
+        }
+
+        #[test]
+        fn best_length_never_beats_iteration_bound(g in arb_csdfg(), m in arb_machine()) {
+            let r = cyclo_compact(&g, &m, CompactConfig::default()).unwrap();
+            if let Some(b) = ccs_retiming::iteration_bound(&g) {
+                prop_assert!(u64::from(r.best_length) >= b.ceil(),
+                    "length {} below iteration bound {}", r.best_length, b);
+            }
+        }
+
+        #[test]
+        fn retiming_reconstructs_best_graph(g in arb_csdfg(), m in arb_machine()) {
+            let r = cyclo_compact(&g, &m, CompactConfig::default()).unwrap();
+            prop_assert!(r.retiming.is_legal(&g));
+            let reapplied = r.retiming.apply(&g);
+            for e in g.deps() {
+                prop_assert_eq!(reapplied.delay(e), r.graph.delay(e));
+            }
+        }
+
+        #[test]
+        fn baselines_are_valid(g in arb_csdfg(), m in arb_machine()) {
+            let bl = baselines::oblivious_list_scheduling(&g, &m).unwrap();
+            prop_assert!(validate(&g, &m, &bl.schedule).is_ok());
+            let (br, retimed) = baselines::oblivious_rotation_scheduling(&g, &m, 8).unwrap();
+            prop_assert!(validate(&retimed, &m, &br.schedule).is_ok());
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! The start-up priority function `PF` (Definition 3.6).
+
+use ccs_model::{timing::Timing, Csdfg, NodeId};
+use ccs_schedule::Schedule;
+
+/// Priority policies for the start-up list scheduler.
+///
+/// [`Priority::CommunicationSensitive`] is the paper's `PF`; the other
+/// two are ablation baselines (experiment E11).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// The paper's `PF(v) = max_i { m_i - (cs - (CE(u_i)+1)) - MB(v) }`:
+    /// large pending data volumes raise priority, time already spent
+    /// waiting discounts them, and mobility lowers priority.
+    #[default]
+    CommunicationSensitive,
+    /// Classic list scheduling: priority is `-MB(v)` (critical-path
+    /// first), ignoring data volumes.
+    MobilityOnly,
+    /// First-in-first-out: ready nodes keep insertion order.
+    Fifo,
+}
+
+/// Evaluates the priority of ready node `v` at control step `cs`.
+///
+/// `sched` supplies `CE` of the already-scheduled predecessors; only
+/// zero-delay (intra-iteration) predecessors participate, matching the
+/// start-up scheduler's feedback-free input graph.
+///
+/// Higher values mean "schedule earlier".  For [`Priority::Fifo`] the
+/// value is constant (callers keep insertion order on ties).
+pub fn evaluate(
+    policy: Priority,
+    g: &Csdfg,
+    timing: &Timing,
+    sched: &Schedule,
+    v: NodeId,
+    cs: u32,
+) -> i64 {
+    match policy {
+        Priority::Fifo => 0,
+        Priority::MobilityOnly => -i64::from(timing.mobility_at(v, cs)),
+        Priority::CommunicationSensitive => {
+            let mb = i64::from(timing.mobility_at(v, cs));
+            let mut best: Option<i64> = None;
+            for e in g.intra_iter_in_deps(v) {
+                let (u, _) = g.endpoints(e);
+                let Some(ce_u) = sched.ce(u) else { continue };
+                let m = i64::from(g.volume(e));
+                let waited = i64::from(cs) - (i64::from(ce_u) + 1);
+                let score = m - waited - mb;
+                best = Some(best.map_or(score, |b: i64| b.max(score)));
+            }
+            // Roots (no intra-iteration predecessors): volume and wait
+            // terms vanish; mobility alone orders them.
+            best.unwrap_or(-mb)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_model::timing;
+    use ccs_topology::Pe;
+
+    fn fork() -> (Csdfg, [NodeId; 3]) {
+        // A -> B (volume 5), A -> C (volume 1); C has higher mobility.
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 1).unwrap();
+        let b = g.add_task("B", 3).unwrap();
+        let c = g.add_task("C", 1).unwrap();
+        g.add_dep(a, b, 0, 5).unwrap();
+        g.add_dep(a, c, 0, 1).unwrap();
+        (g, [a, b, c])
+    }
+
+    #[test]
+    fn volume_raises_priority() {
+        let (g, [a, b, c]) = fork();
+        let t = timing::analyze(&g).unwrap();
+        let mut s = Schedule::new(1);
+        s.place(a, Pe(0), 1, 1).unwrap();
+        let pb = evaluate(Priority::CommunicationSensitive, &g, &t, &s, b, 2);
+        let pc = evaluate(Priority::CommunicationSensitive, &g, &t, &s, c, 2);
+        // B: m=5, waited 0, MB(B)=0 -> 5. C: m=1, waited 0, MB(C)=2 -> -1.
+        assert_eq!(pb, 5);
+        assert_eq!(pc, -1);
+        assert!(pb > pc);
+    }
+
+    #[test]
+    fn waiting_discounts_volume() {
+        let (g, [a, b, _c]) = fork();
+        let t = timing::analyze(&g).unwrap();
+        let mut s = Schedule::new(1);
+        s.place(a, Pe(0), 1, 1).unwrap();
+        let at2 = evaluate(Priority::CommunicationSensitive, &g, &t, &s, b, 2);
+        let at4 = evaluate(Priority::CommunicationSensitive, &g, &t, &s, b, 4);
+        assert_eq!(at2 - at4, 2);
+    }
+
+    #[test]
+    fn mobility_only_ignores_volume() {
+        let (g, [a, b, c]) = fork();
+        let t = timing::analyze(&g).unwrap();
+        let mut s = Schedule::new(1);
+        s.place(a, Pe(0), 1, 1).unwrap();
+        let pb = evaluate(Priority::MobilityOnly, &g, &t, &s, b, 2);
+        let pc = evaluate(Priority::MobilityOnly, &g, &t, &s, c, 2);
+        assert_eq!(pb, 0);
+        assert_eq!(pc, -2);
+    }
+
+    #[test]
+    fn fifo_is_flat() {
+        let (g, [_, b, c]) = fork();
+        let t = timing::analyze(&g).unwrap();
+        let s = Schedule::new(1);
+        assert_eq!(evaluate(Priority::Fifo, &g, &t, &s, b, 1), 0);
+        assert_eq!(evaluate(Priority::Fifo, &g, &t, &s, c, 1), 0);
+    }
+
+    #[test]
+    fn roots_ordered_by_mobility() {
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 3).unwrap(); // long: critical
+        let b = g.add_task("B", 1).unwrap(); // slack 2
+        let t = timing::analyze(&g).unwrap();
+        let s = Schedule::new(1);
+        let pa = evaluate(Priority::CommunicationSensitive, &g, &t, &s, a, 1);
+        let pb = evaluate(Priority::CommunicationSensitive, &g, &t, &s, b, 1);
+        assert!(pa > pb);
+    }
+}

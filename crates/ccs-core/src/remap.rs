@@ -1,0 +1,437 @@
+//! One rotate-and-remap pass (paper §4: `Rotate-Remap` and
+//! `Remapping`).
+//!
+//! Rotation deallocates the first row of the schedule table and retimes
+//! those nodes by `+1` (always legal: a node at control step 1 cannot
+//! have a zero-delay incoming edge).  Remapping then re-places each
+//! rotated node at the best `(processor, control step)` permitted by
+//! the anticipation function `AN` (Lemma 4.2) for a *target* schedule
+//! length, preferring one control step shorter than before.
+
+use ccs_model::{Csdfg, NodeId};
+use ccs_retiming::rotate;
+use ccs_schedule::{required_length, Schedule};
+use ccs_topology::{Machine, Pe};
+
+/// Remapping policy (Definition 4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RemapMode {
+    /// Never allow the schedule to grow: if the rotated nodes cannot be
+    /// re-placed within the previous length, the pass is abandoned and
+    /// the previous schedule kept (this is what makes Theorem 4.4 —
+    /// monotone non-increase — hold).
+    WithoutRelaxation,
+    /// Allow intermediate growth (bounded by
+    /// [`RemapConfig::max_growth`]); the driver keeps the best schedule
+    /// seen, so temporary growth can unlock shorter schedules later.
+    #[default]
+    WithRelaxation,
+}
+
+/// Options for a rotate-remap pass.
+#[derive(Clone, Copy, Debug)]
+pub struct RemapConfig {
+    /// Relaxation policy.
+    pub mode: RemapMode,
+    /// With relaxation: how many control steps beyond the previous
+    /// length the intermediate schedule may grow.
+    pub max_growth: u32,
+    /// How many leading schedule rows to rotate per pass (the paper
+    /// rotates one; larger values are the multi-row extension — bigger
+    /// moves per pass, coarser search).  Clamped to the current
+    /// schedule length.
+    pub rows_per_pass: u32,
+}
+
+impl Default for RemapConfig {
+    fn default() -> Self {
+        RemapConfig { mode: RemapMode::default(), max_growth: 8, rows_per_pass: 1 }
+    }
+}
+
+/// Result of one rotate-remap pass.
+#[derive(Clone, Debug)]
+pub struct PassOutcome {
+    /// The schedule after the pass (equal to the input when `reverted`).
+    pub schedule: Schedule,
+    /// The (retimed) graph after the pass.
+    pub graph: Csdfg,
+    /// Nodes that were rotated this pass.
+    pub rotated: Vec<NodeId>,
+    /// `true` when the pass could not re-place the rotated nodes within
+    /// the mode's length budget and was rolled back.
+    pub reverted: bool,
+}
+
+/// Performs one rotation + remapping pass on `(g, sched)`.
+///
+/// `sched` must be a valid schedule of `g` on `machine` (callers in
+/// this crate always pass validated schedules; debug builds re-assert).
+pub fn rotate_remap(
+    g: &Csdfg,
+    machine: &Machine,
+    sched: &Schedule,
+    config: RemapConfig,
+) -> PassOutcome {
+    debug_assert!(ccs_schedule::validate(g, machine, sched).is_ok());
+    let prev_len = sched.length();
+    let rows = config.rows_per_pass.clamp(1, prev_len.max(1));
+    let mut rotated = sched.rows_upto(rows);
+    rotated.sort_by_key(|&v| {
+        (
+            sched.cb(v).unwrap_or(0),
+            sched.pe(v).map(|p| p.index()).unwrap_or(0),
+            v.index(),
+        )
+    });
+
+    // Rotation (Definition 4.1). Legal by construction: a node in the
+    // first `rows` rows can only have zero-delay in-edges from other
+    // nodes in those rows (their producers finish even earlier), so
+    // every in-edge from outside the set carries a delay.
+    let g_rot = match rotate(g, &rotated) {
+        Ok(gr) => gr,
+        Err(_) => {
+            // Unreachable for valid schedules; treat as a no-op pass.
+            return PassOutcome {
+                schedule: sched.clone(),
+                graph: g.clone(),
+                rotated,
+                reverted: true,
+            };
+        }
+    };
+
+    let mut table = sched.clone();
+    table.drop_and_shift_by(&rotated, rows);
+
+    // Targets to try, in order of preference: one step shorter first.
+    let targets: Vec<u32> = match config.mode {
+        RemapMode::WithoutRelaxation => vec![prev_len.saturating_sub(1).max(1), prev_len],
+        RemapMode::WithRelaxation => (0..=config.max_growth + 1)
+            .map(|d| (prev_len.saturating_sub(1).max(1)) + d)
+            .collect(),
+    };
+
+    for &v in &rotated {
+        let mut placed = false;
+        for &target in &targets {
+            if let Some((cs, pe)) = best_position(&g_rot, machine, &table, v, target) {
+                table.place(v, pe, cs, g_rot.time(v)).expect("position checked free");
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            return PassOutcome {
+                schedule: sched.clone(),
+                graph: g.clone(),
+                rotated,
+                reverted: true,
+            };
+        }
+    }
+
+    // Cover the projected schedule lengths by appending empty steps.
+    let required = required_length(&g_rot, machine, &table);
+    if config.mode == RemapMode::WithoutRelaxation && required > prev_len {
+        return PassOutcome { schedule: sched.clone(), graph: g.clone(), rotated, reverted: true };
+    }
+    table.pad_to(required);
+    debug_assert!(
+        ccs_schedule::validate(&g_rot, machine, &table).is_ok(),
+        "remap produced an invalid schedule: {:?}",
+        ccs_schedule::validate(&g_rot, machine, &table)
+    );
+    PassOutcome { schedule: table, graph: g_rot, rotated, reverted: false }
+}
+
+/// Finds the cheapest feasible `(control step, processor)` for `v`
+/// under final-schedule-length `target`, or `None`.
+///
+/// For every processor the anticipation function gives the first
+/// control step that satisfies all *placed* predecessors:
+///
+/// `AN(v, p) = max_e { M(PE(u), p) + CE(u) + 1 - d_r(e) * target }`
+///
+/// (Lemma 4.2 with `L - 1` generalized to `target`; a zero-delay edge
+/// contributes plain precedence `CE(u) + M + 1`).  Placed successors
+/// bound `CE(v)` from above through their own projected schedule
+/// lengths.  Among feasible placements the earliest control step wins,
+/// ties to the lowest processor index.
+fn best_position(
+    g: &Csdfg,
+    machine: &Machine,
+    table: &Schedule,
+    v: NodeId,
+    target: u32,
+) -> Option<(u32, Pe)> {
+    let duration = g.time(v);
+    let target = i64::from(target);
+    // Candidates are ranked by (length impact, cs, traffic, pe index).
+    // The driving objective is the schedule length the placement forces
+    // — the max of the node's own end step and the projected schedule
+    // lengths (Lemma 4.3) of its loop-carried edges to placed
+    // neighbours.  Control step breaks ties (earlier leaves room for
+    // later rotations), then total data movement, then processor
+    // index.  Ranking by length impact rather than raw `cs` stops the
+    // greedy from scattering tasks across dense machines: a remote slot
+    // one step earlier is worthless if its communication inflates a
+    // projected schedule length.
+    let mut best: Option<(u32, u32, u32, Pe)> = None;
+    for pe in machine.pes() {
+        // Lower bound on CB(v) from placed predecessors.
+        let mut lb: i64 = 1;
+        for e in g.in_deps(v) {
+            let (u, _) = g.endpoints(e);
+            if u == v {
+                continue; // self loops constrain via PSL only
+            }
+            let (Some(ce_u), Some(pu)) = (table.ce(u), table.pe(u)) else { continue };
+            let m = i64::from(machine.comm_cost(pu, pe, g.volume(e)));
+            let k = i64::from(g.delay(e));
+            lb = lb.max(m + i64::from(ce_u) + 1 - k * target);
+        }
+        // Upper bound on CE(v) from placed successors and the target.
+        let mut ub: i64 = target;
+        for e in g.out_deps(v) {
+            let (_, w) = g.endpoints(e);
+            if w == v {
+                continue;
+            }
+            let (Some(cb_w), Some(pw)) = (table.cb(w), table.pe(w)) else { continue };
+            let m = i64::from(machine.comm_cost(pe, pw, g.volume(e)));
+            let k = i64::from(g.delay(e));
+            ub = ub.min(k * target + i64::from(cb_w) - m - 1);
+        }
+        if lb > ub {
+            continue;
+        }
+        let from = u32::try_from(lb.max(1)).expect("clamped positive");
+        let cs = table.earliest_free(pe, from, duration);
+        if i64::from(cs) + i64::from(duration) - 1 > ub {
+            continue;
+        }
+        let comm = neighbour_traffic(g, machine, table, v, pe);
+        let impact = length_impact(g, machine, table, v, pe, cs);
+        let key = (impact, cs, comm, pe.index());
+        if best.is_none_or(|(bi, bcs, bcomm, bpe)| key < (bi, bcs, bcomm, bpe.index())) {
+            best = Some((impact, cs, comm, pe));
+        }
+    }
+    best.map(|(_, cs, _, pe)| (cs, pe))
+}
+
+/// Minimum schedule length forced by placing `v` at `(cs, pe)`: its own
+/// end step, and the projected schedule length of every loop-carried
+/// edge between `v` and an already-placed neighbour.
+fn length_impact(
+    g: &Csdfg,
+    machine: &Machine,
+    table: &Schedule,
+    v: NodeId,
+    pe: Pe,
+    cs: u32,
+) -> u32 {
+    let ce_v = i64::from(cs) + i64::from(g.time(v)) - 1;
+    let mut needed = ce_v;
+    let psl = |m: i64, ce: i64, cb: i64, k: i64| -> i64 {
+        let num = m + ce - cb + 1;
+        num.div_euclid(k) + i64::from(num.rem_euclid(k) != 0)
+    };
+    for e in g.in_deps(v) {
+        let (u, _) = g.endpoints(e);
+        let k = i64::from(g.delay(e));
+        if u == v || k == 0 {
+            continue;
+        }
+        let (Some(ce_u), Some(pu)) = (table.ce(u), table.pe(u)) else { continue };
+        let m = i64::from(machine.comm_cost(pu, pe, g.volume(e)));
+        needed = needed.max(psl(m, i64::from(ce_u), i64::from(cs), k));
+    }
+    for e in g.out_deps(v) {
+        let (_, w) = g.endpoints(e);
+        let k = i64::from(g.delay(e));
+        if w == v || k == 0 {
+            continue;
+        }
+        let (Some(cb_w), Some(pw)) = (table.cb(w), table.pe(w)) else { continue };
+        let m = i64::from(machine.comm_cost(pe, pw, g.volume(e)));
+        needed = needed.max(psl(m, ce_v, i64::from(cb_w), k));
+    }
+    u32::try_from(needed.max(0)).expect("length impact fits u32")
+}
+
+/// Total `hops * volume` cost of `v`'s edges to already-placed
+/// neighbours if `v` ran on `pe`.
+fn neighbour_traffic(g: &Csdfg, machine: &Machine, table: &Schedule, v: NodeId, pe: Pe) -> u32 {
+    let mut total = 0;
+    for e in g.in_deps(v) {
+        let (u, _) = g.endpoints(e);
+        if u != v {
+            if let Some(pu) = table.pe(u) {
+                total += machine.comm_cost(pu, pe, g.volume(e));
+            }
+        }
+    }
+    for e in g.out_deps(v) {
+        let (_, w) = g.endpoints(e);
+        if w != v {
+            if let Some(pw) = table.pe(w) {
+                total += machine.comm_cost(pe, pw, g.volume(e));
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::startup::{startup_schedule, StartupConfig};
+    use ccs_schedule::validate;
+
+    fn fig1() -> (Csdfg, Vec<NodeId>, Machine) {
+        let mut g = Csdfg::new();
+        let ids: Vec<_> = ["A", "B", "C", "D", "E", "F"]
+            .iter()
+            .map(|n| {
+                let t = if *n == "B" || *n == "E" { 2 } else { 1 };
+                g.add_task(*n, t).unwrap()
+            })
+            .collect();
+        let (a, b, c, d, e, f) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+        g.add_dep(a, b, 0, 1).unwrap();
+        g.add_dep(a, c, 0, 1).unwrap();
+        g.add_dep(a, e, 0, 1).unwrap();
+        g.add_dep(b, d, 0, 1).unwrap();
+        g.add_dep(b, e, 0, 2).unwrap();
+        g.add_dep(c, e, 0, 1).unwrap();
+        g.add_dep(d, a, 3, 3).unwrap();
+        g.add_dep(d, f, 0, 2).unwrap();
+        g.add_dep(e, f, 0, 1).unwrap();
+        g.add_dep(f, e, 1, 1).unwrap();
+        (g, ids, Machine::mesh(2, 2))
+    }
+
+    #[test]
+    fn first_pass_rotates_a_and_shrinks() {
+        let (g, n, m) = fig1();
+        let s = startup_schedule(&g, &m, StartupConfig::default()).unwrap();
+        assert_eq!(s.length(), 7);
+        let out = rotate_remap(&g, &m, &s, RemapConfig::default());
+        assert!(!out.reverted);
+        assert_eq!(out.rotated, vec![n[0]]); // A was the only cs1 node
+        // The paper's first pass lands at 6 control steps.
+        assert_eq!(out.schedule.length(), 6);
+        assert!(validate(&out.graph, &m, &out.schedule).is_ok());
+        // Figure 1(c): D->A now carries 2 delays, A->B/C/E carry 1.
+        let da = out.graph.graph().find_edge(n[3], n[0]).unwrap();
+        assert_eq!(out.graph.delay(da), 2);
+    }
+
+    #[test]
+    fn without_relaxation_never_grows() {
+        let (g, _, m) = fig1();
+        let mut s = startup_schedule(&g, &m, StartupConfig::default()).unwrap();
+        let mut graph = g;
+        let cfg = RemapConfig { mode: RemapMode::WithoutRelaxation, max_growth: 0, rows_per_pass: 1 };
+        for _ in 0..10 {
+            let prev = s.length();
+            let out = rotate_remap(&graph, &m, &s, cfg);
+            assert!(out.schedule.length() <= prev, "grew from {prev}");
+            assert!(validate(&out.graph, &m, &out.schedule).is_ok());
+            if out.reverted {
+                break;
+            }
+            s = out.schedule;
+            graph = out.graph;
+        }
+    }
+
+    #[test]
+    fn repeated_passes_reach_paper_length_five() {
+        // Figure 3(b): after three passes the example reaches 5 control
+        // steps on the 2x2 mesh.
+        let (g, _, m) = fig1();
+        let mut s = startup_schedule(&g, &m, StartupConfig::default()).unwrap();
+        let mut graph = g;
+        let mut best = s.length();
+        for _ in 0..8 {
+            let out = rotate_remap(&graph, &m, &s, RemapConfig::default());
+            if out.reverted {
+                break;
+            }
+            s = out.schedule;
+            graph = out.graph;
+            best = best.min(s.length());
+        }
+        assert!(best <= 5, "expected <= 5 control steps, got {best}");
+    }
+
+    #[test]
+    fn pass_preserves_task_count() {
+        let (g, _, m) = fig1();
+        let s = startup_schedule(&g, &m, StartupConfig::default()).unwrap();
+        let out = rotate_remap(&g, &m, &s, RemapConfig::default());
+        assert_eq!(out.schedule.placed_count(), g.task_count());
+    }
+
+    #[test]
+    fn multi_row_rotation_is_valid_and_competitive() {
+        let (g, _, m) = fig1();
+        for rows in 1..=3u32 {
+            let cfg = RemapConfig { rows_per_pass: rows, ..Default::default() };
+            let mut graph = g.clone();
+            let mut s = startup_schedule(&graph, &m, StartupConfig::default()).unwrap();
+            let mut best = s.length();
+            for _ in 0..12 {
+                let out = rotate_remap(&graph, &m, &s, cfg);
+                assert!(
+                    validate(&out.graph, &m, &out.schedule).is_ok(),
+                    "rows={rows}: invalid schedule"
+                );
+                if out.reverted {
+                    break;
+                }
+                graph = out.graph;
+                s = out.schedule;
+                best = best.min(s.length());
+            }
+            assert!(best <= 6, "rows={rows}: best {best}");
+        }
+    }
+
+    #[test]
+    fn rotating_more_rows_than_length_rotates_everything() {
+        let (g, _, m) = fig1();
+        let s = startup_schedule(&g, &m, StartupConfig::default()).unwrap();
+        let cfg = RemapConfig { rows_per_pass: 99, ..Default::default() };
+        let out = rotate_remap(&g, &m, &s, cfg);
+        if !out.reverted {
+            assert_eq!(out.rotated.len(), g.task_count());
+            assert!(validate(&out.graph, &m, &out.schedule).is_ok());
+        }
+    }
+
+    #[test]
+    fn empty_first_row_pass_compresses() {
+        // Hand-build a schedule whose first row is empty: the pass
+        // shifts everything up for free.
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 1).unwrap();
+        let b = g.add_task("B", 1).unwrap();
+        g.add_dep(a, b, 0, 1).unwrap();
+        g.add_dep(b, a, 2, 1).unwrap();
+        let m = Machine::complete(2);
+        let mut s = Schedule::new(2);
+        s.place(a, Pe(0), 2, 1).unwrap();
+        s.place(b, Pe(0), 3, 1).unwrap();
+        assert!(validate(&g, &m, &s).is_ok());
+        let out = rotate_remap(&g, &m, &s, RemapConfig::default());
+        assert!(!out.reverted);
+        assert!(out.rotated.is_empty());
+        assert_eq!(out.schedule.cb(a), Some(1));
+        assert_eq!(out.schedule.length(), 2);
+    }
+}

@@ -1,0 +1,294 @@
+//! The start-up scheduling algorithm (paper §3.1).
+//!
+//! A list scheduler over the zero-delay DAG view of the CSDFG that
+//! accounts for communication delays when picking both the control step
+//! and the processor of each task: a node may begin at control step
+//! `cs` on processor `p_j` only if, for every already-scheduled
+//! predecessor `u_i`,
+//! `CE(u_i) + M(PE(u_i), p_j) < cs`
+//! — the paper's `cm < cs` test.  Loop-carried (delayed) edges are
+//! ignored during placement and honoured afterwards by padding the
+//! table to the projected schedule length.
+
+use crate::priority::{evaluate, Priority};
+use ccs_model::{timing, Csdfg, ModelError, NodeId};
+use ccs_schedule::{required_length, Schedule};
+use ccs_topology::{Machine, Pe};
+
+/// Start-up scheduler options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StartupConfig {
+    /// Ready-list ordering policy (the paper's `PF` by default).
+    pub priority: Priority,
+    /// When `true`, processor selection pretends all communication is
+    /// free (`M = 0`) — the communication-oblivious ablation baseline.
+    /// The *returned* schedule is still made valid for the real machine
+    /// by delaying starts and padding as needed.
+    pub ignore_communication: bool,
+}
+
+/// Runs start-up scheduling of `g` onto `machine`.
+///
+/// Returns a schedule that satisfies every intra-iteration precedence
+/// (with communication) and whose length covers every loop-carried
+/// edge's projected schedule length.
+///
+/// # Errors
+///
+/// Returns an error if `g` is illegal (zero-delay cycle).
+pub fn startup_schedule(
+    g: &Csdfg,
+    machine: &Machine,
+    config: StartupConfig,
+) -> Result<Schedule, ModelError> {
+    g.check_legal()?;
+    let timing = timing::analyze(g).expect("legal graph has acyclic zero-delay view");
+    let mut sched = Schedule::new(machine.num_pes());
+
+    let bound = g.graph().node_bound();
+    // Remaining zero-delay in-degree per node.
+    let mut pending = vec![0usize; bound];
+    for v in g.tasks() {
+        pending[v.index()] = g.intra_iter_in_deps(v).count();
+    }
+    let mut ready: Vec<NodeId> = g.tasks().filter(|v| pending[v.index()] == 0).collect();
+    let mut unscheduled = g.task_count();
+    let mut cs: u32 = 1;
+
+    while unscheduled > 0 {
+        // Arrange(list): sort by descending priority, ties by node id
+        // (FIFO keeps insertion order, which for a Vec sorted stably by
+        // a constant key is the same thing).
+        ready.sort_by_key(|&v| {
+            (
+                -evaluate(config.priority, g, &timing, &sched, v, cs),
+                v.index(),
+            )
+        });
+
+        let mut deferred: Vec<NodeId> = Vec::new();
+        let mut newly_ready: Vec<NodeId> = Vec::new();
+        for &node in &ready {
+            match best_slot_at(g, machine, &sched, node, cs, config.ignore_communication) {
+                Some(pe) => {
+                    sched
+                        .place(node, pe, cs, g.time(node))
+                        .expect("best_slot_at returned a free processor");
+                    unscheduled -= 1;
+                    for e in g.intra_iter_out_deps(node) {
+                        let (_, w) = g.endpoints(e);
+                        pending[w.index()] -= 1;
+                        if pending[w.index()] == 0 {
+                            newly_ready.push(w);
+                        }
+                    }
+                }
+                None => deferred.push(node),
+            }
+        }
+        ready = deferred;
+        ready.extend(newly_ready);
+        cs += 1;
+    }
+
+    if config.ignore_communication {
+        // The placement decisions ignored communication; repair the
+        // start times for the real machine before padding.
+        sched = legalize(g, machine, &sched);
+    }
+    sched.pad_to(required_length(g, machine, &sched));
+    Ok(sched)
+}
+
+/// The processor (if any) on which `node` can legally begin at `cs`:
+/// free for the node's whole duration and satisfying `cm < cs` for all
+/// scheduled predecessors.  Among feasible PEs the one with the
+/// smallest `cm` wins, ties to the lowest index (the paper's example
+/// picks PE2 over PE4 this way).
+fn best_slot_at(
+    g: &Csdfg,
+    machine: &Machine,
+    sched: &Schedule,
+    node: NodeId,
+    cs: u32,
+    ignore_comm: bool,
+) -> Option<Pe> {
+    let duration = g.time(node);
+    let mut best: Option<(u32, Pe)> = None;
+    for pe in machine.pes() {
+        if !sched.is_free(pe, cs, duration) {
+            continue;
+        }
+        let mut cm: u32 = 0;
+        let mut infeasible = false;
+        for e in g.intra_iter_in_deps(node) {
+            let (u, _) = g.endpoints(e);
+            let Some(ce_u) = sched.ce(u) else {
+                infeasible = true; // predecessor not scheduled yet
+                break;
+            };
+            let m = if ignore_comm {
+                0
+            } else {
+                machine.comm_cost(sched.pe(u).expect("placed"), pe, g.volume(e))
+            };
+            cm = cm.max(ce_u + m);
+        }
+        if infeasible || cm >= cs {
+            continue;
+        }
+        if best.is_none_or(|(bcm, _)| cm < bcm) {
+            best = Some((cm, pe));
+        }
+    }
+    best.map(|(_, pe)| pe)
+}
+
+/// Rebuilds start times for the real machine while keeping each task's
+/// processor and the per-processor execution order: tasks are replayed
+/// in `(CB, PE)` order and started at the earliest step satisfying
+/// their communication-aware precedences and processor availability.
+pub fn legalize(g: &Csdfg, machine: &Machine, sched: &Schedule) -> Schedule {
+    let mut order: Vec<NodeId> = g.tasks().filter(|&v| sched.is_placed(v)).collect();
+    order.sort_by_key(|&v| (sched.cb(v).expect("placed"), sched.pe(v).expect("placed")));
+    let mut out = Schedule::new(sched.num_pes());
+    // Replay in topological-compatible order (original CBs respect the
+    // zero-delay DAG, so sorting by CB is a valid replay order).
+    for v in order {
+        let pe = sched.pe(v).expect("placed");
+        let mut earliest = 1;
+        for e in g.intra_iter_in_deps(v) {
+            let (u, _) = g.endpoints(e);
+            if let (Some(ce_u), Some(pu)) = (out.ce(u), out.pe(u)) {
+                earliest = earliest.max(ce_u + machine.comm_cost(pu, pe, g.volume(e)) + 1);
+            }
+        }
+        let start = out.earliest_free(pe, earliest, g.time(v));
+        out.place(v, pe, start, g.time(v)).expect("searched free slot");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_schedule::validate;
+
+    /// The paper's running example: Figure 1(b) graph, 2x2 mesh.
+    pub fn fig1() -> (Csdfg, Vec<NodeId>, Machine) {
+        let mut g = Csdfg::new();
+        let ids: Vec<_> = ["A", "B", "C", "D", "E", "F"]
+            .iter()
+            .map(|n| {
+                let t = if *n == "B" || *n == "E" { 2 } else { 1 };
+                g.add_task(*n, t).unwrap()
+            })
+            .collect();
+        let (a, b, c, d, e, f) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+        g.add_dep(a, b, 0, 1).unwrap();
+        g.add_dep(a, c, 0, 1).unwrap();
+        g.add_dep(a, e, 0, 1).unwrap();
+        g.add_dep(b, d, 0, 1).unwrap();
+        g.add_dep(b, e, 0, 2).unwrap();
+        g.add_dep(c, e, 0, 1).unwrap();
+        g.add_dep(d, a, 3, 3).unwrap();
+        g.add_dep(d, f, 0, 2).unwrap();
+        g.add_dep(e, f, 0, 1).unwrap();
+        g.add_dep(f, e, 1, 1).unwrap();
+        (g, ids, Machine::mesh(2, 2))
+    }
+
+    #[test]
+    fn reproduces_figure_2a() {
+        // The start-up schedule of the paper's Figure 2(a)/6(b):
+        // pe1: A, B B, D, E E, F; pe2: C at cs3; length 7.
+        let (g, n, m) = fig1();
+        let s = startup_schedule(&g, &m, StartupConfig::default()).unwrap();
+        assert_eq!(s.length(), 7);
+        assert_eq!(s.slot(n[0]).unwrap(), ccs_schedule::Slot { pe: Pe(0), start: 1, duration: 1 });
+        assert_eq!(s.cb(n[1]), Some(2)); // B on pe1
+        assert_eq!(s.pe(n[1]), Some(Pe(0)));
+        assert_eq!(s.cb(n[2]), Some(3)); // C deferred to cs3 on pe2
+        assert_eq!(s.pe(n[2]), Some(Pe(1)));
+        assert_eq!(s.cb(n[3]), Some(4)); // D
+        assert_eq!(s.cb(n[4]), Some(5)); // E
+        assert_eq!(s.cb(n[5]), Some(7)); // F
+        assert!(validate(&g, &m, &s).is_ok());
+    }
+
+    #[test]
+    fn schedule_is_valid_on_every_paper_machine() {
+        let (g, _, _) = fig1();
+        for m in Machine::paper_suite() {
+            let s = startup_schedule(&g, &m, StartupConfig::default()).unwrap();
+            assert!(validate(&g, &m, &s).is_ok(), "invalid on {}", m.name());
+        }
+    }
+
+    #[test]
+    fn complete_machine_never_longer_than_linear() {
+        let (g, _, _) = fig1();
+        let lin = startup_schedule(&g, &Machine::linear_array(4), StartupConfig::default())
+            .unwrap()
+            .length();
+        let com = startup_schedule(&g, &Machine::complete(4), StartupConfig::default())
+            .unwrap()
+            .length();
+        assert!(com <= lin);
+    }
+
+    #[test]
+    fn single_pe_serializes_everything() {
+        let (g, _, _) = fig1();
+        let m = Machine::complete(1);
+        let s = startup_schedule(&g, &m, StartupConfig::default()).unwrap();
+        // All tasks on one PE: length >= total computation time.
+        assert!(u64::from(s.length()) >= g.total_time());
+        assert!(validate(&g, &m, &s).is_ok());
+    }
+
+    #[test]
+    fn oblivious_placement_still_yields_valid_schedule() {
+        let (g, _, _) = fig1();
+        let m = Machine::linear_array(4);
+        let cfg = StartupConfig { ignore_communication: true, ..Default::default() };
+        let s = startup_schedule(&g, &m, cfg).unwrap();
+        assert!(validate(&g, &m, &s).is_ok());
+        // Ignoring communication while placing can only hurt (or tie)
+        // once legalized on a machine with real distances.
+        let aware = startup_schedule(&g, &m, StartupConfig::default()).unwrap();
+        assert!(s.length() >= aware.length());
+    }
+
+    #[test]
+    fn all_priorities_produce_valid_schedules() {
+        let (g, _, m) = fig1();
+        for p in [Priority::CommunicationSensitive, Priority::MobilityOnly, Priority::Fifo] {
+            let cfg = StartupConfig { priority: p, ..Default::default() };
+            let s = startup_schedule(&g, &m, cfg).unwrap();
+            assert!(validate(&g, &m, &s).is_ok(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn illegal_graph_rejected() {
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 1).unwrap();
+        let b = g.add_task("B", 1).unwrap();
+        g.add_dep(a, b, 0, 1).unwrap();
+        g.add_dep(b, a, 0, 1).unwrap();
+        let m = Machine::complete(2);
+        assert!(startup_schedule(&g, &m, StartupConfig::default()).is_err());
+    }
+
+    #[test]
+    fn legalize_preserves_pe_assignment() {
+        let (g, n, m) = fig1();
+        let s = startup_schedule(&g, &m, StartupConfig::default()).unwrap();
+        let l = legalize(&g, &m, &s);
+        for &v in &n {
+            assert_eq!(l.pe(v), s.pe(v));
+        }
+        assert!(validate(&g, &m, &l).is_ok() || l.length() >= s.length());
+    }
+}

@@ -1,0 +1,173 @@
+//! Reachability: transitive closure and weakly connected components.
+
+use crate::{DiGraph, NodeId};
+
+/// A dense reachability matrix built with bitset rows.
+///
+/// `reaches(u, v)` answers "is there a directed path from `u` to `v`
+/// (including the empty path when `u == v`)" in `O(1)` after an
+/// `O(V * E / 64)` construction.
+#[derive(Clone, Debug)]
+pub struct TransitiveClosure {
+    n: usize,
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl TransitiveClosure {
+    /// Builds the closure of `g`.
+    pub fn new<N, E>(g: &DiGraph<N, E>) -> Self {
+        let n = g.node_bound();
+        let words = n.div_ceil(64);
+        let mut bits = vec![0u64; n * words];
+        // Process in reverse topological order when possible; for cyclic
+        // graphs, iterate to a fixpoint (bounded by n rounds, usually 2).
+        for v in g.node_ids() {
+            bits[v.index() * words + v.index() / 64] |= 1 << (v.index() % 64);
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for u in g.node_ids() {
+                for s in g.successors(u).collect::<Vec<_>>() {
+                    // row(u) |= row(s)
+                    let (ui, si) = (u.index() * words, s.index() * words);
+                    for w in 0..words {
+                        let merged = bits[ui + w] | bits[si + w];
+                        if merged != bits[ui + w] {
+                            bits[ui + w] = merged;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        TransitiveClosure { n, words, bits }
+    }
+
+    /// `true` if `v` is reachable from `u` (reflexive).
+    pub fn reaches(&self, u: NodeId, v: NodeId) -> bool {
+        assert!(u.index() < self.n && v.index() < self.n, "node out of range");
+        self.bits[u.index() * self.words + v.index() / 64] >> (v.index() % 64) & 1 == 1
+    }
+
+    /// Number of nodes reachable from `u` (including itself).
+    pub fn reach_count(&self, u: NodeId) -> usize {
+        let row = &self.bits[u.index() * self.words..(u.index() + 1) * self.words];
+        row.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Weakly connected components (edge direction ignored): one sorted
+/// `Vec<NodeId>` per component, components ordered by smallest member.
+pub fn weak_components<N, E>(g: &DiGraph<N, E>) -> Vec<Vec<NodeId>> {
+    let bound = g.node_bound();
+    let mut parent: Vec<usize> = (0..bound).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = x;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    for (_, u, v, _) in g.edges() {
+        let (ru, rv) = (find(&mut parent, u.index()), find(&mut parent, v.index()));
+        if ru != rv {
+            parent[ru.max(rv)] = ru.min(rv);
+        }
+    }
+    let mut groups: std::collections::BTreeMap<usize, Vec<NodeId>> = Default::default();
+    for v in g.node_ids() {
+        let root = find(&mut parent, v.index());
+        groups.entry(root).or_default().push(v);
+    }
+    groups.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (DiGraph<(), ()>, Vec<NodeId>) {
+        // 0 -> 1 -> 2 (cycle back 2 -> 0), 3 -> 4, 5 isolated
+        let mut g = DiGraph::new();
+        let n: Vec<_> = (0..6).map(|_| g.add_node(())).collect();
+        g.add_edge(n[0], n[1], ());
+        g.add_edge(n[1], n[2], ());
+        g.add_edge(n[2], n[0], ());
+        g.add_edge(n[3], n[4], ());
+        (g, n)
+    }
+
+    #[test]
+    fn closure_on_cycle() {
+        let (g, n) = sample();
+        let tc = TransitiveClosure::new(&g);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(tc.reaches(n[i], n[j]), "{i}->{j}");
+            }
+        }
+        assert!(tc.reaches(n[3], n[4]));
+        assert!(!tc.reaches(n[4], n[3]));
+        assert!(!tc.reaches(n[0], n[3]));
+        assert!(tc.reaches(n[5], n[5]));
+        assert_eq!(tc.reach_count(n[0]), 3);
+        assert_eq!(tc.reach_count(n[5]), 1);
+    }
+
+    #[test]
+    fn closure_matches_bfs_on_random_shape() {
+        use crate::algo::traversal::is_reachable;
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let n: Vec<_> = (0..10).map(|_| g.add_node(())).collect();
+        let edges = [(0, 3), (3, 7), (7, 2), (2, 3), (1, 4), (4, 9), (9, 1), (5, 6)];
+        for (a, b) in edges {
+            g.add_edge(n[a], n[b], ());
+        }
+        let tc = TransitiveClosure::new(&g);
+        for &a in &n {
+            for &b in &n {
+                assert_eq!(tc.reaches(a, b), is_reachable(&g, a, b), "{a}->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn weak_components_ignore_direction() {
+        let (g, n) = sample();
+        let comps = weak_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![n[0], n[1], n[2]]);
+        assert_eq!(comps[1], vec![n[3], n[4]]);
+        assert_eq!(comps[2], vec![n[5]]);
+    }
+
+    #[test]
+    fn weak_components_skip_tombstones() {
+        let (mut g, n) = sample();
+        g.remove_node(n[4]);
+        let comps = weak_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[1], vec![n[3]]);
+    }
+
+    #[test]
+    fn closure_over_64_nodes_crosses_word_boundaries() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let n: Vec<_> = (0..70).map(|_| g.add_node(())).collect();
+        for i in 0..69 {
+            g.add_edge(n[i], n[i + 1], ());
+        }
+        let tc = TransitiveClosure::new(&g);
+        assert!(tc.reaches(n[0], n[69]));
+        assert!(!tc.reaches(n[69], n[0]));
+        assert_eq!(tc.reach_count(n[0]), 70);
+    }
+}

@@ -1,0 +1,158 @@
+//! Breadth-first and depth-first traversal.
+
+use crate::{DiGraph, NodeId};
+use std::collections::VecDeque;
+
+/// Visit order of [`dfs_post_order`].
+///
+/// Nodes are emitted when all their descendants have been visited.
+pub fn dfs_post_order<N, E>(g: &DiGraph<N, E>, roots: &[NodeId]) -> Vec<NodeId> {
+    let mut visited = vec![false; g.node_bound()];
+    let mut order = Vec::with_capacity(g.node_count());
+    // Iterative DFS with an explicit stack of (node, next-successor-cursor).
+    let mut stack: Vec<(NodeId, usize)> = Vec::new();
+    for &root in roots {
+        if visited[root.index()] {
+            continue;
+        }
+        visited[root.index()] = true;
+        stack.push((root, 0));
+        while let Some(&mut (node, ref mut cursor)) = stack.last_mut() {
+            let succ: Option<NodeId> = g.successors(node).nth(*cursor);
+            *cursor += 1;
+            match succ {
+                Some(next) if !visited[next.index()] => {
+                    visited[next.index()] = true;
+                    stack.push((next, 0));
+                }
+                Some(_) => {}
+                None => {
+                    order.push(node);
+                    stack.pop();
+                }
+            }
+        }
+    }
+    order
+}
+
+/// Nodes reachable from `roots` (inclusive), in BFS order.
+pub fn bfs_reachable<N, E>(g: &DiGraph<N, E>, roots: &[NodeId]) -> Vec<NodeId> {
+    let mut visited = vec![false; g.node_bound()];
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    let mut order = Vec::new();
+    for &r in roots {
+        if !visited[r.index()] {
+            visited[r.index()] = true;
+            queue.push_back(r);
+        }
+    }
+    while let Some(n) = queue.pop_front() {
+        order.push(n);
+        for s in g.successors(n) {
+            if !visited[s.index()] {
+                visited[s.index()] = true;
+                queue.push_back(s);
+            }
+        }
+    }
+    order
+}
+
+/// Unweighted shortest-hop distances from `root` to every node.
+///
+/// Unreachable nodes get `None`.
+pub fn bfs_distances<N, E>(g: &DiGraph<N, E>, root: NodeId) -> Vec<Option<usize>> {
+    let mut dist: Vec<Option<usize>> = vec![None; g.node_bound()];
+    let mut queue = VecDeque::new();
+    dist[root.index()] = Some(0);
+    queue.push_back(root);
+    while let Some(n) = queue.pop_front() {
+        let d = dist[n.index()].expect("queued node must have a distance");
+        for s in g.successors(n) {
+            if dist[s.index()].is_none() {
+                dist[s.index()] = Some(d + 1);
+                queue.push_back(s);
+            }
+        }
+    }
+    dist
+}
+
+/// Returns `true` if `dst` is reachable from `src` by directed edges.
+pub fn is_reachable<N, E>(g: &DiGraph<N, E>, src: NodeId, dst: NodeId) -> bool {
+    bfs_distances(g, src)[dst.index()].is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_with_branch() -> (DiGraph<(), ()>, Vec<NodeId>) {
+        // 0 -> 1 -> 2, 0 -> 3, 4 isolated
+        let mut g = DiGraph::new();
+        let n: Vec<_> = (0..5).map(|_| g.add_node(())).collect();
+        g.add_edge(n[0], n[1], ());
+        g.add_edge(n[1], n[2], ());
+        g.add_edge(n[0], n[3], ());
+        (g, n)
+    }
+
+    #[test]
+    fn post_order_emits_descendants_first() {
+        let (g, n) = chain_with_branch();
+        let order = dfs_post_order(&g, &[n[0]]);
+        let pos = |x: NodeId| order.iter().position(|&y| y == x).unwrap();
+        assert!(pos(n[2]) < pos(n[1]));
+        assert!(pos(n[1]) < pos(n[0]));
+        assert!(pos(n[3]) < pos(n[0]));
+        assert_eq!(order.len(), 4); // isolated node not reached
+    }
+
+    #[test]
+    fn post_order_handles_cycles() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, a, ());
+        let order = dfs_post_order(&g, &[a]);
+        assert_eq!(order.len(), 2);
+    }
+
+    #[test]
+    fn bfs_reachable_covers_component() {
+        let (g, n) = chain_with_branch();
+        let r = bfs_reachable(&g, &[n[0]]);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[0], n[0]);
+        assert!(!r.contains(&n[4]));
+    }
+
+    #[test]
+    fn bfs_distances_count_hops() {
+        let (g, n) = chain_with_branch();
+        let d = bfs_distances(&g, n[0]);
+        assert_eq!(d[n[0].index()], Some(0));
+        assert_eq!(d[n[1].index()], Some(1));
+        assert_eq!(d[n[2].index()], Some(2));
+        assert_eq!(d[n[3].index()], Some(1));
+        assert_eq!(d[n[4].index()], None);
+    }
+
+    #[test]
+    fn reachability() {
+        let (g, n) = chain_with_branch();
+        assert!(is_reachable(&g, n[0], n[2]));
+        assert!(!is_reachable(&g, n[2], n[0]));
+        assert!(!is_reachable(&g, n[0], n[4]));
+        assert!(is_reachable(&g, n[4], n[4]));
+    }
+
+    #[test]
+    fn multiple_roots_deduplicate() {
+        let (g, n) = chain_with_branch();
+        let order = dfs_post_order(&g, &[n[0], n[1], n[4]]);
+        assert_eq!(order.len(), 5);
+    }
+}

@@ -1,0 +1,103 @@
+//! Graphviz DOT export.
+
+use crate::{DiGraph, EdgeId, NodeId};
+use std::fmt::Write as _;
+
+/// Renders `g` as a Graphviz `digraph`, using the supplied closures to
+/// label nodes and edges.
+///
+/// ```
+/// use ccs_graph::{DiGraph, dot::to_dot};
+/// let mut g: DiGraph<&str, u32> = DiGraph::new();
+/// let a = g.add_node("a");
+/// let b = g.add_node("b");
+/// g.add_edge(a, b, 7);
+/// let dot = to_dot(&g, "demo", |_, w| w.to_string(), |_, w| w.to_string());
+/// assert!(dot.contains("digraph demo"));
+/// assert!(dot.contains("n0 -> n1"));
+/// ```
+pub fn to_dot<N, E>(
+    g: &DiGraph<N, E>,
+    name: &str,
+    mut node_label: impl FnMut(NodeId, &N) -> String,
+    mut edge_label: impl FnMut(EdgeId, &E) -> String,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(name));
+    let _ = writeln!(out, "  rankdir=TB;");
+    for (id, w) in g.nodes() {
+        let _ = writeln!(out, "  {} [label=\"{}\"];", id, escape(&node_label(id, w)));
+    }
+    for (id, src, dst, w) in g.edges() {
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{}\"];",
+            src,
+            dst,
+            escape(&edge_label(id, w))
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() || cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        format!("g_{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let mut g: DiGraph<&str, u32> = DiGraph::new();
+        let a = g.add_node("alpha");
+        let b = g.add_node("beta");
+        g.add_edge(a, b, 3);
+        let dot = to_dot(&g, "t", |_, w| w.to_string(), |_, w| format!("w={w}"));
+        assert!(dot.contains("n0 [label=\"alpha\"]"));
+        assert!(dot.contains("n1 [label=\"beta\"]"));
+        assert!(dot.contains("n0 -> n1 [label=\"w=3\"]"));
+    }
+
+    #[test]
+    fn escapes_quotes() {
+        let mut g: DiGraph<&str, ()> = DiGraph::new();
+        g.add_node("say \"hi\"");
+        let dot = to_dot(&g, "q", |_, w| w.to_string(), |_, _| String::new());
+        assert!(dot.contains("say \\\"hi\\\""));
+    }
+
+    #[test]
+    fn sanitizes_graph_name() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        let dot = to_dot(&g, "2-d mesh", |_, _| String::new(), |_, _| String::new());
+        assert!(dot.starts_with("digraph g_2_d_mesh {"));
+    }
+
+    #[test]
+    fn skips_tombstoned_elements() {
+        let mut g: DiGraph<&str, ()> = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge(a, b, ());
+        g.remove_node(b);
+        let dot = to_dot(&g, "t", |_, w| w.to_string(), |_, _| String::new());
+        assert!(dot.contains("n0"));
+        assert!(!dot.contains("n1 ["));
+        assert!(!dot.contains("->"));
+    }
+}

@@ -1,0 +1,57 @@
+//! # ccs-graph
+//!
+//! A small, dependency-free directed multigraph library: the graph
+//! substrate underneath the `cyclosched` reproduction of
+//! *"Architecture-Dependent Loop Scheduling via Communication-Sensitive
+//! Remapping"* (Tongsima, Passos, Sha — ICPP 1995).
+//!
+//! Data-flow graphs in that paper are node- and edge-weighted directed
+//! multigraphs (parallel edges and self-loops both occur), so this crate
+//! provides exactly that: a [`DiGraph`] arena with stable integer ids,
+//! plus the graph algorithms the scheduler stack needs:
+//!
+//! * [`algo::topo`] — topological sorting with *edge filtering*, used to
+//!   obtain the zero-delay DAG view of a cyclic data-flow graph;
+//! * [`algo::traversal`] — BFS/DFS, hop distances (used for topology
+//!   distance cross-checks);
+//! * [`algo::scc`] — Tarjan strongly connected components;
+//! * [`algo::cycles`] — elementary-cycle enumeration (retiming
+//!   invariants, iteration-bound tests);
+//! * [`algo::paths`] — DAG longest paths (ASAP/ALAP) and Bellman-Ford
+//!   (negative-cycle detection for retiming feasibility);
+//! * [`dot`] — Graphviz export for debugging and documentation.
+//!
+//! ## Example
+//!
+//! ```
+//! use ccs_graph::{DiGraph, algo::topo::topo_sort};
+//!
+//! let mut g: DiGraph<&str, u32> = DiGraph::new();
+//! let a = g.add_node("load");
+//! let b = g.add_node("mul");
+//! let c = g.add_node("store");
+//! g.add_edge(a, b, 1);
+//! g.add_edge(b, c, 1);
+//! let order = topo_sort(&g).unwrap();
+//! assert_eq!(order, vec![a, b, c]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod graph;
+mod ids;
+
+pub mod algo {
+    //! Graph algorithms over [`DiGraph`](crate::DiGraph).
+    pub mod closure;
+    pub mod cycles;
+    pub mod paths;
+    pub mod scc;
+    pub mod topo;
+    pub mod traversal;
+}
+pub mod dot;
+
+pub use graph::DiGraph;
+pub use ids::{EdgeId, NodeId};

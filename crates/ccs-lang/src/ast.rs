@@ -1,0 +1,188 @@
+//! Abstract syntax of the loop-kernel language.
+//!
+//! A *kernel* is an ordered list of assignments executed once per loop
+//! iteration `i`:
+//!
+//! ```text
+//! u = u[i-1] - 3*x[i-1]*u[i-1]*dt - 3*y[i-1]*dt;
+//! x = x[i-1] + dt;
+//! y = y[i-1] + u[i-1]*dt;
+//! ```
+//!
+//! * `v` (bare) on the right-hand side refers to the value computed by
+//!   an *earlier* assignment of the same iteration;
+//! * `v[i-k]` refers to the value computed `k` iterations ago
+//!   (a loop-carried dependency of delay `k`);
+//! * names never assigned are external inputs;
+//! * numeric literals fold into their consuming operator.
+
+/// Binary operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl BinOp {
+    /// `true` for the multiplicative operators (which usually carry the
+    /// longer latency).
+    pub fn is_multiplicative(self) -> bool {
+        matches!(self, BinOp::Mul | BinOp::Div)
+    }
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Reference to a variable computed in the current iteration.
+    Var {
+        /// Variable name.
+        name: String,
+        /// Source line of the reference (for diagnostics).
+        line: usize,
+        /// Source column.
+        col: usize,
+    },
+    /// Reference `name[i-delay]` to a previous iteration's value.
+    Delayed {
+        /// Variable name.
+        name: String,
+        /// Number of iterations back (`>= 1`).
+        delay: u32,
+        /// Source line.
+        line: usize,
+        /// Source column.
+        col: usize,
+    },
+    /// Numeric literal (constants fold into operators during lowering).
+    Const(String),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+}
+
+/// One assignment statement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Assign {
+    /// Target variable.
+    pub target: String,
+    /// Right-hand side.
+    pub value: Expr,
+    /// Source line of the target (for diagnostics).
+    pub line: usize,
+}
+
+/// A parsed kernel: assignments in source order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Kernel {
+    /// Assignments in execution order.
+    pub assigns: Vec<Assign>,
+}
+
+impl Kernel {
+    /// Names assigned by the kernel, in order.
+    pub fn outputs(&self) -> Vec<&str> {
+        self.assigns.iter().map(|a| a.target.as_str()).collect()
+    }
+
+    /// Names referenced but never assigned — the kernel's external
+    /// inputs, in first-reference order.
+    pub fn inputs(&self) -> Vec<String> {
+        let defined: std::collections::HashSet<&str> =
+            self.assigns.iter().map(|a| a.target.as_str()).collect();
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for a in &self.assigns {
+            collect_refs(&a.value, &mut |name| {
+                if !defined.contains(name) && seen.insert(name.to_owned()) {
+                    out.push(name.to_owned());
+                }
+            });
+        }
+        out
+    }
+}
+
+fn collect_refs(e: &Expr, f: &mut impl FnMut(&str)) {
+    match e {
+        Expr::Var { name, .. } | Expr::Delayed { name, .. } => f(name),
+        Expr::Const(_) => {}
+        Expr::Neg(inner) => collect_refs(inner, f),
+        Expr::Bin { lhs, rhs, .. } => {
+            collect_refs(lhs, f);
+            collect_refs(rhs, f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(name: &str) -> Expr {
+        Expr::Var { name: name.into(), line: 1, col: 1 }
+    }
+
+    #[test]
+    fn inputs_exclude_assigned_names() {
+        let k = Kernel {
+            assigns: vec![
+                Assign { target: "y".into(), value: var("x"), line: 1 },
+                Assign {
+                    target: "x".into(),
+                    value: Expr::Bin {
+                        op: BinOp::Add,
+                        lhs: Box::new(var("u")),
+                        rhs: Box::new(Expr::Delayed {
+                            name: "y".into(),
+                            delay: 1,
+                            line: 2,
+                            col: 5,
+                        }),
+                    },
+                    line: 2,
+                },
+            ],
+        };
+        assert_eq!(k.outputs(), vec!["y", "x"]);
+        assert_eq!(k.inputs(), vec!["u".to_string()]);
+    }
+
+    #[test]
+    fn multiplicative_classification() {
+        assert!(BinOp::Mul.is_multiplicative());
+        assert!(BinOp::Div.is_multiplicative());
+        assert!(!BinOp::Add.is_multiplicative());
+        assert!(!BinOp::Sub.is_multiplicative());
+    }
+
+    #[test]
+    fn inputs_found_inside_negation_and_consts_skipped() {
+        let k = Kernel {
+            assigns: vec![Assign {
+                target: "y".into(),
+                value: Expr::Neg(Box::new(Expr::Bin {
+                    op: BinOp::Mul,
+                    lhs: Box::new(Expr::Const("2.0".into())),
+                    rhs: Box::new(var("w")),
+                })),
+                line: 1,
+            }],
+        };
+        assert_eq!(k.inputs(), vec!["w".to_string()]);
+    }
+}

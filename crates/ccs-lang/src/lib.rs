@@ -1,0 +1,137 @@
+//! # ccs-lang
+//!
+//! A tiny loop-kernel language and its compiler to communication-
+//! sensitive data-flow graphs — the frontend substrate for the
+//! cyclo-compaction reproduction.  The ICPP'95 paper's motivation is
+//! that "applications requiring parallel systems are usually iterative
+//! or recursive \[and\] can be represented by cyclic data flow graphs";
+//! this crate performs exactly that representation step:
+//!
+//! ```text
+//! u = u[i-1] - 3*x[i-1]*u[i-1]*dt - 3*y[i-1]*dt;
+//! x = x[i-1] + dt;
+//! y = y[i-1] + u[i-1]*dt;
+//! ```
+//!
+//! compiles into a legal CSDFG: operators become tasks (`+`/`-` vs
+//! `*`/`/` latencies), bare references become zero-delay edges,
+//! `v[i-k]` subscripts become loop-carried edges with `k` delays, and
+//! free names become input tasks.
+//!
+//! ```
+//! use ccs_lang::{compile, LowerConfig};
+//!
+//! let lowered = compile("y = y[i-1]*k + x;", LowerConfig::default()).unwrap();
+//! assert_eq!(lowered.graph.task_count(), 4); // mul, add(y), inputs k and x
+//! assert!(lowered.graph.check_legal().is_ok());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod lower;
+pub mod parser;
+pub mod token;
+
+pub use ast::{Assign, BinOp, Expr, Kernel};
+pub use lower::{compile, lower, LowerConfig, Lowered};
+pub use parser::parse;
+pub use token::{lex, LangError};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Strategy: a random well-formed kernel. Assignment k may make
+    /// bare references to targets `0..k`, delayed references to any
+    /// target, and references to a small input pool.
+    fn arb_kernel() -> impl Strategy<Value = String> {
+        (1usize..7).prop_flat_map(|n| {
+            let stmt = move |k: usize| {
+                // each operand: (choice, index, delay)
+                proptest::collection::vec((0u8..4, 0usize..8, 1u32..4), 1..4).prop_map(
+                    move |ops| {
+                        let mut rhs = String::new();
+                        for (i, (kind, ix, d)) in ops.iter().enumerate() {
+                            if i > 0 {
+                                rhs.push_str(if i % 2 == 0 { " + " } else { " * " });
+                            }
+                            match kind {
+                                0 if k > 0 => rhs.push_str(&format!("t{}", ix % k)),
+                                1 => rhs.push_str(&format!("t{}[i-{d}]", ix % 8)),
+                                2 => rhs.push_str(&format!("in{}", ix % 3)),
+                                _ => rhs.push_str("2.5"),
+                            }
+                        }
+                        format!("t{k} = {rhs};")
+                    },
+                )
+            };
+            (0..n).map(stmt).collect::<Vec<_>>().prop_map(|stmts| stmts.join("\n"))
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn generated_kernels_compile_to_legal_graphs(src in arb_kernel()) {
+            // Delayed refs may target t0..t7 even when fewer exist;
+            // those resolve as inputs, which is fine.
+            let lowered = compile(&src, LowerConfig::default())
+                .unwrap_or_else(|e| panic!("{e}\nsource:\n{src}"));
+            prop_assert!(lowered.graph.check_legal().is_ok());
+            prop_assert!(lowered.graph.task_count() >= 1);
+        }
+
+        #[test]
+        fn compiled_graphs_round_trip_the_text_format(src in arb_kernel()) {
+            let lowered = compile(&src, LowerConfig::default()).unwrap();
+            let text = ccs_model::parser::write(&lowered.graph);
+            let back = ccs_model::parser::parse(&text).unwrap();
+            prop_assert_eq!(back.task_count(), lowered.graph.task_count());
+            prop_assert_eq!(back.dep_count(), lowered.graph.dep_count());
+        }
+
+        #[test]
+        fn compiled_kernels_always_schedule(src in arb_kernel()) {
+            use ccs_core::{cyclo_compact, CompactConfig};
+            use ccs_topology::Machine;
+            let lowered = compile(&src, LowerConfig::default()).unwrap();
+            let m = Machine::mesh(2, 2);
+            let cfg = CompactConfig { passes: 8, ..Default::default() };
+            let r = cyclo_compact(&lowered.graph, &m, cfg).unwrap();
+            prop_assert!(ccs_schedule::validate(&r.graph, &m, &r.schedule).is_ok());
+        }
+    }
+}
+
+#[cfg(test)]
+mod end_to_end {
+    use super::*;
+    use ccs_core::{cyclo_compact, CompactConfig};
+    use ccs_topology::Machine;
+
+    /// The whole story in one test: loop source -> CSDFG -> compacted
+    /// schedule -> validated.
+    #[test]
+    fn biquad_source_to_schedule() {
+        let src = "w = x - a1*w[i-1] - a2*w[i-2];\n\
+                   y = w*b0 + w[i-1]*b1 + w[i-2]*b2;\n";
+        let lowered = compile(src, LowerConfig::default()).unwrap();
+        let g = &lowered.graph;
+        assert!(g.check_legal().is_ok());
+        let bound = ccs_retiming::iteration_bound(g).expect("recurrence through w");
+        for machine in [Machine::mesh(2, 2), Machine::complete(4)] {
+            let r = cyclo_compact(g, &machine, CompactConfig::default()).unwrap();
+            assert!(ccs_schedule::validate(&r.graph, &machine, &r.schedule).is_ok());
+            assert!(u64::from(r.best_length) >= bound.ceil());
+        }
+    }
+
+    #[test]
+    fn error_positions_surface() {
+        let err = compile("y = x[i-1]\nz = 2;", LowerConfig::default()).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

@@ -1,0 +1,250 @@
+//! Recursive-descent parser for the loop-kernel language.
+
+use crate::ast::{Assign, BinOp, Expr, Kernel};
+use crate::token::{lex, LangError, Token, TokenKind};
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> (usize, usize) {
+        self.peek()
+            .map(|t| (t.line, t.col))
+            .or_else(|| self.tokens.last().map(|t| (t.line, t.col + 1)))
+            .unwrap_or((1, 1))
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<Token, LangError> {
+        match self.next() {
+            Some(t) if t.kind == *kind => Ok(t),
+            Some(t) => Err(LangError::new(
+                t.line,
+                t.col,
+                format!("expected {what}, found {}", t.kind),
+            )),
+            None => {
+                let (l, c) = self.here();
+                Err(LangError::new(l, c, format!("expected {what}, found end of input")))
+            }
+        }
+    }
+
+    fn parse_kernel(&mut self) -> Result<Kernel, LangError> {
+        let mut assigns = Vec::new();
+        while self.peek().is_some() {
+            assigns.push(self.parse_assign()?);
+        }
+        Ok(Kernel { assigns })
+    }
+
+    fn parse_assign(&mut self) -> Result<Assign, LangError> {
+        let (target, line) = match self.next() {
+            Some(Token { kind: TokenKind::Ident(name), line, .. }) => (name, line),
+            Some(t) => {
+                return Err(LangError::new(
+                    t.line,
+                    t.col,
+                    format!("expected a variable name, found {}", t.kind),
+                ))
+            }
+            None => unreachable!("caller checked peek"),
+        };
+        self.expect(&TokenKind::Assign, "'='")?;
+        let value = self.parse_expr()?;
+        self.expect(&TokenKind::Semi, "';'")?;
+        Ok(Assign { target, value, line })
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            let op = match self.peek().map(|t| &t.kind) {
+                Some(TokenKind::Plus) => BinOp::Add,
+                Some(TokenKind::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.parse_term()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_term(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.parse_factor()?;
+        loop {
+            let op = match self.peek().map(|t| &t.kind) {
+                Some(TokenKind::Star) => BinOp::Mul,
+                Some(TokenKind::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.parse_factor()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_factor(&mut self) -> Result<Expr, LangError> {
+        match self.next() {
+            Some(Token { kind: TokenKind::Minus, .. }) => {
+                Ok(Expr::Neg(Box::new(self.parse_factor()?)))
+            }
+            Some(Token { kind: TokenKind::LParen, .. }) => {
+                let inner = self.parse_expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                Ok(inner)
+            }
+            Some(Token { kind: TokenKind::Int(v), .. }) => Ok(Expr::Const(v.to_string())),
+            Some(Token { kind: TokenKind::Float(v), .. }) => Ok(Expr::Const(v)),
+            Some(Token { kind: TokenKind::Ident(name), line, col }) => {
+                if self.peek().map(|t| &t.kind) == Some(&TokenKind::LBracket) {
+                    self.next();
+                    self.parse_subscript(name, line, col)
+                } else {
+                    Ok(Expr::Var { name, line, col })
+                }
+            }
+            Some(t) => Err(LangError::new(
+                t.line,
+                t.col,
+                format!("expected an operand, found {}", t.kind),
+            )),
+            None => {
+                let (l, c) = self.here();
+                Err(LangError::new(l, c, "expected an operand, found end of input"))
+            }
+        }
+    }
+
+    /// Parses the `i - K ]` tail of `name[i-K]`.
+    fn parse_subscript(
+        &mut self,
+        name: String,
+        line: usize,
+        col: usize,
+    ) -> Result<Expr, LangError> {
+        match self.next() {
+            Some(Token { kind: TokenKind::Ident(ix), .. }) if ix == "i" => {}
+            Some(t) => {
+                return Err(LangError::new(
+                    t.line,
+                    t.col,
+                    format!("subscripts must look like [i-K]; found {}", t.kind),
+                ))
+            }
+            None => return Err(LangError::new(line, col, "unterminated subscript")),
+        }
+        self.expect(&TokenKind::Minus, "'-' in subscript")?;
+        let delay = match self.next() {
+            Some(Token { kind: TokenKind::Int(v), line: l, col: c }) => {
+                if v == 0 {
+                    return Err(LangError::new(
+                        l,
+                        c,
+                        "delay 0 in subscript: write the bare variable instead",
+                    ));
+                }
+                v
+            }
+            Some(t) => {
+                return Err(LangError::new(
+                    t.line,
+                    t.col,
+                    format!("expected a delay count, found {}", t.kind),
+                ))
+            }
+            None => return Err(LangError::new(line, col, "unterminated subscript")),
+        };
+        self.expect(&TokenKind::RBracket, "']'")?;
+        Ok(Expr::Delayed { name, delay, line, col })
+    }
+}
+
+/// Parses kernel `source` into an AST.
+pub fn parse(source: &str) -> Result<Kernel, LangError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.parse_kernel()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_diffeq_kernel() {
+        let k = parse(
+            "u = u[i-1] - 3*x[i-1]*u[i-1]*dt - 3*y[i-1]*dt;\n\
+             x = x[i-1] + dt;\n\
+             y = y[i-1] + u[i-1]*dt;\n",
+        )
+        .unwrap();
+        assert_eq!(k.assigns.len(), 3);
+        assert_eq!(k.outputs(), vec!["u", "x", "y"]);
+        assert_eq!(k.inputs(), vec!["dt".to_string()]);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let k = parse("y = a + b * c;").unwrap();
+        let Expr::Bin { op: BinOp::Add, rhs, .. } = &k.assigns[0].value else {
+            panic!("expected + at the root");
+        };
+        assert!(matches!(**rhs, Expr::Bin { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn parentheses_override() {
+        let k = parse("y = (a + b) * c;").unwrap();
+        assert!(matches!(k.assigns[0].value, Expr::Bin { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn unary_minus() {
+        let k = parse("y = -x + 1;").unwrap();
+        let Expr::Bin { lhs, .. } = &k.assigns[0].value else { panic!() };
+        assert!(matches!(**lhs, Expr::Neg(_)));
+    }
+
+    #[test]
+    fn subscript_errors() {
+        assert!(parse("y = x[j-1];").unwrap_err().message.contains("[i-K]"));
+        assert!(parse("y = x[i-0];").unwrap_err().message.contains("delay 0"));
+        assert!(parse("y = x[i+1];").unwrap_err().message.contains("'-' in subscript"));
+        assert!(parse("y = x[i-1;").unwrap_err().message.contains("']'"));
+    }
+
+    #[test]
+    fn missing_semicolon_reported() {
+        let err = parse("y = x\nz = w;").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("';'"));
+    }
+
+    #[test]
+    fn empty_source_is_empty_kernel() {
+        let k = parse("  \n# nothing\n").unwrap();
+        assert!(k.assigns.is_empty());
+    }
+
+    #[test]
+    fn dangling_expression_reported() {
+        let err = parse("y = ;").unwrap_err();
+        assert!(err.message.contains("expected an operand"));
+    }
+}

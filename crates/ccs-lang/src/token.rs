@@ -1,0 +1,246 @@
+//! Lexer for the loop-kernel language.
+
+use std::fmt;
+
+/// A lexical token with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column of the first character.
+    pub col: usize,
+}
+
+/// Token kinds of the kernel language.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// Identifier (variable name).
+    Ident(String),
+    /// Integer literal.
+    Int(u32),
+    /// Floating literal (kept as text; constants fold into operators).
+    Float(String),
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier {s:?}"),
+            TokenKind::Int(v) => write!(f, "integer {v}"),
+            TokenKind::Float(v) => write!(f, "number {v}"),
+            TokenKind::Assign => write!(f, "'='"),
+            TokenKind::Plus => write!(f, "'+'"),
+            TokenKind::Minus => write!(f, "'-'"),
+            TokenKind::Star => write!(f, "'*'"),
+            TokenKind::Slash => write!(f, "'/'"),
+            TokenKind::LParen => write!(f, "'('"),
+            TokenKind::RParen => write!(f, "')'"),
+            TokenKind::LBracket => write!(f, "'['"),
+            TokenKind::RBracket => write!(f, "']'"),
+            TokenKind::Semi => write!(f, "';'"),
+        }
+    }
+}
+
+/// Lexing / parsing / lowering error with source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LangError {
+    /// 1-based line (0 when position is unknown).
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human message.
+    pub message: String,
+}
+
+impl LangError {
+    pub(crate) fn new(line: usize, col: usize, message: impl Into<String>) -> Self {
+        LangError { line, col, message: message.into() }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Tokenizes `source`.  `#` and `//` start line comments.
+pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
+    let mut out = Vec::new();
+    for (lix, raw) in source.lines().enumerate() {
+        let line = lix + 1;
+        let code = match (raw.find('#'), raw.find("//")) {
+            (Some(a), Some(b)) => &raw[..a.min(b)],
+            (Some(a), None) => &raw[..a],
+            (None, Some(b)) => &raw[..b],
+            (None, None) => raw,
+        };
+        let bytes: Vec<char> = code.chars().collect();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i];
+            let col = i + 1;
+            match c {
+                ' ' | '\t' | '\r' => {
+                    i += 1;
+                }
+                '=' => {
+                    out.push(Token { kind: TokenKind::Assign, line, col });
+                    i += 1;
+                }
+                '+' => {
+                    out.push(Token { kind: TokenKind::Plus, line, col });
+                    i += 1;
+                }
+                '-' => {
+                    out.push(Token { kind: TokenKind::Minus, line, col });
+                    i += 1;
+                }
+                '*' => {
+                    out.push(Token { kind: TokenKind::Star, line, col });
+                    i += 1;
+                }
+                '/' => {
+                    out.push(Token { kind: TokenKind::Slash, line, col });
+                    i += 1;
+                }
+                '(' => {
+                    out.push(Token { kind: TokenKind::LParen, line, col });
+                    i += 1;
+                }
+                ')' => {
+                    out.push(Token { kind: TokenKind::RParen, line, col });
+                    i += 1;
+                }
+                '[' => {
+                    out.push(Token { kind: TokenKind::LBracket, line, col });
+                    i += 1;
+                }
+                ']' => {
+                    out.push(Token { kind: TokenKind::RBracket, line, col });
+                    i += 1;
+                }
+                ';' => {
+                    out.push(Token { kind: TokenKind::Semi, line, col });
+                    i += 1;
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let start = i;
+                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_')
+                    {
+                        i += 1;
+                    }
+                    let text: String = bytes[start..i].iter().collect();
+                    out.push(Token { kind: TokenKind::Ident(text), line, col });
+                }
+                c if c.is_ascii_digit() => {
+                    let start = i;
+                    let mut is_float = false;
+                    while i < bytes.len()
+                        && (bytes[i].is_ascii_digit() || (bytes[i] == '.' && !is_float))
+                    {
+                        if bytes[i] == '.' {
+                            is_float = true;
+                        }
+                        i += 1;
+                    }
+                    let text: String = bytes[start..i].iter().collect();
+                    let kind = if is_float {
+                        TokenKind::Float(text)
+                    } else {
+                        TokenKind::Int(text.parse().map_err(|_| {
+                            LangError::new(line, col, format!("integer {text:?} out of range"))
+                        })?)
+                    };
+                    out.push(Token { kind, line, col });
+                }
+                other => {
+                    return Err(LangError::new(
+                        line,
+                        col,
+                        format!("unexpected character {other:?}"),
+                    ))
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_an_assignment() {
+        let toks = lex("y = x[i-1] + 0.5;").unwrap();
+        let kinds: Vec<&TokenKind> = toks.iter().map(|t| &t.kind).collect();
+        assert_eq!(kinds.len(), 11);
+        assert_eq!(*kinds[0], TokenKind::Ident("y".into()));
+        assert_eq!(*kinds[1], TokenKind::Assign);
+        assert_eq!(*kinds[3], TokenKind::LBracket);
+        assert_eq!(*kinds[5], TokenKind::Minus);
+        assert_eq!(*kinds[6], TokenKind::Int(1));
+        assert_eq!(*kinds[9], TokenKind::Float("0.5".into()));
+        assert_eq!(*kinds[10], TokenKind::Semi);
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let toks = lex("a = b; # trailing\n// whole line\nc = d;\n").unwrap();
+        let idents: Vec<String> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = lex("a = 1;\n b = 2;").unwrap();
+        let b = toks.iter().find(|t| t.kind == TokenKind::Ident("b".into())).unwrap();
+        assert_eq!((b.line, b.col), (2, 2));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = lex("a = $;").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 5));
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn underscored_identifiers() {
+        let toks = lex("_tmp2 = x_1;").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Ident("_tmp2".into()));
+        assert_eq!(toks[2].kind, TokenKind::Ident("x_1".into()));
+    }
+}

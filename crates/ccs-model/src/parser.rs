@@ -1,0 +1,235 @@
+//! A small text format for CSDFGs, plus the matching writer.
+//!
+//! ```text
+//! # fifth-order filter fragment
+//! node A t=1
+//! node B t=2
+//! edge A -> B d=0 c=1
+//! edge B -> A d=3 c=2
+//! ```
+//!
+//! * `t=` defaults to 1, `d=` to 0, `c=` to 1 when omitted;
+//! * `#` starts a comment; blank lines are ignored;
+//! * nodes referenced by an `edge` line before being declared are
+//!   implicitly created with `t=1`.
+
+use crate::csdfg::{Csdfg, ModelError};
+use std::fmt;
+
+/// Parse error with 1-based line information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl ParseError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseError { line, message: message.into() }
+    }
+}
+
+fn model_err(line: usize, e: ModelError) -> ParseError {
+    ParseError::new(line, e.to_string())
+}
+
+/// Parses the textual CSDFG format.
+pub fn parse(input: &str) -> Result<Csdfg, ParseError> {
+    let mut g = Csdfg::new();
+    for (ix, raw) in input.lines().enumerate() {
+        let lineno = ix + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        match tokens.next() {
+            Some("node") => {
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| ParseError::new(lineno, "node: missing name"))?;
+                let mut time = 1u32;
+                for tok in tokens {
+                    match parse_kv(tok, lineno)? {
+                        ('t', v) => time = v,
+                        (k, _) => {
+                            return Err(ParseError::new(
+                                lineno,
+                                format!("node: unknown attribute {k}="),
+                            ))
+                        }
+                    }
+                }
+                g.add_task(name, time).map_err(|e| model_err(lineno, e))?;
+            }
+            Some("edge") => {
+                let src = tokens
+                    .next()
+                    .ok_or_else(|| ParseError::new(lineno, "edge: missing source"))?;
+                let arrow = tokens.next();
+                if arrow != Some("->") {
+                    return Err(ParseError::new(lineno, "edge: expected '->'"));
+                }
+                let dst = tokens
+                    .next()
+                    .ok_or_else(|| ParseError::new(lineno, "edge: missing target"))?;
+                let mut delay = 0u32;
+                let mut volume = 1u32;
+                for tok in tokens {
+                    match parse_kv(tok, lineno)? {
+                        ('d', v) => delay = v,
+                        ('c', v) => volume = v,
+                        (k, _) => {
+                            return Err(ParseError::new(
+                                lineno,
+                                format!("edge: unknown attribute {k}="),
+                            ))
+                        }
+                    }
+                }
+                let s = match g.task_by_name(src) {
+                    Some(s) => s,
+                    None => g.add_task(src, 1).map_err(|e| model_err(lineno, e))?,
+                };
+                let d = match g.task_by_name(dst) {
+                    Some(d) => d,
+                    None => g.add_task(dst, 1).map_err(|e| model_err(lineno, e))?,
+                };
+                g.add_dep(s, d, delay, volume).map_err(|e| model_err(lineno, e))?;
+            }
+            Some(other) => {
+                return Err(ParseError::new(lineno, format!("unknown directive {other:?}")))
+            }
+            None => unreachable!("blank lines were filtered"),
+        }
+    }
+    Ok(g)
+}
+
+fn parse_kv(tok: &str, line: usize) -> Result<(char, u32), ParseError> {
+    let (key, value) = tok
+        .split_once('=')
+        .ok_or_else(|| ParseError::new(line, format!("expected key=value, got {tok:?}")))?;
+    let mut chars = key.chars();
+    let k = chars
+        .next()
+        .filter(|_| chars.next().is_none())
+        .ok_or_else(|| ParseError::new(line, format!("bad attribute key {key:?}")))?;
+    let v: u32 = value
+        .parse()
+        .map_err(|_| ParseError::new(line, format!("bad integer {value:?}")))?;
+    Ok((k, v))
+}
+
+/// Serializes `g` back into the textual format accepted by [`parse`].
+pub fn write(g: &Csdfg) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for v in g.tasks() {
+        let _ = writeln!(out, "node {} t={}", g.name(v), g.time(v));
+    }
+    for e in g.deps() {
+        let (u, v) = g.endpoints(e);
+        let _ = writeln!(
+            out,
+            "edge {} -> {} d={} c={}",
+            g.name(u),
+            g.name(v),
+            g.delay(e),
+            g.volume(e)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_graph() {
+        let g = parse(
+            "# comment\n\
+             node A t=1\n\
+             node B t=2\n\
+             edge A -> B d=0 c=1\n\
+             edge B -> A d=3 c=2\n",
+        )
+        .unwrap();
+        assert_eq!(g.task_count(), 2);
+        assert_eq!(g.dep_count(), 2);
+        let b = g.task_by_name("B").unwrap();
+        assert_eq!(g.time(b), 2);
+        let e = g.out_deps(b).next().unwrap();
+        assert_eq!((g.delay(e), g.volume(e)), (3, 2));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let g = parse("edge X -> Y\n").unwrap();
+        let x = g.task_by_name("X").unwrap();
+        assert_eq!(g.time(x), 1);
+        let e = g.out_deps(x).next().unwrap();
+        assert_eq!((g.delay(e), g.volume(e)), (0, 1));
+    }
+
+    #[test]
+    fn inline_comments_and_blank_lines() {
+        let g = parse("\n  node A t=4 # four cycles\n\n").unwrap();
+        assert_eq!(g.time(g.task_by_name("A").unwrap()), 4);
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let err = parse("node A\nbogus Z\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn rejects_bad_arrow() {
+        let err = parse("edge A => B\n").unwrap_err();
+        assert!(err.message.contains("expected '->'"));
+    }
+
+    #[test]
+    fn rejects_bad_integer() {
+        let err = parse("node A t=abc\n").unwrap_err();
+        assert!(err.message.contains("bad integer"));
+    }
+
+    #[test]
+    fn rejects_duplicate_node() {
+        let err = parse("node A\nnode A\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_unknown_attribute() {
+        let err = parse("edge A -> B q=3\n").unwrap_err();
+        assert!(err.message.contains("unknown attribute"));
+    }
+
+    #[test]
+    fn round_trip() {
+        let src = "node A t=1\nnode B t=2\nedge A -> B d=0 c=1\nedge B -> A d=3 c=2\n";
+        let g = parse(src).unwrap();
+        let emitted = write(&g);
+        let g2 = parse(&emitted).unwrap();
+        assert_eq!(g2.task_count(), g.task_count());
+        assert_eq!(g2.dep_count(), g.dep_count());
+        assert_eq!(g2.total_delay(), g.total_delay());
+        assert_eq!(write(&g2), emitted);
+    }
+}

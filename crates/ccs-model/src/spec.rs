@@ -1,0 +1,150 @@
+//! Flat, serde-friendly representation of a CSDFG.
+//!
+//! [`CsdfgSpec`] is a plain `{nodes, edges}` value that round-trips
+//! through JSON (or any serde format) and converts losslessly to/from
+//! [`Csdfg`]; the experiment harness uses it to persist workloads and
+//! results.
+
+use crate::csdfg::{Csdfg, ModelError};
+use serde::{Deserialize, Serialize};
+
+/// One task in a [`CsdfgSpec`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Task name.
+    pub name: String,
+    /// Computation time `t(v)`.
+    #[serde(default = "one")]
+    pub time: u32,
+}
+
+/// One dependency in a [`CsdfgSpec`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeSpec {
+    /// Source task name.
+    pub src: String,
+    /// Target task name.
+    pub dst: String,
+    /// Delay count `d(e)`.
+    #[serde(default)]
+    pub delay: u32,
+    /// Communication volume `c(e)`.
+    #[serde(default = "one")]
+    pub volume: u32,
+}
+
+fn one() -> u32 {
+    1
+}
+
+/// Serializable CSDFG.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct CsdfgSpec {
+    /// Tasks, in id order.
+    pub nodes: Vec<NodeSpec>,
+    /// Dependencies, in id order.
+    pub edges: Vec<EdgeSpec>,
+}
+
+impl CsdfgSpec {
+    /// Builds the runtime graph, validating names/times/volumes.
+    pub fn build(&self) -> Result<Csdfg, ModelError> {
+        let mut g = Csdfg::new();
+        for n in &self.nodes {
+            g.add_task(n.name.clone(), n.time)?;
+        }
+        for e in &self.edges {
+            let s = g
+                .task_by_name(&e.src)
+                .ok_or_else(|| ModelError::UnknownTask(e.src.clone()))?;
+            let d = g
+                .task_by_name(&e.dst)
+                .ok_or_else(|| ModelError::UnknownTask(e.dst.clone()))?;
+            g.add_dep(s, d, e.delay, e.volume)?;
+        }
+        Ok(g)
+    }
+}
+
+impl From<&Csdfg> for CsdfgSpec {
+    fn from(g: &Csdfg) -> Self {
+        let nodes = g
+            .tasks()
+            .map(|v| NodeSpec { name: g.name(v).to_owned(), time: g.time(v) })
+            .collect();
+        let edges = g
+            .deps()
+            .map(|e| {
+                let (u, v) = g.endpoints(e);
+                EdgeSpec {
+                    src: g.name(u).to_owned(),
+                    dst: g.name(v).to_owned(),
+                    delay: g.delay(e),
+                    volume: g.volume(e),
+                }
+            })
+            .collect();
+        CsdfgSpec { nodes, edges }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> CsdfgSpec {
+        CsdfgSpec {
+            nodes: vec![
+                NodeSpec { name: "A".into(), time: 1 },
+                NodeSpec { name: "B".into(), time: 2 },
+            ],
+            edges: vec![
+                EdgeSpec { src: "A".into(), dst: "B".into(), delay: 0, volume: 1 },
+                EdgeSpec { src: "B".into(), dst: "A".into(), delay: 1, volume: 2 },
+            ],
+        }
+    }
+
+    #[test]
+    fn builds_runtime_graph() {
+        let g = demo().build().unwrap();
+        assert_eq!(g.task_count(), 2);
+        assert_eq!(g.dep_count(), 2);
+        assert!(g.check_legal().is_ok());
+    }
+
+    #[test]
+    fn unknown_edge_endpoint_rejected() {
+        let mut s = demo();
+        s.edges.push(EdgeSpec { src: "Z".into(), dst: "A".into(), delay: 0, volume: 1 });
+        assert!(matches!(s.build(), Err(ModelError::UnknownTask(_))));
+    }
+
+    #[test]
+    fn spec_round_trip() {
+        let spec = demo();
+        let g = spec.build().unwrap();
+        let spec2 = CsdfgSpec::from(&g);
+        assert_eq!(spec, spec2);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let spec = demo();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: CsdfgSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn json_defaults() {
+        let back: CsdfgSpec = serde_json::from_str(
+            r#"{"nodes":[{"name":"A"}],"edges":[{"src":"A","dst":"A","delay":1}]}"#,
+        )
+        .unwrap();
+        assert_eq!(back.nodes[0].time, 1);
+        assert_eq!(back.edges[0].volume, 1);
+        let g = back.build().unwrap();
+        assert!(g.check_legal().is_ok());
+    }
+}

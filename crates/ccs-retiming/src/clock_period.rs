@@ -1,0 +1,236 @@
+//! Minimum clock-period retiming (Leiserson–Saxe `FEAS`).
+//!
+//! Given a CSDFG, find a legal retiming minimizing the *clock period*
+//! `Φ(G_r)`: the longest chain of computation connected by zero-delay
+//! edges.  The paper's rotation phase "holds every property of the
+//! retiming operation" (§4); this module provides the analytic optimum
+//! that rotation-based compaction can be compared against when
+//! resources and communication are ignored.
+
+use crate::retiming::Retiming;
+use ccs_model::{Csdfg, NodeId};
+
+/// The clock period `Φ(g)`: maximum over nodes of the longest
+/// zero-delay path ending at that node, counting computation times.
+///
+/// # Panics
+///
+/// Panics if the zero-delay sub-graph is cyclic (illegal CSDFG).
+pub fn clock_period(g: &Csdfg) -> u32 {
+    deltas(g).into_iter().max().unwrap_or(0)
+}
+
+/// `Δ(v)` for every node (indexed by `NodeId::index`): the longest
+/// zero-delay chain ending at `v`, inclusive of `t(v)`.
+fn deltas(g: &Csdfg) -> Vec<u32> {
+    let order = g.zero_delay_topo().expect("illegal CSDFG: zero-delay cycle");
+    let mut delta = vec![0u32; g.graph().node_bound()];
+    for &v in &order {
+        let mut best = 0;
+        for e in g.intra_iter_in_deps(v) {
+            let (u, _) = g.endpoints(e);
+            best = best.max(delta[u.index()]);
+        }
+        delta[v.index()] = best + g.time(v);
+    }
+    delta
+}
+
+/// Tests whether clock period `c` is achievable by some legal retiming
+/// (the `FEAS` algorithm).  On success returns the witness retiming in
+/// the *paper's* sign convention, normalized to non-negative values.
+pub fn feasible(g: &Csdfg, c: u32) -> Option<Retiming> {
+    let n = g.task_count();
+    // Work in Leiserson-Saxe convention internally:
+    // d_ls(u->v) = d + r_ls(v) - r_ls(u); paper convention is negated.
+    let mut r_ls = vec![0i64; g.graph().node_bound()];
+    let mut current = g.clone();
+    for _ in 0..n.saturating_sub(1) {
+        let delta = deltas(&current);
+        let mut changed = false;
+        for v in g.tasks() {
+            if delta[v.index()] > c {
+                r_ls[v.index()] += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        // Re-apply from scratch to keep arithmetic simple.
+        let mut r = Retiming::zero_for(g);
+        for v in g.tasks() {
+            r.set(v, -r_ls[v.index()]);
+        }
+        if !r.is_legal(g) {
+            // FEAS guarantees legality for feasible c; an illegal
+            // intermediate only happens when c is infeasible.
+            return None;
+        }
+        current = r.apply(g);
+    }
+    if clock_period(&current) <= c {
+        let mut r = Retiming::zero_for(g);
+        for v in g.tasks() {
+            r.set(v, -r_ls[v.index()]);
+        }
+        r.normalize(g);
+        Some(r)
+    } else {
+        None
+    }
+}
+
+/// Minimum achievable clock period and a witness retiming.
+///
+/// Binary search over `c` in `[max_v t(v), Φ(G)]` using [`feasible`].
+pub fn min_clock_period(g: &Csdfg) -> (u32, Retiming) {
+    let lo0 = g.tasks().map(|v| g.time(v)).max().unwrap_or(0);
+    let hi0 = clock_period(g);
+    let (mut lo, mut hi) = (lo0, hi0);
+    let mut best = (hi0, Retiming::zero_for(g));
+    while lo <= hi {
+        let mid = lo + (hi - lo) / 2;
+        match feasible(g, mid) {
+            Some(r) => {
+                best = (mid, r);
+                if mid == 0 {
+                    break;
+                }
+                hi = mid - 1;
+            }
+            None => lo = mid + 1,
+        }
+    }
+    best
+}
+
+/// Convenience: the retimed graph achieving the minimum clock period.
+pub fn retime_min_period(g: &Csdfg) -> (u32, Csdfg) {
+    let (c, r) = min_clock_period(g);
+    (c, r.apply(g))
+}
+
+#[allow(unused)]
+fn _assert_node_id_used(v: NodeId) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 3-node loop: A(1) -> B(1) -> C(1) -> A with 2 delays on C->A.
+    fn loop3() -> (Csdfg, [NodeId; 3]) {
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 1).unwrap();
+        let b = g.add_task("B", 1).unwrap();
+        let c = g.add_task("C", 1).unwrap();
+        g.add_dep(a, b, 0, 1).unwrap();
+        g.add_dep(b, c, 0, 1).unwrap();
+        g.add_dep(c, a, 2, 1).unwrap();
+        (g, [a, b, c])
+    }
+
+    #[test]
+    fn clock_period_counts_zero_delay_chains() {
+        let (g, _) = loop3();
+        assert_eq!(clock_period(&g), 3);
+    }
+
+    #[test]
+    fn min_period_of_loop3_is_two() {
+        // Iteration bound is 3/2, so the best integer period is 2:
+        // retiming can split the chain A-B-C into chains of length <= 2.
+        let (g, _) = loop3();
+        let (c, r) = min_clock_period(&g);
+        assert_eq!(c, 2);
+        assert!(r.is_legal(&g));
+        let retimed = r.apply(&g);
+        assert_eq!(clock_period(&retimed), 2);
+        assert!(retimed.check_legal().is_ok());
+    }
+
+    #[test]
+    fn feasible_rejects_below_iteration_bound() {
+        let (g, _) = loop3();
+        // Period 1 would need T(C)/D(C) = 3/2 <= 1: impossible.
+        assert!(feasible(&g, 1).is_none());
+        assert!(feasible(&g, 2).is_some());
+        assert!(feasible(&g, 3).is_some());
+    }
+
+    #[test]
+    fn correlator_example() {
+        // The classic Leiserson-Saxe correlator has min period 13 with
+        // adders of weight 7 and comparators of weight 3.
+        // Simplified version: host(0 would be invalid, use 1) .. keep a
+        // smaller analogue: chain of 3 weight-3 nodes and one weight-7,
+        // one delay per edge on the return path.
+        let mut g = Csdfg::new();
+        let d1 = g.add_task("c1", 3).unwrap();
+        let d2 = g.add_task("c2", 3).unwrap();
+        let d3 = g.add_task("c3", 3).unwrap();
+        let a1 = g.add_task("a1", 7).unwrap();
+        g.add_dep(d1, d2, 1, 1).unwrap();
+        g.add_dep(d2, d3, 1, 1).unwrap();
+        g.add_dep(d3, a1, 0, 1).unwrap();
+        g.add_dep(a1, d1, 1, 1).unwrap();
+        // Initial period: d3 -> a1 chain = 10.
+        assert_eq!(clock_period(&g), 10);
+        let (c, _) = min_clock_period(&g);
+        // Iteration bound = (3+3+3+7)/3 = 16/3 ≈ 5.33; but a single node
+        // of weight 7 floors the period at 7, and retiming can reach it.
+        assert_eq!(c, 7);
+    }
+
+    #[test]
+    fn acyclic_pipeline_reaches_max_node_time() {
+        // A(2) -> B(3) -> C(2), delays 1 on each edge already: period 3.
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 2).unwrap();
+        let b = g.add_task("B", 3).unwrap();
+        let c = g.add_task("C", 2).unwrap();
+        g.add_dep(a, b, 1, 1).unwrap();
+        g.add_dep(b, c, 1, 1).unwrap();
+        assert_eq!(clock_period(&g), 3);
+        let (p, _) = min_clock_period(&g);
+        assert_eq!(p, 3);
+    }
+
+    #[test]
+    fn acyclic_chain_can_be_fully_pipelined() {
+        // Zero-delay chain A(1)->B(1)->C(1): an acyclic graph can be
+        // retimed arbitrarily (insert pipeline stages): period 1.
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 1).unwrap();
+        let b = g.add_task("B", 1).unwrap();
+        let c = g.add_task("C", 1).unwrap();
+        g.add_dep(a, b, 0, 1).unwrap();
+        g.add_dep(b, c, 0, 1).unwrap();
+        let (p, r) = min_clock_period(&g);
+        assert_eq!(p, 1);
+        let retimed = r.apply(&g);
+        for e in retimed.deps() {
+            assert!(retimed.delay(e) >= 1);
+        }
+    }
+
+    #[test]
+    fn retime_min_period_returns_retimed_graph() {
+        let (g, _) = loop3();
+        let (c, retimed) = retime_min_period(&g);
+        assert_eq!(clock_period(&retimed), c);
+        // Cycle delay sum invariant.
+        assert_eq!(retimed.total_delay(), g.total_delay());
+    }
+
+    #[test]
+    fn min_period_never_below_heaviest_node() {
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 9).unwrap();
+        let b = g.add_task("B", 1).unwrap();
+        g.add_dep(a, b, 0, 1).unwrap();
+        g.add_dep(b, a, 5, 1).unwrap();
+        let (c, _) = min_clock_period(&g);
+        assert_eq!(c, 9);
+    }
+}

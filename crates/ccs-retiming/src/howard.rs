@@ -1,0 +1,283 @@
+//! Howard's policy-iteration algorithm for the maximum cycle ratio —
+//! an independent second implementation of the iteration bound,
+//! cross-checked against the lambda-search of
+//! [`iteration_bound`](crate::iteration_bound::iteration_bound) in the
+//! property tests.
+//!
+//! The maximum cycle ratio of a CSDFG is
+//! `max over cycles C of T(C) / D(C)` with `T` the total computation
+//! time and `D` the total delay count.  Howard's algorithm maintains a
+//! *policy* (one outgoing edge per node), evaluates every node's
+//! `(ratio, value)` pair with respect to the unique cycle its policy
+//! path reaches, and improves the policy lexicographically (better
+//! ratio first, then better value) until fixpoint.
+
+use crate::iteration_bound::Ratio;
+use ccs_model::{Csdfg, EdgeId, NodeId};
+
+/// Computes the maximum cycle ratio of `g` by policy iteration.
+///
+/// Returns `None` for acyclic graphs.
+///
+/// # Panics
+///
+/// Panics if `g` has a zero-delay cycle (the ratio would be infinite).
+pub fn max_cycle_ratio_howard(g: &Csdfg) -> Option<Ratio> {
+    use ccs_graph::algo::scc::tarjan_scc;
+    assert!(g.check_legal().is_ok(), "illegal CSDFG: zero-delay cycle");
+
+    let mut best: Option<Ratio> = None;
+    for scc in tarjan_scc(g.graph()) {
+        let has_cycle =
+            scc.len() > 1 || scc.first().is_some_and(|&v| g.succs(v).any(|s| s == v));
+        if !has_cycle {
+            continue;
+        }
+        let r = component_ratio(g, &scc);
+        best = Some(match best {
+            None => r,
+            Some(b) if r > b => r,
+            Some(b) => b,
+        });
+    }
+    best
+}
+
+/// Per-node evaluation of a policy.
+struct Eval {
+    /// Ratio of the cycle this node's policy path reaches.
+    lambda: Vec<f64>,
+    /// Relative value (potential) w.r.t. that cycle.
+    value: Vec<f64>,
+    /// Exact rational of the best cycle seen in this policy.
+    best_cycle: Ratio,
+}
+
+fn component_ratio(g: &Csdfg, scc: &[NodeId]) -> Ratio {
+    let bound = g.graph().node_bound();
+    let mut in_scc = vec![false; bound];
+    for &v in scc {
+        in_scc[v.index()] = true;
+    }
+    let internal_edges = |v: NodeId| -> Vec<EdgeId> {
+        g.out_deps(v).filter(|&e| in_scc[g.endpoints(e).1.index()]).collect()
+    };
+
+    // Initial policy: the internal out-edge with the largest delay
+    // (heuristically close to the final policy for low ratios).
+    let mut policy: Vec<Option<EdgeId>> = vec![None; bound];
+    for &v in scc {
+        policy[v.index()] = internal_edges(v).into_iter().max_by_key(|&e| g.delay(e));
+        assert!(policy[v.index()].is_some(), "SCC node without internal out-edge");
+    }
+
+    let mut result = Ratio::new(0, 1);
+    for _round in 0..10_000 {
+        let eval = evaluate(g, scc, &policy);
+        result = eval.best_cycle;
+        // Improvement (lexicographic: ratio, then value).
+        let mut changed = false;
+        for &v in scc {
+            let cur_l = eval.lambda[v.index()];
+            let cur_val = eval.value[v.index()];
+            let mut best_edge = policy[v.index()];
+            let mut best_key = (cur_l, cur_val);
+            for e in internal_edges(v) {
+                let (_, w) = g.endpoints(e);
+                let lw = eval.lambda[w.index()];
+                let cand_val = f64::from(g.time(v)) - lw * f64::from(g.delay(e))
+                    + eval.value[w.index()];
+                let key = (lw, cand_val);
+                if key.0 > best_key.0 + 1e-9
+                    || ((key.0 - best_key.0).abs() <= 1e-9 && key.1 > best_key.1 + 1e-9)
+                {
+                    best_key = key;
+                    best_edge = Some(e);
+                }
+            }
+            if best_edge != policy[v.index()] {
+                policy[v.index()] = best_edge;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    result
+}
+
+/// Evaluates a policy: every node's `(lambda, value)` and the best
+/// exact cycle ratio in the policy's functional graph.
+fn evaluate(g: &Csdfg, scc: &[NodeId], policy: &[Option<EdgeId>]) -> Eval {
+    let bound = g.graph().node_bound();
+    let mut lambda = vec![f64::NEG_INFINITY; bound];
+    let mut value = vec![0.0f64; bound];
+    let mut state = vec![0u8; bound]; // 0 unvisited, 1 on stack, 2 done
+    let mut best_cycle = Ratio::new(0, 1);
+    let mut any_cycle = false;
+
+    let next_of = |v: NodeId| -> NodeId {
+        g.endpoints(policy[v.index()].expect("policy covers the SCC")).1
+    };
+
+    for &start in scc {
+        if state[start.index()] == 2 {
+            continue;
+        }
+        // Walk the policy path, recording the stack.
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mut cur = start;
+        while state[cur.index()] == 0 {
+            state[cur.index()] = 1;
+            stack.push(cur);
+            cur = next_of(cur);
+        }
+        if state[cur.index()] == 1 {
+            // Found a new cycle: stack suffix from `cur`.
+            let cut = stack.iter().position(|&v| v == cur).expect("on stack");
+            let cycle = &stack[cut..];
+            let mut t_sum = 0u64;
+            let mut d_sum = 0u64;
+            for &v in cycle {
+                t_sum += u64::from(g.time(v));
+                d_sum += u64::from(g.delay(policy[v.index()].expect("covered")));
+            }
+            assert!(d_sum > 0, "zero-delay cycle escaped the legality check");
+            let exact = Ratio::new(t_sum, d_sum);
+            if !any_cycle || exact > best_cycle {
+                best_cycle = exact;
+            }
+            any_cycle = true;
+            let lam = exact.as_f64();
+            // Values around the cycle: anchor the entry node at 0 and
+            // unwind backwards (consistent because the cycle's
+            // adjusted weight sums to zero).
+            lambda[cur.index()] = lam;
+            value[cur.index()] = 0.0;
+            for &v in cycle.iter().rev() {
+                if v == cur {
+                    continue;
+                }
+                let w = next_of(v);
+                lambda[v.index()] = lam;
+                value[v.index()] = f64::from(g.time(v))
+                    - lam * f64::from(g.delay(policy[v.index()].expect("covered")))
+                    + value[w.index()];
+            }
+            for &v in cycle {
+                state[v.index()] = 2;
+            }
+        }
+        // Unwind the remaining stack (tree nodes feeding the cycle /
+        // already-evaluated region).
+        while let Some(v) = stack.pop() {
+            if state[v.index()] == 2 {
+                continue;
+            }
+            let w = next_of(v);
+            debug_assert_eq!(state[w.index()], 2, "successor evaluated first");
+            let lam = lambda[w.index()];
+            lambda[v.index()] = lam;
+            value[v.index()] = f64::from(g.time(v))
+                - lam * f64::from(g.delay(policy[v.index()].expect("covered")))
+                + value[w.index()];
+            state[v.index()] = 2;
+        }
+    }
+    Eval { lambda, value, best_cycle }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iteration_bound::iteration_bound;
+
+    #[test]
+    fn simple_loop() {
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 1).unwrap();
+        let b = g.add_task("B", 2).unwrap();
+        g.add_dep(a, b, 0, 1).unwrap();
+        g.add_dep(b, a, 1, 1).unwrap();
+        assert_eq!(max_cycle_ratio_howard(&g), Some(Ratio::new(3, 1)));
+    }
+
+    #[test]
+    fn picks_the_critical_cycle() {
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 1).unwrap();
+        let b = g.add_task("B", 2).unwrap();
+        let c = g.add_task("C", 5).unwrap();
+        g.add_dep(a, b, 0, 1).unwrap();
+        g.add_dep(b, a, 3, 1).unwrap(); // ratio 1
+        g.add_dep(c, c, 2, 1).unwrap(); // ratio 5/2
+        g.add_dep(a, c, 0, 1).unwrap();
+        assert_eq!(max_cycle_ratio_howard(&g), Some(Ratio::new(5, 2)));
+    }
+
+    #[test]
+    fn acyclic_gives_none() {
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 1).unwrap();
+        let b = g.add_task("B", 1).unwrap();
+        g.add_dep(a, b, 2, 1).unwrap();
+        assert_eq!(max_cycle_ratio_howard(&g), None);
+    }
+
+    #[test]
+    fn agrees_with_lambda_search_on_overlapping_cycles() {
+        let mut g = Csdfg::new();
+        let n: Vec<_> = (0..5)
+            .map(|i| g.add_task(format!("v{i}"), (i % 3 + 1) as u32).unwrap())
+            .collect();
+        g.add_dep(n[0], n[1], 0, 1).unwrap();
+        g.add_dep(n[1], n[2], 0, 1).unwrap();
+        g.add_dep(n[2], n[0], 2, 1).unwrap();
+        g.add_dep(n[1], n[3], 0, 1).unwrap();
+        g.add_dep(n[3], n[0], 1, 1).unwrap();
+        g.add_dep(n[3], n[4], 0, 1).unwrap();
+        g.add_dep(n[4], n[3], 3, 1).unwrap();
+        // Cycles: 0-1-2 (T=6,D=2 -> 3), 0-1-3 (T=4,D=1 -> 4), 3-4 (T=3,D=3 -> 1).
+        assert_eq!(max_cycle_ratio_howard(&g), Some(Ratio::new(4, 1)));
+        assert_eq!(max_cycle_ratio_howard(&g), iteration_bound(&g));
+    }
+
+    #[test]
+    fn agrees_on_the_paper_example() {
+        let g = {
+            let mut g = Csdfg::new();
+            let ids: Vec<_> = ["A", "B", "C", "D", "E", "F"]
+                .iter()
+                .map(|n| {
+                    let t = if *n == "B" || *n == "E" { 2 } else { 1 };
+                    g.add_task(*n, t).unwrap()
+                })
+                .collect();
+            let (a, b, c, d, e, f) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+            g.add_dep(a, b, 0, 1).unwrap();
+            g.add_dep(a, c, 0, 1).unwrap();
+            g.add_dep(a, e, 0, 1).unwrap();
+            g.add_dep(b, d, 0, 1).unwrap();
+            g.add_dep(b, e, 0, 2).unwrap();
+            g.add_dep(c, e, 0, 1).unwrap();
+            g.add_dep(d, a, 3, 3).unwrap();
+            g.add_dep(d, f, 0, 2).unwrap();
+            g.add_dep(e, f, 0, 1).unwrap();
+            g.add_dep(f, e, 1, 1).unwrap();
+            g
+        };
+        assert_eq!(max_cycle_ratio_howard(&g), Some(Ratio::new(3, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal CSDFG")]
+    fn zero_delay_cycle_panics() {
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 1).unwrap();
+        let b = g.add_task("B", 1).unwrap();
+        g.add_dep(a, b, 0, 1).unwrap();
+        g.add_dep(b, a, 0, 1).unwrap();
+        let _ = max_cycle_ratio_howard(&g);
+    }
+}

@@ -1,0 +1,135 @@
+//! # ccs-retiming
+//!
+//! The retiming substrate under the ICPP'95 cyclo-compaction scheduler.
+//!
+//! * [`Retiming`] — retiming vectors in the paper's sign convention
+//!   (`r(v)` delays drawn from incoming edges and pushed to outgoing
+//!   edges), with legality checking, application, normalization and the
+//!   [`rotate`] operation of Definition 4.1;
+//! * [`prologue`] / [`epilogue`] — the pre-/post-loop instruction
+//!   multiplicities implied by a retiming (§2 of the paper);
+//! * [`iteration_bound`](iteration_bound::iteration_bound) — the
+//!   maximum cycle ratio `max_C T(C)/D(C)`, an architecture-independent
+//!   lower bound on any schedule's initiation interval;
+//! * [`clock_period`] — Leiserson–Saxe `FEAS`-based
+//!   minimum clock-period retiming, the analytic optimum rotation-based
+//!   compaction is measured against.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod clock_period;
+pub mod howard;
+pub mod iteration_bound;
+mod retiming;
+pub mod wd;
+
+pub use iteration_bound::{iteration_bound, Ratio};
+pub use retiming::{epilogue, prologue, rotate, Retiming};
+pub use howard::max_cycle_ratio_howard;
+pub use wd::{min_clock_period_wd, WdMatrices};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use ccs_model::Csdfg;
+    use proptest::prelude::*;
+
+    /// Random legal CSDFG: forward edges may carry 0..3 delays, backward
+    /// edges always >= 1.
+    fn arb_csdfg() -> impl Strategy<Value = Csdfg> {
+        (2usize..10).prop_flat_map(|n| {
+            let times = proptest::collection::vec(1u32..5, n);
+            let edges = proptest::collection::vec((0..n, 0..n, 0u32..3, 1u32..3), 1..n * 2);
+            (times, edges).prop_map(move |(times, edges)| {
+                let mut g = Csdfg::new();
+                let ids: Vec<_> = times
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &t)| g.add_task(format!("v{i}"), t).unwrap())
+                    .collect();
+                for (a, b, d, c) in edges {
+                    let delay = if a < b { d } else { d.max(1) };
+                    g.add_dep(ids[a], ids[b], delay, c).unwrap();
+                }
+                g
+            })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn legal_retimings_preserve_legality(g in arb_csdfg()) {
+            let (_, r) = clock_period::min_clock_period(&g);
+            prop_assert!(r.is_legal(&g));
+            let retimed = r.apply(&g);
+            prop_assert!(retimed.check_legal().is_ok());
+        }
+
+        #[test]
+        fn min_period_never_exceeds_initial(g in arb_csdfg()) {
+            let initial = clock_period::clock_period(&g);
+            let (best, _) = clock_period::min_clock_period(&g);
+            prop_assert!(best <= initial);
+            let heaviest = g.tasks().map(|v| g.time(v)).max().unwrap();
+            prop_assert!(best >= heaviest);
+        }
+
+        #[test]
+        fn iteration_bound_invariant_under_min_period_retiming(g in arb_csdfg()) {
+            let before = iteration_bound(&g);
+            let (_, r) = clock_period::min_clock_period(&g);
+            let after = iteration_bound(&r.apply(&g));
+            prop_assert_eq!(before, after);
+        }
+
+        #[test]
+        fn min_period_at_least_iteration_bound(g in arb_csdfg()) {
+            if let Some(b) = iteration_bound(&g) {
+                let (best, _) = clock_period::min_clock_period(&g);
+                // Φ >= ceil(B) because a period below the bound would
+                // sustain an initiation interval below it.
+                prop_assert!(u64::from(best) >= b.ceil());
+            }
+        }
+
+        #[test]
+        fn rotation_of_delay_guarded_roots_is_legal(g in arb_csdfg()) {
+            // Nodes whose incoming edges all carry delays can be rotated.
+            let rotatable: Vec<_> = g
+                .tasks()
+                .filter(|&v| g.in_deps(v).all(|e| g.delay(e) >= 1))
+                .collect();
+            if !rotatable.is_empty() {
+                let rotated = rotate(&g, &rotatable).unwrap();
+                prop_assert!(rotated.check_legal().is_ok());
+                prop_assert_eq!(iteration_bound(&rotated), iteration_bound(&g));
+            }
+        }
+
+        #[test]
+        fn howard_agrees_with_lambda_search(g in arb_csdfg()) {
+            prop_assert_eq!(howard::max_cycle_ratio_howard(&g), iteration_bound(&g));
+        }
+
+        #[test]
+        fn wd_and_feas_agree_on_min_period(g in arb_csdfg()) {
+            let (feas, _) = clock_period::min_clock_period(&g);
+            let (wd_p, r) = wd::min_clock_period_wd(&g);
+            prop_assert_eq!(feas, wd_p);
+            prop_assert!(r.is_legal(&g));
+            prop_assert_eq!(clock_period::clock_period(&r.apply(&g)), wd_p);
+        }
+
+        #[test]
+        fn prologue_epilogue_cover_all_offsets(g in arb_csdfg()) {
+            let (_, mut r) = clock_period::min_clock_period(&g);
+            r.normalize(&g);
+            let max = g.tasks().map(|v| r.get(v)).max().unwrap_or(0);
+            let pro: u64 = prologue(&g, &r).iter().map(|&(_, k)| u64::from(k)).sum();
+            let epi: u64 = epilogue(&g, &r).iter().map(|&(_, k)| u64::from(k)).sum();
+            // Every node appears max times in prologue+epilogue combined.
+            prop_assert_eq!(pro + epi, max as u64 * g.task_count() as u64);
+        }
+    }
+}

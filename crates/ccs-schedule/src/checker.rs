@@ -1,0 +1,329 @@
+//! Independent schedule validity checking: the paper's precedence,
+//! communication, and projected-schedule-length constraints.
+//!
+//! # Timing convention
+//!
+//! One consistent arrival rule is used everywhere (see `DESIGN.md` §2):
+//! data produced by `u` and consumed by `v` with `k = d(e)` delays and
+//! communication cost `M = hops(PE(u), PE(v)) * c(e)` is usable from
+//! control step `CE(u) + M + 1` of iteration `i`, counted against
+//! `CB(v)` of iteration `i + k`.  With static schedule length `L` this
+//! yields:
+//!
+//! * `k == 0` (intra-iteration): `CB(v) >= CE(u) + M + 1`;
+//! * `k >= 1` (inter-iteration): `L >= PSL(e)` where
+//!   `PSL(e) = ceil((M + CE(u) - CB(v) + 1) / k)`
+//!   (Lemma 4.3, with the `+1` restored for consistency with the
+//!   start-up scheduler and Lemma 4.2).
+
+use crate::table::Schedule;
+use ccs_model::{Csdfg, EdgeId, NodeId};
+use ccs_topology::Machine;
+use std::fmt;
+
+/// One constraint violation found by [`validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A task was never placed.
+    Unplaced(NodeId),
+    /// An intra-iteration dependency starts too early.
+    Precedence {
+        /// The violated edge.
+        edge: EdgeId,
+        /// Earliest legal start of the consumer.
+        earliest: u32,
+        /// Actual start of the consumer.
+        actual: u32,
+    },
+    /// The schedule length is below the projected schedule length of a
+    /// loop-carried dependency.
+    LengthTooShort {
+        /// The constraining edge.
+        edge: EdgeId,
+        /// Required minimum length (its `PSL`).
+        required: u32,
+        /// Actual schedule length.
+        actual: u32,
+    },
+    /// Two tasks overlap on one processor (only possible for schedules
+    /// built outside [`Schedule::place`]'s checks).
+    Overlap {
+        /// First task.
+        a: NodeId,
+        /// Second task.
+        b: NodeId,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Unplaced(n) => write!(f, "task {n} is not placed"),
+            Violation::Precedence { edge, earliest, actual } => write!(
+                f,
+                "edge {edge}: consumer starts at cs{actual}, earliest legal cs{earliest}"
+            ),
+            Violation::LengthTooShort { edge, required, actual } => write!(
+                f,
+                "edge {edge}: schedule length {actual} below projected length {required}"
+            ),
+            Violation::Overlap { a, b } => write!(f, "tasks {a} and {b} overlap on one PE"),
+        }
+    }
+}
+
+/// Communication cost of edge `e` for the placements in `s`
+/// (the paper's `M(PE(u), PE(v)) * c(e)`, zero if either endpoint is
+/// unplaced or they share a PE).
+pub fn edge_comm_cost(g: &Csdfg, m: &Machine, s: &Schedule, e: EdgeId) -> u32 {
+    let (u, v) = g.endpoints(e);
+    match (s.pe(u), s.pe(v)) {
+        (Some(pu), Some(pv)) => m.comm_cost(pu, pv, g.volume(e)),
+        _ => 0,
+    }
+}
+
+/// Projected schedule length of a loop-carried edge (`d(e) >= 1`):
+/// the minimum static schedule length that satisfies it.
+///
+/// Returns `None` for zero-delay edges or when an endpoint is unplaced.
+pub fn psl(g: &Csdfg, m: &Machine, s: &Schedule, e: EdgeId) -> Option<u32> {
+    let k = g.delay(e);
+    if k == 0 {
+        return None;
+    }
+    let (u, v) = g.endpoints(e);
+    let ce_u = i64::from(s.ce(u)?);
+    let cb_v = i64::from(s.cb(v)?);
+    let mm = i64::from(edge_comm_cost(g, m, s, e));
+    let num = mm + ce_u - cb_v + 1;
+    let k = i64::from(k);
+    // ceil(num / k) for possibly negative num.
+    let q = num.div_euclid(k) + i64::from(num.rem_euclid(k) != 0);
+    Some(u32::try_from(q.max(0)).expect("PSL fits u32"))
+}
+
+/// The minimum legal length for the *current placements* of `s`:
+/// `max(max_u CE(u), max_e PSL(e))`.
+pub fn required_length(g: &Csdfg, m: &Machine, s: &Schedule) -> u32 {
+    let occupied = g.tasks().filter_map(|v| s.ce(v)).max().unwrap_or(0);
+    let psl_max = g.deps().filter_map(|e| psl(g, m, s, e)).max().unwrap_or(0);
+    occupied.max(psl_max)
+}
+
+/// Validates `s` as a static cyclic schedule of `g` on machine `m`.
+///
+/// Checks: every task placed; durations match `t(v)`; no PE overlap;
+/// intra-iteration precedence with communication; and the PSL bound for
+/// every loop-carried edge.  Returns all violations found.
+pub fn validate(g: &Csdfg, m: &Machine, s: &Schedule) -> Result<(), Vec<Violation>> {
+    let mut violations = Vec::new();
+    for v in g.tasks() {
+        match s.slot(v) {
+            None => violations.push(Violation::Unplaced(v)),
+            Some(slot) => {
+                debug_assert_eq!(
+                    slot.duration,
+                    g.time(v),
+                    "slot duration disagrees with t({})",
+                    g.name(v)
+                );
+            }
+        }
+    }
+    if !violations.is_empty() {
+        return Err(violations);
+    }
+
+    // Overlaps (re-derive from slots; Schedule::place prevents them, but
+    // schedules may be deserialized or hand-built).
+    let placed: Vec<(NodeId, crate::table::Slot)> = s.placements().collect();
+    for (i, &(a, sa)) in placed.iter().enumerate() {
+        for &(b, sb) in &placed[i + 1..] {
+            if sa.pe == sb.pe && sa.start <= sb.end() && sb.start <= sa.end() {
+                violations.push(Violation::Overlap { a, b });
+            }
+        }
+    }
+
+    let length = s.length();
+    for e in g.deps() {
+        let (u, v) = g.endpoints(e);
+        let mm = edge_comm_cost(g, m, s, e);
+        if g.delay(e) == 0 {
+            let earliest = s.ce(u).expect("checked placed") + mm + 1;
+            let actual = s.cb(v).expect("checked placed");
+            if actual < earliest {
+                violations.push(Violation::Precedence { edge: e, earliest, actual });
+            }
+        } else if let Some(required) = psl(g, m, s, e) {
+            if length < required {
+                violations.push(Violation::LengthTooShort { edge: e, required, actual: length });
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_topology::Pe;
+
+    /// Two tasks on a 2-PE linear array.
+    fn setup() -> (Csdfg, Machine) {
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 1).unwrap();
+        let b = g.add_task("B", 2).unwrap();
+        g.add_dep(a, b, 0, 2).unwrap(); // intra-iteration, volume 2
+        g.add_dep(b, a, 1, 1).unwrap(); // loop carried
+        let _ = (a, b);
+        (g, Machine::linear_array(2))
+    }
+
+    #[test]
+    fn valid_same_pe_schedule() {
+        let (g, m) = setup();
+        let (a, b) = (g.task_by_name("A").unwrap(), g.task_by_name("B").unwrap());
+        let mut s = Schedule::new(2);
+        s.place(a, Pe(0), 1, 1).unwrap();
+        s.place(b, Pe(0), 2, 2).unwrap();
+        assert!(validate(&g, &m, &s).is_ok());
+        // B->A loop: M=0, CE(B)=3, CB(A)=1, k=1 => PSL = 3-1+1 = 3 = L. OK.
+        let loop_edge = g.out_deps(b).next().unwrap();
+        assert_eq!(psl(&g, &m, &s, loop_edge), Some(3));
+        assert_eq!(required_length(&g, &m, &s), 3);
+    }
+
+    #[test]
+    fn cross_pe_needs_comm_gap() {
+        let (g, m) = setup();
+        let (a, b) = (g.task_by_name("A").unwrap(), g.task_by_name("B").unwrap());
+        let mut s = Schedule::new(2);
+        s.place(a, Pe(0), 1, 1).unwrap();
+        // A->B has volume 2 across 1 hop: M=2, so B may start at cs4.
+        s.place(b, Pe(1), 2, 2).unwrap();
+        let errs = validate(&g, &m, &s).unwrap_err();
+        assert!(matches!(
+            errs[0],
+            Violation::Precedence { earliest: 4, actual: 2, .. }
+        ));
+        // Move B to cs4: precedence ok, but the back edge B->A (volume 1,
+        // one hop) now needs L >= M + CE(B) - CB(A) + 1 = 1 + 5 - 1 + 1 = 6.
+        let mut s2 = Schedule::new(2);
+        s2.place(a, Pe(0), 1, 1).unwrap();
+        s2.place(b, Pe(1), 4, 2).unwrap();
+        let errs = validate(&g, &m, &s2).unwrap_err();
+        assert!(matches!(
+            errs[0],
+            Violation::LengthTooShort { required: 6, actual: 5, .. }
+        ));
+        // Padding to 6 fixes it.
+        s2.pad_to(6);
+        assert!(validate(&g, &m, &s2).is_ok());
+    }
+
+    #[test]
+    fn psl_divides_by_delay_count() {
+        let (mut g, m) = setup();
+        let (a, b) = (g.task_by_name("A").unwrap(), g.task_by_name("B").unwrap());
+        let loop_edge = g.out_deps(b).next().unwrap();
+        g.set_delay(loop_edge, 3);
+        let mut s = Schedule::new(2);
+        s.place(a, Pe(0), 1, 1).unwrap();
+        s.place(b, Pe(1), 4, 2).unwrap();
+        // M=1*1=1 (volume 1), CE(B)=5, CB(A)=1, k=3: ceil(6/3) = 2.
+        assert_eq!(psl(&g, &m, &s, loop_edge), Some(2));
+        assert!(validate(&g, &m, &s).is_ok());
+    }
+
+    #[test]
+    fn unplaced_tasks_reported_first() {
+        let (g, m) = setup();
+        let a = g.task_by_name("A").unwrap();
+        let mut s = Schedule::new(2);
+        s.place(a, Pe(0), 1, 1).unwrap();
+        let errs = validate(&g, &m, &s).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(matches!(errs[0], Violation::Unplaced(_)));
+    }
+
+    #[test]
+    fn psl_none_for_zero_delay_edges() {
+        let (g, m) = setup();
+        let a = g.task_by_name("A").unwrap();
+        let intra = g.out_deps(a).next().unwrap();
+        let s = Schedule::new(2);
+        assert_eq!(psl(&g, &m, &s, intra), None);
+    }
+
+    #[test]
+    fn negative_psl_clamps_to_zero() {
+        // Consumer placed far after producer: the constraint is slack.
+        let (g, m) = setup();
+        let (a, b) = (g.task_by_name("A").unwrap(), g.task_by_name("B").unwrap());
+        let mut s = Schedule::new(2);
+        s.place(b, Pe(0), 1, 2).unwrap();
+        s.place(a, Pe(0), 9, 1).unwrap();
+        let loop_edge = g.out_deps(b).next().unwrap();
+        // M=0, CE(B)=2, CB(A)=9, k=1: ceil(2-9+1) = -6 -> 0.
+        assert_eq!(psl(&g, &m, &s, loop_edge), Some(0));
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation::Precedence {
+            edge: EdgeId::from_index(0),
+            earliest: 4,
+            actual: 2,
+        };
+        assert!(v.to_string().contains("earliest legal cs4"));
+    }
+
+    #[test]
+    fn paper_fig2a_initial_schedule_is_valid() {
+        // Figure 2(a): the start-up schedule of the 6-node example on a
+        // 2x2 mesh: A@pe1cs1, B@pe1cs2-3, C@pe2cs3, D@pe1cs4,
+        // E@pe1cs5-6, F@pe1cs7.
+        let mut g = Csdfg::new();
+        let ids: Vec<_> = ["A", "B", "C", "D", "E", "F"]
+            .iter()
+            .map(|nm| {
+                let t = if *nm == "B" || *nm == "E" { 2 } else { 1 };
+                g.add_task(*nm, t).unwrap()
+            })
+            .collect();
+        let (a, b, c, d, e, f) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+        g.add_dep(a, b, 0, 1).unwrap();
+        g.add_dep(a, c, 0, 1).unwrap();
+        g.add_dep(a, e, 0, 1).unwrap();
+        g.add_dep(b, d, 0, 1).unwrap();
+        g.add_dep(b, e, 0, 2).unwrap();
+        g.add_dep(c, e, 0, 1).unwrap();
+        g.add_dep(d, a, 3, 3).unwrap();
+        g.add_dep(d, f, 0, 2).unwrap();
+        g.add_dep(e, f, 0, 1).unwrap();
+        g.add_dep(f, e, 1, 1).unwrap();
+        let m = Machine::mesh(2, 2);
+        let mut s = Schedule::new(4);
+        s.place(a, Pe(0), 1, 1).unwrap();
+        s.place(b, Pe(0), 2, 2).unwrap();
+        s.place(c, Pe(1), 3, 1).unwrap();
+        s.place(d, Pe(0), 4, 1).unwrap();
+        s.place(e, Pe(0), 5, 2).unwrap();
+        s.place(f, Pe(0), 7, 1).unwrap();
+        assert!(validate(&g, &m, &s).is_ok(), "{:?}", validate(&g, &m, &s));
+        assert_eq!(s.length(), 7);
+        // C on pe2 is legal at cs3 (A ends cs1, M = 1 hop * 1 = 1,
+        // earliest = 3) but cs2 would not be:
+        let mut s2 = s.clone();
+        s2.remove(c).unwrap();
+        s2.place(c, Pe(1), 2, 1).unwrap();
+        assert!(validate(&g, &m, &s2).is_err());
+    }
+}

@@ -1,0 +1,129 @@
+//! Schedule statistics and exports.
+
+use crate::checker::edge_comm_cost;
+use crate::table::Schedule;
+use ccs_model::Csdfg;
+use ccs_topology::Machine;
+
+/// Aggregate statistics of a placed schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScheduleStats {
+    /// Static schedule length.
+    pub length: u32,
+    /// Busy control steps per PE.
+    pub busy: Vec<u32>,
+    /// Number of PEs running at least one task.
+    pub used_pes: usize,
+    /// Mean utilization over all PEs in `[0, 1]`.
+    pub utilization: f64,
+    /// Edges crossing processors (per iteration).
+    pub cross_edges: usize,
+    /// Total `hops * volume` per iteration.
+    pub traffic: u64,
+}
+
+/// Computes [`ScheduleStats`] for `sched` hosting `g` on `machine`.
+///
+/// # Panics
+///
+/// Panics if some task of `g` is unplaced.
+pub fn stats(g: &Csdfg, machine: &Machine, sched: &Schedule) -> ScheduleStats {
+    let mut busy = vec![0u32; machine.num_pes()];
+    for v in g.tasks() {
+        let pe = sched.pe(v).expect("task placed");
+        busy[pe.index()] += g.time(v);
+    }
+    let used_pes = busy.iter().filter(|&&b| b > 0).count();
+    let length = sched.length();
+    let utilization = if length == 0 {
+        0.0
+    } else {
+        busy.iter().map(|&b| f64::from(b)).sum::<f64>()
+            / (f64::from(length) * machine.num_pes() as f64)
+    };
+    let mut cross_edges = 0;
+    let mut traffic = 0u64;
+    for e in g.deps() {
+        let cost = edge_comm_cost(g, machine, sched, e);
+        if cost > 0 {
+            cross_edges += 1;
+            traffic += u64::from(cost);
+        }
+    }
+    ScheduleStats { length, busy, used_pes, utilization, cross_edges, traffic }
+}
+
+/// Exports the schedule as CSV: `task,pe,start,end` rows (1-based
+/// control steps, 1-based PE numbering like the paper's tables).
+pub fn to_csv(g: &Csdfg, sched: &Schedule) -> String {
+    let mut rows: Vec<(u32, u32, String, u32)> = g
+        .tasks()
+        .filter_map(|v| {
+            sched.slot(v).map(|s| (s.start, s.pe.0 + 1, g.name(v).to_owned(), s.end()))
+        })
+        .collect();
+    rows.sort();
+    let mut out = String::from("task,pe,start,end\n");
+    for (start, pe, name, end) in rows {
+        out.push_str(&format!("{name},{pe},{start},{end}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_topology::Pe;
+
+    fn setup() -> (Csdfg, Machine, Schedule) {
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 1).unwrap();
+        let b = g.add_task("B", 2).unwrap();
+        let c = g.add_task("C", 1).unwrap();
+        g.add_dep(a, b, 0, 2).unwrap();
+        g.add_dep(a, c, 0, 1).unwrap();
+        g.add_dep(b, a, 1, 1).unwrap();
+        let m = Machine::linear_array(3);
+        let mut s = Schedule::new(3);
+        s.place(a, Pe(0), 1, 1).unwrap();
+        s.place(b, Pe(0), 2, 2).unwrap();
+        s.place(c, Pe(1), 3, 1).unwrap();
+        s.pad_to(4);
+        (g, m, s)
+    }
+
+    #[test]
+    fn stats_accounting() {
+        let (g, m, s) = setup();
+        let st = stats(&g, &m, &s);
+        assert_eq!(st.length, 4);
+        assert_eq!(st.busy, vec![3, 1, 0]);
+        assert_eq!(st.used_pes, 2);
+        assert!((st.utilization - 4.0 / 12.0).abs() < 1e-12);
+        // A->C crosses one hop with volume 1.
+        assert_eq!(st.cross_edges, 1);
+        assert_eq!(st.traffic, 1);
+    }
+
+    #[test]
+    fn csv_rows_sorted_by_start() {
+        let (g, _, s) = setup();
+        let csv = to_csv(&g, &s);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "task,pe,start,end");
+        assert_eq!(lines[1], "A,1,1,1");
+        assert_eq!(lines[2], "B,1,2,3");
+        assert_eq!(lines[3], "C,2,3,3");
+    }
+
+    #[test]
+    fn empty_schedule_stats() {
+        let g = Csdfg::new();
+        let m = Machine::complete(2);
+        let s = Schedule::new(2);
+        let st = stats(&g, &m, &s);
+        assert_eq!(st.length, 0);
+        assert_eq!(st.used_pes, 0);
+        assert_eq!(st.utilization, 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! SVG rendering of schedule tables — a publication-ready counterpart
+//! of the ASCII renderer.
+
+use crate::table::Schedule;
+use ccs_model::Csdfg;
+use std::fmt::Write as _;
+
+/// Options for [`to_svg`].
+#[derive(Clone, Copy, Debug)]
+pub struct SvgOptions {
+    /// Pixel width of one control step.
+    pub cell_w: u32,
+    /// Pixel height of one processor lane.
+    pub cell_h: u32,
+    /// Left margin for PE labels.
+    pub margin_left: u32,
+    /// Top margin for the control-step axis.
+    pub margin_top: u32,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions { cell_w: 34, cell_h: 26, margin_left: 48, margin_top: 28 }
+    }
+}
+
+/// A small qualitative palette; tasks cycle through it by node index.
+const PALETTE: [&str; 8] = [
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1", "#76b7b2", "#edc948", "#9c755f",
+];
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders `sched` (hosting `g`) as a standalone SVG document: one
+/// horizontal lane per PE, one column per control step, tasks as
+/// labelled colored blocks, padded steps hatched out.
+pub fn to_svg(g: &Csdfg, sched: &Schedule, opt: SvgOptions) -> String {
+    let length = sched.length().max(1);
+    let pes = sched.num_pes() as u32;
+    let width = opt.margin_left + length * opt.cell_w + 8;
+    let height = opt.margin_top + pes * opt.cell_h + 8;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"##
+    );
+    let _ = writeln!(
+        out,
+        r##"  <style>text {{ font: 11px sans-serif; }} .lbl {{ fill: #fff; text-anchor: middle; dominant-baseline: central; }} .ax {{ fill: #444; text-anchor: middle; }}</style>"##
+    );
+    let _ = writeln!(out, r##"  <rect width="{width}" height="{height}" fill="white"/>"##);
+
+    // Grid and axes.
+    for cs in 0..length {
+        let x = opt.margin_left + cs * opt.cell_w;
+        let _ = writeln!(
+            out,
+            r##"  <line x1="{x}" y1="{}" x2="{x}" y2="{}" stroke="#ddd"/>"##,
+            opt.margin_top,
+            opt.margin_top + pes * opt.cell_h
+        );
+        let _ = writeln!(
+            out,
+            r##"  <text class="ax" x="{}" y="{}">{}</text>"##,
+            x + opt.cell_w / 2,
+            opt.margin_top - 8,
+            cs + 1
+        );
+    }
+    for p in 0..pes {
+        let y = opt.margin_top + p * opt.cell_h;
+        let _ = writeln!(
+            out,
+            r##"  <line x1="{}" y1="{y}" x2="{}" y2="{y}" stroke="#ddd"/>"##,
+            opt.margin_left,
+            opt.margin_left + length * opt.cell_w
+        );
+        let _ = writeln!(
+            out,
+            r##"  <text x="6" y="{}">pe{}</text>"##,
+            y + opt.cell_h / 2 + 4,
+            p + 1
+        );
+    }
+
+    // Task blocks.
+    for (node, slot) in sched.placements() {
+        let x = opt.margin_left + (slot.start - 1) * opt.cell_w;
+        let y = opt.margin_top + slot.pe.0 * opt.cell_h;
+        let w = slot.duration * opt.cell_w;
+        let color = PALETTE[node.index() % PALETTE.len()];
+        let name = escape(g.name(node));
+        let _ = writeln!(
+            out,
+            r##"  <rect x="{x}" y="{}" width="{}" height="{}" rx="3" fill="{color}"><title>{name}: pe{} cs{}-{}</title></rect>"##,
+            y + 2,
+            w - 2,
+            opt.cell_h - 4,
+            slot.pe.0 + 1,
+            slot.start,
+            slot.end()
+        );
+        let _ = writeln!(
+            out,
+            r##"  <text class="lbl" x="{}" y="{}">{name}</text>"##,
+            x + w / 2,
+            y + opt.cell_h / 2
+        );
+    }
+
+    // Hatch the padded (empty) suffix.
+    if sched.padding() > 0 {
+        let x = opt.margin_left + (length - sched.padding()) * opt.cell_w;
+        let w = sched.padding() * opt.cell_w;
+        let _ = writeln!(
+            out,
+            r##"  <rect x="{x}" y="{}" width="{w}" height="{}" fill="#888" opacity="0.15"/>"##,
+            opt.margin_top,
+            pes * opt.cell_h
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_topology::Pe;
+
+    fn setup() -> (Csdfg, Schedule) {
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 1).unwrap();
+        let b = g.add_task("<B&>", 2).unwrap();
+        g.add_dep(a, b, 0, 1).unwrap();
+        g.add_dep(b, a, 1, 1).unwrap();
+        let mut s = Schedule::new(2);
+        s.place(a, Pe(0), 1, 1).unwrap();
+        s.place(b, Pe(1), 2, 2).unwrap();
+        s.pad_to(5);
+        (g, s)
+    }
+
+    #[test]
+    fn produces_valid_looking_svg() {
+        let (g, s) = setup();
+        let svg = to_svg(&g, &s, SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // one rect per task + background + padding overlay
+        assert_eq!(svg.matches("<rect").count(), 4);
+        assert!(svg.contains(">pe1<"));
+        assert!(svg.contains(">pe2<"));
+    }
+
+    #[test]
+    fn escapes_task_names() {
+        let (g, s) = setup();
+        let svg = to_svg(&g, &s, SvgOptions::default());
+        assert!(svg.contains("&lt;B&amp;&gt;"));
+        assert!(!svg.contains("<B&>"));
+    }
+
+    #[test]
+    fn padding_overlay_present_only_when_padded() {
+        let (g, mut s) = setup();
+        s.trim_padding();
+        let svg = to_svg(&g, &s, SvgOptions::default());
+        assert_eq!(svg.matches("opacity=\"0.15\"").count(), 0);
+    }
+
+    #[test]
+    fn axis_covers_every_control_step() {
+        let (g, s) = setup();
+        let svg = to_svg(&g, &s, SvgOptions::default());
+        for cs in 1..=5 {
+            assert!(svg.contains(&format!(">{cs}</text>")), "missing cs {cs}");
+        }
+    }
+}

@@ -1,0 +1,515 @@
+//! The static schedule table: control steps x processors.
+
+use ccs_model::NodeId;
+use ccs_topology::Pe;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One task assignment inside a [`Schedule`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Slot {
+    /// Assigned processor (the paper's `PE(u)`).
+    pub pe: Pe,
+    /// First control step of execution, 1-based (the paper's `CB(u)`).
+    pub start: u32,
+    /// Number of consecutive control steps occupied (`t(u)`).
+    pub duration: u32,
+}
+
+impl Slot {
+    /// Last control step of execution (the paper's `CE(u) = CB + t - 1`).
+    pub fn end(&self) -> u32 {
+        self.start + self.duration - 1
+    }
+}
+
+/// Errors raised when mutating a schedule table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TableError {
+    /// The target PE is busy during the requested interval.
+    Occupied {
+        /// Requested processor.
+        pe: Pe,
+        /// The control step found occupied.
+        cs: u32,
+        /// Node occupying it.
+        by: NodeId,
+    },
+    /// The node is already placed.
+    AlreadyPlaced(NodeId),
+    /// Control steps are 1-based; `start == 0` or `duration == 0`.
+    BadInterval,
+    /// PE index out of range for the machine size the table was built
+    /// with.
+    BadPe(Pe),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::Occupied { pe, cs, by } => {
+                write!(f, "{pe} is occupied at cs{cs} by node {by}")
+            }
+            TableError::AlreadyPlaced(n) => write!(f, "node {n} is already placed"),
+            TableError::BadInterval => write!(f, "start and duration must be >= 1"),
+            TableError::BadPe(p) => write!(f, "{p} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// A static schedule for one loop iteration: every task gets a
+/// processor and a 1-based start control step; the table repeats every
+/// [`Schedule::length`] steps.
+///
+/// The *length* is `max(max_u CE(u), explicit padding)` — the paper's
+/// cyclo-compaction appends empty control steps when the projected
+/// schedule length `PSL` demands more room than the occupied rows
+/// (§4), which [`Schedule::pad_to`] models.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    num_pes: usize,
+    /// Node -> slot. Key is the raw node index.
+    slots: BTreeMap<usize, Slot>,
+    /// Per-PE occupancy: cs -> node raw index.
+    occupancy: Vec<BTreeMap<u32, usize>>,
+    /// Extra empty control steps appended at the end.
+    padding: u32,
+}
+
+impl Schedule {
+    /// An empty schedule for a machine with `num_pes` processors.
+    pub fn new(num_pes: usize) -> Self {
+        assert!(num_pes > 0, "schedule needs at least one PE");
+        Schedule {
+            num_pes,
+            slots: BTreeMap::new(),
+            occupancy: vec![BTreeMap::new(); num_pes],
+            padding: 0,
+        }
+    }
+
+    /// Number of processors of the target machine.
+    pub fn num_pes(&self) -> usize {
+        self.num_pes
+    }
+
+    /// Number of placed tasks.
+    pub fn placed_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` if `node` has been placed.
+    pub fn is_placed(&self, node: NodeId) -> bool {
+        self.slots.contains_key(&node.index())
+    }
+
+    /// The slot of `node`, if placed.
+    pub fn slot(&self, node: NodeId) -> Option<Slot> {
+        self.slots.get(&node.index()).copied()
+    }
+
+    /// The paper's `CB(u)`: start control step.
+    pub fn cb(&self, node: NodeId) -> Option<u32> {
+        self.slot(node).map(|s| s.start)
+    }
+
+    /// The paper's `CE(u)`: end control step.
+    pub fn ce(&self, node: NodeId) -> Option<u32> {
+        self.slot(node).map(|s| s.end())
+    }
+
+    /// The paper's `PE(u)`: assigned processor.
+    pub fn pe(&self, node: NodeId) -> Option<Pe> {
+        self.slot(node).map(|s| s.pe)
+    }
+
+    /// Schedule length `L`: last occupied control step, plus padding.
+    pub fn length(&self) -> u32 {
+        let occupied = self.slots.values().map(Slot::end).max().unwrap_or(0);
+        occupied + self.padding
+    }
+
+    /// Current padding (empty control steps at the end).
+    pub fn padding(&self) -> u32 {
+        self.padding
+    }
+
+    /// Ensures `length() >= target` by appending empty control steps.
+    /// Never shrinks.
+    pub fn pad_to(&mut self, target: u32) {
+        let occupied = self.slots.values().map(Slot::end).max().unwrap_or(0);
+        if target > occupied + self.padding {
+            self.padding = target - occupied;
+        }
+    }
+
+    /// Drops any padding beyond the last occupied step.
+    pub fn trim_padding(&mut self) {
+        self.padding = 0;
+    }
+
+    /// Places `node` on `pe` starting at `start` for `duration` steps.
+    pub fn place(
+        &mut self,
+        node: NodeId,
+        pe: Pe,
+        start: u32,
+        duration: u32,
+    ) -> Result<(), TableError> {
+        if start == 0 || duration == 0 {
+            return Err(TableError::BadInterval);
+        }
+        if pe.index() >= self.num_pes {
+            return Err(TableError::BadPe(pe));
+        }
+        if self.is_placed(node) {
+            return Err(TableError::AlreadyPlaced(node));
+        }
+        let lane = &self.occupancy[pe.index()];
+        for cs in start..start + duration {
+            if let Some(&by) = lane.get(&cs) {
+                return Err(TableError::Occupied { pe, cs, by: NodeId::from_index(by) });
+            }
+        }
+        let lane = &mut self.occupancy[pe.index()];
+        for cs in start..start + duration {
+            lane.insert(cs, node.index());
+        }
+        self.slots.insert(node.index(), Slot { pe, start, duration });
+        Ok(())
+    }
+
+    /// Removes `node` from the table, returning its slot.
+    pub fn remove(&mut self, node: NodeId) -> Option<Slot> {
+        let slot = self.slots.remove(&node.index())?;
+        let lane = &mut self.occupancy[slot.pe.index()];
+        for cs in slot.start..slot.start + slot.duration {
+            lane.remove(&cs);
+        }
+        Some(slot)
+    }
+
+    /// Node occupying `(pe, cs)`, if any.
+    pub fn at(&self, pe: Pe, cs: u32) -> Option<NodeId> {
+        self.occupancy[pe.index()].get(&cs).map(|&i| NodeId::from_index(i))
+    }
+
+    /// `true` if `pe` is free for `[start, start + duration)`.
+    pub fn is_free(&self, pe: Pe, start: u32, duration: u32) -> bool {
+        let lane = &self.occupancy[pe.index()];
+        lane.range(start..start + duration).next().is_none()
+    }
+
+    /// First control step `>= from` at which `pe` can host a task of
+    /// `duration` steps.
+    pub fn earliest_free(&self, pe: Pe, from: u32, duration: u32) -> u32 {
+        let mut cs = from.max(1);
+        loop {
+            // Jump past the first conflict in [cs, cs+duration).
+            match self.occupancy[pe.index()].range(cs..cs + duration).next() {
+                None => return cs,
+                Some((&busy, _)) => cs = busy + 1,
+            }
+        }
+    }
+
+    /// Nodes beginning at control step 1 — the paper's rotation set `J`.
+    pub fn first_row(&self) -> Vec<NodeId> {
+        self.rows_upto(1)
+    }
+
+    /// Nodes beginning at control step `<= upto` — the rotation set of
+    /// a multi-row rotation pass.
+    pub fn rows_upto(&self, upto: u32) -> Vec<NodeId> {
+        self.slots
+            .iter()
+            .filter(|(_, s)| s.start <= upto)
+            .map(|(&i, _)| NodeId::from_index(i))
+            .collect()
+    }
+
+    /// All placed nodes with their slots, ordered by node id.
+    pub fn placements(&self) -> impl Iterator<Item = (NodeId, Slot)> + '_ {
+        self.slots.iter().map(|(&i, &s)| (NodeId::from_index(i), s))
+    }
+
+    /// Removes the given nodes and shifts every remaining placement one
+    /// control step earlier — the renumbering that follows a rotation
+    /// (the old row 1 conceptually moves to row `L + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a remaining node starts at control step 1 (the caller
+    /// must remove the whole first row).
+    pub fn drop_and_shift(&mut self, nodes: &[NodeId]) {
+        self.drop_and_shift_by(nodes, 1);
+    }
+
+    /// Generalization of [`Schedule::drop_and_shift`]: removes `nodes`
+    /// and shifts every remaining placement `shift` control steps
+    /// earlier (multi-row rotation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a remaining node starts at or before control step
+    /// `shift` (the caller must remove everything in the first `shift`
+    /// rows).
+    pub fn drop_and_shift_by(&mut self, nodes: &[NodeId], shift: u32) {
+        for &n in nodes {
+            self.remove(n);
+        }
+        if shift == 0 {
+            self.padding = 0;
+            return;
+        }
+        let old: Vec<(NodeId, Slot)> = self.placements().collect();
+        for (n, _) in &old {
+            self.remove(*n);
+        }
+        for (n, s) in old {
+            assert!(
+                s.start > shift,
+                "drop_and_shift_by: node {n} starts at cs{} <= shift {shift}",
+                s.start
+            );
+            self.place(n, s.pe, s.start - shift, s.duration)
+                .expect("shift of a valid schedule cannot conflict");
+        }
+        self.padding = 0;
+    }
+
+    /// Renders the table in the paper's layout (`cs` rows, `pe`
+    /// columns), labelling tasks via `name`.
+    pub fn render(&self, mut name: impl FnMut(NodeId) -> String) -> String {
+        let len = self.length();
+        let mut cells: Vec<Vec<String>> =
+            vec![vec![String::new(); self.num_pes]; len as usize];
+        for (node, slot) in self.placements() {
+            let label = name(node);
+            for cs in slot.start..=slot.end() {
+                cells[(cs - 1) as usize][slot.pe.index()] = label.clone();
+            }
+        }
+        let mut widths: Vec<usize> = (0..self.num_pes)
+            .map(|p| {
+                cells
+                    .iter()
+                    .map(|row| row[p].len())
+                    .chain(std::iter::once(format!("pe{}", p + 1).len()))
+                    .max()
+                    .unwrap_or(3)
+            })
+            .collect();
+        for w in &mut widths {
+            *w = (*w).max(3);
+        }
+        let cs_w = format!("{len}").len().max(2);
+        let mut out = String::new();
+        use std::fmt::Write as _;
+        let _ = write!(out, "{:>cs_w$} |", "cs");
+        for (p, w) in widths.iter().enumerate() {
+            let _ = write!(out, " {:^w$}", format!("pe{}", p + 1));
+        }
+        out.push('\n');
+        let total: usize = cs_w + 2 + widths.iter().map(|w| w + 1).sum::<usize>();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for (i, row) in cells.iter().enumerate() {
+            let _ = write!(out, "{:>cs_w$} |", i + 1);
+            for (p, w) in widths.iter().enumerate() {
+                let _ = write!(out, " {:^w$}", row[p]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn place_and_accessors() {
+        let mut s = Schedule::new(2);
+        s.place(n(0), Pe(0), 1, 1).unwrap();
+        s.place(n(1), Pe(0), 2, 2).unwrap();
+        s.place(n(2), Pe(1), 3, 1).unwrap();
+        assert_eq!(s.cb(n(1)), Some(2));
+        assert_eq!(s.ce(n(1)), Some(3));
+        assert_eq!(s.pe(n(2)), Some(Pe(1)));
+        assert_eq!(s.length(), 3);
+        assert_eq!(s.placed_count(), 3);
+        assert_eq!(s.at(Pe(0), 3), Some(n(1)));
+        assert_eq!(s.at(Pe(1), 1), None);
+    }
+
+    #[test]
+    fn conflicts_rejected() {
+        let mut s = Schedule::new(1);
+        s.place(n(0), Pe(0), 1, 2).unwrap();
+        let err = s.place(n(1), Pe(0), 2, 1).unwrap_err();
+        assert_eq!(err, TableError::Occupied { pe: Pe(0), cs: 2, by: n(0) });
+        assert_eq!(s.place(n(0), Pe(0), 5, 1), Err(TableError::AlreadyPlaced(n(0))));
+        assert_eq!(s.place(n(2), Pe(0), 0, 1), Err(TableError::BadInterval));
+        assert_eq!(s.place(n(2), Pe(1), 1, 1), Err(TableError::BadPe(Pe(1))));
+    }
+
+    #[test]
+    fn remove_frees_occupancy() {
+        let mut s = Schedule::new(1);
+        s.place(n(0), Pe(0), 1, 3).unwrap();
+        let slot = s.remove(n(0)).unwrap();
+        assert_eq!(slot.duration, 3);
+        assert!(s.is_free(Pe(0), 1, 3));
+        assert_eq!(s.remove(n(0)), None);
+        s.place(n(1), Pe(0), 2, 1).unwrap();
+    }
+
+    #[test]
+    fn earliest_free_skips_conflicts() {
+        let mut s = Schedule::new(1);
+        s.place(n(0), Pe(0), 2, 2).unwrap(); // busy cs2-3
+        assert_eq!(s.earliest_free(Pe(0), 1, 1), 1);
+        assert_eq!(s.earliest_free(Pe(0), 1, 2), 4);
+        assert_eq!(s.earliest_free(Pe(0), 2, 1), 4);
+        assert_eq!(s.earliest_free(Pe(0), 5, 3), 5);
+        // from=0 clamps to 1
+        assert_eq!(s.earliest_free(Pe(0), 0, 1), 1);
+    }
+
+    #[test]
+    fn padding_extends_length() {
+        let mut s = Schedule::new(1);
+        s.place(n(0), Pe(0), 1, 2).unwrap();
+        assert_eq!(s.length(), 2);
+        s.pad_to(5);
+        assert_eq!(s.length(), 5);
+        assert_eq!(s.padding(), 3);
+        s.pad_to(4); // never shrinks
+        assert_eq!(s.length(), 5);
+        s.trim_padding();
+        assert_eq!(s.length(), 2);
+    }
+
+    #[test]
+    fn first_row_finds_cs1_starters() {
+        let mut s = Schedule::new(2);
+        s.place(n(0), Pe(0), 1, 2).unwrap();
+        s.place(n(1), Pe(1), 1, 1).unwrap();
+        s.place(n(2), Pe(1), 2, 1).unwrap();
+        let mut row = s.first_row();
+        row.sort();
+        assert_eq!(row, vec![n(0), n(1)]);
+    }
+
+    #[test]
+    fn drop_and_shift_renumbers() {
+        let mut s = Schedule::new(2);
+        s.place(n(0), Pe(0), 1, 1).unwrap();
+        s.place(n(1), Pe(0), 2, 2).unwrap();
+        s.place(n(2), Pe(1), 3, 1).unwrap();
+        s.pad_to(9);
+        s.drop_and_shift(&[n(0)]);
+        assert!(!s.is_placed(n(0)));
+        assert_eq!(s.cb(n(1)), Some(1));
+        assert_eq!(s.ce(n(1)), Some(2));
+        assert_eq!(s.cb(n(2)), Some(2));
+        assert_eq!(s.length(), 2);
+        assert_eq!(s.padding(), 0);
+    }
+
+    #[test]
+    fn drop_and_shift_by_two_rows() {
+        let mut s = Schedule::new(2);
+        s.place(n(0), Pe(0), 1, 2).unwrap(); // spans rows 1-2
+        s.place(n(1), Pe(1), 2, 1).unwrap();
+        s.place(n(2), Pe(0), 3, 1).unwrap();
+        s.place(n(3), Pe(1), 4, 2).unwrap();
+        let mut rotated = s.rows_upto(2);
+        rotated.sort();
+        assert_eq!(rotated, vec![n(0), n(1)]);
+        s.drop_and_shift_by(&rotated, 2);
+        assert_eq!(s.cb(n(2)), Some(1));
+        assert_eq!(s.cb(n(3)), Some(2));
+        assert_eq!(s.length(), 3);
+    }
+
+    #[test]
+    fn drop_and_shift_by_zero_only_removes() {
+        let mut s = Schedule::new(1);
+        s.place(n(0), Pe(0), 1, 1).unwrap();
+        s.place(n(1), Pe(0), 2, 1).unwrap();
+        s.pad_to(5);
+        s.drop_and_shift_by(&[n(0)], 0);
+        assert_eq!(s.cb(n(1)), Some(2));
+        assert_eq!(s.padding(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "<= shift 2")]
+    fn drop_and_shift_by_rejects_partial_rows() {
+        let mut s = Schedule::new(1);
+        s.place(n(0), Pe(0), 2, 1).unwrap();
+        s.drop_and_shift_by(&[], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "<= shift 1")]
+    fn drop_and_shift_requires_full_first_row() {
+        let mut s = Schedule::new(2);
+        s.place(n(0), Pe(0), 1, 1).unwrap();
+        s.place(n(1), Pe(1), 1, 1).unwrap();
+        s.drop_and_shift(&[n(0)]); // n(1) still at cs1
+    }
+
+    #[test]
+    fn render_matches_paper_layout() {
+        let mut s = Schedule::new(2);
+        s.place(n(0), Pe(0), 1, 1).unwrap();
+        s.place(n(1), Pe(0), 2, 2).unwrap();
+        s.place(n(2), Pe(1), 3, 1).unwrap();
+        let text = s.render(|v| ["A", "B", "C"][v.index()].to_string());
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("pe1"));
+        assert!(lines[0].contains("pe2"));
+        assert!(lines[2].contains('A'));
+        // B occupies rows 2 and 3.
+        assert!(lines[3].contains('B'));
+        assert!(lines[4].contains('B'));
+        assert!(lines[4].contains('C'));
+    }
+
+    #[test]
+    fn render_includes_padded_rows() {
+        let mut s = Schedule::new(1);
+        s.place(n(0), Pe(0), 1, 1).unwrap();
+        s.pad_to(3);
+        let text = s.render(|_| "X".into());
+        assert_eq!(text.lines().count(), 2 + 3); // header + rule + 3 rows
+    }
+
+    #[test]
+    fn slot_end_arithmetic() {
+        let s = Slot { pe: Pe(0), start: 4, duration: 3 };
+        assert_eq!(s.end(), 6);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut s = Schedule::new(2);
+        s.place(n(0), Pe(1), 2, 2).unwrap();
+        s.pad_to(4);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Schedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.length(), 4);
+    }
+}

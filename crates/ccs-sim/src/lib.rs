@@ -1,0 +1,113 @@
+//! # ccs-sim
+//!
+//! A small discrete-time multiprocessor simulator used to validate the
+//! schedules produced by the cyclo-compaction stack *dynamically* —
+//! independent of the algebraic checker in `ccs-schedule`.
+//!
+//! Two execution models, both using the paper's communication model
+//! (store-and-forward, contention-free, latency = `hops * volume`):
+//!
+//! * [`replay::replay_static`] — rigid replay: iteration `i` starts
+//!   exactly at cycle `i * L`; every data arrival is checked against
+//!   its consumer's start ([`report::LateArrival`]);
+//! * [`self_timed::run_self_timed`] — ASAP execution keeping the
+//!   processor assignment and per-PE order, measuring the achieved
+//!   initiation interval (converges to the communication-augmented
+//!   maximum cycle ratio).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod jitter;
+pub mod network;
+pub mod replay;
+pub mod report;
+pub mod self_timed;
+pub mod trace;
+
+pub use jitter::{run_jittered, JitterConfig};
+pub use network::{run_contended, ContendedReport, LinkStats};
+pub use replay::replay_static;
+pub use report::{LateArrival, SelfTimedReport, StaticReport};
+pub use self_timed::run_self_timed;
+pub use trace::{render_gantt, trace_static, ExecEvent};
+
+#[cfg(test)]
+mod cross_validation {
+    use super::*;
+    use ccs_core::{cyclo_compact, startup_schedule, CompactConfig, StartupConfig};
+    use ccs_model::Csdfg;
+    use ccs_topology::Machine;
+    use proptest::prelude::*;
+
+    fn arb_csdfg() -> impl Strategy<Value = Csdfg> {
+        (2usize..8).prop_flat_map(|n| {
+            let times = proptest::collection::vec(1u32..4, n);
+            let edges = proptest::collection::vec((0..n, 0..n, 0u32..3, 1u32..4), 1..n * 2);
+            (times, edges).prop_map(move |(times, edges)| {
+                let mut g = Csdfg::new();
+                let ids: Vec<_> = times
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &t)| g.add_task(format!("v{i}"), t).unwrap())
+                    .collect();
+                for (a, b, d, c) in edges {
+                    let delay = if a < b { d } else { d.max(1) };
+                    g.add_dep(ids[a], ids[b], delay, c).unwrap();
+                }
+                g
+            })
+        })
+    }
+
+    fn arb_machine() -> impl Strategy<Value = Machine> {
+        prop_oneof![
+            (2usize..5).prop_map(Machine::linear_array),
+            (3usize..6).prop_map(Machine::ring),
+            Just(Machine::mesh(2, 2)),
+            (2usize..5).prop_map(Machine::complete),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The headline cross-validation: every schedule the paper's
+        /// algorithm produces must replay clean in the independent
+        /// simulator, for many iterations.
+        #[test]
+        fn compacted_schedules_replay_clean(g in arb_csdfg(), m in arb_machine()) {
+            let r = cyclo_compact(&g, &m, CompactConfig::default()).unwrap();
+            let rep = replay_static(&r.graph, &m, &r.schedule, 12);
+            prop_assert!(rep.is_valid(), "violations: {:?}", rep.violations);
+        }
+
+        #[test]
+        fn startup_schedules_replay_clean(g in arb_csdfg(), m in arb_machine()) {
+            let s = startup_schedule(&g, &m, StartupConfig::default()).unwrap();
+            let rep = replay_static(&g, &m, &s, 12);
+            prop_assert!(rep.is_valid(), "violations: {:?}", rep.violations);
+        }
+
+        /// Self-timed execution of a valid schedule never runs slower
+        /// than the static period.
+        #[test]
+        fn self_timed_at_most_static_period(g in arb_csdfg(), m in arb_machine()) {
+            let s = startup_schedule(&g, &m, StartupConfig::default()).unwrap();
+            let st = run_self_timed(&g, &m, &s, 30);
+            prop_assert!(st.initiation_interval <= f64::from(s.length()) + 1e-9,
+                "self-timed II {} > period {}", st.initiation_interval, s.length());
+        }
+
+        /// Self-timed execution can never beat the iteration bound.
+        #[test]
+        fn self_timed_at_least_iteration_bound(g in arb_csdfg(), m in arb_machine()) {
+            if let Some(b) = ccs_retiming::iteration_bound(&g) {
+                let s = startup_schedule(&g, &m, StartupConfig::default()).unwrap();
+                let st = run_self_timed(&g, &m, &s, 60);
+                prop_assert!(st.initiation_interval >= b.as_f64() - 1e-6,
+                    "II {} below bound {}", st.initiation_interval, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Cycle-accurate replay of a static schedule.
+//!
+//! The replay is an *independent* dynamic check of schedule validity:
+//! it knows nothing about `PSL` or anticipation functions — it simply
+//! executes `R` iterations back to back with period `L`, models every
+//! inter-processor transfer as a store-and-forward message of latency
+//! `hops * volume`, and reports any data that was not usable when its
+//! consumer started.  Initial tokens (edge delays) are modelled the
+//! standard way: the instance `i` of consumer `v` on edge `u -> v`
+//! with `d(e) = k` reads the output of instance `i - k` of `u`;
+//! instances with `i < k` read pre-loaded tokens available at cycle 0.
+
+use crate::report::{LateArrival, StaticReport};
+use ccs_model::Csdfg;
+use ccs_schedule::Schedule;
+use ccs_topology::Machine;
+
+/// Replays `iterations` iterations of `sched` (period =
+/// `sched.length()`) and reports what actually happened.
+///
+/// # Panics
+///
+/// Panics if some task of `g` is not placed in `sched`.
+pub fn replay_static(
+    g: &Csdfg,
+    machine: &Machine,
+    sched: &Schedule,
+    iterations: u32,
+) -> StaticReport {
+    let period = u64::from(sched.length());
+    let mut violations = Vec::new();
+    let mut messages = 0u64;
+    let mut traffic = 0u64;
+    let mut makespan = 0u64;
+    let mut busy = vec![0u64; machine.num_pes()];
+
+    // Global, 0-based timing of instance i of node v:
+    // starts at i*period + CB(v) - 1, occupies t(v) cycles.
+    let start = |v, i: u32| -> u64 {
+        u64::from(i) * period + u64::from(sched.cb(v).expect("task placed")) - 1
+    };
+    let finish = |v, i: u32| -> u64 { start(v, i) + u64::from(g.time(v)) };
+
+    for i in 0..iterations {
+        for v in g.tasks() {
+            makespan = makespan.max(finish(v, i));
+            busy[sched.pe(v).expect("placed").index()] += u64::from(g.time(v));
+        }
+        for e in g.deps() {
+            let (u, v) = g.endpoints(e);
+            let k = g.delay(e);
+            let (pu, pv) = (sched.pe(u).expect("placed"), sched.pe(v).expect("placed"));
+            let hops = machine.distance(pu, pv);
+            let cost = u64::from(hops) * u64::from(g.volume(e));
+            let consumer_start = start(v, i);
+            let usable_at = if i >= k {
+                let produced = finish(u, i - k);
+                if hops > 0 {
+                    messages += 1;
+                    traffic += cost;
+                }
+                produced + cost
+            } else {
+                0 // initial token, pre-loaded
+            };
+            if usable_at > consumer_start {
+                violations.push(LateArrival {
+                    edge: e,
+                    iteration: i,
+                    usable_at,
+                    consumer_start,
+                });
+            }
+        }
+    }
+
+    StaticReport {
+        iterations,
+        period: sched.length(),
+        makespan,
+        messages,
+        traffic,
+        violations,
+        busy_cycles: busy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_model::NodeId;
+    use ccs_topology::Pe;
+
+    fn two_task_loop() -> Csdfg {
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 1).unwrap();
+        let b = g.add_task("B", 2).unwrap();
+        g.add_dep(a, b, 0, 2).unwrap();
+        g.add_dep(b, a, 1, 1).unwrap();
+        g
+    }
+
+    fn place(g: &Csdfg, spec: &[(&str, u32, u32)]) -> Schedule {
+        let mut s = Schedule::new(2);
+        for &(name, pe, cs) in spec {
+            let v = g.task_by_name(name).unwrap();
+            s.place(v, Pe(pe), cs, g.time(v)).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn valid_schedule_replays_clean() {
+        let g = two_task_loop();
+        let m = Machine::linear_array(2);
+        let mut s = place(&g, &[("A", 0, 1), ("B", 0, 2)]);
+        s.pad_to(3); // B->A needs L >= CE(B)-CB(A)+1 = 3
+        let r = replay_static(&g, &m, &s, 10);
+        assert!(r.is_valid(), "{:?}", r.violations);
+        assert_eq!(r.period, 3);
+        assert_eq!(r.messages, 0);
+        // Iteration 9 of B finishes at 9*3 + 3 = 30.
+        assert_eq!(r.makespan, 30);
+    }
+
+    #[test]
+    fn replay_detects_precedence_violation() {
+        let g = two_task_loop();
+        let m = Machine::linear_array(2);
+        // B on the other PE at cs2: A->B data (volume 2, 1 hop) is
+        // usable only at cycle 1+2=3 (0-based), but B starts at cycle 1.
+        let s = place(&g, &[("A", 0, 1), ("B", 1, 2)]);
+        let r = replay_static(&g, &m, &s, 3);
+        assert!(!r.is_valid());
+        assert!(r.violations.iter().all(|v| v.usable_at > v.consumer_start));
+        // The A->B violation repeats every iteration; the tightened
+        // back edge B->A also misses from iteration 1 on.
+        let a = g.task_by_name("A").unwrap();
+        let ab = g.graph().find_edge(a, g.task_by_name("B").unwrap()).unwrap();
+        let ab_violations = r.violations.iter().filter(|v| v.edge == ab).count();
+        assert_eq!(ab_violations, 3);
+        assert_eq!(r.violations.len(), 5);
+    }
+
+    #[test]
+    fn replay_detects_psl_violation_only_after_first_iteration() {
+        let g = two_task_loop();
+        let m = Machine::linear_array(2);
+        // Same-PE schedule but *without* the PSL padding: length 4
+        // instead of... B ends cs4, A starts cs1 of next iteration:
+        // needs L >= 4; build with B at cs3 so CE=4, L=4 is legal; then
+        // shrink below.
+        let mut s = place(&g, &[("A", 0, 1), ("B", 0, 2)]);
+        // L = 3 is exactly legal; forcing the table shorter is not
+        // representable, so instead check the boundary: with L = 3 the
+        // loop-carried read of iteration 1 is satisfied with equality.
+        s.pad_to(3);
+        let r = replay_static(&g, &m, &s, 2);
+        assert!(r.is_valid());
+        // Move B one PE away at a *late* step so intra-iteration is
+        // fine but the back-edge B->A (1 hop, volume 1) misses the next
+        // iteration's A.
+        let mut s2 = Schedule::new(2);
+        let a = g.task_by_name("A").unwrap();
+        let b = g.task_by_name("B").unwrap();
+        s2.place(a, Pe(0), 1, 1).unwrap();
+        s2.place(b, Pe(1), 4, 2).unwrap(); // CE=5, usable at 5+1=6 (cycle), next A starts at L=5 cycle 5
+        let r2 = replay_static(&g, &m, &s2, 3);
+        assert!(!r2.is_valid());
+        // First iteration consumes an initial token: violation count is
+        // iterations - delay = 2.
+        assert_eq!(r2.violations.len(), 2);
+        assert_eq!(r2.violations[0].iteration, 1);
+    }
+
+    #[test]
+    fn message_accounting() {
+        let g = two_task_loop();
+        let m = Machine::linear_array(2);
+        let mut s = place(&g, &[("A", 0, 1), ("B", 1, 4)]);
+        s.pad_to(10);
+        let r = replay_static(&g, &m, &s, 4);
+        // Per iteration: A->B crosses (volume 2, 1 hop) and B->A
+        // crosses back (volume 1, 1 hop), except B->A of the first
+        // iteration feeds iteration 1..3 => 4 + 3 messages.
+        assert_eq!(r.messages, 7);
+        assert_eq!(r.traffic, 4 * 2 + 3);
+    }
+
+    #[test]
+    fn utilization_and_busy_cycles() {
+        let g = two_task_loop();
+        let m = Machine::linear_array(2);
+        let mut s = place(&g, &[("A", 0, 1), ("B", 0, 2)]);
+        s.pad_to(3);
+        let r = replay_static(&g, &m, &s, 10);
+        assert_eq!(r.busy_cycles[0], 30);
+        assert_eq!(r.busy_cycles[1], 0);
+        assert!((r.utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn agrees_with_static_checker() {
+        // Any schedule the checker accepts must replay clean, and
+        // vice-versa (spot check on a small family of placements).
+        let g = two_task_loop();
+        let m = Machine::linear_array(2);
+        let a = g.task_by_name("A").unwrap();
+        let b = g.task_by_name("B").unwrap();
+        for pe_b in 0..2u32 {
+            for cs_b in 2..6u32 {
+                for pad in 0..8u32 {
+                    let mut s = Schedule::new(2);
+                    s.place(a, Pe(0), 1, 1).unwrap();
+                    s.place(b, Pe(pe_b), cs_b, 2).unwrap();
+                    s.pad_to(s.length() + pad);
+                    let checker_ok = ccs_schedule::validate(&g, &m, &s).is_ok();
+                    let replay_ok = replay_static(&g, &m, &s, 6).is_valid();
+                    assert_eq!(
+                        checker_ok, replay_ok,
+                        "disagreement at pe_b={pe_b} cs_b={cs_b} pad={pad}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[allow(unused)]
+    fn _use_nodeid(_: NodeId) {}
+}

@@ -1,0 +1,126 @@
+//! Simulation reports.
+
+use ccs_model::EdgeId;
+use std::fmt;
+
+/// A data-arrival violation observed while replaying a static schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LateArrival {
+    /// The dependency whose data arrived late.
+    pub edge: EdgeId,
+    /// Consumer iteration index (0-based).
+    pub iteration: u32,
+    /// Global clock cycle at which the data became usable.
+    pub usable_at: u64,
+    /// Global clock cycle at which the consumer started.
+    pub consumer_start: u64,
+}
+
+impl fmt::Display for LateArrival {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "edge {} iteration {}: data usable at cycle {} but consumer started at {}",
+            self.edge, self.iteration, self.usable_at, self.consumer_start
+        )
+    }
+}
+
+/// Result of replaying a static schedule cycle-by-cycle.
+#[derive(Clone, Debug)]
+pub struct StaticReport {
+    /// Number of iterations replayed.
+    pub iterations: u32,
+    /// Static schedule length used as the initiation interval.
+    pub period: u32,
+    /// Global cycle at which the last task of the last iteration ended.
+    pub makespan: u64,
+    /// Number of inter-processor messages sent.
+    pub messages: u64,
+    /// Total `hops * volume` cost across all messages.
+    pub traffic: u64,
+    /// Late arrivals (empty for a valid schedule).
+    pub violations: Vec<LateArrival>,
+    /// Per-PE busy cycles (indexed by PE).
+    pub busy_cycles: Vec<u64>,
+}
+
+impl StaticReport {
+    /// `true` when no arrival violations were observed.
+    pub fn is_valid(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Mean processor utilization in `[0, 1]` over the replayed window.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan == 0 || self.busy_cycles.is_empty() {
+            return 0.0;
+        }
+        let busy: u64 = self.busy_cycles.iter().sum();
+        busy as f64 / (self.makespan as f64 * self.busy_cycles.len() as f64)
+    }
+}
+
+/// Result of a self-timed (as-soon-as-possible) execution.
+#[derive(Clone, Debug)]
+pub struct SelfTimedReport {
+    /// Number of iterations executed.
+    pub iterations: u32,
+    /// Global cycle at which the last task finished.
+    pub makespan: u64,
+    /// Average initiation interval over the steady tail
+    /// (`(finish(last) - finish(first)) / (iterations - 1)`), equal to
+    /// the makespan for a single iteration.
+    pub initiation_interval: f64,
+    /// Number of inter-processor messages sent.
+    pub messages: u64,
+    /// Total `hops * volume` traffic.
+    pub traffic: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn late_arrival_displays() {
+        let v = LateArrival {
+            edge: EdgeId::from_index(2),
+            iteration: 1,
+            usable_at: 10,
+            consumer_start: 8,
+        };
+        let s = v.to_string();
+        assert!(s.contains("e2"));
+        assert!(s.contains("usable at cycle 10"));
+    }
+
+    #[test]
+    fn utilization_math() {
+        let r = StaticReport {
+            iterations: 1,
+            period: 4,
+            makespan: 4,
+            messages: 0,
+            traffic: 0,
+            violations: vec![],
+            busy_cycles: vec![4, 0],
+        };
+        assert!((r.utilization() - 0.5).abs() < 1e-12);
+        assert!(r.is_valid());
+    }
+
+    #[test]
+    fn empty_report_has_zero_utilization() {
+        let r = StaticReport {
+            iterations: 0,
+            period: 0,
+            makespan: 0,
+            messages: 0,
+            traffic: 0,
+            violations: vec![],
+            busy_cycles: vec![],
+        };
+        assert_eq!(r.utilization(), 0.0);
+    }
+}

@@ -1,0 +1,292 @@
+//! Constructors for the architectures of the paper (Figure 5) plus a few
+//! natural extensions.
+
+use crate::machine::Machine;
+use crate::pe::Pe;
+
+impl Machine {
+    /// Linear array of `n` PEs: `pe1 - pe2 - ... - peN` (Figure 5a).
+    pub fn linear_array(n: usize) -> Machine {
+        let links: Vec<_> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        Machine::from_links(format!("Linear Array {n}"), n, &links)
+    }
+
+    /// Bidirectional ring of `n` PEs (Figure 5b).
+    pub fn ring(n: usize) -> Machine {
+        assert!(n >= 1);
+        let mut links: Vec<_> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        if n > 2 {
+            links.push((n - 1, 0));
+        }
+        Machine::from_links(format!("Ring {n}"), n, &links)
+    }
+
+    /// Completely connected machine of `n` PEs (Figure 5c).
+    pub fn complete(n: usize) -> Machine {
+        let mut links = Vec::with_capacity(n * (n - 1) / 2);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                links.push((a, b));
+            }
+        }
+        Machine::from_links(format!("Completely Connected {n}"), n, &links)
+    }
+
+    /// 2-D mesh with `rows * cols` PEs, numbered row-major (Figure 5d).
+    pub fn mesh(rows: usize, cols: usize) -> Machine {
+        let n = rows * cols;
+        let mut links = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let i = r * cols + c;
+                if c + 1 < cols {
+                    links.push((i, i + 1));
+                }
+                if r + 1 < rows {
+                    links.push((i, i + cols));
+                }
+            }
+        }
+        Machine::from_links(format!("2-D Mesh {rows}x{cols}"), n, &links)
+    }
+
+    /// 2-D torus (mesh with wrap-around links), numbered row-major.
+    pub fn torus(rows: usize, cols: usize) -> Machine {
+        let n = rows * cols;
+        let mut links = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let i = r * cols + c;
+                if cols > 1 {
+                    links.push((i, r * cols + (c + 1) % cols));
+                }
+                if rows > 1 {
+                    links.push((i, ((r + 1) % rows) * cols + c));
+                }
+            }
+        }
+        Machine::from_links(format!("Torus {rows}x{cols}"), n, &links)
+    }
+
+    /// `dim`-cube with `2^dim` PEs; PEs are adjacent when their indices
+    /// differ in exactly one bit (Figure 5e; `dim = 3` is the paper's
+    /// 3-cube experiment machine).
+    pub fn hypercube(dim: u32) -> Machine {
+        let n = 1usize << dim;
+        let mut links = Vec::new();
+        for a in 0..n {
+            for bit in 0..dim {
+                let b = a ^ (1usize << bit);
+                if a < b {
+                    links.push((a, b));
+                }
+            }
+        }
+        Machine::from_links(format!("{dim}-cube"), n, &links)
+    }
+
+    /// Star: PE 0 is the hub, all others are leaves.
+    pub fn star(n: usize) -> Machine {
+        let links: Vec<_> = (1..n).map(|i| (0, i)).collect();
+        Machine::from_links(format!("Star {n}"), n, &links)
+    }
+
+    /// Complete binary tree with `n` PEs, numbered level order
+    /// (PE `i` has children `2i+1`, `2i+2`).
+    pub fn binary_tree(n: usize) -> Machine {
+        let mut links = Vec::new();
+        for i in 0..n {
+            for child in [2 * i + 1, 2 * i + 2] {
+                if child < n {
+                    links.push((i, child));
+                }
+            }
+        }
+        Machine::from_links(format!("Binary Tree {n}"), n, &links)
+    }
+
+    /// The five 8-PE experiment machines of the paper's §5 (Figure 8),
+    /// in the paper's order: linear array, ring, completely connected,
+    /// 2-D mesh (4x2), 3-cube.
+    pub fn paper_suite() -> Vec<Machine> {
+        vec![
+            Machine::linear_array(8),
+            Machine::ring(8),
+            Machine::complete(8),
+            Machine::mesh(4, 2),
+            Machine::hypercube(3),
+        ]
+    }
+}
+
+/// Closed-form hop distances, used to cross-check the BFS matrices.
+pub mod closed_form {
+    use super::Pe;
+
+    /// Linear array distance `|a - b|`.
+    pub fn linear(a: Pe, b: Pe) -> u32 {
+        a.0.abs_diff(b.0)
+    }
+
+    /// Ring distance `min(|a-b|, n - |a-b|)`.
+    pub fn ring(n: usize, a: Pe, b: Pe) -> u32 {
+        let d = a.0.abs_diff(b.0);
+        d.min(n as u32 - d)
+    }
+
+    /// Completely connected: 0 or 1.
+    pub fn complete(a: Pe, b: Pe) -> u32 {
+        u32::from(a != b)
+    }
+
+    /// Row-major mesh Manhattan distance.
+    pub fn mesh(cols: usize, a: Pe, b: Pe) -> u32 {
+        let (ar, ac) = (a.index() / cols, a.index() % cols);
+        let (br, bc) = (b.index() / cols, b.index() % cols);
+        (ar.abs_diff(br) + ac.abs_diff(bc)) as u32
+    }
+
+    /// Torus wrap-around Manhattan distance.
+    pub fn torus(rows: usize, cols: usize, a: Pe, b: Pe) -> u32 {
+        let (ar, ac) = (a.index() / cols, a.index() % cols);
+        let (br, bc) = (b.index() / cols, b.index() % cols);
+        let dr = ar.abs_diff(br).min(rows - ar.abs_diff(br));
+        let dc = ac.abs_diff(bc).min(cols - ac.abs_diff(bc));
+        (dr + dc) as u32
+    }
+
+    /// Hamming distance between PE indices.
+    pub fn hypercube(a: Pe, b: Pe) -> u32 {
+        (a.0 ^ b.0).count_ones()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_against(m: &Machine, f: impl Fn(Pe, Pe) -> u32) {
+        for a in m.pes() {
+            for b in m.pes() {
+                assert_eq!(m.distance(a, b), f(a, b), "{} {a}->{b}", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn linear_array_matches_closed_form() {
+        let m = Machine::linear_array(8);
+        check_against(&m, closed_form::linear);
+        assert_eq!(m.diameter(), 7);
+        assert_eq!(m.degree(Pe(0)), 1);
+        assert_eq!(m.degree(Pe(3)), 2);
+    }
+
+    #[test]
+    fn ring_matches_closed_form() {
+        let m = Machine::ring(8);
+        check_against(&m, |a, b| closed_form::ring(8, a, b));
+        assert_eq!(m.diameter(), 4);
+        for p in m.pes() {
+            assert_eq!(m.degree(p), 2);
+        }
+    }
+
+    #[test]
+    fn ring_of_two_is_a_single_link() {
+        let m = Machine::ring(2);
+        assert_eq!(m.links().len(), 1);
+        assert_eq!(m.distance(Pe(0), Pe(1)), 1);
+    }
+
+    #[test]
+    fn complete_matches_closed_form() {
+        let m = Machine::complete(8);
+        check_against(&m, closed_form::complete);
+        assert_eq!(m.diameter(), 1);
+        assert_eq!(m.links().len(), 28);
+    }
+
+    #[test]
+    fn mesh_matches_closed_form() {
+        for (r, c) in [(2, 2), (4, 2), (3, 3), (2, 4)] {
+            let m = Machine::mesh(r, c);
+            check_against(&m, |a, b| closed_form::mesh(c, a, b));
+        }
+    }
+
+    #[test]
+    fn paper_fig1_mesh_is_2x2() {
+        let m = Machine::mesh(2, 2);
+        assert_eq!(m.num_pes(), 4);
+        assert_eq!(m.diameter(), 2);
+        // pe1 (index 0) and pe4 (index 3) are diagonal: 2 hops.
+        assert_eq!(m.distance(Pe(0), Pe(3)), 2);
+        assert_eq!(m.distance(Pe(1), Pe(2)), 2);
+        assert_eq!(m.distance(Pe(0), Pe(1)), 1);
+    }
+
+    #[test]
+    fn torus_matches_closed_form() {
+        for (r, c) in [(3, 3), (4, 2), (2, 5)] {
+            let m = Machine::torus(r, c);
+            check_against(&m, |a, b| closed_form::torus(r, c, a, b));
+        }
+    }
+
+    #[test]
+    fn hypercube_matches_closed_form() {
+        for dim in 1..=4 {
+            let m = Machine::hypercube(dim);
+            check_against(&m, closed_form::hypercube);
+            assert_eq!(m.diameter(), dim);
+            for p in m.pes() {
+                assert_eq!(m.degree(p), dim as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn star_distances() {
+        let m = Machine::star(6);
+        assert_eq!(m.distance(Pe(0), Pe(4)), 1);
+        assert_eq!(m.distance(Pe(1), Pe(5)), 2);
+        assert_eq!(m.diameter(), 2);
+        assert_eq!(m.degree(Pe(0)), 5);
+    }
+
+    #[test]
+    fn binary_tree_distances() {
+        let m = Machine::binary_tree(7);
+        assert_eq!(m.distance(Pe(0), Pe(3)), 2);
+        assert_eq!(m.distance(Pe(3), Pe(6)), 4); // leaf to leaf across root
+        assert_eq!(m.diameter(), 4);
+    }
+
+    #[test]
+    fn paper_suite_shapes() {
+        let suite = Machine::paper_suite();
+        assert_eq!(suite.len(), 5);
+        for m in &suite {
+            assert_eq!(m.num_pes(), 8, "{}", m.name());
+            assert!(m.is_connected());
+        }
+        let diameters: Vec<u32> = suite.iter().map(|m| m.diameter()).collect();
+        // linear, ring, complete, mesh 4x2, 3-cube
+        assert_eq!(diameters, vec![7, 4, 1, 4, 3]);
+    }
+
+    #[test]
+    fn distances_are_symmetric_and_triangle() {
+        for m in Machine::paper_suite() {
+            for a in m.pes() {
+                for b in m.pes() {
+                    assert_eq!(m.distance(a, b), m.distance(b, a));
+                    for c in m.pes() {
+                        assert!(m.distance(a, c) <= m.distance(a, b) + m.distance(b, c));
+                    }
+                }
+            }
+        }
+    }
+}

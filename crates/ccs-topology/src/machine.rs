@@ -1,0 +1,274 @@
+//! The target machine: a set of PEs plus a hop-distance matrix.
+
+use crate::pe::Pe;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A target parallel machine.
+///
+/// The paper models communication as *store-and-forward over
+/// contention-free links* (Definition 3.5): sending the data of an edge
+/// with volume `m` from `p_i` to `p_j` costs
+/// `M(p_i, p_j) = hops(p_i, p_j) * m` control steps, zero when
+/// `p_i == p_j`.  A `Machine` therefore only needs the undirected link
+/// set and the all-pairs hop distances derived from it.
+///
+/// ```
+/// use ccs_topology::{Machine, Pe};
+/// let m = Machine::mesh(2, 2); // the paper's Figure 1(a)
+/// assert_eq!(m.num_pes(), 4);
+/// assert_eq!(m.distance(Pe(0), Pe(3)), 2);
+/// assert_eq!(m.comm_cost(Pe(0), Pe(3), 3), 6);
+/// assert_eq!(m.comm_cost(Pe(2), Pe(2), 9), 0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Machine {
+    name: String,
+    n: usize,
+    /// Row-major `n*n` hop distances. `u32::MAX` = unreachable.
+    dist: Vec<u32>,
+    /// Undirected links, each stored once with `a < b`.
+    links: Vec<(usize, usize)>,
+}
+
+impl Machine {
+    /// Builds a machine from an explicit undirected link list.
+    ///
+    /// Links are deduplicated; self-links are ignored.  Distances come
+    /// from per-source BFS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or a link endpoint is out of range.
+    pub fn from_links(name: impl Into<String>, n: usize, links: &[(usize, usize)]) -> Self {
+        assert!(n > 0, "a machine needs at least one PE");
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut norm: Vec<(usize, usize)> = Vec::new();
+        for &(a, b) in links {
+            assert!(a < n && b < n, "link ({a},{b}) out of range for {n} PEs");
+            if a == b {
+                continue;
+            }
+            let key = (a.min(b), a.max(b));
+            if !norm.contains(&key) {
+                norm.push(key);
+                adj[a].push(b);
+                adj[b].push(a);
+            }
+        }
+        let mut dist = vec![u32::MAX; n * n];
+        for src in 0..n {
+            let mut queue = VecDeque::new();
+            dist[src * n + src] = 0;
+            queue.push_back(src);
+            while let Some(u) = queue.pop_front() {
+                let du = dist[src * n + u];
+                for &v in &adj[u] {
+                    if dist[src * n + v] == u32::MAX {
+                        dist[src * n + v] = du + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        Machine { name: name.into(), n, dist, links: norm }
+    }
+
+    /// An idealized PRAM-style machine: `n` PEs, fully linked, and
+    /// *zero* hop distance between every pair — all communication is
+    /// free.  This is not a physical topology; it exists so that the
+    /// communication-oblivious baselines (classic list scheduling and
+    /// Chao–LaPaugh–Sha rotation scheduling) can be expressed as
+    /// "schedule against the ideal machine, then legalize on the real
+    /// one".
+    pub fn ideal(n: usize) -> Self {
+        assert!(n > 0, "a machine needs at least one PE");
+        let mut links = Vec::with_capacity(n * (n - 1) / 2);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                links.push((a, b));
+            }
+        }
+        Machine { name: format!("Ideal {n}"), n, dist: vec![0; n * n], links }
+    }
+
+    /// Machine name (e.g. `"2-D Mesh 4x2"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of processing elements.
+    pub fn num_pes(&self) -> usize {
+        self.n
+    }
+
+    /// Iterator over all PEs in index order.
+    pub fn pes(&self) -> impl Iterator<Item = Pe> + '_ {
+        (0..self.n).map(Pe::from_index)
+    }
+
+    /// Hop distance between two PEs (0 for `a == b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PEs belong to different partitions of a
+    /// disconnected machine (we treat that as a construction error).
+    pub fn distance(&self, a: Pe, b: Pe) -> u32 {
+        let d = self.dist[a.index() * self.n + b.index()];
+        assert!(d != u32::MAX, "machine {:?} is disconnected between {a} and {b}", self.name);
+        d
+    }
+
+    /// `true` if every PE can reach every other PE.
+    pub fn is_connected(&self) -> bool {
+        self.dist.iter().all(|&d| d != u32::MAX)
+    }
+
+    /// The paper's communication function
+    /// `M(p_i, p_j) = hops * volume` (Definition 3.5).
+    pub fn comm_cost(&self, from: Pe, to: Pe, volume: u32) -> u32 {
+        self.distance(from, to) * volume
+    }
+
+    /// Undirected links, each reported once with the smaller index first.
+    pub fn links(&self) -> &[(usize, usize)] {
+        &self.links
+    }
+
+    /// Degree (number of attached links) of a PE.
+    pub fn degree(&self, p: Pe) -> usize {
+        let i = p.index();
+        self.links.iter().filter(|&&(a, b)| a == i || b == i).count()
+    }
+
+    /// Maximum hop distance over all PE pairs.
+    pub fn diameter(&self) -> u32 {
+        let mut best = 0;
+        for a in 0..self.n {
+            for b in 0..self.n {
+                let d = self.dist[a * self.n + b];
+                if d != u32::MAX {
+                    best = best.max(d);
+                }
+            }
+        }
+        best
+    }
+
+    /// Mean hop distance over ordered distinct PE pairs.
+    pub fn mean_distance(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let mut total = 0u64;
+        let mut count = 0u64;
+        for a in 0..self.n {
+            for b in 0..self.n {
+                if a != b {
+                    total += u64::from(self.dist[a * self.n + b]);
+                    count += 1;
+                }
+            }
+        }
+        total as f64 / count as f64
+    }
+
+    /// Graphviz rendering of the link graph.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "graph machine {{");
+        for p in 0..self.n {
+            let _ = writeln!(out, "  pe{};", p + 1);
+        }
+        for &(a, b) in &self.links {
+            let _ = writeln!(out, "  pe{} -- pe{};", a + 1, b + 1);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl fmt::Display for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} PEs, {} links, diameter {})",
+            self.name,
+            self.n,
+            self.links.len(),
+            self.diameter()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_links_dedups_and_symmetrizes() {
+        let m = Machine::from_links("t", 3, &[(0, 1), (1, 0), (1, 2), (2, 2)]);
+        assert_eq!(m.links().len(), 2);
+        assert_eq!(m.distance(Pe(0), Pe(2)), 2);
+        assert_eq!(m.distance(Pe(2), Pe(0)), 2);
+        assert_eq!(m.distance(Pe(1), Pe(1)), 0);
+    }
+
+    #[test]
+    fn comm_cost_multiplies_volume() {
+        let m = Machine::from_links("t", 3, &[(0, 1), (1, 2)]);
+        assert_eq!(m.comm_cost(Pe(0), Pe(2), 5), 10);
+        assert_eq!(m.comm_cost(Pe(0), Pe(0), 5), 0);
+    }
+
+    #[test]
+    fn degree_and_diameter() {
+        let m = Machine::from_links("path4", 4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(m.degree(Pe(0)), 1);
+        assert_eq!(m.degree(Pe(1)), 2);
+        assert_eq!(m.diameter(), 3);
+        assert!(m.is_connected());
+    }
+
+    #[test]
+    fn disconnected_machine_detected() {
+        let m = Machine::from_links("two islands", 4, &[(0, 1), (2, 3)]);
+        assert!(!m.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn distance_across_partition_panics() {
+        let m = Machine::from_links("two islands", 4, &[(0, 1), (2, 3)]);
+        let _ = m.distance(Pe(0), Pe(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_link_panics() {
+        let _ = Machine::from_links("bad", 2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn mean_distance_of_triangle() {
+        let m = Machine::from_links("k3", 3, &[(0, 1), (1, 2), (0, 2)]);
+        assert!((m.mean_distance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_and_dot() {
+        let m = Machine::from_links("demo", 2, &[(0, 1)]);
+        assert!(m.to_string().contains("demo (2 PEs, 1 links, diameter 1)"));
+        let dot = m.to_dot();
+        assert!(dot.contains("pe1 -- pe2"));
+    }
+
+    #[test]
+    fn single_pe_machine() {
+        let m = Machine::from_links("uni", 1, &[]);
+        assert_eq!(m.diameter(), 0);
+        assert_eq!(m.mean_distance(), 0.0);
+        assert!(m.is_connected());
+    }
+}

@@ -1,0 +1,53 @@
+//! Processor-element identifier.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a processing element (PE) of a target machine.
+///
+/// PEs are numbered densely from 0; the paper's tables label them
+/// `pe1..peN`, i.e. `Pe(k)` prints as `pe{k+1}` for familiarity.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pe(pub u32);
+
+impl Pe {
+    /// Raw 0-based index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `Pe` from a 0-based index.
+    #[inline]
+    pub fn from_index(ix: usize) -> Self {
+        Pe(u32::try_from(ix).expect("PE index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Debug for Pe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pe{}", self.0 + 1)
+    }
+}
+
+impl fmt::Display for Pe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pe{}", self.0 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_is_one_based() {
+        assert_eq!(Pe(0).to_string(), "pe1");
+        assert_eq!(format!("{:?}", Pe(7)), "pe8");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        assert_eq!(Pe::from_index(5).index(), 5);
+    }
+}

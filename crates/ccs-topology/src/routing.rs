@@ -1,0 +1,166 @@
+//! Deterministic shortest-path routing over a [`Machine`]'s links.
+//!
+//! The paper's cost model only needs hop *counts*; the contention-aware
+//! simulator extension (see `ccs-sim`) also needs the concrete link
+//! sequence a message follows.  Routes are deterministic (lowest PE
+//! index wins among equal-length next hops), so repeated simulations
+//! are reproducible and dimension-ordered-like on regular topologies.
+
+use crate::machine::Machine;
+use crate::pe::Pe;
+use std::collections::VecDeque;
+
+/// Precomputed deterministic shortest-path routes for one machine.
+#[derive(Clone, Debug)]
+pub struct RoutingTable {
+    n: usize,
+    /// `next[src * n + dst]` = the neighbour of `src` on the route to
+    /// `dst` (`src` itself when `src == dst`).
+    next: Vec<u32>,
+}
+
+impl RoutingTable {
+    /// Builds routes for `machine` by per-destination BFS, breaking
+    /// ties toward the lowest-index neighbour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine is disconnected.
+    pub fn new(machine: &Machine) -> Self {
+        let n = machine.num_pes();
+        assert!(machine.is_connected(), "cannot route a disconnected machine");
+        // adjacency, sorted so ties resolve deterministically
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b) in machine.links() {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+        }
+        let mut next = vec![0u32; n * n];
+        // For each destination, BFS backwards (links are undirected) and
+        // record each node's parent toward the destination.
+        for dst in 0..n {
+            let mut parent: Vec<Option<usize>> = vec![None; n];
+            parent[dst] = Some(dst);
+            let mut queue = VecDeque::from([dst]);
+            while let Some(u) = queue.pop_front() {
+                for &v in &adj[u] {
+                    if parent[v].is_none() {
+                        parent[v] = Some(u);
+                        queue.push_back(v);
+                    }
+                }
+            }
+            for src in 0..n {
+                next[src * n + dst] =
+                    u32::try_from(parent[src].expect("connected machine")).expect("fits u32");
+            }
+        }
+        RoutingTable { n, next }
+    }
+
+    /// The neighbour of `src` on the route to `dst` (`src` when equal).
+    pub fn next_hop(&self, src: Pe, dst: Pe) -> Pe {
+        Pe(self.next[src.index() * self.n + dst.index()])
+    }
+
+    /// The full PE sequence from `src` to `dst`, inclusive of both.
+    pub fn path(&self, src: Pe, dst: Pe) -> Vec<Pe> {
+        let mut path = vec![src];
+        let mut cur = src;
+        while cur != dst {
+            cur = self.next_hop(cur, dst);
+            path.push(cur);
+            assert!(path.len() <= self.n, "routing loop between {src} and {dst}");
+        }
+        path
+    }
+
+    /// The undirected links traversed from `src` to `dst`, each as a
+    /// `(min, max)` PE-index pair (the representation used by the
+    /// contention simulator's link queues).
+    pub fn links_on_path(&self, src: Pe, dst: Pe) -> Vec<(usize, usize)> {
+        self.path(src, dst)
+            .windows(2)
+            .map(|w| {
+                let (a, b) = (w[0].index(), w[1].index());
+                (a.min(b), a.max(b))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_lengths_match_distances() {
+        for m in Machine::paper_suite() {
+            let routes = RoutingTable::new(&m);
+            for a in m.pes() {
+                for b in m.pes() {
+                    let path = routes.path(a, b);
+                    assert_eq!(
+                        path.len() - 1,
+                        m.distance(a, b) as usize,
+                        "{} {a}->{b}",
+                        m.name()
+                    );
+                    assert_eq!(path[0], a);
+                    assert_eq!(*path.last().unwrap(), b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_hops_are_linked() {
+        let m = Machine::mesh(3, 3);
+        let routes = RoutingTable::new(&m);
+        for a in m.pes() {
+            for b in m.pes() {
+                for w in routes.path(a, b).windows(2) {
+                    assert_eq!(m.distance(w[0], w[1]), 1, "{}->{}", w[0], w[1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_route_is_trivial() {
+        let m = Machine::ring(5);
+        let routes = RoutingTable::new(&m);
+        assert_eq!(routes.path(Pe(2), Pe(2)), vec![Pe(2)]);
+        assert!(routes.links_on_path(Pe(2), Pe(2)).is_empty());
+    }
+
+    #[test]
+    fn deterministic_tie_breaks() {
+        // On a 2x2 mesh pe1->pe4 has two shortest routes; the lowest
+        // neighbour index (pe2, index 1) must win, every time.
+        let m = Machine::mesh(2, 2);
+        let routes = RoutingTable::new(&m);
+        let p1 = routes.path(Pe(0), Pe(3));
+        let p2 = routes.path(Pe(0), Pe(3));
+        assert_eq!(p1, p2);
+        assert_eq!(p1[1], Pe(1));
+    }
+
+    #[test]
+    fn links_on_path_are_normalized() {
+        let m = Machine::linear_array(4);
+        let routes = RoutingTable::new(&m);
+        let links = routes.links_on_path(Pe(3), Pe(0));
+        assert_eq!(links, vec![(2, 3), (1, 2), (0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn rejects_disconnected() {
+        let m = Machine::from_links("broken", 4, &[(0, 1)]);
+        let _ = RoutingTable::new(&m);
+    }
+}

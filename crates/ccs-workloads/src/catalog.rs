@@ -1,0 +1,155 @@
+//! A registry mapping workload names to constructors, used by the
+//! experiment binaries and examples.
+
+use crate::dsp_extra::{allpole_lattice, correlator, volterra2};
+use crate::filters::{
+    diffeq_solver, elliptic_wave_filter, fir_filter, iir_biquad_cascade, lattice_filter,
+    OpTimes,
+};
+use crate::paper::{fig1_example, fig7_example};
+use ccs_model::Csdfg;
+
+/// A named workload.
+#[derive(Clone)]
+pub struct Workload {
+    /// Registry key, e.g. `"elliptic"`.
+    pub name: &'static str,
+    /// Short human description.
+    pub description: &'static str,
+    builder: fn() -> Csdfg,
+}
+
+impl Workload {
+    /// Builds a fresh instance of the workload graph.
+    pub fn build(&self) -> Csdfg {
+        (self.builder)()
+    }
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload").field("name", &self.name).finish()
+    }
+}
+
+fn elliptic_default() -> Csdfg {
+    elliptic_wave_filter(OpTimes::default())
+}
+fn lattice_default() -> Csdfg {
+    lattice_filter(5, OpTimes::default())
+}
+fn fir_default() -> Csdfg {
+    fir_filter(8, OpTimes::default())
+}
+fn iir_default() -> Csdfg {
+    iir_biquad_cascade(3, OpTimes::default())
+}
+fn diffeq_default() -> Csdfg {
+    diffeq_solver(OpTimes::default())
+}
+fn correlator_default() -> Csdfg {
+    correlator(4, OpTimes { add: 3, mul: 7 })
+}
+fn allpole_default() -> Csdfg {
+    allpole_lattice(4, OpTimes::default())
+}
+fn volterra_default() -> Csdfg {
+    volterra2(3, OpTimes::default())
+}
+
+/// All registered workloads.
+pub fn all() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "fig1",
+            description: "paper Figure 1(b): 6-node running example",
+            builder: fig1_example,
+        },
+        Workload {
+            name: "fig7",
+            description: "paper Figure 7: 19-node example (reconstructed)",
+            builder: fig7_example,
+        },
+        Workload {
+            name: "elliptic",
+            description: "fifth-order elliptic wave filter (34 ops)",
+            builder: elliptic_default,
+        },
+        Workload {
+            name: "lattice",
+            description: "normalized lattice filter, 5 stages",
+            builder: lattice_default,
+        },
+        Workload {
+            name: "fir",
+            description: "8-tap FIR filter",
+            builder: fir_default,
+        },
+        Workload {
+            name: "iir",
+            description: "3-section IIR biquad cascade",
+            builder: iir_default,
+        },
+        Workload {
+            name: "diffeq",
+            description: "HAL differential equation solver",
+            builder: diffeq_default,
+        },
+        Workload {
+            name: "correlator",
+            description: "Leiserson-Saxe correlator, 4 taps (historical weights)",
+            builder: correlator_default,
+        },
+        Workload {
+            name: "allpole",
+            description: "all-pole lattice filter, 4 stages",
+            builder: allpole_default,
+        },
+        Workload {
+            name: "volterra",
+            description: "second-order Volterra section, 3 taps",
+            builder: volterra_default,
+        },
+    ]
+}
+
+/// Looks a workload up by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_workload_builds_legal() {
+        for w in all() {
+            let g = w.build();
+            assert!(g.check_legal().is_ok(), "{}", w.name);
+            assert!(g.task_count() >= 6, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("elliptic").is_some());
+        assert!(by_name("fig7").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: Vec<_> = all().iter().map(|w| w.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+    }
+
+    #[test]
+    fn debug_formats_name() {
+        let w = by_name("fig1").unwrap();
+        assert!(format!("{w:?}").contains("fig1"));
+    }
+}

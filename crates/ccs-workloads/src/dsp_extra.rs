@@ -1,0 +1,189 @@
+//! Additional DSP kernels beyond the paper's Table 11 set: the
+//! Leiserson–Saxe correlator, an all-pole lattice filter, and a
+//! second-order Volterra filter section.  These broaden the benchmark
+//! pool for the random/extension experiments.
+
+use crate::filters::OpTimes;
+use ccs_model::{Csdfg, NodeId};
+
+/// The classic Leiserson–Saxe **correlator**: `taps` comparator stages
+/// feeding an adder chain, one delay between consecutive comparators —
+/// the motivating example of the original retiming paper.
+///
+/// Comparators take `times.add` cycles, adders `times.mul` cycles
+/// (the original uses 3 and 7; pass `OpTimes { add: 3, mul: 7 }` for
+/// the historical weights).
+pub fn correlator(taps: usize, times: OpTimes) -> Csdfg {
+    assert!(taps >= 2, "need at least two taps");
+    let mut g = Csdfg::new();
+    let host = g.add_task("host", 1).unwrap();
+    let mut comparators: Vec<NodeId> = Vec::with_capacity(taps);
+    for k in 0..taps {
+        let c = g.add_task(format!("cmp{k}"), times.add).unwrap();
+        if let Some(&prev) = comparators.last() {
+            g.add_dep(prev, c, 1, 1).unwrap(); // the sliding delay line
+        } else {
+            g.add_dep(host, c, 0, 1).unwrap();
+        }
+        comparators.push(c);
+    }
+    // Adder chain accumulating comparator outputs back toward the host.
+    let mut acc: Option<NodeId> = None;
+    for (k, &c) in comparators.iter().enumerate().rev() {
+        let a = g.add_task(format!("add{k}"), times.mul).unwrap();
+        g.add_dep(c, a, 0, 1).unwrap();
+        if let Some(prev) = acc {
+            g.add_dep(prev, a, 0, 1).unwrap();
+        }
+        acc = Some(a);
+    }
+    g.add_dep(acc.expect("taps >= 2"), host, 1, 1).unwrap();
+    debug_assert!(g.check_legal().is_ok());
+    g
+}
+
+/// All-pole lattice filter: `stages` sections, each with one
+/// multiplier pair and one adder pair, chained through per-stage state
+/// delays (the backward path is the filter's memory).
+pub fn allpole_lattice(stages: usize, times: OpTimes) -> Csdfg {
+    assert!(stages >= 1, "need at least one stage");
+    let mut g = Csdfg::new();
+    let input = g.add_task("in", times.add).unwrap();
+    let mut fwd = input;
+    let mut prev_state: Option<NodeId> = None;
+    for k in 0..stages {
+        let m1 = g.add_task(format!("s{k}m1"), times.mul).unwrap();
+        let a1 = g.add_task(format!("s{k}a1"), times.add).unwrap();
+        let m2 = g.add_task(format!("s{k}m2"), times.mul).unwrap();
+        let a2 = g.add_task(format!("s{k}a2"), times.add).unwrap();
+        // f_{k+1} = f_k - kappa_k * b_k (b_k from the state delay)
+        g.add_dep(fwd, a1, 0, 1).unwrap();
+        g.add_dep(m1, a1, 0, 1).unwrap();
+        g.add_dep(a1, m2, 0, 1).unwrap();
+        g.add_dep(m2, a2, 0, 1).unwrap();
+        // state: a2 of this iteration feeds m1/a2 of the next one.
+        g.add_dep(a2, m1, 1, 1).unwrap();
+        if let Some(p) = prev_state {
+            g.add_dep(p, a2, 1, 1).unwrap();
+        }
+        prev_state = Some(a2);
+        fwd = a1;
+    }
+    let out = g.add_task("out", times.add).unwrap();
+    g.add_dep(fwd, out, 0, 1).unwrap();
+    g.add_dep(out, input, 1, 1).unwrap();
+    debug_assert!(g.check_legal().is_ok());
+    g
+}
+
+/// Second-order Volterra filter section: a linear FIR part plus the
+/// quadratic cross-terms `x[n-i] * x[n-j]`, `i <= j < taps` — dense in
+/// multipliers, a good stress test for communication volumes (each
+/// quadratic product ships `volume = 2`).
+pub fn volterra2(taps: usize, times: OpTimes) -> Csdfg {
+    assert!((2..=5).contains(&taps), "taps in 2..=5 keeps the kernel reasonable");
+    let mut g = Csdfg::new();
+    let x = g.add_task("x", times.add).unwrap();
+    let mut partials: Vec<NodeId> = Vec::new();
+    // linear taps
+    for i in 0..taps {
+        let m = g.add_task(format!("h{i}"), times.mul).unwrap();
+        g.add_dep(x, m, i as u32, 1).unwrap();
+        partials.push(m);
+    }
+    // quadratic taps
+    for i in 0..taps {
+        for j in i..taps {
+            let p = g.add_task(format!("q{i}{j}"), times.mul).unwrap();
+            g.add_dep(x, p, i as u32, 2).unwrap();
+            g.add_dep(x, p, j as u32, 2).unwrap();
+            partials.push(p);
+        }
+    }
+    // adder tree (left-leaning chain is fine for scheduling studies)
+    let mut acc = partials[0];
+    for (k, &p) in partials.iter().enumerate().skip(1) {
+        let a = g.add_task(format!("acc{k}"), times.add).unwrap();
+        g.add_dep(acc, a, 0, 1).unwrap();
+        g.add_dep(p, a, 0, 1).unwrap();
+        acc = a;
+    }
+    let y = g.add_task("y", times.add).unwrap();
+    g.add_dep(acc, y, 0, 1).unwrap();
+    g.add_dep(y, x, 1, 1).unwrap();
+    debug_assert!(g.check_legal().is_ok());
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_retiming::{clock_period, iteration_bound};
+
+    #[test]
+    fn correlator_with_historical_weights() {
+        let g = correlator(3, OpTimes { add: 3, mul: 7 });
+        assert!(g.check_legal().is_ok());
+        // host + 3 comparators + 3 adders.
+        assert_eq!(g.task_count(), 7);
+        // The original correlator's claim: retiming cuts the clock
+        // period from 24 to 13.
+        let initial = clock_period::clock_period(&g);
+        let (best, _) = clock_period::min_clock_period(&g);
+        assert_eq!(initial, 24);
+        assert_eq!(best, 13);
+    }
+
+    #[test]
+    fn correlator_scales() {
+        for taps in 2..=6 {
+            let g = correlator(taps, OpTimes::default());
+            assert!(g.check_legal().is_ok(), "{taps}");
+            assert_eq!(g.task_count(), 2 * taps + 1);
+            assert!(iteration_bound(&g).is_some());
+        }
+    }
+
+    #[test]
+    fn allpole_lattice_legal_and_cyclic() {
+        for stages in 1..=5 {
+            let g = allpole_lattice(stages, OpTimes::default());
+            assert!(g.check_legal().is_ok(), "{stages}");
+            assert_eq!(g.task_count(), 4 * stages + 2);
+            assert!(iteration_bound(&g).is_some());
+        }
+    }
+
+    #[test]
+    fn volterra_counts() {
+        let g = volterra2(3, OpTimes::default());
+        // x + 3 linear + 6 quadratic + 8 accs + y = 19.
+        assert_eq!(g.task_count(), 19);
+        assert!(g.check_legal().is_ok());
+        // quadratic products carry volume 2
+        let heavy = g.deps().filter(|&e| g.volume(e) == 2).count();
+        assert_eq!(heavy, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "taps in 2..=5")]
+    fn volterra_bounds_checked() {
+        let _ = volterra2(9, OpTimes::default());
+    }
+
+    #[test]
+    fn kernels_schedule_end_to_end() {
+        use ccs_core::{cyclo_compact, CompactConfig};
+        use ccs_topology::Machine;
+        for g in [
+            correlator(4, OpTimes::default()),
+            allpole_lattice(3, OpTimes::default()),
+            volterra2(3, OpTimes::default()),
+        ] {
+            let m = Machine::mesh(2, 2);
+            let r = cyclo_compact(&g, &m, CompactConfig::default()).unwrap();
+            assert!(ccs_schedule::validate(&r.graph, &m, &r.schedule).is_ok());
+            assert!(r.best_length <= r.initial_length);
+        }
+    }
+}

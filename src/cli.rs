@@ -1,0 +1,357 @@
+//! Command-line interface of the `cyclosched` binary.
+//!
+//! Hand-rolled argument handling (no CLI dependency): every subcommand
+//! parses its flags into a typed request struct here, where the logic
+//! is unit-testable; `src/main.rs` only does I/O.
+
+use crate::core::{CompactConfig, RemapConfig, RemapMode};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A parsed invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `cyclosched schedule <graph> --machine SPEC [...]`
+    Schedule(ScheduleArgs),
+    /// `cyclosched compile <kernel> [...]`
+    Compile(CompileArgs),
+    /// `cyclosched bound <graph>`
+    Bound {
+        /// Graph path or `-` for stdin.
+        input: String,
+    },
+    /// `cyclosched simulate <graph> --machine SPEC [...]`
+    Simulate(SimulateArgs),
+    /// `cyclosched machines [SPEC]`
+    Machines {
+        /// Optional spec to describe in detail (DOT output).
+        spec: Option<String>,
+    },
+    /// `cyclosched workloads [NAME]`
+    Workloads {
+        /// Optional workload to dump in the textual graph format.
+        name: Option<String>,
+    },
+    /// `cyclosched help` or `--help`.
+    Help,
+}
+
+/// Arguments of the `schedule` subcommand.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScheduleArgs {
+    /// Graph path or `-`.
+    pub input: String,
+    /// Machine spec (see `ccs-topology::parse_spec`).
+    pub machine: String,
+    /// Compaction configuration.
+    pub passes: usize,
+    /// Relaxation mode.
+    pub strict: bool,
+    /// Rows rotated per pass.
+    pub rows: u32,
+    /// Emit the schedule as CSV instead of a table.
+    pub csv: bool,
+    /// Render a Gantt chart over this many iterations (0 = none).
+    pub gantt: u32,
+    /// Write an SVG rendering of the schedule to this path.
+    pub svg: Option<String>,
+    /// Run the processor-binding refinement post-pass.
+    pub refine: bool,
+}
+
+impl ScheduleArgs {
+    /// Converts to the library configuration.
+    pub fn compact_config(&self) -> CompactConfig {
+        CompactConfig {
+            passes: self.passes,
+            remap: RemapConfig {
+                mode: if self.strict {
+                    RemapMode::WithoutRelaxation
+                } else {
+                    RemapMode::WithRelaxation
+                },
+                rows_per_pass: self.rows,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// Arguments of the `compile` subcommand.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompileArgs {
+    /// Kernel path or `-`.
+    pub input: String,
+    /// Additive latency.
+    pub add: u32,
+    /// Multiplicative latency.
+    pub mul: u32,
+    /// Edge volume.
+    pub volume: u32,
+}
+
+/// Arguments of the `simulate` subcommand.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimulateArgs {
+    /// Graph path or `-`.
+    pub input: String,
+    /// Machine spec.
+    pub machine: String,
+    /// Iterations to execute.
+    pub iterations: u32,
+    /// Use the link-contended network model.
+    pub contended: bool,
+}
+
+/// CLI parse error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn fail(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// The usage text shown by `help`.
+pub const USAGE: &str = "\
+cyclosched — architecture-dependent loop scheduling (ICPP'95 cyclo-compaction)
+
+USAGE:
+  cyclosched schedule <graph.csdfg|-> --machine SPEC [--passes N]
+                      [--strict] [--rows N] [--refine] [--csv]
+                      [--gantt N] [--svg FILE]
+  cyclosched compile  <kernel.loop|-> [--add N] [--mul N] [--volume N]
+  cyclosched bound    <graph.csdfg|->
+  cyclosched simulate <graph.csdfg|-> --machine SPEC [--iterations N] [--contended]
+  cyclosched machines [SPEC]
+  cyclosched workloads [NAME]
+
+MACHINE SPECS:
+  linear:N ring:N complete:N mesh:RxC torus:RxC hypercube:D
+  star:N tree:N ideal:N random:N:SEED
+
+Graphs use the textual format: `node A t=1` / `edge A -> B d=0 c=1`.
+Kernels use the loop language: `y = y[i-1]*k + x;` (see `compile`).
+";
+
+/// Parses raw arguments (without the program name).
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, CliError> {
+    let mut args: VecDeque<String> = args.into_iter().collect();
+    let Some(cmd) = args.pop_front() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "schedule" => parse_schedule(args),
+        "compile" => parse_compile(args),
+        "bound" => {
+            let input = positional(&mut args, "graph")?;
+            no_more(args)?;
+            Ok(Command::Bound { input })
+        }
+        "simulate" => parse_simulate(args),
+        "machines" => {
+            let spec = args.pop_front();
+            no_more(args)?;
+            Ok(Command::Machines { spec })
+        }
+        "workloads" => {
+            let name = args.pop_front();
+            no_more(args)?;
+            Ok(Command::Workloads { name })
+        }
+        other => Err(fail(format!("unknown command {other:?}; try `cyclosched help`"))),
+    }
+}
+
+fn positional(args: &mut VecDeque<String>, what: &str) -> Result<String, CliError> {
+    args.pop_front().ok_or_else(|| fail(format!("missing <{what}> argument")))
+}
+
+fn no_more(args: VecDeque<String>) -> Result<(), CliError> {
+    if let Some(extra) = args.front() {
+        Err(fail(format!("unexpected argument {extra:?}")))
+    } else {
+        Ok(())
+    }
+}
+
+fn take_value(args: &mut VecDeque<String>, flag: &str) -> Result<String, CliError> {
+    args.pop_front().ok_or_else(|| fail(format!("{flag} needs a value")))
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, CliError> {
+    v.parse().map_err(|_| fail(format!("{flag}: bad number {v:?}")))
+}
+
+fn parse_schedule(mut args: VecDeque<String>) -> Result<Command, CliError> {
+    let input = positional(&mut args, "graph")?;
+    let mut out = ScheduleArgs {
+        input,
+        machine: String::new(),
+        passes: 64,
+        strict: false,
+        rows: 1,
+        csv: false,
+        gantt: 0,
+        svg: None,
+        refine: false,
+    };
+    while let Some(flag) = args.pop_front() {
+        match flag.as_str() {
+            "--machine" => out.machine = take_value(&mut args, "--machine")?,
+            "--passes" => out.passes = parse_num(&take_value(&mut args, "--passes")?, "--passes")?,
+            "--rows" => out.rows = parse_num(&take_value(&mut args, "--rows")?, "--rows")?,
+            "--gantt" => out.gantt = parse_num(&take_value(&mut args, "--gantt")?, "--gantt")?,
+            "--svg" => out.svg = Some(take_value(&mut args, "--svg")?),
+            "--strict" => out.strict = true,
+            "--refine" => out.refine = true,
+            "--csv" => out.csv = true,
+            other => return Err(fail(format!("schedule: unknown flag {other:?}"))),
+        }
+    }
+    if out.machine.is_empty() {
+        return Err(fail("schedule: --machine SPEC is required"));
+    }
+    Ok(Command::Schedule(out))
+}
+
+fn parse_compile(mut args: VecDeque<String>) -> Result<Command, CliError> {
+    let input = positional(&mut args, "kernel")?;
+    let mut out = CompileArgs { input, add: 1, mul: 2, volume: 1 };
+    while let Some(flag) = args.pop_front() {
+        match flag.as_str() {
+            "--add" => out.add = parse_num(&take_value(&mut args, "--add")?, "--add")?,
+            "--mul" => out.mul = parse_num(&take_value(&mut args, "--mul")?, "--mul")?,
+            "--volume" => {
+                out.volume = parse_num(&take_value(&mut args, "--volume")?, "--volume")?
+            }
+            other => return Err(fail(format!("compile: unknown flag {other:?}"))),
+        }
+    }
+    if out.add == 0 || out.mul == 0 || out.volume == 0 {
+        return Err(fail("compile: latencies and volume must be >= 1"));
+    }
+    Ok(Command::Compile(out))
+}
+
+fn parse_simulate(mut args: VecDeque<String>) -> Result<Command, CliError> {
+    let input = positional(&mut args, "graph")?;
+    let mut out =
+        SimulateArgs { input, machine: String::new(), iterations: 100, contended: false };
+    while let Some(flag) = args.pop_front() {
+        match flag.as_str() {
+            "--machine" => out.machine = take_value(&mut args, "--machine")?,
+            "--iterations" => {
+                out.iterations =
+                    parse_num(&take_value(&mut args, "--iterations")?, "--iterations")?
+            }
+            "--contended" => out.contended = true,
+            other => return Err(fail(format!("simulate: unknown flag {other:?}"))),
+        }
+    }
+    if out.machine.is_empty() {
+        return Err(fail("simulate: --machine SPEC is required"));
+    }
+    if out.iterations == 0 {
+        return Err(fail("simulate: --iterations must be >= 1"));
+    }
+    Ok(Command::Simulate(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Result<Command, CliError> {
+        parse_args(line.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse("").unwrap(), Command::Help);
+        assert_eq!(parse("help").unwrap(), Command::Help);
+        assert_eq!(parse("--help").unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn schedule_defaults_and_flags() {
+        let Command::Schedule(a) = parse(
+            "schedule g.csdfg --machine mesh:4x2 --strict --rows 2 --gantt 3 --refine --svg out.svg",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert!(a.refine);
+        assert_eq!(a.svg.as_deref(), Some("out.svg"));
+        assert_eq!(a.input, "g.csdfg");
+        assert_eq!(a.machine, "mesh:4x2");
+        assert!(a.strict);
+        assert_eq!(a.rows, 2);
+        assert_eq!(a.gantt, 3);
+        assert_eq!(a.passes, 64);
+        let cfg = a.compact_config();
+        assert_eq!(cfg.remap.mode, RemapMode::WithoutRelaxation);
+        assert_eq!(cfg.remap.rows_per_pass, 2);
+    }
+
+    #[test]
+    fn schedule_requires_machine() {
+        let err = parse("schedule g.csdfg").unwrap_err();
+        assert!(err.to_string().contains("--machine"));
+    }
+
+    #[test]
+    fn compile_flags() {
+        let Command::Compile(a) = parse("compile k.loop --add 3 --mul 7").unwrap() else {
+            panic!()
+        };
+        assert_eq!((a.add, a.mul, a.volume), (3, 7, 1));
+        assert!(parse("compile k.loop --mul 0").is_err());
+    }
+
+    #[test]
+    fn simulate_flags() {
+        let Command::Simulate(a) =
+            parse("simulate - --machine ring:8 --iterations 50 --contended").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.input, "-");
+        assert!(a.contended);
+        assert_eq!(a.iterations, 50);
+        assert!(parse("simulate - --machine ring:8 --iterations 0").is_err());
+    }
+
+    #[test]
+    fn bound_and_listing_commands() {
+        assert_eq!(parse("bound g.csdfg").unwrap(), Command::Bound { input: "g.csdfg".into() });
+        assert_eq!(parse("machines").unwrap(), Command::Machines { spec: None });
+        assert_eq!(
+            parse("machines mesh:3x3").unwrap(),
+            Command::Machines { spec: Some("mesh:3x3".into()) }
+        );
+        assert_eq!(
+            parse("workloads elliptic").unwrap(),
+            Command::Workloads { name: Some("elliptic".into()) }
+        );
+    }
+
+    #[test]
+    fn unknown_bits_rejected() {
+        assert!(parse("frobnicate").is_err());
+        assert!(parse("schedule g --machine m --wat").is_err());
+        assert!(parse("bound a b").is_err());
+        assert!(parse("schedule").is_err());
+        assert!(parse("schedule g --machine").is_err());
+        assert!(parse("schedule g --machine m --passes many").is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! # cyclosched
+//!
+//! A from-scratch Rust implementation of **cyclo-compaction
+//! scheduling** from:
+//!
+//! > Sissades Tongsima, Nelson L. Passos, Edwin H.-M. Sha.
+//! > *Architecture-Dependent Loop Scheduling via
+//! > Communication-Sensitive Remapping.* ICPP 1995.
+//!
+//! Cyclic loop bodies are modelled as communication-sensitive
+//! data-flow graphs ([`Csdfg`]): tasks with integer execution times,
+//! dependencies with loop-carried delay counts and data volumes.  The
+//! target machine ([`Machine`]) supplies store-and-forward hop
+//! distances; moving the data of an edge between processors costs
+//! `hops * volume` control steps.  The scheduler builds a
+//! communication-aware list schedule and then iteratively *rotates*
+//! (retimes) the first schedule row and *remaps* the rotated tasks to
+//! better processors, shrinking the static schedule length — loop
+//! pipelining with the interconnect in the loop.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cyclosched::prelude::*;
+//!
+//! // The paper's running example on its 2x2 mesh.
+//! let graph = cyclosched::workloads::paper::fig1_example();
+//! let machine = Machine::mesh(2, 2);
+//!
+//! let result = cyclo_compact(&graph, &machine, CompactConfig::default()).unwrap();
+//! assert_eq!(result.initial_length, 7); // paper Figure 2(a)
+//! assert!(result.best_length <= 5);     // paper Figure 3(b)
+//!
+//! // Independent validation: algebraic checker + cycle-accurate replay.
+//! assert!(validate(&result.graph, &machine, &result.schedule).is_ok());
+//! let replay = replay_static(&result.graph, &machine, &result.schedule, 100);
+//! assert!(replay.is_valid());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Re-export | Crate | Contents |
+//! |---|---|---|
+//! | [`graph`] | `ccs-graph` | directed multigraph substrate + algorithms |
+//! | [`model`] | `ccs-model` | the CSDFG model, timing analysis, transforms, parser |
+//! | [`topology`] | `ccs-topology` | linear array, ring, mesh, hypercube, ... |
+//! | [`retiming`] | `ccs-retiming` | retiming, rotation, iteration bound, min clock period |
+//! | [`schedule`] | `ccs-schedule` | schedule tables, `PSL`, validity checking |
+//! | [`core`] | `ccs-core` | start-up scheduling, rotate-remap, cyclo-compaction, baselines |
+//! | [`sim`] | `ccs-sim` | cycle-accurate replay + self-timed execution |
+//! | [`workloads`] | `ccs-workloads` | paper examples, DSP filters, random graphs |
+//! | [`lang`] | `ccs-lang` | loop-kernel language compiling to CSDFGs |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cli;
+
+pub use ccs_core as core;
+pub use ccs_graph as graph;
+pub use ccs_lang as lang;
+pub use ccs_model as model;
+pub use ccs_retiming as retiming;
+pub use ccs_schedule as schedule;
+pub use ccs_sim as sim;
+pub use ccs_topology as topology;
+pub use ccs_workloads as workloads;
+
+pub use ccs_core::{
+    cyclo_compact, startup_schedule, CompactConfig, Compaction, Priority, RemapConfig,
+    RemapMode, StartupConfig,
+};
+pub use ccs_model::{Csdfg, ModelError};
+pub use ccs_schedule::{validate, Schedule};
+pub use ccs_topology::{Machine, Pe};
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use crate::core::baselines::{oblivious_list_scheduling, oblivious_rotation_scheduling};
+    pub use crate::core::{
+        cyclo_compact, startup_schedule, CompactConfig, Compaction, Priority, RemapConfig,
+        RemapMode, StartupConfig,
+    };
+    pub use crate::model::{timing, transform, Csdfg, ModelError, NodeId};
+    pub use crate::retiming::{iteration_bound, Ratio, Retiming};
+    pub use crate::schedule::{psl, required_length, validate, Schedule, Slot};
+    pub use crate::sim::{replay_static, run_self_timed};
+    pub use crate::topology::{Machine, Pe};
+}

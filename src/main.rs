@@ -1,0 +1,235 @@
+//! The `cyclosched` command-line tool: schedule, compile, analyze and
+//! simulate cyclic loop kernels on parallel machines.
+//!
+//! See `cyclosched help` (or [`cyclosched::cli::USAGE`]) for usage.
+
+use cyclosched::cli::{parse_args, Command, CompileArgs, ScheduleArgs, SimulateArgs, USAGE};
+use cyclosched::lang::{compile as lang_compile, LowerConfig};
+use cyclosched::model::parser as graph_parser;
+use cyclosched::prelude::*;
+use cyclosched::topology::parse_spec;
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let cmd = match parse_args(std::env::args().skip(1)) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(cmd) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn read_input(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        Ok(s)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn load_graph(path: &str) -> Result<Csdfg, String> {
+    let text = read_input(path)?;
+    let g = graph_parser::parse(&text).map_err(|e| format!("parse error: {e}"))?;
+    g.check_legal().map_err(|e| format!("illegal graph: {e}"))?;
+    Ok(g)
+}
+
+fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Help => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Command::Bound { input } => {
+            let g = load_graph(&input)?;
+            let stats = cyclosched::model::analysis::stats(&g);
+            println!(
+                "{} tasks, {} deps ({} zero-delay), total work {}, {} recurrences",
+                stats.tasks, stats.deps, stats.zero_delay_deps, stats.total_time,
+                stats.recurrences
+            );
+            match iteration_bound(&g) {
+                Some(b) => println!(
+                    "iteration bound: {b} ({:.3} control steps/iteration, floor {})",
+                    b.as_f64(),
+                    b.ceil()
+                ),
+                None => println!("iteration bound: none (acyclic graph)"),
+            }
+            let (phi, _) = cyclosched::retiming::clock_period::min_clock_period(&g);
+            println!("minimum clock period under retiming (no resources): {phi}");
+            Ok(())
+        }
+        Command::Machines { spec } => {
+            match spec {
+                Some(s) => {
+                    let m = parse_spec(&s).map_err(|e| e.to_string())?;
+                    println!("{m}");
+                    print!("{}", m.to_dot());
+                }
+                None => {
+                    println!("built-in machine specs:");
+                    for s in [
+                        "linear:N", "ring:N", "complete:N", "mesh:RxC", "torus:RxC",
+                        "hypercube:D", "star:N", "tree:N", "ideal:N", "random:N:SEED",
+                    ] {
+                        println!("  {s}");
+                    }
+                    println!("\nthe paper's 8-PE suite:");
+                    for m in Machine::paper_suite() {
+                        println!("  {m}");
+                    }
+                }
+            }
+            Ok(())
+        }
+        Command::Workloads { name } => {
+            match name {
+                None => {
+                    println!("built-in workloads:");
+                    for w in cyclosched::workloads::all_workloads() {
+                        println!("  {:<12} {}", w.name, w.description);
+                    }
+                }
+                Some(n) => {
+                    let w = cyclosched::workloads::workload_by_name(&n)
+                        .ok_or_else(|| format!("unknown workload {n:?}"))?;
+                    print!("{}", graph_parser::write(&w.build()));
+                }
+            }
+            Ok(())
+        }
+        Command::Compile(args) => run_compile(args),
+        Command::Schedule(args) => run_schedule(args),
+        Command::Simulate(args) => run_simulate(args),
+    }
+}
+
+fn run_compile(args: CompileArgs) -> Result<(), String> {
+    let source = read_input(&args.input)?;
+    let config = LowerConfig {
+        add_time: args.add,
+        mul_time: args.mul,
+        input_time: 1,
+        volume: args.volume,
+    };
+    let lowered = lang_compile(&source, config).map_err(|e| format!("compile error: {e}"))?;
+    print!("{}", graph_parser::write(&lowered.graph));
+    Ok(())
+}
+
+fn run_schedule(args: ScheduleArgs) -> Result<(), String> {
+    let g = load_graph(&args.input)?;
+    let machine = parse_spec(&args.machine).map_err(|e| e.to_string())?;
+    let mut result = cyclo_compact(&g, &machine, args.compact_config())
+        .map_err(|e| format!("scheduling failed: {e}"))?;
+    if args.refine {
+        let refined = cyclosched::core::refine::refine_binding(
+            &result.graph,
+            &machine,
+            &result.schedule,
+            16,
+        );
+        if refined.moves > 0 {
+            eprintln!(
+                "refinement: {} moves, (length, traffic) {:?} -> {:?}",
+                refined.moves, refined.before, refined.after
+            );
+        }
+        result.schedule = refined.schedule;
+        result.best_length = result.schedule.length();
+    }
+    validate(&result.graph, &machine, &result.schedule)
+        .map_err(|v| format!("internal error: invalid schedule: {v:?}"))?;
+
+    eprintln!(
+        "{}: start-up {} -> compacted {} control steps ({:.2}x)",
+        machine.name(),
+        result.initial_length,
+        result.best_length,
+        result.speedup()
+    );
+    if args.csv {
+        print!("{}", cyclosched::schedule::to_csv(&result.graph, &result.schedule));
+    } else {
+        print!(
+            "{}",
+            result.schedule.render(|v| result.graph.name(v).to_string())
+        );
+    }
+    if let Some(path) = &args.svg {
+        let svg = cyclosched::schedule::to_svg(
+            &result.graph,
+            &result.schedule,
+            cyclosched::schedule::SvgOptions::default(),
+        );
+        std::fs::write(path, svg).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if args.gantt > 0 {
+        let events = cyclosched::sim::trace_static(&result.graph, &result.schedule, args.gantt);
+        eprintln!();
+        eprint!(
+            "{}",
+            cyclosched::sim::render_gantt(&result.graph, &events, |v| result
+                .graph
+                .name(v)
+                .to_string())
+        );
+    }
+    Ok(())
+}
+
+fn run_simulate(args: SimulateArgs) -> Result<(), String> {
+    let g = load_graph(&args.input)?;
+    let machine = parse_spec(&args.machine).map_err(|e| e.to_string())?;
+    let result = cyclo_compact(&g, &machine, Default::default())
+        .map_err(|e| format!("scheduling failed: {e}"))?;
+    println!(
+        "schedule: {} control steps on {}",
+        result.best_length,
+        machine.name()
+    );
+    let replay = replay_static(&result.graph, &machine, &result.schedule, args.iterations);
+    println!(
+        "static replay: makespan {} cycles, {} messages, traffic {}, utilization {:.1}%, valid: {}",
+        replay.makespan,
+        replay.messages,
+        replay.traffic,
+        replay.utilization() * 100.0,
+        replay.is_valid()
+    );
+    let st = run_self_timed(&result.graph, &machine, &result.schedule, args.iterations);
+    println!("self-timed: II {:.2} cycles/iteration", st.initiation_interval);
+    if args.contended {
+        let c = cyclosched::sim::run_contended(
+            &result.graph,
+            &machine,
+            &result.schedule,
+            args.iterations,
+        );
+        println!(
+            "contended:  II {:.2} cycles/iteration ({} messages), mean link utilization {:.1}%",
+            c.base.initiation_interval,
+            c.base.messages,
+            c.links.mean_utilization(c.base.makespan, machine.links().len()) * 100.0
+        );
+        if let Some(((a, b), cycles)) = c.links.hottest() {
+            println!("hottest link: pe{}-pe{} with {} busy cycles", a + 1, b + 1, cycles);
+        }
+    }
+    Ok(())
+}

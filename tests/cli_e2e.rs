@@ -1,0 +1,187 @@
+//! End-to-end tests of the `cyclosched` binary: real process spawns
+//! with piped stdin/stdout, covering the full user journey
+//! (compile -> schedule -> simulate) and the error paths.
+
+use std::io::Write as _;
+use std::process::{Command, Output, Stdio};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cyclosched"))
+}
+
+fn run_with_stdin(args: &[&str], stdin: &str) -> Output {
+    let mut child = bin()
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn cyclosched");
+    // Ignore write errors: a process that rejects its arguments exits
+    // before reading stdin, which surfaces here as a broken pipe.
+    let _ = child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(stdin.as_bytes());
+    child.wait_with_output().expect("wait for cyclosched")
+}
+
+fn stdout_of(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "exit {:?}\nstderr: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+const GRAPH: &str = "node A t=1\nnode B t=2\nedge A -> B d=0 c=1\nedge B -> A d=1 c=1\n";
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().arg("help").output().unwrap();
+    let text = stdout_of(&out);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("schedule"));
+}
+
+#[test]
+fn no_args_is_help() {
+    let out = bin().output().unwrap();
+    assert!(stdout_of(&out).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn bound_reports_iteration_bound() {
+    let out = run_with_stdin(&["bound", "-"], GRAPH);
+    let text = stdout_of(&out);
+    assert!(text.contains("2 tasks"));
+    assert!(text.contains("iteration bound: 3"));
+}
+
+#[test]
+fn schedule_from_stdin_renders_a_table() {
+    let out = run_with_stdin(&["schedule", "-", "--machine", "mesh:2x2"], GRAPH);
+    let text = stdout_of(&out);
+    assert!(text.contains("pe1"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("compacted"));
+}
+
+#[test]
+fn schedule_csv_output() {
+    let out = run_with_stdin(&["schedule", "-", "--machine", "complete:2", "--csv"], GRAPH);
+    let text = stdout_of(&out);
+    assert!(text.starts_with("task,pe,start,end"));
+    assert!(text.contains("A,"));
+    assert!(text.contains("B,"));
+}
+
+#[test]
+fn schedule_requires_machine_flag() {
+    let out = run_with_stdin(&["schedule", "-"], GRAPH);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--machine"));
+}
+
+#[test]
+fn illegal_graph_rejected_cleanly() {
+    let bad = "edge A -> B d=0 c=1\nedge B -> A d=0 c=1\n";
+    let out = run_with_stdin(&["bound", "-"], bad);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("illegal graph"));
+}
+
+#[test]
+fn compile_then_schedule_pipeline() {
+    let kernel = "y = y[i-1]*k + x;\n";
+    let compiled = stdout_of(&run_with_stdin(&["compile", "-"], kernel));
+    assert!(compiled.contains("node y"));
+    assert!(compiled.contains("edge y -> y.1 d=1")); // delayed self ref feeds the mul
+    let out = run_with_stdin(&["schedule", "-", "--machine", "ring:4"], &compiled);
+    assert!(out.status.success());
+}
+
+#[test]
+fn compile_error_carries_position() {
+    let out = run_with_stdin(&["compile", "-"], "y = x[j-1];\n");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("1:"), "{err}");
+}
+
+#[test]
+fn simulate_reports_replay_and_self_timed() {
+    let out = run_with_stdin(
+        &["simulate", "-", "--machine", "linear:2", "--iterations", "10"],
+        GRAPH,
+    );
+    let text = stdout_of(&out);
+    assert!(text.contains("static replay"));
+    assert!(text.contains("valid: true"));
+    assert!(text.contains("self-timed"));
+}
+
+#[test]
+fn simulate_contended_adds_link_stats() {
+    let out = run_with_stdin(
+        &["simulate", "-", "--machine", "star:4", "--iterations", "10", "--contended"],
+        GRAPH,
+    );
+    let text = stdout_of(&out);
+    assert!(text.contains("contended:"));
+}
+
+#[test]
+fn machines_lists_specs_and_details() {
+    let out = bin().arg("machines").output().unwrap();
+    let text = stdout_of(&out);
+    assert!(text.contains("mesh:RxC"));
+    assert!(text.contains("3-cube"));
+    let out = bin().args(["machines", "hypercube:2"]).output().unwrap();
+    let text = stdout_of(&out);
+    assert!(text.contains("2-cube"));
+    assert!(text.contains("graph machine"));
+}
+
+#[test]
+fn workloads_roundtrip_through_schedule() {
+    let out = bin().args(["workloads", "fig1"]).output().unwrap();
+    let graph = stdout_of(&out);
+    assert!(graph.contains("node A t=1"));
+    let out = run_with_stdin(&["schedule", "-", "--machine", "mesh:2x2"], &graph);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("start-up 7"), "{err}");
+}
+
+#[test]
+fn svg_export_writes_a_file() {
+    let dir = std::env::temp_dir().join(format!("ccs_svg_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sched.svg");
+    let out = run_with_stdin(
+        &["schedule", "-", "--machine", "complete:2", "--svg", path.to_str().unwrap()],
+        GRAPH,
+    );
+    assert!(out.status.success());
+    let svg = std::fs::read_to_string(&path).unwrap();
+    assert!(svg.starts_with("<svg"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn refine_flag_accepted() {
+    let out = run_with_stdin(
+        &["schedule", "-", "--machine", "linear:4", "--refine"],
+        GRAPH,
+    );
+    assert!(out.status.success());
+}

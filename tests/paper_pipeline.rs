@@ -1,0 +1,135 @@
+//! End-to-end integration tests following the paper's own narrative:
+//! build the published examples, schedule them on the published
+//! machines, and verify the published behaviours.
+
+use cyclosched::prelude::*;
+use cyclosched::workloads::paper::{fig1_example, fig7_example};
+
+#[test]
+fn figure_2a_startup_schedule_is_reproduced_exactly() {
+    let g = fig1_example();
+    let machine = Machine::mesh(2, 2);
+    let s = startup_schedule(&g, &machine, StartupConfig::default()).unwrap();
+    let at = |name: &str| {
+        let v = g.task_by_name(name).unwrap();
+        (s.pe(v).unwrap().index(), s.cb(v).unwrap(), s.ce(v).unwrap())
+    };
+    // Figure 2(a): pe1 runs A,B,B,D,E,E,F; C lands on pe2 at cs3.
+    assert_eq!(at("A"), (0, 1, 1));
+    assert_eq!(at("B"), (0, 2, 3));
+    assert_eq!(at("C"), (1, 3, 3));
+    assert_eq!(at("D"), (0, 4, 4));
+    assert_eq!(at("E"), (0, 5, 6));
+    assert_eq!(at("F"), (0, 7, 7));
+    assert_eq!(s.length(), 7);
+}
+
+#[test]
+fn first_rotation_matches_figure_1c() {
+    let g = fig1_example();
+    let machine = Machine::mesh(2, 2);
+    let result = cyclo_compact(
+        &g,
+        &machine,
+        CompactConfig { passes: 1, ..Default::default() },
+    )
+    .unwrap();
+    // One pass rotates exactly {A} and yields a 6-step schedule.
+    assert_eq!(result.history.len(), 1);
+    let rotated: Vec<&str> =
+        result.history[0].rotated.iter().map(|&v| g.name(v)).collect();
+    assert_eq!(rotated, vec!["A"]);
+    assert_eq!(result.best_length, 6);
+    // Figure 1(c): one delay moved from D->A onto A's out-edges.
+    let d = g.task_by_name("D").unwrap();
+    let a = g.task_by_name("A").unwrap();
+    let da = result.graph.graph().find_edge(d, a).unwrap();
+    assert_eq!(result.graph.delay(da), 2);
+}
+
+#[test]
+fn paper_example_reaches_figure_3b_or_better() {
+    let g = fig1_example();
+    let machine = Machine::mesh(2, 2);
+    let result = cyclo_compact(&g, &machine, CompactConfig::default()).unwrap();
+    assert_eq!(result.initial_length, 7);
+    assert!(result.best_length <= 5, "paper reached 5, we got {}", result.best_length);
+    // Never below the iteration bound (3 for this graph).
+    assert!(result.best_length >= 3);
+    validate(&result.graph, &machine, &result.schedule).unwrap();
+}
+
+#[test]
+fn fig7_compacts_on_all_five_architectures() {
+    // Tables 1-10: the 19-node example on the paper's 8-PE machines.
+    let g = fig7_example();
+    for machine in Machine::paper_suite() {
+        let r = cyclo_compact(&g, &machine, CompactConfig::default()).unwrap();
+        assert!(
+            (10..=16).contains(&r.initial_length),
+            "start-up length {} out of the paper's range on {}",
+            r.initial_length,
+            machine.name()
+        );
+        assert!(
+            r.best_length < r.initial_length,
+            "no compaction on {}",
+            machine.name()
+        );
+        validate(&r.graph, &machine, &r.schedule).unwrap();
+        // Independent replay for many iterations.
+        let replay = replay_static(&r.graph, &machine, &r.schedule, 25);
+        assert!(replay.is_valid(), "{}: {:?}", machine.name(), replay.violations);
+    }
+}
+
+#[test]
+fn completely_connected_is_never_worse_than_sparse_machines() {
+    // §5: "the performance of the system would be better in the
+    // completely connected architecture than the other architectures".
+    let g = fig7_example();
+    let complete = cyclo_compact(&g, &Machine::complete(8), CompactConfig::default())
+        .unwrap()
+        .best_length;
+    for machine in [Machine::linear_array(8), Machine::ring(8), Machine::mesh(4, 2)] {
+        let len = cyclo_compact(&g, &machine, CompactConfig::default())
+            .unwrap()
+            .best_length;
+        assert!(
+            complete <= len,
+            "complete {} vs {} {}",
+            complete,
+            machine.name(),
+            len
+        );
+    }
+}
+
+#[test]
+fn relaxation_is_at_least_as_good_as_without() {
+    // Table 11's headline: the relaxation scheme dominates.
+    let g = fig7_example();
+    for machine in Machine::paper_suite() {
+        let with = cyclo_compact(
+            &g,
+            &machine,
+            CompactConfig::with_mode(RemapMode::WithRelaxation),
+        )
+        .unwrap()
+        .best_length;
+        let without = cyclo_compact(
+            &g,
+            &machine,
+            CompactConfig::with_mode(RemapMode::WithoutRelaxation),
+        )
+        .unwrap()
+        .best_length;
+        assert!(
+            with <= without,
+            "{}: with {} > without {}",
+            machine.name(),
+            with,
+            without
+        );
+    }
+}
