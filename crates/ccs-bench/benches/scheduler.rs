@@ -15,17 +15,25 @@ fn bench_startup(c: &mut Criterion) {
     for (name, graph) in [
         ("fig1/6n", ccs_workloads::paper::fig1_example()),
         ("fig7/19n", ccs_workloads::paper::fig7_example()),
-        ("elliptic/34n", ccs_workloads::filters::elliptic_wave_filter(OpTimes::default())),
+        (
+            "elliptic/34n",
+            ccs_workloads::filters::elliptic_wave_filter(OpTimes::default()),
+        ),
         (
             "random/64n",
-            random_csdfg(RandomGraphConfig { nodes: 64, back_edges: 20, ..Default::default() }, 7),
+            random_csdfg(
+                RandomGraphConfig {
+                    nodes: 64,
+                    back_edges: 20,
+                    ..Default::default()
+                },
+                7,
+            ),
         ),
     ] {
         let machine = Machine::mesh(4, 2);
         group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, g| {
-            b.iter(|| {
-                startup_schedule(black_box(g), &machine, StartupConfig::default()).unwrap()
-            })
+            b.iter(|| startup_schedule(black_box(g), &machine, StartupConfig::default()).unwrap())
         });
     }
     group.finish();
@@ -33,7 +41,11 @@ fn bench_startup(c: &mut Criterion) {
 
 fn bench_rotate_remap(c: &mut Criterion) {
     let mut group = c.benchmark_group("rotate_remap_pass");
-    for machine in [Machine::linear_array(8), Machine::complete(8), Machine::hypercube(3)] {
+    for machine in [
+        Machine::linear_array(8),
+        Machine::complete(8),
+        Machine::hypercube(3),
+    ] {
         let g = ccs_workloads::paper::fig7_example();
         let sched = startup_schedule(&g, &machine, StartupConfig::default()).unwrap();
         group.bench_with_input(
@@ -55,11 +67,21 @@ fn bench_full_compaction(c: &mut Criterion) {
         ("fig7/19n", ccs_workloads::paper::fig7_example()),
         (
             "elliptic_s3/34n",
-            slowdown(&ccs_workloads::filters::elliptic_wave_filter(OpTimes::default()), 3),
+            slowdown(
+                &ccs_workloads::filters::elliptic_wave_filter(OpTimes::default()),
+                3,
+            ),
         ),
         (
             "random/48n",
-            random_csdfg(RandomGraphConfig { nodes: 48, back_edges: 16, ..Default::default() }, 11),
+            random_csdfg(
+                RandomGraphConfig {
+                    nodes: 48,
+                    back_edges: 16,
+                    ..Default::default()
+                },
+                11,
+            ),
         ),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, g| {
@@ -69,5 +91,10 @@ fn bench_full_compaction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_startup, bench_rotate_remap, bench_full_compaction);
+criterion_group!(
+    benches,
+    bench_startup,
+    bench_rotate_remap,
+    bench_full_compaction
+);
 criterion_main!(benches);

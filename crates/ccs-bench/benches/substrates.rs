@@ -37,7 +37,11 @@ fn bench_retiming(c: &mut Criterion) {
     let mut group = c.benchmark_group("retiming");
     for nodes in [16usize, 48, 96] {
         let g = random_csdfg(
-            RandomGraphConfig { nodes, back_edges: nodes / 3, ..Default::default() },
+            RandomGraphConfig {
+                nodes,
+                back_edges: nodes / 3,
+                ..Default::default()
+            },
             5,
         );
         group.bench_with_input(BenchmarkId::new("iteration_bound", nodes), &g, |b, g| {

@@ -1,0 +1,268 @@
+//! Hot-path regression benchmark: wall-times the compaction-heavy
+//! experiments and fingerprints every schedule on the paper suite, so
+//! optimization PRs can prove both "faster" and "bit-identical".
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_hotpath [--json PATH] [--baseline PATH] [--seeds N] [--reps N]
+//! ```
+//!
+//! * `--json PATH` — write the machine-readable report (timings in ms,
+//!   schedule lengths, placement fingerprints) to `PATH`.
+//! * `--baseline PATH` — also read a previous report from `PATH`,
+//!   embed its timings as `baseline_timings_ms`, compute per-experiment
+//!   `speedup`, and fail (exit 1) if any schedule fingerprint differs.
+//! * `--seeds N` — random-sweep seeds per cell (default 10).
+//! * `--reps N` — timing repetitions, median reported (default 3).
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use ccs_bench::experiments::random_sweep;
+use ccs_core::{cyclo_compact, CompactConfig};
+use ccs_topology::Machine;
+use ccs_workloads::random::{random_csdfg, RandomGraphConfig};
+use serde_json::Value;
+
+/// FNV-1a 64-bit over a byte stream.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn write_u64(&mut self, x: u64) {
+        self.write(&x.to_le_bytes());
+    }
+}
+
+/// Stable fingerprint of a schedule: every placement (node-id order)
+/// plus the table dimensions and reported length.
+fn fingerprint(s: &ccs_schedule::Schedule) -> String {
+    let mut h = Fnv::new();
+    h.write_u64(s.num_pes() as u64);
+    h.write_u64(u64::from(s.length()));
+    for (node, slot) in s.placements() {
+        h.write_u64(node.index() as u64);
+        h.write_u64(u64::from(slot.pe.0));
+        h.write_u64(u64::from(slot.start));
+        h.write_u64(u64::from(slot.duration));
+    }
+    format!("{:016x}", h.0)
+}
+
+fn machine_suite() -> Vec<Machine> {
+    vec![
+        Machine::linear_array(8),
+        Machine::mesh(4, 2),
+        Machine::complete(8),
+        Machine::hypercube(3),
+    ]
+}
+
+/// Medians `reps` timed runs of `f`, returning (median ms, last output).
+fn time_median<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut out = None;
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        out = Some(f());
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], out.expect("at least one rep"))
+}
+
+fn main() {
+    let mut json_path = None;
+    let mut baseline_path = None;
+    let mut seeds = 10u64;
+    let mut reps = 3usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json_path = args.next(),
+            "--baseline" => baseline_path = args.next(),
+            "--seeds" => seeds = args.next().and_then(|v| v.parse().ok()).expect("--seeds N"),
+            "--reps" => reps = args.next().and_then(|v| v.parse().ok()).expect("--reps N"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // --- Schedule fingerprints & lengths: full paper suite x machines.
+    let mut lengths: BTreeMap<String, (u32, u32)> = BTreeMap::new();
+    let mut prints: BTreeMap<String, String> = BTreeMap::new();
+    for w in ccs_workloads::all_workloads() {
+        let g = w.build();
+        for machine in machine_suite() {
+            let r = cyclo_compact(&g, &machine, CompactConfig::default()).expect("legal");
+            let key = format!("{}/{}", w.name, machine.name());
+            lengths.insert(key.clone(), (r.initial_length, r.best_length));
+            prints.insert(key, fingerprint(&r.schedule));
+        }
+    }
+
+    // --- Timed experiments.
+    let mut timings: BTreeMap<String, f64> = BTreeMap::new();
+
+    let (t, rows) = time_median(reps, || random_sweep(&[24, 48], seeds));
+    timings.insert(format!("random_sweep_24_48x{seeds}"), t);
+    let mut h = Fnv::new();
+    for row in &rows {
+        h.write(row.machine.as_bytes());
+        h.write_u64(row.nodes as u64);
+        h.write_u64(row.mean_startup.to_bits());
+        h.write_u64(row.mean_compacted.to_bits());
+        h.write_u64(row.mean_oblivious.to_bits());
+        h.write_u64(row.mean_bound_gap.to_bits());
+    }
+    prints.insert("random_sweep_rows".into(), format!("{:016x}", h.0));
+
+    let big = random_csdfg(
+        RandomGraphConfig {
+            nodes: 64,
+            back_edges: 21,
+            ..Default::default()
+        },
+        7,
+    );
+    let mesh = Machine::mesh(8, 8);
+    let (t, r) = time_median(reps, || {
+        cyclo_compact(&big, &mesh, CompactConfig::default()).expect("legal")
+    });
+    timings.insert("compact_mesh8x8_64n".into(), t);
+    prints.insert("compact_mesh8x8_64n".into(), fingerprint(&r.schedule));
+    lengths.insert("random64/mesh8x8".into(), (r.initial_length, r.best_length));
+
+    let wide = Machine::complete(32);
+    let (t, r) = time_median(reps, || {
+        cyclo_compact(&big, &wide, CompactConfig::default()).expect("legal")
+    });
+    timings.insert("compact_complete32_64n".into(), t);
+    prints.insert("compact_complete32_64n".into(), fingerprint(&r.schedule));
+    lengths.insert(
+        "random64/complete32".into(),
+        (r.initial_length, r.best_length),
+    );
+
+    let (t, _) = time_median(reps, || {
+        let mut total = 0u64;
+        for w in ccs_workloads::all_workloads() {
+            let g = w.build();
+            for machine in machine_suite() {
+                let r = cyclo_compact(&g, &machine, CompactConfig::default()).expect("legal");
+                total += u64::from(r.best_length);
+            }
+        }
+        total
+    });
+    timings.insert("paper_suite_compaction".into(), t);
+
+    // --- Assemble the report.
+    let mut root: Vec<(String, Value)> = vec![
+        (
+            "version".into(),
+            Value::String(env!("CARGO_PKG_VERSION").into()),
+        ),
+        ("seeds".into(), Value::UInt(seeds)),
+        (
+            "timings_ms".into(),
+            Value::Object(
+                timings
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::Float(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "schedule_lengths".into(),
+            Value::Object(
+                lengths
+                    .iter()
+                    .map(|(k, (i, b))| {
+                        (
+                            k.clone(),
+                            Value::Object(vec![
+                                ("initial".into(), Value::UInt(u64::from(*i))),
+                                ("best".into(), Value::UInt(u64::from(*b))),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "fingerprints".into(),
+            Value::Object(
+                prints
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::String(v.clone())))
+                    .collect(),
+            ),
+        ),
+    ];
+
+    let mut mismatches = 0usize;
+    if let Some(path) = &baseline_path {
+        let text = std::fs::read_to_string(path).expect("read baseline");
+        let base: Value = serde_json::from_str(&text).expect("parse baseline");
+        if let Value::Object(fields) = &base["fingerprints"] {
+            for (key, val) in fields {
+                let ours = prints.get(key).map(String::as_str);
+                let theirs = val.as_str();
+                if ours != theirs {
+                    eprintln!(
+                        "FINGERPRINT MISMATCH {key}: baseline {theirs:?} vs current {ours:?}"
+                    );
+                    mismatches += 1;
+                }
+            }
+        }
+        let mut base_t: Vec<(String, Value)> = Vec::new();
+        let mut speedups: Vec<(String, Value)> = Vec::new();
+        if let Value::Object(fields) = &base["timings_ms"] {
+            for (key, val) in fields {
+                if let Some(ms) = val.as_f64() {
+                    base_t.push((key.clone(), Value::Float(ms)));
+                    if let Some(now) = timings.get(key) {
+                        speedups.push((key.clone(), Value::Float(ms / now)));
+                    }
+                }
+            }
+        }
+        root.push(("baseline_timings_ms".into(), Value::Object(base_t)));
+        root.push(("speedup".into(), Value::Object(speedups)));
+        root.push((
+            "fingerprint_mismatches".into(),
+            Value::UInt(mismatches as u64),
+        ));
+    }
+
+    let report = Value::Object(root);
+    let text = serde_json::to_string_pretty(&report).expect("serialize report");
+    match &json_path {
+        Some(path) => {
+            std::fs::write(path, format!("{text}\n")).expect("write report");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{text}"),
+    }
+
+    for (k, v) in &timings {
+        eprintln!("{k:<28} {v:>10.2} ms");
+    }
+    if mismatches > 0 {
+        eprintln!("{mismatches} fingerprint mismatch(es) vs baseline");
+        std::process::exit(1);
+    }
+}

@@ -15,21 +15,39 @@ fn main() {
         ("fig7 (19n)", ccs_workloads::paper::fig7_example()),
         (
             "elliptic s3 (34n)",
-            slowdown(&ccs_workloads::filters::elliptic_wave_filter(OpTimes::default()), 3),
+            slowdown(
+                &ccs_workloads::filters::elliptic_wave_filter(OpTimes::default()),
+                3,
+            ),
         ),
     ];
-    let machines = [Machine::linear_array(8), Machine::mesh(4, 2), Machine::complete(8)];
+    let machines = [
+        Machine::linear_array(8),
+        Machine::mesh(4, 2),
+        Machine::complete(8),
+    ];
 
     println!("=== relaxation ablation: per-pass schedule length (32 passes) ===\n");
     for (name, g) in &workloads {
         for machine in &machines {
             let (with, without) = relaxation_trace(g, machine, 32);
             let fmt = |t: &[u32]| {
-                t.iter().map(|l| l.to_string()).collect::<Vec<_>>().join(" ")
+                t.iter()
+                    .map(|l| l.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ")
             };
             println!("{name} on {}:", machine.name());
-            println!("  with:    {}  (best {})", fmt(&with), with.iter().min().unwrap());
-            println!("  without: {}  (best {})", fmt(&without), without.iter().min().unwrap());
+            println!(
+                "  with:    {}  (best {})",
+                fmt(&with),
+                with.iter().min().unwrap()
+            );
+            println!(
+                "  without: {}  (best {})",
+                fmt(&without),
+                without.iter().min().unwrap()
+            );
         }
         println!();
     }

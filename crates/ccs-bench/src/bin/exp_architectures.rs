@@ -1,13 +1,21 @@
 //! E2 — regenerates the paper's Figure 5/8: the experiment machine
 //! suite, with per-machine structural statistics and the link lists
-//! (DOT output on request via `--dot`).
+//! (DOT output on request via `--dot`), plus a compacted-length grid of
+//! every workload on every machine (the architecture comparison the
+//! statistics exist to explain).
+//!
+//! The stats rows and the workload × machine grid both run through the
+//! deterministic parallel sweep driver (`ccs_bench::run_many` /
+//! `ccs_bench::compact_grid`), so output is identical at any
+//! `RAYON_NUM_THREADS`.
 
-use ccs_bench::TextTable;
+use ccs_bench::{compact_grid, run_many, TextTable};
+use ccs_core::CompactConfig;
 use ccs_topology::Machine;
 
 fn main() {
     let dot = std::env::args().any(|a| a == "--dot");
-    let machines = [
+    let machines = vec![
         Machine::linear_array(8),
         Machine::ring(8),
         Machine::complete(8),
@@ -17,17 +25,28 @@ fn main() {
         Machine::mesh(2, 2),
     ];
 
-    let mut table = TextTable::new(["machine", "PEs", "links", "diameter", "mean dist", "max degree"]);
-    for m in &machines {
+    // Structural statistics, one parallel cell per machine.
+    let stats = run_many(machines.clone(), |m| {
         let max_deg = m.pes().map(|p| m.degree(p)).max().unwrap_or(0);
-        table.row([
+        [
             m.name().to_string(),
             m.num_pes().to_string(),
             m.links().len().to_string(),
             m.diameter().to_string(),
             format!("{:.2}", m.mean_distance()),
             max_deg.to_string(),
-        ]);
+        ]
+    });
+    let mut table = TextTable::new([
+        "machine",
+        "PEs",
+        "links",
+        "diameter",
+        "mean dist",
+        "max degree",
+    ]);
+    for row in stats {
+        table.row(row);
     }
     println!("=== Figure 5/8: experiment architectures ===\n");
     println!("{}", table.render());
@@ -44,4 +63,22 @@ fn main() {
             println!("{}", m.to_dot());
         }
     }
+
+    // Compacted schedule length of every workload on every machine —
+    // how the structural numbers above translate into schedules.
+    let workloads = ccs_workloads::all_workloads();
+    let grid = compact_grid(&workloads, &machines, &[CompactConfig::default()]);
+    let mut header = vec!["workload".to_string()];
+    header.extend(machines.iter().map(|m| m.name().to_string()));
+    let mut compacted = TextTable::new(header);
+    for (wi, w) in workloads.iter().enumerate() {
+        let mut row = vec![w.name.to_string()];
+        for mi in 0..machines.len() {
+            let cell = &grid[wi * machines.len() + mi];
+            row.push(format!("{}->{}", cell.initial, cell.best));
+        }
+        compacted.row(row);
+    }
+    println!("\n=== compacted lengths (startup -> best) per architecture ===\n");
+    println!("{}", compacted.render());
 }

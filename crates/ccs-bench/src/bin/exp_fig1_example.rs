@@ -17,16 +17,34 @@ fn main() {
     println!("\n=== Figure 1(a): the machine ===\n{machine}");
 
     // One pass only: Figures 2(b)/1(c).
-    let one = cyclo_compact(&g, &machine, CompactConfig { passes: 1, ..Default::default() })
-        .expect("legal");
-    println!("\n=== Figure 2(a)/6(b): start-up schedule, {} control steps ===", one.initial_length);
+    let one = cyclo_compact(
+        &g,
+        &machine,
+        CompactConfig {
+            passes: 1,
+            ..Default::default()
+        },
+    )
+    .expect("legal");
+    println!(
+        "\n=== Figure 2(a)/6(b): start-up schedule, {} control steps ===",
+        one.initial_length
+    );
     println!("{}", one.initial.render(|v| g.name(v).to_string()));
-    println!("=== after pass 1 (Figure 3(a) analogue), {} control steps ===", one.best_length);
+    println!(
+        "=== after pass 1 (Figure 3(a) analogue), {} control steps ===",
+        one.best_length
+    );
     println!("{}", one.schedule.render(|v| one.graph.name(v).to_string()));
     println!("=== Figure 1(c): delays after rotating A ===");
     for e in one.graph.deps() {
         let (u, v) = one.graph.endpoints(e);
-        println!("  {} -> {}  d={}", one.graph.name(u), one.graph.name(v), one.graph.delay(e));
+        println!(
+            "  {} -> {}  d={}",
+            one.graph.name(u),
+            one.graph.name(v),
+            one.graph.delay(e)
+        );
     }
 
     // Full compaction: Figure 3(b)/4.
@@ -35,11 +53,19 @@ fn main() {
         "\n=== full cyclo-compaction: {} -> {} control steps (paper reached 5) ===",
         full.initial_length, full.best_length
     );
-    println!("{}", full.schedule.render(|v| full.graph.name(v).to_string()));
+    println!(
+        "{}",
+        full.schedule.render(|v| full.graph.name(v).to_string())
+    );
     println!("=== Figure 4 analogue: final retimed delays ===");
     for e in full.graph.deps() {
         let (u, v) = full.graph.endpoints(e);
-        println!("  {} -> {}  d={}", full.graph.name(u), full.graph.name(v), full.graph.delay(e));
+        println!(
+            "  {} -> {}  d={}",
+            full.graph.name(u),
+            full.graph.name(v),
+            full.graph.delay(e)
+        );
     }
 
     validate(&full.graph, &machine, &full.schedule).expect("valid");

@@ -14,5 +14,8 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(10);
     let report = ccs_bench::report::collect(sweep_seeds, replay_iters);
-    println!("{}", serde_json::to_string_pretty(&report).expect("report serializes"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    );
 }

@@ -9,12 +9,17 @@ use ccs_bench::experiments::jitter_study;
 use ccs_bench::TextTable;
 
 fn main() {
-    let iterations: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60);
-    let seeds: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let iterations: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    let seeds: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
     println!("=== jitter robustness ({iterations} iterations, {seeds} seeds) ===\n");
     let rows = jitter_study(iterations, seeds);
-    let mut table =
-        TextTable::new(["workload", "machine", "nominal II", "+1 cycle", "+2", "+3"]);
+    let mut table = TextTable::new(["workload", "machine", "nominal II", "+1 cycle", "+2", "+3"]);
     for r in &rows {
         table.row([
             r.workload.to_string(),

@@ -1,7 +1,7 @@
 //! E12 — extension experiment: random-CSDFG sweep across graph sizes
 //! and machines, reporting mean start-up / compacted / oblivious
 //! lengths and the mean gap to the iteration-bound ceiling.
-//! Parallelized with crossbeam scoped threads.
+//! Parallelized across sweep cells with rayon.
 //!
 //! Usage: `exp_random_sweep [seeds-per-cell]` (default 20).
 

@@ -39,8 +39,14 @@ fn main() {
     println!("paper shape checks:");
     let relaxed: Vec<_> = rows.iter().filter(|r| r.relax == "with").collect();
     let strict: Vec<_> = rows.iter().filter(|r| r.relax == "w/o").collect();
-    let rel_total: u32 = relaxed.iter().flat_map(|r| r.cells.iter().map(|c| c.1)).sum();
-    let str_total: u32 = strict.iter().flat_map(|r| r.cells.iter().map(|c| c.1)).sum();
+    let rel_total: u32 = relaxed
+        .iter()
+        .flat_map(|r| r.cells.iter().map(|c| c.1))
+        .sum();
+    let str_total: u32 = strict
+        .iter()
+        .flat_map(|r| r.cells.iter().map(|c| c.1))
+        .sum();
     println!(
         "  [{}] relaxation dominates without-relaxation (sum after: {} vs {})",
         if rel_total <= str_total { "ok" } else { "FAIL" },
@@ -54,9 +60,7 @@ fn main() {
         "  [{}] completely connected yields the shortest relaxed schedules",
         if cc_best { "ok" } else { "FAIL" }
     );
-    let all_improve = rows
-        .iter()
-        .all(|r| r.cells.iter().all(|c| c.1 <= c.0));
+    let all_improve = rows.iter().all(|r| r.cells.iter().all(|c| c.1 <= c.0));
     println!(
         "  [{}] compaction never lengthens a schedule",
         if all_improve { "ok" } else { "FAIL" }

@@ -12,7 +12,10 @@ fn main() {
         println!("---------------- {} ----------------", r.machine);
         println!("Start-up schedule ({} control steps):", r.startup_len);
         println!("{}", r.startup_table);
-        println!("After cyclo-compaction ({} control steps):", r.compacted_len);
+        println!(
+            "After cyclo-compaction ({} control steps):",
+            r.compacted_len
+        );
         println!("{}", r.compacted_table);
     }
     println!("paper shape: start-up lengths 12-15, compacted 5-7,");

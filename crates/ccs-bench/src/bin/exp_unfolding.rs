@@ -16,8 +16,7 @@ fn main() {
         .unwrap_or(3);
     println!("=== unfolding study on completely connected 8 ===\n");
     let rows = unfolding_study(max_factor);
-    let mut table =
-        TextTable::new(["workload", "factor", "length", "per iteration", "bound"]);
+    let mut table = TextTable::new(["workload", "factor", "length", "per iteration", "bound"]);
     for r in &rows {
         table.row([
             r.workload.to_string(),

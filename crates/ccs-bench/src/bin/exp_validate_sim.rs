@@ -21,7 +21,10 @@ fn main() {
     if s.passed == s.schedules {
         println!("\n[ok] every schedule is valid under checker, replay, and self-timed run");
     } else {
-        println!("\n[FAIL] {} schedules failed validation", s.schedules - s.passed);
+        println!(
+            "\n[FAIL] {} schedules failed validation",
+            s.schedules - s.passed
+        );
         std::process::exit(1);
     }
 }

@@ -1,0 +1,112 @@
+//! Deterministic parallel fan-out for experiment grids.
+//!
+//! Every experiment that sweeps *independent* scheduling problems —
+//! workloads × machines × configs, random seeds × sizes, growing PE
+//! counts — funnels through [`run_many`]: a rayon-parallel map whose
+//! output order equals the input order at any thread count (the
+//! workspace `rayon` stand-in concatenates per-chunk results in input
+//! order, and upstream rayon's `collect` on an indexed iterator has the
+//! same property).  Experiments therefore produce byte-identical
+//! reports whether run with `RAYON_NUM_THREADS=1` or 64.
+//!
+//! [`compact_grid`] is the common special case: `cyclo_compact` over a
+//! full workloads × machines × configs grid, row-major.
+
+use ccs_core::{cyclo_compact, CompactConfig};
+use ccs_topology::Machine;
+use ccs_workloads::Workload;
+use rayon::prelude::*;
+
+/// Maps `f` over `inputs` in parallel; results come back in input
+/// order regardless of thread count.
+///
+/// This is the only parallelism entry point the experiment harness
+/// uses, so determinism arguments reduce to one place: cell functions
+/// must be pure (no shared mutable state, no time/thread dependence),
+/// and then the whole sweep is reproducible.
+pub fn run_many<T, R, F>(inputs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync + Send,
+{
+    inputs.into_par_iter().map(f).collect()
+}
+
+/// One cell of a [`compact_grid`] sweep.
+#[derive(Clone, Debug)]
+pub struct GridCell {
+    /// Workload registry name.
+    pub workload: &'static str,
+    /// Machine name.
+    pub machine: String,
+    /// Index into the `configs` slice passed to [`compact_grid`].
+    pub config_ix: usize,
+    /// Start-up schedule length.
+    pub initial: u32,
+    /// Best compacted schedule length.
+    pub best: u32,
+}
+
+/// Runs `cyclo_compact` on every workload × machine × config cell in
+/// parallel.  Result order is row-major — workloads outer, machines
+/// middle, configs inner — independent of thread count.
+pub fn compact_grid(
+    workloads: &[Workload],
+    machines: &[Machine],
+    configs: &[CompactConfig],
+) -> Vec<GridCell> {
+    let mut cells = Vec::with_capacity(workloads.len() * machines.len() * configs.len());
+    for w in workloads {
+        for m in machines {
+            for (ci, c) in configs.iter().enumerate() {
+                cells.push((w, m, ci, *c));
+            }
+        }
+    }
+    run_many(cells, |(w, m, ci, c)| {
+        let g = w.build();
+        let r = cyclo_compact(&g, m, c).expect("legal workload");
+        GridCell {
+            workload: w.name,
+            machine: m.name().to_string(),
+            config_ix: ci,
+            initial: r.initial_length,
+            best: r.best_length,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_many_preserves_input_order() {
+        let out = run_many((0..257usize).collect(), |i| i * 3);
+        assert_eq!(out, (0..257).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn compact_grid_matches_sequential_loop() {
+        let workloads: Vec<Workload> = ccs_workloads::all_workloads()
+            .into_iter()
+            .filter(|w| w.name == "fig1" || w.name == "iir")
+            .collect();
+        let machines = vec![Machine::linear_array(4), Machine::complete(4)];
+        let configs = vec![CompactConfig::default()];
+        let grid = compact_grid(&workloads, &machines, &configs);
+        assert_eq!(grid.len(), 4);
+        let mut ix = 0;
+        for w in &workloads {
+            for m in &machines {
+                let r = cyclo_compact(&w.build(), m, configs[0]).expect("legal");
+                assert_eq!(grid[ix].workload, w.name);
+                assert_eq!(grid[ix].machine, m.name());
+                assert_eq!(grid[ix].initial, r.initial_length);
+                assert_eq!(grid[ix].best, r.best_length);
+                ix += 1;
+            }
+        }
+    }
+}

@@ -50,8 +50,10 @@ pub fn table11() -> Vec<Table11Row> {
     );
     let machines = table11_machines();
     let mut rows = Vec::new();
-    for (relax, mode) in [("w/o", RemapMode::WithoutRelaxation), ("with", RemapMode::WithRelaxation)]
-    {
+    for (relax, mode) in [
+        ("w/o", RemapMode::WithoutRelaxation),
+        ("with", RemapMode::WithRelaxation),
+    ] {
         for (name, graph) in [("Elliptic Filter", &elliptic), ("Lattice Filter", &lattice)] {
             let mut cells = Vec::new();
             for machine in &machines {
@@ -60,7 +62,11 @@ pub fn table11() -> Vec<Table11Row> {
                 debug_assert!(validate(&r.graph, machine, &r.schedule).is_ok());
                 cells.push((r.initial_length, r.best_length));
             }
-            rows.push(Table11Row { application: name, relax, cells });
+            rows.push(Table11Row {
+                application: name,
+                relax,
+                cells,
+            });
         }
     }
     rows
@@ -113,7 +119,10 @@ pub fn relaxation_trace(g: &Csdfg, machine: &Machine, passes: usize) -> (Vec<u32
         let r = cyclo_compact(g, machine, cfg).expect("legal");
         r.history.iter().map(|rec| rec.length).collect::<Vec<u32>>()
     };
-    (run(RemapMode::WithRelaxation), run(RemapMode::WithoutRelaxation))
+    (
+        run(RemapMode::WithRelaxation),
+        run(RemapMode::WithoutRelaxation),
+    )
 }
 
 /// One row of the priority-function ablation (E11).
@@ -132,16 +141,31 @@ pub fn priority_ablation() -> Vec<PriorityRow> {
     let mut rows = Vec::new();
     for w in ccs_workloads::all_workloads() {
         let g = w.build();
-        for machine in [Machine::linear_array(8), Machine::mesh(4, 2), Machine::complete(8)] {
+        for machine in [
+            Machine::linear_array(8),
+            Machine::mesh(4, 2),
+            Machine::complete(8),
+        ] {
             let mut lengths = [0u32; 3];
-            for (i, p) in [Priority::CommunicationSensitive, Priority::MobilityOnly, Priority::Fifo]
-                .into_iter()
-                .enumerate()
+            for (i, p) in [
+                Priority::CommunicationSensitive,
+                Priority::MobilityOnly,
+                Priority::Fifo,
+            ]
+            .into_iter()
+            .enumerate()
             {
-                let cfg = StartupConfig { priority: p, ..Default::default() };
+                let cfg = StartupConfig {
+                    priority: p,
+                    ..Default::default()
+                };
                 lengths[i] = startup_schedule(&g, &machine, cfg).expect("legal").length();
             }
-            rows.push(PriorityRow { workload: w.name, machine: machine.name().to_string(), lengths });
+            rows.push(PriorityRow {
+                workload: w.name,
+                machine: machine.name().to_string(),
+                lengths,
+            });
         }
     }
     rows
@@ -165,57 +189,52 @@ pub struct SweepRow {
 }
 
 /// Random-graph sweep over sizes x machines, `seeds` graphs per cell,
-/// parallelized across machines with crossbeam scoped threads.
+/// parallelized across (size, machine) cells via
+/// [`crate::driver::run_many`]; row order is deterministic (sizes
+/// outer, machines inner) regardless of thread count.
 pub fn random_sweep(sizes: &[usize], seeds: u64) -> Vec<SweepRow> {
-    let machines = [Machine::linear_array(8), Machine::mesh(4, 2), Machine::complete(8)];
-    let mut rows = Vec::new();
-    for &nodes in sizes {
-        let cell_results: Vec<SweepRow> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = machines
-                .iter()
-                .map(|machine| {
-                    scope.spawn(move |_| {
-                        let mut startup_sum = 0u64;
-                        let mut compact_sum = 0u64;
-                        let mut oblivious_sum = 0u64;
-                        let mut gap_sum = 0f64;
-                        for seed in 0..seeds {
-                            let cfg = RandomGraphConfig {
-                                nodes,
-                                back_edges: nodes / 3,
-                                ..Default::default()
-                            };
-                            let g = random_csdfg(cfg, seed);
-                            let r = cyclo_compact(&g, machine, CompactConfig::default())
-                                .expect("legal");
-                            let ob = oblivious_list_scheduling(&g, machine).expect("legal");
-                            startup_sum += u64::from(r.initial_length);
-                            compact_sum += u64::from(r.best_length);
-                            oblivious_sum += u64::from(ob.actual_length);
-                            let floor = iteration_bound(&g)
-                                .map(|b| b.ceil() as f64)
-                                .unwrap_or(1.0)
-                                .max(1.0);
-                            gap_sum += f64::from(r.best_length) / floor;
-                        }
-                        let n = seeds as f64;
-                        SweepRow {
-                            nodes,
-                            machine: machine.name().to_string(),
-                            mean_startup: startup_sum as f64 / n,
-                            mean_compacted: compact_sum as f64 / n,
-                            mean_oblivious: oblivious_sum as f64 / n,
-                            mean_bound_gap: gap_sum / n,
-                        }
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("sweep thread")).collect()
-        })
-        .expect("crossbeam scope");
-        rows.extend(cell_results);
-    }
-    rows
+    let machines = [
+        Machine::linear_array(8),
+        Machine::mesh(4, 2),
+        Machine::complete(8),
+    ];
+    let cells: Vec<(usize, &Machine)> = sizes
+        .iter()
+        .flat_map(|&nodes| machines.iter().map(move |m| (nodes, m)))
+        .collect();
+    crate::driver::run_many(cells, |(nodes, machine)| {
+        let mut startup_sum = 0u64;
+        let mut compact_sum = 0u64;
+        let mut oblivious_sum = 0u64;
+        let mut gap_sum = 0f64;
+        for seed in 0..seeds {
+            let cfg = RandomGraphConfig {
+                nodes,
+                back_edges: nodes / 3,
+                ..Default::default()
+            };
+            let g = random_csdfg(cfg, seed);
+            let r = cyclo_compact(&g, machine, CompactConfig::default()).expect("legal");
+            let ob = oblivious_list_scheduling(&g, machine).expect("legal");
+            startup_sum += u64::from(r.initial_length);
+            compact_sum += u64::from(r.best_length);
+            oblivious_sum += u64::from(ob.actual_length);
+            let floor = iteration_bound(&g)
+                .map(|b| b.ceil() as f64)
+                .unwrap_or(1.0)
+                .max(1.0);
+            gap_sum += f64::from(r.best_length) / floor;
+        }
+        let n = seeds as f64;
+        SweepRow {
+            nodes,
+            machine: machine.name().to_string(),
+            mean_startup: startup_sum as f64 / n,
+            mean_compacted: compact_sum as f64 / n,
+            mean_oblivious: oblivious_sum as f64 / n,
+            mean_bound_gap: gap_sum / n,
+        }
+    })
 }
 
 /// One row of the contention study (E14, extension): the same
@@ -254,11 +273,14 @@ pub fn contention_study(iterations: u32) -> Vec<ContentionRow> {
     let mut rows = Vec::new();
     for w in ccs_workloads::all_workloads() {
         let g = w.build();
-        for machine in [Machine::linear_array(8), Machine::ring(8), Machine::mesh(4, 2)] {
+        for machine in [
+            Machine::linear_array(8),
+            Machine::ring(8),
+            Machine::mesh(4, 2),
+        ] {
             let r = cyclo_compact(&g, &machine, CompactConfig::default()).expect("legal");
             let free = run_self_timed(&r.graph, &machine, &r.schedule, iterations);
-            let contended =
-                ccs_sim::run_contended(&r.graph, &machine, &r.schedule, iterations);
+            let contended = ccs_sim::run_contended(&r.graph, &machine, &r.schedule, iterations);
             rows.push(ContentionRow {
                 workload: w.name,
                 machine: machine.name().to_string(),
@@ -313,8 +335,9 @@ pub fn optimality_gap(count: u64) -> Vec<GapRow> {
             let startup = startup_schedule(&g, &machine, StartupConfig::default())
                 .expect("legal")
                 .length();
-            let compacted =
-                cyclo_compact(&g, &machine, CompactConfig::default()).expect("legal").best_length;
+            let compacted = cyclo_compact(&g, &machine, CompactConfig::default())
+                .expect("legal")
+                .best_length;
             rows.push(GapRow {
                 seed,
                 machine: machine.name().to_string(),
@@ -339,19 +362,24 @@ pub struct ScalingRow {
 }
 
 /// Compacted schedule length of a workload on completely connected
-/// machines of growing size — the speedup saturation curve.
+/// machines of growing size — the speedup saturation curve.  Each PE
+/// count is an independent scheduling problem, so the curve is
+/// evaluated in parallel via [`crate::driver::run_many`] (rows come
+/// back in PE order at any thread count).
 pub fn pe_scaling(workload: &str, max_pes: usize) -> Vec<ScalingRow> {
     let g = ccs_workloads::workload_by_name(workload)
         .unwrap_or_else(|| panic!("unknown workload {workload:?}"))
         .build();
     let bound = iteration_bound(&g).map(|b| b.ceil()).unwrap_or(1);
-    (1..=max_pes)
-        .map(|pes| {
-            let machine = Machine::complete(pes);
-            let r = cyclo_compact(&g, &machine, CompactConfig::default()).expect("legal");
-            ScalingRow { pes, length: r.best_length, bound }
-        })
-        .collect()
+    crate::driver::run_many((1..=max_pes).collect(), |pes| {
+        let machine = Machine::complete(pes);
+        let r = cyclo_compact(&g, &machine, CompactConfig::default()).expect("legal");
+        ScalingRow {
+            pes,
+            length: r.best_length,
+            bound,
+        }
+    })
 }
 
 /// One row of the multi-row-rotation ablation (E17, extension).
@@ -377,7 +405,10 @@ pub fn multirow_ablation() -> Vec<MultirowRow> {
             let mut lengths = [0u32; 3];
             for (i, rows) in [1u32, 2, 3].into_iter().enumerate() {
                 let cfg = CompactConfig {
-                    remap: RemapConfig { rows_per_pass: rows, ..Default::default() },
+                    remap: RemapConfig {
+                        rows_per_pass: rows,
+                        ..Default::default()
+                    },
                     ..Default::default()
                 };
                 lengths[i] = cyclo_compact(&g, &machine, cfg).expect("legal").best_length;
@@ -418,7 +449,9 @@ pub fn unfolding_study(max_factor: u32) -> Vec<UnfoldRow> {
     let machine = Machine::complete(8);
     let mut rows = Vec::new();
     for w in ["fig1", "iir", "diffeq"] {
-        let g = ccs_workloads::workload_by_name(w).expect("known workload").build();
+        let g = ccs_workloads::workload_by_name(w)
+            .expect("known workload")
+            .build();
         let bound = iteration_bound(&g).map(|b| b.as_f64()).unwrap_or(0.0);
         for f in 1..=max_factor {
             let gu = unfold(&g, f);
@@ -506,16 +539,14 @@ pub fn validate_everything(replay_iters: u32) -> ValidationSummary {
         let g = w.build();
         for machine in table11_machines() {
             for mode in [RemapMode::WithRelaxation, RemapMode::WithoutRelaxation] {
-                let r = cyclo_compact(&g, &machine, CompactConfig::with_mode(mode))
-                    .expect("legal");
+                let r = cyclo_compact(&g, &machine, CompactConfig::with_mode(mode)).expect("legal");
                 summary.schedules += 1;
                 let algebraic = validate(&r.graph, &machine, &r.schedule).is_ok();
                 let replay = replay_static(&r.graph, &machine, &r.schedule, replay_iters);
                 let st = run_self_timed(&r.graph, &machine, &r.schedule, replay_iters);
                 summary.replay_iterations += u64::from(replay_iters);
                 summary.messages += replay.messages;
-                let self_timed_ok =
-                    st.initiation_interval <= f64::from(r.best_length) + 1e-9;
+                let self_timed_ok = st.initiation_interval <= f64::from(r.best_length) + 1e-9;
                 if algebraic && replay.is_valid() && self_timed_ok {
                     summary.passed += 1;
                 }
@@ -557,13 +588,26 @@ mod tests {
         for row in &rows {
             assert_eq!(row.cells.len(), 5);
             for &(init, after) in &row.cells {
-                assert!(after <= init, "{} {}: {} > {}", row.application, row.relax, after, init);
+                assert!(
+                    after <= init,
+                    "{} {}: {} > {}",
+                    row.application,
+                    row.relax,
+                    after,
+                    init
+                );
             }
         }
         // Relaxation dominates without-relaxation per app/machine.
         for app in ["Elliptic Filter", "Lattice Filter"] {
-            let with = rows.iter().find(|r| r.application == app && r.relax == "with").unwrap();
-            let without = rows.iter().find(|r| r.application == app && r.relax == "w/o").unwrap();
+            let with = rows
+                .iter()
+                .find(|r| r.application == app && r.relax == "with")
+                .unwrap();
+            let without = rows
+                .iter()
+                .find(|r| r.application == app && r.relax == "w/o")
+                .unwrap();
             for (w, wo) in with.cells.iter().zip(&without.cells) {
                 assert!(w.1 <= wo.1, "{app}: with {} > w/o {}", w.1, wo.1);
             }

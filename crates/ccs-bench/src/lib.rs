@@ -21,9 +21,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod driver;
 pub mod experiments;
 pub mod report;
 pub mod table;
 
+pub use driver::{compact_grid, run_many, GridCell};
 pub use experiments::*;
 pub use table::TextTable;

@@ -163,7 +163,10 @@ pub fn collect(sweep_seeds: u64, replay_iters: u32) -> FullReport {
         nineteen_node,
         priority,
         sweep,
-        validation: ValidationJson { schedules: v.schedules, passed: v.passed },
+        validation: ValidationJson {
+            schedules: v.schedules,
+            passed: v.passed,
+        },
         multirow,
     }
 }

@@ -34,13 +34,20 @@ pub fn oblivious_list_scheduling(
     machine: &Machine,
 ) -> Result<BaselineResult, ModelError> {
     let ideal = Machine::ideal(machine.num_pes());
-    let cfg = StartupConfig { ignore_communication: true, ..Default::default() };
+    let cfg = StartupConfig {
+        ignore_communication: true,
+        ..Default::default()
+    };
     let believed = startup_schedule(g, &ideal, cfg)?;
     let believed_length = believed.length();
     let mut schedule = legalize(g, machine, &believed);
     schedule.pad_to(required_length(g, machine, &schedule));
     let actual_length = schedule.length();
-    Ok(BaselineResult { believed_length, schedule, actual_length })
+    Ok(BaselineResult {
+        believed_length,
+        schedule,
+        actual_length,
+    })
 }
 
 /// Rotation scheduling in the style of Chao–LaPaugh–Sha (DAC'93):
@@ -55,13 +62,23 @@ pub fn oblivious_rotation_scheduling(
     passes: usize,
 ) -> Result<(BaselineResult, Csdfg), ModelError> {
     let ideal = Machine::ideal(machine.num_pes());
-    let cfg = CompactConfig { passes, ..Default::default() };
+    let cfg = CompactConfig {
+        passes,
+        ..Default::default()
+    };
     let result = cyclo_compact(g, &ideal, cfg)?;
     let believed_length = result.best_length;
     let mut schedule = legalize(&result.graph, machine, &result.schedule);
     schedule.pad_to(required_length(&result.graph, machine, &schedule));
     let actual_length = schedule.length();
-    Ok((BaselineResult { believed_length, schedule, actual_length }, result.graph))
+    Ok((
+        BaselineResult {
+            believed_length,
+            schedule,
+            actual_length,
+        },
+        result.graph,
+    ))
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! The cyclo-compaction driver (paper §4, `Algorithm Cyclo-Compact`).
 
-use crate::remap::{rotate_remap, PassOutcome, RemapConfig, RemapMode};
+use crate::remap::{rotate_remap_in_place, RemapConfig, RemapMode};
 use crate::startup::{startup_schedule, StartupConfig};
 use ccs_model::{Csdfg, ModelError, NodeId};
 use ccs_retiming::Retiming;
@@ -37,7 +37,13 @@ impl CompactConfig {
     /// Convenience: default configuration with the given relaxation
     /// mode.
     pub fn with_mode(mode: RemapMode) -> Self {
-        CompactConfig { remap: RemapConfig { mode, ..Default::default() }, ..Default::default() }
+        CompactConfig {
+            remap: RemapConfig {
+                mode,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
     }
 }
 
@@ -105,12 +111,19 @@ pub fn cyclo_compact(
     let mut history = Vec::with_capacity(config.passes);
 
     for pass in 1..=config.passes {
-        let PassOutcome { schedule, graph, rotated, reverted } =
-            rotate_remap(&cur_graph, machine, &cur_sched, config.remap);
+        // The pass mutates the working pair in place; a reverted pass
+        // restores it, so nothing is cloned on the per-pass hot path.
+        let out = rotate_remap_in_place(&mut cur_graph, machine, &mut cur_sched, config.remap);
+        if !out.reverted {
+            for &v in &out.rotated {
+                retiming.bump(v, 1);
+            }
+        }
+        let reverted = out.reverted;
         history.push(PassRecord {
             pass,
-            rotated: rotated.clone(),
-            length: schedule.length(),
+            rotated: out.rotated,
+            length: cur_sched.length(),
             reverted,
         });
         if reverted {
@@ -119,11 +132,7 @@ pub fn cyclo_compact(
             }
             continue;
         }
-        for &v in &rotated {
-            retiming.bump(v, 1);
-        }
-        cur_sched = schedule;
-        cur_graph = graph;
+        // Snapshot only on improvement — the single remaining clone.
         if cur_sched.length() < best_sched.length() {
             best_sched = cur_sched.clone();
             best_graph = cur_graph.clone();
@@ -197,13 +206,22 @@ mod tests {
     #[test]
     fn without_relaxation_lengths_monotone() {
         let (g, _, m) = fig1();
-        let result =
-            cyclo_compact(&g, &m, CompactConfig::with_mode(RemapMode::WithoutRelaxation))
-                .unwrap();
+        let result = cyclo_compact(
+            &g,
+            &m,
+            CompactConfig::with_mode(RemapMode::WithoutRelaxation),
+        )
+        .unwrap();
         let mut prev = result.initial_length;
         for rec in &result.history {
             if !rec.reverted {
-                assert!(rec.length <= prev, "pass {} grew {} -> {}", rec.pass, prev, rec.length);
+                assert!(
+                    rec.length <= prev,
+                    "pass {} grew {} -> {}",
+                    rec.pass,
+                    prev,
+                    rec.length
+                );
                 prev = rec.length;
             }
         }
@@ -214,8 +232,7 @@ mod tests {
         let (g, _, _) = fig1();
         for machine in Machine::paper_suite() {
             for mode in [RemapMode::WithoutRelaxation, RemapMode::WithRelaxation] {
-                let result =
-                    cyclo_compact(&g, &machine, CompactConfig::with_mode(mode)).unwrap();
+                let result = cyclo_compact(&g, &machine, CompactConfig::with_mode(mode)).unwrap();
                 assert!(
                     validate(&result.graph, &machine, &result.schedule).is_ok(),
                     "{mode:?} on {}",
@@ -229,7 +246,10 @@ mod tests {
     #[test]
     fn zero_passes_returns_startup() {
         let (g, _, m) = fig1();
-        let cfg = CompactConfig { passes: 0, ..Default::default() };
+        let cfg = CompactConfig {
+            passes: 0,
+            ..Default::default()
+        };
         let result = cyclo_compact(&g, &m, cfg).unwrap();
         assert_eq!(result.best_length, result.initial_length);
         assert!(result.history.is_empty());
@@ -238,7 +258,11 @@ mod tests {
     #[test]
     fn history_records_every_pass() {
         let (g, _, m) = fig1();
-        let cfg = CompactConfig { passes: 5, stop_on_revert: false, ..Default::default() };
+        let cfg = CompactConfig {
+            passes: 5,
+            stop_on_revert: false,
+            ..Default::default()
+        };
         let result = cyclo_compact(&g, &m, cfg).unwrap();
         assert_eq!(result.history.len(), 5);
         for (i, rec) in result.history.iter().enumerate() {

@@ -49,7 +49,7 @@ pub mod startup;
 
 pub use compact::{cyclo_compact, CompactConfig, Compaction};
 pub use priority::Priority;
-pub use remap::{RemapConfig, RemapMode};
+pub use remap::{rotate_remap, rotate_remap_in_place, InPlaceOutcome, RemapConfig, RemapMode};
 pub use startup::{startup_schedule, StartupConfig};
 
 #[cfg(test)]

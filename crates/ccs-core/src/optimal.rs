@@ -120,7 +120,9 @@ fn place(
             if u == v {
                 continue;
             }
-            let (Some(ce_u), Some(pu)) = (table.ce(u), table.pe(u)) else { continue };
+            let (Some(ce_u), Some(pu)) = (table.ce(u), table.pe(u)) else {
+                continue;
+            };
             let m = i64::from(machine.comm_cost(pu, pe, g.volume(e)));
             let k = i64::from(g.delay(e));
             lb = lb.max(m + i64::from(ce_u) + 1 - k * i64::from(target));
@@ -132,7 +134,9 @@ fn place(
             if w == v {
                 continue;
             }
-            let (Some(cb_w), Some(pw)) = (table.cb(w), table.pe(w)) else { continue };
+            let (Some(cb_w), Some(pw)) = (table.cb(w), table.pe(w)) else {
+                continue;
+            };
             let m = i64::from(machine.comm_cost(pe, pw, g.volume(e)));
             let k = i64::from(g.delay(e));
             ub = ub.min(k * i64::from(target) + i64::from(cb_w) - m - 1);
@@ -153,7 +157,9 @@ fn place(
                 return SearchResult::OutOfBudget;
             }
             *budget -= 1;
-            table.place(v, pe, cs, duration).expect("slot free by construction");
+            table
+                .place(v, pe, cs, duration)
+                .expect("slot free by construction");
             match place(g, machine, order, depth + 1, target, table, budget) {
                 SearchResult::Found => return SearchResult::Found,
                 SearchResult::OutOfBudget => {

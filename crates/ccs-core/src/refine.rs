@@ -56,7 +56,8 @@ pub fn refine_binding(
                 }
                 let mut cand = best.clone();
                 cand.remove(v);
-                cand.place(v, pe, slot.start, slot.duration).expect("checked free");
+                cand.place(v, pe, slot.start, slot.duration)
+                    .expect("checked free");
                 if validate_quick(g, machine, &cand, current.0) {
                     let cand_score = score(&cand);
                     if cand_score < current {
@@ -82,7 +83,12 @@ pub fn refine_binding(
     best.pad_to(required_length(g, machine, &best));
     debug_assert!(validate(g, machine, &best).is_ok());
     let after = score(&best);
-    RefineOutcome { schedule: best, moves, before, after }
+    RefineOutcome {
+        schedule: best,
+        moves,
+        before,
+        after,
+    }
 }
 
 /// Cheap validity pre-check: intra-iteration precedence only (the PSL
@@ -94,8 +100,7 @@ fn validate_quick(g: &Csdfg, machine: &Machine, s: &Schedule, length_cap: u32) -
             continue;
         }
         let (u, v) = g.endpoints(e);
-        let (Some(ce_u), Some(pu), Some(cb_v), Some(pv)) =
-            (s.ce(u), s.pe(u), s.cb(v), s.pe(v))
+        let (Some(ce_u), Some(pu), Some(cb_v), Some(pv)) = (s.ce(u), s.pe(u), s.cb(v), s.pe(v))
         else {
             return false;
         };

@@ -9,8 +9,8 @@
 //! length, preferring one control step shorter than before.
 
 use ccs_model::{Csdfg, NodeId};
-use ccs_retiming::rotate;
-use ccs_schedule::{required_length, Schedule};
+use ccs_retiming::{rotate_in_place, unrotate_in_place};
+use ccs_schedule::{required_length, Schedule, Slot};
 use ccs_topology::{Machine, Pe};
 
 /// Remapping policy (Definition 4.2).
@@ -45,7 +45,11 @@ pub struct RemapConfig {
 
 impl Default for RemapConfig {
     fn default() -> Self {
-        RemapConfig { mode: RemapMode::default(), max_growth: 8, rows_per_pass: 1 }
+        RemapConfig {
+            mode: RemapMode::default(),
+            max_growth: 8,
+            rows_per_pass: 1,
+        }
     }
 }
 
@@ -63,7 +67,22 @@ pub struct PassOutcome {
     pub reverted: bool,
 }
 
-/// Performs one rotation + remapping pass on `(g, sched)`.
+/// Result of one in-place rotate-remap pass
+/// ([`rotate_remap_in_place`]).  On revert the borrowed graph and
+/// schedule are restored to their pre-pass state, so no cloned copies
+/// need to travel back to the caller.
+#[derive(Clone, Debug)]
+pub struct InPlaceOutcome {
+    /// Nodes that were rotated this pass.
+    pub rotated: Vec<NodeId>,
+    /// `true` when the pass could not re-place the rotated nodes within
+    /// the mode's length budget and was rolled back.
+    pub reverted: bool,
+}
+
+/// Performs one rotation + remapping pass on `(g, sched)`, allocating
+/// fresh copies for the outcome.  Thin cloning wrapper around
+/// [`rotate_remap_in_place`] for callers that want to keep the inputs.
 ///
 /// `sched` must be a valid schedule of `g` on `machine` (callers in
 /// this crate always pass validated schedules; debug builds re-assert).
@@ -73,6 +92,35 @@ pub fn rotate_remap(
     sched: &Schedule,
     config: RemapConfig,
 ) -> PassOutcome {
+    let mut graph = g.clone();
+    let mut schedule = sched.clone();
+    let out = rotate_remap_in_place(&mut graph, machine, &mut schedule, config);
+    PassOutcome {
+        schedule,
+        graph,
+        rotated: out.rotated,
+        reverted: out.reverted,
+    }
+}
+
+/// Performs one rotation + remapping pass directly on `(g, sched)`.
+///
+/// On success the borrowed graph carries the rotation's retiming delta
+/// and the schedule holds the remapped placements.  On revert both are
+/// rolled back in place — rotated slots are restored from a saved
+/// first-rows snapshot (the only per-pass allocation proportional to
+/// the rotation set, not the whole table) and the rotation is undone
+/// edge-by-edge, so a failed pass costs no full-graph or full-table
+/// clone.
+///
+/// `sched` must be a valid schedule of `g` on `machine` (callers in
+/// this crate always pass validated schedules; debug builds re-assert).
+pub fn rotate_remap_in_place(
+    g: &mut Csdfg,
+    machine: &Machine,
+    sched: &mut Schedule,
+    config: RemapConfig,
+) -> InPlaceOutcome {
     debug_assert!(ccs_schedule::validate(g, machine, sched).is_ok());
     let prev_len = sched.length();
     let rows = config.rows_per_pass.clamp(1, prev_len.max(1));
@@ -89,21 +137,22 @@ pub fn rotate_remap(
     // first `rows` rows can only have zero-delay in-edges from other
     // nodes in those rows (their producers finish even earlier), so
     // every in-edge from outside the set carries a delay.
-    let g_rot = match rotate(g, &rotated) {
-        Ok(gr) => gr,
-        Err(_) => {
-            // Unreachable for valid schedules; treat as a no-op pass.
-            return PassOutcome {
-                schedule: sched.clone(),
-                graph: g.clone(),
-                rotated,
-                reverted: true,
-            };
-        }
-    };
+    if rotate_in_place(g, &rotated).is_err() {
+        // Unreachable for valid schedules; treat as a no-op pass
+        // (`rotate_in_place` leaves `g` untouched on error).
+        return InPlaceOutcome {
+            rotated,
+            reverted: true,
+        };
+    }
 
-    let mut table = sched.clone();
-    table.drop_and_shift_by(&rotated, rows);
+    // Snapshot the rotated nodes' slots so a revert can restore them
+    // without a table clone.
+    let saved: Vec<(NodeId, Slot)> = rotated
+        .iter()
+        .map(|&v| (v, sched.slot(v).expect("rotated nodes are placed")))
+        .collect();
+    sched.drop_and_shift_by(&rotated, rows);
 
     // Targets to try, in order of preference: one step shorter first.
     let targets: Vec<u32> = match config.mode {
@@ -113,41 +162,174 @@ pub fn rotate_remap(
             .collect(),
     };
 
-    for &v in &rotated {
-        let mut placed = false;
+    // Hoist each rotated node's adjacency (endpoints, delay, volume)
+    // out of the graph once per pass; `best_position` then only touches
+    // flat slices instead of re-walking edge lists per (PE, target).
+    let adjacency = hoist_adjacency(g, &rotated);
+    let mut scratch = Scratch::default();
+    let mut failed = false;
+    'remap: for (&v, adj) in rotated.iter().zip(&adjacency) {
+        let duration = g.time(v);
+        // Placements only change between nodes, so neighbour slots can
+        // be resolved once per node and reused across PEs and targets.
+        scratch.resolve(adj, sched);
         for &target in &targets {
-            if let Some((cs, pe)) = best_position(&g_rot, machine, &table, v, target) {
-                table.place(v, pe, cs, g_rot.time(v)).expect("position checked free");
-                placed = true;
-                break;
+            if let Some((cs, pe)) = best_position(machine, sched, duration, &mut scratch, target) {
+                sched
+                    .place(v, pe, cs, duration)
+                    .expect("position checked free");
+                continue 'remap;
             }
         }
-        if !placed {
-            return PassOutcome {
-                schedule: sched.clone(),
-                graph: g.clone(),
+        failed = true;
+        break;
+    }
+
+    if !failed {
+        // Cover the projected schedule lengths by appending empty steps.
+        let required = required_length(g, machine, sched);
+        if config.mode != RemapMode::WithoutRelaxation || required <= prev_len {
+            sched.pad_to(required);
+            debug_assert!(
+                ccs_schedule::validate(g, machine, sched).is_ok(),
+                "remap produced an invalid schedule: {:?}",
+                ccs_schedule::validate(g, machine, sched)
+            );
+            return InPlaceOutcome {
                 rotated,
-                reverted: true,
+                reverted: false,
             };
         }
     }
 
-    // Cover the projected schedule lengths by appending empty steps.
-    let required = required_length(&g_rot, machine, &table);
-    if config.mode == RemapMode::WithoutRelaxation && required > prev_len {
-        return PassOutcome { schedule: sched.clone(), graph: g.clone(), rotated, reverted: true };
+    // Roll back in place: un-place whatever was re-placed so far (some
+    // rotated nodes may not have been when the remap failed), undo the
+    // renumbering shift, restore the saved first rows and the original
+    // padding, and un-rotate the graph.
+    for &(v, _) in &saved {
+        sched.remove(v);
     }
-    table.pad_to(required);
-    debug_assert!(
-        ccs_schedule::validate(&g_rot, machine, &table).is_ok(),
-        "remap produced an invalid schedule: {:?}",
-        ccs_schedule::validate(&g_rot, machine, &table)
-    );
-    PassOutcome { schedule: table, graph: g_rot, rotated, reverted: false }
+    sched.shift_later(rows);
+    for &(v, s) in &saved {
+        sched
+            .place(v, s.pe, s.start, s.duration)
+            .expect("restoring original placement");
+    }
+    sched.trim_padding();
+    sched.pad_to(prev_len);
+    unrotate_in_place(g, &rotated);
+    debug_assert!(ccs_schedule::validate(g, machine, sched).is_ok());
+    InPlaceOutcome {
+        rotated,
+        reverted: true,
+    }
 }
 
-/// Finds the cheapest feasible `(control step, processor)` for `v`
-/// under final-schedule-length `target`, or `None`.
+/// Adjacency of one rotated node, hoisted out of the graph once per
+/// pass: `(neighbour, delay, volume)` for every non-self edge.  Self
+/// loops are excluded everywhere the remapper looks (they constrain
+/// only via PSL of the node against itself, which the paper folds into
+/// `required_length`).
+struct NodeAdj {
+    /// Incoming non-self edges as `(producer, delay, volume)`.
+    ins: Vec<(NodeId, u32, u32)>,
+    /// Outgoing non-self edges as `(consumer, delay, volume)`.
+    outs: Vec<(NodeId, u32, u32)>,
+}
+
+/// Builds the per-node adjacency cache for the rotated set.
+fn hoist_adjacency(g: &Csdfg, nodes: &[NodeId]) -> Vec<NodeAdj> {
+    nodes
+        .iter()
+        .map(|&v| {
+            let mut ins = Vec::new();
+            for e in g.in_deps(v) {
+                let (u, _) = g.endpoints(e);
+                if u != v {
+                    ins.push((u, g.delay(e), g.volume(e)));
+                }
+            }
+            let mut outs = Vec::new();
+            for e in g.out_deps(v) {
+                let (_, w) = g.endpoints(e);
+                if w != v {
+                    outs.push((w, g.delay(e), g.volume(e)));
+                }
+            }
+            NodeAdj { ins, outs }
+        })
+        .collect()
+}
+
+/// One edge to an already-placed neighbour, resolved against the
+/// current table: `step` is `CE(u)` for in-edges and `CB(w)` for
+/// out-edges.
+#[derive(Clone, Copy)]
+struct PlacedEdge {
+    /// Edge delay `d_r(e)`.
+    k: i64,
+    /// Data volume.
+    vol: u32,
+    /// The neighbour's processor.
+    pe: Pe,
+    /// `CE(u)` (in-edge) or `CB(w)` (out-edge).
+    step: i64,
+}
+
+/// Reusable per-node buffers for [`best_position`]: resolved placed
+/// neighbours plus per-edge communication costs for the candidate PE
+/// (written in the bound sweep, reused in the impact sweep).
+#[derive(Default)]
+struct Scratch {
+    ins: Vec<PlacedEdge>,
+    outs: Vec<PlacedEdge>,
+    m_ins: Vec<i64>,
+    m_outs: Vec<i64>,
+}
+
+impl Scratch {
+    /// Resolves `adj` against the current table, keeping only edges
+    /// whose neighbour is placed (unplaced neighbours never constrain).
+    fn resolve(&mut self, adj: &NodeAdj, table: &Schedule) {
+        self.ins.clear();
+        for &(u, k, vol) in &adj.ins {
+            let (Some(ce_u), Some(pu)) = (table.ce(u), table.pe(u)) else {
+                continue;
+            };
+            self.ins.push(PlacedEdge {
+                k: i64::from(k),
+                vol,
+                pe: pu,
+                step: i64::from(ce_u),
+            });
+        }
+        self.outs.clear();
+        for &(w, k, vol) in &adj.outs {
+            let (Some(cb_w), Some(pw)) = (table.cb(w), table.pe(w)) else {
+                continue;
+            };
+            self.outs.push(PlacedEdge {
+                k: i64::from(k),
+                vol,
+                pe: pw,
+                step: i64::from(cb_w),
+            });
+        }
+        self.m_ins.resize(self.ins.len(), 0);
+        self.m_outs.resize(self.outs.len(), 0);
+    }
+}
+
+/// Projected schedule length of one loop-carried edge (Lemma 4.3):
+/// `ceil((M + CE(u) - CB(w) + 1) / k)`.
+fn psl(m: i64, ce: i64, cb: i64, k: i64) -> i64 {
+    let num = m + ce - cb + 1;
+    num.div_euclid(k) + i64::from(num.rem_euclid(k) != 0)
+}
+
+/// Finds the cheapest feasible `(control step, processor)` for the node
+/// whose resolved neighbourhood is in `scratch`, under
+/// final-schedule-length `target`, or `None`.
 ///
 /// For every processor the anticipation function gives the first
 /// control step that satisfies all *placed* predecessors:
@@ -159,50 +341,55 @@ pub fn rotate_remap(
 /// bound `CE(v)` from above through their own projected schedule
 /// lengths.  Among feasible placements the earliest control step wins,
 /// ties to the lowest processor index.
+///
+/// Candidates are ranked by `(length impact, cs, traffic, pe index)`.
+/// The driving objective is the schedule length the placement forces —
+/// the max of the node's own end step and the projected schedule
+/// lengths (Lemma 4.3) of its loop-carried edges to placed neighbours.
+/// Control step breaks ties (earlier leaves room for later rotations),
+/// then total data movement, then processor index.  Ranking by length
+/// impact rather than raw `cs` stops the greedy from scattering tasks
+/// across dense machines: a remote slot one step earlier is worthless
+/// if its communication inflates a projected schedule length.
+///
+/// The lower/upper-bound sweep, the traffic sum, and the per-edge
+/// communication costs of the impact sweep are fused into a single pass
+/// over the resolved edges per processor.
 fn best_position(
-    g: &Csdfg,
     machine: &Machine,
     table: &Schedule,
-    v: NodeId,
+    duration: u32,
+    scratch: &mut Scratch,
     target: u32,
 ) -> Option<(u32, Pe)> {
-    let duration = g.time(v);
     let target = i64::from(target);
-    // Candidates are ranked by (length impact, cs, traffic, pe index).
-    // The driving objective is the schedule length the placement forces
-    // — the max of the node's own end step and the projected schedule
-    // lengths (Lemma 4.3) of its loop-carried edges to placed
-    // neighbours.  Control step breaks ties (earlier leaves room for
-    // later rotations), then total data movement, then processor
-    // index.  Ranking by length impact rather than raw `cs` stops the
-    // greedy from scattering tasks across dense machines: a remote slot
-    // one step earlier is worthless if its communication inflates a
-    // projected schedule length.
+    let Scratch {
+        ins,
+        outs,
+        m_ins,
+        m_outs,
+    } = scratch;
     let mut best: Option<(u32, u32, u32, Pe)> = None;
     for pe in machine.pes() {
-        // Lower bound on CB(v) from placed predecessors.
+        // Lower bound on CB(v) from placed predecessors; total traffic
+        // and per-edge comm costs fall out of the same sweep.
         let mut lb: i64 = 1;
-        for e in g.in_deps(v) {
-            let (u, _) = g.endpoints(e);
-            if u == v {
-                continue; // self loops constrain via PSL only
-            }
-            let (Some(ce_u), Some(pu)) = (table.ce(u), table.pe(u)) else { continue };
-            let m = i64::from(machine.comm_cost(pu, pe, g.volume(e)));
-            let k = i64::from(g.delay(e));
-            lb = lb.max(m + i64::from(ce_u) + 1 - k * target);
+        let mut comm: u32 = 0;
+        for (e, m_slot) in ins.iter().zip(m_ins.iter_mut()) {
+            let c = machine.comm_cost(e.pe, pe, e.vol);
+            let m = i64::from(c);
+            *m_slot = m;
+            comm += c;
+            lb = lb.max(m + e.step + 1 - e.k * target);
         }
         // Upper bound on CE(v) from placed successors and the target.
         let mut ub: i64 = target;
-        for e in g.out_deps(v) {
-            let (_, w) = g.endpoints(e);
-            if w == v {
-                continue;
-            }
-            let (Some(cb_w), Some(pw)) = (table.cb(w), table.pe(w)) else { continue };
-            let m = i64::from(machine.comm_cost(pe, pw, g.volume(e)));
-            let k = i64::from(g.delay(e));
-            ub = ub.min(k * target + i64::from(cb_w) - m - 1);
+        for (e, m_slot) in outs.iter().zip(m_outs.iter_mut()) {
+            let c = machine.comm_cost(pe, e.pe, e.vol);
+            let m = i64::from(c);
+            *m_slot = m;
+            comm += c;
+            ub = ub.min(e.k * target + e.step - m - 1);
         }
         if lb > ub {
             continue;
@@ -212,77 +399,28 @@ fn best_position(
         if i64::from(cs) + i64::from(duration) - 1 > ub {
             continue;
         }
-        let comm = neighbour_traffic(g, machine, table, v, pe);
-        let impact = length_impact(g, machine, table, v, pe, cs);
+        // Length impact: the node's own end step and the PSL of every
+        // loop-carried edge to a placed neighbour, reusing the cached
+        // comm costs.
+        let ce_v = i64::from(cs) + i64::from(duration) - 1;
+        let mut needed = ce_v;
+        for (e, &m) in ins.iter().zip(m_ins.iter()) {
+            if e.k > 0 {
+                needed = needed.max(psl(m, e.step, i64::from(cs), e.k));
+            }
+        }
+        for (e, &m) in outs.iter().zip(m_outs.iter()) {
+            if e.k > 0 {
+                needed = needed.max(psl(m, ce_v, e.step, e.k));
+            }
+        }
+        let impact = u32::try_from(needed.max(0)).expect("length impact fits u32");
         let key = (impact, cs, comm, pe.index());
         if best.is_none_or(|(bi, bcs, bcomm, bpe)| key < (bi, bcs, bcomm, bpe.index())) {
             best = Some((impact, cs, comm, pe));
         }
     }
     best.map(|(_, cs, _, pe)| (cs, pe))
-}
-
-/// Minimum schedule length forced by placing `v` at `(cs, pe)`: its own
-/// end step, and the projected schedule length of every loop-carried
-/// edge between `v` and an already-placed neighbour.
-fn length_impact(
-    g: &Csdfg,
-    machine: &Machine,
-    table: &Schedule,
-    v: NodeId,
-    pe: Pe,
-    cs: u32,
-) -> u32 {
-    let ce_v = i64::from(cs) + i64::from(g.time(v)) - 1;
-    let mut needed = ce_v;
-    let psl = |m: i64, ce: i64, cb: i64, k: i64| -> i64 {
-        let num = m + ce - cb + 1;
-        num.div_euclid(k) + i64::from(num.rem_euclid(k) != 0)
-    };
-    for e in g.in_deps(v) {
-        let (u, _) = g.endpoints(e);
-        let k = i64::from(g.delay(e));
-        if u == v || k == 0 {
-            continue;
-        }
-        let (Some(ce_u), Some(pu)) = (table.ce(u), table.pe(u)) else { continue };
-        let m = i64::from(machine.comm_cost(pu, pe, g.volume(e)));
-        needed = needed.max(psl(m, i64::from(ce_u), i64::from(cs), k));
-    }
-    for e in g.out_deps(v) {
-        let (_, w) = g.endpoints(e);
-        let k = i64::from(g.delay(e));
-        if w == v || k == 0 {
-            continue;
-        }
-        let (Some(cb_w), Some(pw)) = (table.cb(w), table.pe(w)) else { continue };
-        let m = i64::from(machine.comm_cost(pe, pw, g.volume(e)));
-        needed = needed.max(psl(m, ce_v, i64::from(cb_w), k));
-    }
-    u32::try_from(needed.max(0)).expect("length impact fits u32")
-}
-
-/// Total `hops * volume` cost of `v`'s edges to already-placed
-/// neighbours if `v` ran on `pe`.
-fn neighbour_traffic(g: &Csdfg, machine: &Machine, table: &Schedule, v: NodeId, pe: Pe) -> u32 {
-    let mut total = 0;
-    for e in g.in_deps(v) {
-        let (u, _) = g.endpoints(e);
-        if u != v {
-            if let Some(pu) = table.pe(u) {
-                total += machine.comm_cost(pu, pe, g.volume(e));
-            }
-        }
-    }
-    for e in g.out_deps(v) {
-        let (_, w) = g.endpoints(e);
-        if w != v {
-            if let Some(pw) = table.pe(w) {
-                total += machine.comm_cost(pe, pw, g.volume(e));
-            }
-        }
-    }
-    total
 }
 
 #[cfg(test)]
@@ -322,7 +460,7 @@ mod tests {
         let out = rotate_remap(&g, &m, &s, RemapConfig::default());
         assert!(!out.reverted);
         assert_eq!(out.rotated, vec![n[0]]); // A was the only cs1 node
-        // The paper's first pass lands at 6 control steps.
+                                             // The paper's first pass lands at 6 control steps.
         assert_eq!(out.schedule.length(), 6);
         assert!(validate(&out.graph, &m, &out.schedule).is_ok());
         // Figure 1(c): D->A now carries 2 delays, A->B/C/E carry 1.
@@ -335,7 +473,11 @@ mod tests {
         let (g, _, m) = fig1();
         let mut s = startup_schedule(&g, &m, StartupConfig::default()).unwrap();
         let mut graph = g;
-        let cfg = RemapConfig { mode: RemapMode::WithoutRelaxation, max_growth: 0, rows_per_pass: 1 };
+        let cfg = RemapConfig {
+            mode: RemapMode::WithoutRelaxation,
+            max_growth: 0,
+            rows_per_pass: 1,
+        };
         for _ in 0..10 {
             let prev = s.length();
             let out = rotate_remap(&graph, &m, &s, cfg);
@@ -381,7 +523,10 @@ mod tests {
     fn multi_row_rotation_is_valid_and_competitive() {
         let (g, _, m) = fig1();
         for rows in 1..=3u32 {
-            let cfg = RemapConfig { rows_per_pass: rows, ..Default::default() };
+            let cfg = RemapConfig {
+                rows_per_pass: rows,
+                ..Default::default()
+            };
             let mut graph = g.clone();
             let mut s = startup_schedule(&graph, &m, StartupConfig::default()).unwrap();
             let mut best = s.length();
@@ -406,7 +551,10 @@ mod tests {
     fn rotating_more_rows_than_length_rotates_everything() {
         let (g, _, m) = fig1();
         let s = startup_schedule(&g, &m, StartupConfig::default()).unwrap();
-        let cfg = RemapConfig { rows_per_pass: 99, ..Default::default() };
+        let cfg = RemapConfig {
+            rows_per_pass: 99,
+            ..Default::default()
+        };
         let out = rotate_remap(&g, &m, &s, cfg);
         if !out.reverted {
             assert_eq!(out.rotated.len(), g.task_count());

@@ -164,7 +164,8 @@ pub fn legalize(g: &Csdfg, machine: &Machine, sched: &Schedule) -> Schedule {
             }
         }
         let start = out.earliest_free(pe, earliest, g.time(v));
-        out.place(v, pe, start, g.time(v)).expect("searched free slot");
+        out.place(v, pe, start, g.time(v))
+            .expect("searched free slot");
     }
     out
 }
@@ -205,7 +206,14 @@ mod tests {
         let (g, n, m) = fig1();
         let s = startup_schedule(&g, &m, StartupConfig::default()).unwrap();
         assert_eq!(s.length(), 7);
-        assert_eq!(s.slot(n[0]).unwrap(), ccs_schedule::Slot { pe: Pe(0), start: 1, duration: 1 });
+        assert_eq!(
+            s.slot(n[0]).unwrap(),
+            ccs_schedule::Slot {
+                pe: Pe(0),
+                start: 1,
+                duration: 1
+            }
+        );
         assert_eq!(s.cb(n[1]), Some(2)); // B on pe1
         assert_eq!(s.pe(n[1]), Some(Pe(0)));
         assert_eq!(s.cb(n[2]), Some(3)); // C deferred to cs3 on pe2
@@ -251,7 +259,10 @@ mod tests {
     fn oblivious_placement_still_yields_valid_schedule() {
         let (g, _, _) = fig1();
         let m = Machine::linear_array(4);
-        let cfg = StartupConfig { ignore_communication: true, ..Default::default() };
+        let cfg = StartupConfig {
+            ignore_communication: true,
+            ..Default::default()
+        };
         let s = startup_schedule(&g, &m, cfg).unwrap();
         assert!(validate(&g, &m, &s).is_ok());
         // Ignoring communication while placing can only hurt (or tie)
@@ -263,8 +274,15 @@ mod tests {
     #[test]
     fn all_priorities_produce_valid_schedules() {
         let (g, _, m) = fig1();
-        for p in [Priority::CommunicationSensitive, Priority::MobilityOnly, Priority::Fifo] {
-            let cfg = StartupConfig { priority: p, ..Default::default() };
+        for p in [
+            Priority::CommunicationSensitive,
+            Priority::MobilityOnly,
+            Priority::Fifo,
+        ] {
+            let cfg = StartupConfig {
+                priority: p,
+                ..Default::default()
+            };
             let s = startup_schedule(&g, &m, cfg).unwrap();
             assert!(validate(&g, &m, &s).is_ok(), "{p:?}");
         }

@@ -47,7 +47,10 @@ impl TransitiveClosure {
 
     /// `true` if `v` is reachable from `u` (reflexive).
     pub fn reaches(&self, u: NodeId, v: NodeId) -> bool {
-        assert!(u.index() < self.n && v.index() < self.n, "node out of range");
+        assert!(
+            u.index() < self.n && v.index() < self.n,
+            "node out of range"
+        );
         self.bits[u.index() * self.words + v.index() / 64] >> (v.index() % 64) & 1 == 1
     }
 
@@ -127,7 +130,16 @@ mod tests {
         use crate::algo::traversal::is_reachable;
         let mut g: DiGraph<(), ()> = DiGraph::new();
         let n: Vec<_> = (0..10).map(|_| g.add_node(())).collect();
-        let edges = [(0, 3), (3, 7), (7, 2), (2, 3), (1, 4), (4, 9), (9, 1), (5, 6)];
+        let edges = [
+            (0, 3),
+            (3, 7),
+            (7, 2),
+            (2, 3),
+            (1, 4),
+            (4, 9),
+            (9, 1),
+            (5, 6),
+        ];
         for (a, b) in edges {
             g.add_edge(n[a], n[b], ());
         }

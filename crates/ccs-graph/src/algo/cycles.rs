@@ -146,7 +146,10 @@ mod tests {
         g.add_edge(n[1], n[0], ());
         g.add_edge(n[1], n[2], ());
         g.add_edge(n[2], n[0], ());
-        assert_eq!(norm(elementary_cycles(&g, 100)), vec![vec![0, 1], vec![0, 1, 2]]);
+        assert_eq!(
+            norm(elementary_cycles(&g, 100)),
+            vec![vec![0, 1], vec![0, 1, 2]]
+        );
     }
 
     #[test]
@@ -193,7 +196,10 @@ mod tests {
         g.add_edge(n[1], n[2], ());
         g.add_edge(n[2], n[3], ());
         g.add_edge(n[3], n[2], ());
-        assert_eq!(norm(elementary_cycles(&g, 100)), vec![vec![0, 1], vec![2, 3]]);
+        assert_eq!(
+            norm(elementary_cycles(&g, 100)),
+            vec![vec![0, 1], vec![2, 3]]
+        );
         assert!(has_cycle(&g));
     }
 }

@@ -160,9 +160,8 @@ mod tests {
         let b = g.add_node(());
         let back = g.add_edge(b, a, 100);
         g.add_edge(a, b, 2);
-        let dist =
-            dag_longest_paths(&g, |e| e != back, |e| g[e], |n| if n == a { 10 } else { 0 })
-                .unwrap();
+        let dist = dag_longest_paths(&g, |e| e != back, |e| g[e], |n| if n == a { 10 } else { 0 })
+            .unwrap();
         assert_eq!(dist[a.index()], 10);
         assert_eq!(dist[b.index()], 12);
     }

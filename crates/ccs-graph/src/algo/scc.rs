@@ -30,7 +30,10 @@ pub fn tarjan_scc<N, E>(g: &DiGraph<N, E>) -> Vec<Vec<NodeId>> {
         if index[root.index()] != UNVISITED {
             continue;
         }
-        call.push(Frame { node: root, succ_cursor: 0 });
+        call.push(Frame {
+            node: root,
+            succ_cursor: 0,
+        });
         index[root.index()] = next_index;
         low[root.index()] = next_index;
         next_index += 1;
@@ -49,7 +52,10 @@ pub fn tarjan_scc<N, E>(g: &DiGraph<N, E>) -> Vec<Vec<NodeId>> {
                         next_index += 1;
                         stack.push(w);
                         on_stack[w.index()] = true;
-                        call.push(Frame { node: w, succ_cursor: 0 });
+                        call.push(Frame {
+                            node: w,
+                            succ_cursor: 0,
+                        });
                     } else if on_stack[w.index()] {
                         low[v.index()] = low[v.index()].min(index[w.index()]);
                     }

@@ -12,7 +12,11 @@ pub struct CycleError {
 
 impl std::fmt::Display for CycleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "graph contains a directed cycle (witness node {})", self.witness)
+        write!(
+            f,
+            "graph contains a directed cycle (witness node {})",
+            self.witness
+        )
     }
 }
 
@@ -42,8 +46,7 @@ pub fn topo_sort_filtered<N, E>(
         }
     }
     // Deterministic: seed queue in id order.
-    let mut queue: VecDeque<NodeId> =
-        g.node_ids().filter(|n| in_deg[n.index()] == 0).collect();
+    let mut queue: VecDeque<NodeId> = g.node_ids().filter(|n| in_deg[n.index()] == 0).collect();
     let mut order = Vec::with_capacity(g.node_count());
     while let Some(n) = queue.pop_front() {
         order.push(n);
@@ -66,10 +69,7 @@ pub fn topo_sort_filtered<N, E>(
 }
 
 /// Returns `true` if the graph (restricted to `edge_keep`) is acyclic.
-pub fn is_acyclic_filtered<N, E>(
-    g: &DiGraph<N, E>,
-    edge_keep: impl FnMut(EdgeId) -> bool,
-) -> bool {
+pub fn is_acyclic_filtered<N, E>(g: &DiGraph<N, E>, edge_keep: impl FnMut(EdgeId) -> bool) -> bool {
     topo_sort_filtered(g, edge_keep).is_ok()
 }
 
@@ -148,7 +148,9 @@ mod tests {
 
     #[test]
     fn cycle_error_displays() {
-        let err = CycleError { witness: NodeId::from_index(3) };
+        let err = CycleError {
+            witness: NodeId::from_index(3),
+        };
         assert!(err.to_string().contains("n3"));
     }
 }

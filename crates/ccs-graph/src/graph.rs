@@ -54,7 +54,12 @@ impl<N, E> Default for DiGraph<N, E> {
 impl<N, E> DiGraph<N, E> {
     /// Creates an empty graph.
     pub fn new() -> Self {
-        DiGraph { nodes: Vec::new(), edges: Vec::new(), live_nodes: 0, live_edges: 0 }
+        DiGraph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            live_nodes: 0,
+            live_edges: 0,
+        }
     }
 
     /// Creates an empty graph with capacity reserved for `nodes` nodes and
@@ -93,7 +98,11 @@ impl<N, E> DiGraph<N, E> {
     /// Adds a node and returns its id.
     pub fn add_node(&mut self, weight: N) -> NodeId {
         let id = NodeId::from_index(self.nodes.len());
-        self.nodes.push(NodeSlot { weight: Some(weight), out_edges: Vec::new(), in_edges: Vec::new() });
+        self.nodes.push(NodeSlot {
+            weight: Some(weight),
+            out_edges: Vec::new(),
+            in_edges: Vec::new(),
+        });
         self.live_nodes += 1;
         id
     }
@@ -104,10 +113,20 @@ impl<N, E> DiGraph<N, E> {
     ///
     /// Panics if either endpoint is not a live node.
     pub fn add_edge(&mut self, src: NodeId, dst: NodeId, weight: E) -> EdgeId {
-        assert!(self.contains_node(src), "add_edge: source {src:?} is not a live node");
-        assert!(self.contains_node(dst), "add_edge: target {dst:?} is not a live node");
+        assert!(
+            self.contains_node(src),
+            "add_edge: source {src:?} is not a live node"
+        );
+        assert!(
+            self.contains_node(dst),
+            "add_edge: target {dst:?} is not a live node"
+        );
         let id = EdgeId::from_index(self.edges.len());
-        self.edges.push(EdgeSlot { weight: Some(weight), src, dst });
+        self.edges.push(EdgeSlot {
+            weight: Some(weight),
+            src,
+            dst,
+        });
         self.nodes[src.index()].out_edges.push(id);
         self.nodes[dst.index()].in_edges.push(id);
         self.live_edges += 1;
@@ -116,12 +135,16 @@ impl<N, E> DiGraph<N, E> {
 
     /// Returns `true` if `id` refers to a live node of this graph.
     pub fn contains_node(&self, id: NodeId) -> bool {
-        self.nodes.get(id.index()).is_some_and(|s| s.weight.is_some())
+        self.nodes
+            .get(id.index())
+            .is_some_and(|s| s.weight.is_some())
     }
 
     /// Returns `true` if `id` refers to a live edge of this graph.
     pub fn contains_edge(&self, id: EdgeId) -> bool {
-        self.edges.get(id.index()).is_some_and(|s| s.weight.is_some())
+        self.edges
+            .get(id.index())
+            .is_some_and(|s| s.weight.is_some())
     }
 
     /// Removes a node and every edge incident to it.  Returns its weight,
@@ -162,7 +185,9 @@ impl<N, E> DiGraph<N, E> {
 
     /// Mutably borrow a node weight.
     pub fn node_weight_mut(&mut self, id: NodeId) -> Option<&mut N> {
-        self.nodes.get_mut(id.index()).and_then(|s| s.weight.as_mut())
+        self.nodes
+            .get_mut(id.index())
+            .and_then(|s| s.weight.as_mut())
     }
 
     /// Borrow an edge weight.
@@ -172,7 +197,9 @@ impl<N, E> DiGraph<N, E> {
 
     /// Mutably borrow an edge weight.
     pub fn edge_weight_mut(&mut self, id: EdgeId) -> Option<&mut E> {
-        self.edges.get_mut(id.index()).and_then(|s| s.weight.as_mut())
+        self.edges
+            .get_mut(id.index())
+            .and_then(|s| s.weight.as_mut())
     }
 
     /// Endpoints `(src, dst)` of a live edge.
@@ -182,7 +209,10 @@ impl<N, E> DiGraph<N, E> {
     /// Panics if the edge does not exist.
     pub fn edge_endpoints(&self, id: EdgeId) -> (NodeId, NodeId) {
         let slot = &self.edges[id.index()];
-        assert!(slot.weight.is_some(), "edge_endpoints: {id:?} is not a live edge");
+        assert!(
+            slot.weight.is_some(),
+            "edge_endpoints: {id:?} is not a live edge"
+        );
         (slot.src, slot.dst)
     }
 
@@ -225,7 +255,9 @@ impl<N, E> DiGraph<N, E> {
     /// Iterator over `(id, src, dst, &weight)` for live edges.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId, &E)> + '_ {
         self.edges.iter().enumerate().filter_map(|(i, s)| {
-            s.weight.as_ref().map(|w| (EdgeId::from_index(i), s.src, s.dst, w))
+            s.weight
+                .as_ref()
+                .map(|w| (EdgeId::from_index(i), s.src, s.dst, w))
         })
     }
 
@@ -261,7 +293,8 @@ impl<N, E> DiGraph<N, E> {
 
     /// Returns the first live edge `src -> dst` if one exists.
     pub fn find_edge(&self, src: NodeId, dst: NodeId) -> Option<EdgeId> {
-        self.out_edges(src).find(|&e| self.edges[e.index()].dst == dst)
+        self.out_edges(src)
+            .find(|&e| self.edges[e.index()].dst == dst)
     }
 
     /// Maps node and edge weights into a new graph with identical ids.
@@ -290,33 +323,42 @@ impl<N, E> DiGraph<N, E> {
                 dst: s.dst,
             })
             .collect();
-        DiGraph { nodes, edges, live_nodes: self.live_nodes, live_edges: self.live_edges }
+        DiGraph {
+            nodes,
+            edges,
+            live_nodes: self.live_nodes,
+            live_edges: self.live_edges,
+        }
     }
 }
 
 impl<N, E> std::ops::Index<NodeId> for DiGraph<N, E> {
     type Output = N;
     fn index(&self, id: NodeId) -> &N {
-        self.node_weight(id).expect("indexed with a dead or foreign NodeId")
+        self.node_weight(id)
+            .expect("indexed with a dead or foreign NodeId")
     }
 }
 
 impl<N, E> std::ops::IndexMut<NodeId> for DiGraph<N, E> {
     fn index_mut(&mut self, id: NodeId) -> &mut N {
-        self.node_weight_mut(id).expect("indexed with a dead or foreign NodeId")
+        self.node_weight_mut(id)
+            .expect("indexed with a dead or foreign NodeId")
     }
 }
 
 impl<N, E> std::ops::Index<EdgeId> for DiGraph<N, E> {
     type Output = E;
     fn index(&self, id: EdgeId) -> &E {
-        self.edge_weight(id).expect("indexed with a dead or foreign EdgeId")
+        self.edge_weight(id)
+            .expect("indexed with a dead or foreign EdgeId")
     }
 }
 
 impl<N, E> std::ops::IndexMut<EdgeId> for DiGraph<N, E> {
     fn index_mut(&mut self, id: EdgeId) -> &mut E {
-        self.edge_weight_mut(id).expect("indexed with a dead or foreign EdgeId")
+        self.edge_weight_mut(id)
+            .expect("indexed with a dead or foreign EdgeId")
     }
 }
 

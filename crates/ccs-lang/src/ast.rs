@@ -134,14 +134,22 @@ mod tests {
     use super::*;
 
     fn var(name: &str) -> Expr {
-        Expr::Var { name: name.into(), line: 1, col: 1 }
+        Expr::Var {
+            name: name.into(),
+            line: 1,
+            col: 1,
+        }
     }
 
     #[test]
     fn inputs_exclude_assigned_names() {
         let k = Kernel {
             assigns: vec![
-                Assign { target: "y".into(), value: var("x"), line: 1 },
+                Assign {
+                    target: "y".into(),
+                    value: var("x"),
+                    line: 1,
+                },
                 Assign {
                     target: "x".into(),
                     value: Expr::Bin {

@@ -51,25 +51,26 @@ mod proptests {
         (1usize..7).prop_flat_map(|n| {
             let stmt = move |k: usize| {
                 // each operand: (choice, index, delay)
-                proptest::collection::vec((0u8..4, 0usize..8, 1u32..4), 1..4).prop_map(
-                    move |ops| {
-                        let mut rhs = String::new();
-                        for (i, (kind, ix, d)) in ops.iter().enumerate() {
-                            if i > 0 {
-                                rhs.push_str(if i % 2 == 0 { " + " } else { " * " });
-                            }
-                            match kind {
-                                0 if k > 0 => rhs.push_str(&format!("t{}", ix % k)),
-                                1 => rhs.push_str(&format!("t{}[i-{d}]", ix % 8)),
-                                2 => rhs.push_str(&format!("in{}", ix % 3)),
-                                _ => rhs.push_str("2.5"),
-                            }
+                proptest::collection::vec((0u8..4, 0usize..8, 1u32..4), 1..4).prop_map(move |ops| {
+                    let mut rhs = String::new();
+                    for (i, (kind, ix, d)) in ops.iter().enumerate() {
+                        if i > 0 {
+                            rhs.push_str(if i % 2 == 0 { " + " } else { " * " });
                         }
-                        format!("t{k} = {rhs};")
-                    },
-                )
+                        match kind {
+                            0 if k > 0 => rhs.push_str(&format!("t{}", ix % k)),
+                            1 => rhs.push_str(&format!("t{}[i-{d}]", ix % 8)),
+                            2 => rhs.push_str(&format!("in{}", ix % 3)),
+                            _ => rhs.push_str("2.5"),
+                        }
+                    }
+                    format!("t{k} = {rhs};")
+                })
             };
-            (0..n).map(stmt).collect::<Vec<_>>().prop_map(|stmts| stmts.join("\n"))
+            (0..n)
+                .map(stmt)
+                .collect::<Vec<_>>()
+                .prop_map(|stmts| stmts.join("\n"))
         })
     }
 

@@ -34,7 +34,12 @@ pub struct LowerConfig {
 
 impl Default for LowerConfig {
     fn default() -> Self {
-        LowerConfig { add_time: 1, mul_time: 2, input_time: 1, volume: 1 }
+        LowerConfig {
+            add_time: 1,
+            mul_time: 2,
+            input_time: 1,
+            volume: 1,
+        }
     }
 }
 
@@ -83,7 +88,11 @@ impl Lowerer {
 
     fn op_node(&mut self, target: &str, multiplicative: bool) -> NodeId {
         self.op_counter += 1;
-        let time = if multiplicative { self.config.mul_time } else { self.config.add_time };
+        let time = if multiplicative {
+            self.config.mul_time
+        } else {
+            self.config.add_time
+        };
         self.g
             .add_task(format!("{target}.{}", self.op_counter), time)
             .expect("fresh internal names are unique")
@@ -114,7 +123,10 @@ impl Lowerer {
                         ),
                     ))
                 } else {
-                    Ok(Value::Node { id: self.input_node(name), delay: 0 })
+                    Ok(Value::Node {
+                        id: self.input_node(name),
+                        delay: 0,
+                    })
                 }
             }
             Expr::Delayed { name, delay, .. } => {
@@ -133,7 +145,9 @@ impl Lowerer {
                 };
                 for operand in [l, r] {
                     if let Value::Node { id: src, delay } = operand {
-                        self.g.add_dep(src, id, delay, self.config.volume).expect("volume >= 1");
+                        self.g
+                            .add_dep(src, id, delay, self.config.volume)
+                            .expect("volume >= 1");
                     }
                 }
                 Ok(Value::Node { id, delay: 0 })
@@ -178,7 +192,10 @@ pub fn lower(kernel: &Kernel, config: LowerConfig) -> Result<Lowered, LangError>
             return Err(LangError::new(
                 a.line,
                 1,
-                format!("variable {:?} is assigned twice (kernels are single-assignment)", a.target),
+                format!(
+                    "variable {:?} is assigned twice (kernels are single-assignment)",
+                    a.target
+                ),
             ));
         }
     }
@@ -195,10 +212,9 @@ pub fn lower(kernel: &Kernel, config: LowerConfig) -> Result<Lowered, LangError>
     // Pre-create one root task per assignment so that *delayed*
     // references resolve regardless of assignment order.
     for a in &kernel.assigns {
-        let id = lw
-            .g
-            .add_task(a.target.clone(), root_time(&a.value, &config))
-            .map_err(|e| LangError::new(a.line, 1, format!("{e}")))?;
+        let id =
+            lw.g.add_task(a.target.clone(), root_time(&a.value, &config))
+                .map_err(|e| LangError::new(a.line, 1, format!("{e}")))?;
         lw.roots.insert(a.target.clone(), id);
     }
 
@@ -210,14 +226,14 @@ pub fn lower(kernel: &Kernel, config: LowerConfig) -> Result<Lowered, LangError>
             // Bare reference / constant: the root is a copy task fed by
             // the value (or a free-standing constant generator).
             if let Value::Node { id, delay } = lw.lower_expr(&a.value, &a.target, None)? {
-                lw.g.add_dep(id, root, delay, lw.config.volume).expect("volume >= 1");
+                lw.g.add_dep(id, root, delay, lw.config.volume)
+                    .expect("volume >= 1");
             }
         }
         lw.lowered.insert(a.target.clone(), root);
     }
 
-    lw.g
-        .check_legal()
+    lw.g.check_legal()
         .map_err(|e| LangError::new(0, 0, format!("kernel lowers to an illegal CSDFG: {e}")))?;
 
     let mut vars = lw.roots;
@@ -348,7 +364,12 @@ mod tests {
 
     #[test]
     fn custom_latencies() {
-        let cfg = LowerConfig { add_time: 3, mul_time: 7, input_time: 2, volume: 4 };
+        let cfg = LowerConfig {
+            add_time: 3,
+            mul_time: 7,
+            input_time: 2,
+            volume: 4,
+        };
         let l = compile("y = a * b + c;", cfg).unwrap();
         let g = &l.graph;
         assert_eq!(g.time(l.vars["y"]), 3); // the root add

@@ -38,7 +38,11 @@ impl Parser {
             )),
             None => {
                 let (l, c) = self.here();
-                Err(LangError::new(l, c, format!("expected {what}, found end of input")))
+                Err(LangError::new(
+                    l,
+                    c,
+                    format!("expected {what}, found end of input"),
+                ))
             }
         }
     }
@@ -53,7 +57,11 @@ impl Parser {
 
     fn parse_assign(&mut self) -> Result<Assign, LangError> {
         let (target, line) = match self.next() {
-            Some(Token { kind: TokenKind::Ident(name), line, .. }) => (name, line),
+            Some(Token {
+                kind: TokenKind::Ident(name),
+                line,
+                ..
+            }) => (name, line),
             Some(t) => {
                 return Err(LangError::new(
                     t.line,
@@ -66,7 +74,11 @@ impl Parser {
         self.expect(&TokenKind::Assign, "'='")?;
         let value = self.parse_expr()?;
         self.expect(&TokenKind::Semi, "';'")?;
-        Ok(Assign { target, value, line })
+        Ok(Assign {
+            target,
+            value,
+            line,
+        })
     }
 
     fn parse_expr(&mut self) -> Result<Expr, LangError> {
@@ -79,7 +91,11 @@ impl Parser {
             };
             self.next();
             let rhs = self.parse_term()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -94,24 +110,42 @@ impl Parser {
             };
             self.next();
             let rhs = self.parse_factor()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
 
     fn parse_factor(&mut self) -> Result<Expr, LangError> {
         match self.next() {
-            Some(Token { kind: TokenKind::Minus, .. }) => {
-                Ok(Expr::Neg(Box::new(self.parse_factor()?)))
-            }
-            Some(Token { kind: TokenKind::LParen, .. }) => {
+            Some(Token {
+                kind: TokenKind::Minus,
+                ..
+            }) => Ok(Expr::Neg(Box::new(self.parse_factor()?))),
+            Some(Token {
+                kind: TokenKind::LParen,
+                ..
+            }) => {
                 let inner = self.parse_expr()?;
                 self.expect(&TokenKind::RParen, "')'")?;
                 Ok(inner)
             }
-            Some(Token { kind: TokenKind::Int(v), .. }) => Ok(Expr::Const(v.to_string())),
-            Some(Token { kind: TokenKind::Float(v), .. }) => Ok(Expr::Const(v)),
-            Some(Token { kind: TokenKind::Ident(name), line, col }) => {
+            Some(Token {
+                kind: TokenKind::Int(v),
+                ..
+            }) => Ok(Expr::Const(v.to_string())),
+            Some(Token {
+                kind: TokenKind::Float(v),
+                ..
+            }) => Ok(Expr::Const(v)),
+            Some(Token {
+                kind: TokenKind::Ident(name),
+                line,
+                col,
+            }) => {
                 if self.peek().map(|t| &t.kind) == Some(&TokenKind::LBracket) {
                     self.next();
                     self.parse_subscript(name, line, col)
@@ -126,7 +160,11 @@ impl Parser {
             )),
             None => {
                 let (l, c) = self.here();
-                Err(LangError::new(l, c, "expected an operand, found end of input"))
+                Err(LangError::new(
+                    l,
+                    c,
+                    "expected an operand, found end of input",
+                ))
             }
         }
     }
@@ -139,7 +177,10 @@ impl Parser {
         col: usize,
     ) -> Result<Expr, LangError> {
         match self.next() {
-            Some(Token { kind: TokenKind::Ident(ix), .. }) if ix == "i" => {}
+            Some(Token {
+                kind: TokenKind::Ident(ix),
+                ..
+            }) if ix == "i" => {}
             Some(t) => {
                 return Err(LangError::new(
                     t.line,
@@ -151,7 +192,11 @@ impl Parser {
         }
         self.expect(&TokenKind::Minus, "'-' in subscript")?;
         let delay = match self.next() {
-            Some(Token { kind: TokenKind::Int(v), line: l, col: c }) => {
+            Some(Token {
+                kind: TokenKind::Int(v),
+                line: l,
+                col: c,
+            }) => {
                 if v == 0 {
                     return Err(LangError::new(
                         l,
@@ -171,7 +216,12 @@ impl Parser {
             None => return Err(LangError::new(line, col, "unterminated subscript")),
         };
         self.expect(&TokenKind::RBracket, "']'")?;
-        Ok(Expr::Delayed { name, delay, line, col })
+        Ok(Expr::Delayed {
+            name,
+            delay,
+            line,
+            col,
+        })
     }
 }
 
@@ -202,7 +252,12 @@ mod tests {
     #[test]
     fn precedence_mul_over_add() {
         let k = parse("y = a + b * c;").unwrap();
-        let Expr::Bin { op: BinOp::Add, rhs, .. } = &k.assigns[0].value else {
+        let Expr::Bin {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = &k.assigns[0].value
+        else {
             panic!("expected + at the root");
         };
         assert!(matches!(**rhs, Expr::Bin { op: BinOp::Mul, .. }));
@@ -211,21 +266,32 @@ mod tests {
     #[test]
     fn parentheses_override() {
         let k = parse("y = (a + b) * c;").unwrap();
-        assert!(matches!(k.assigns[0].value, Expr::Bin { op: BinOp::Mul, .. }));
+        assert!(matches!(
+            k.assigns[0].value,
+            Expr::Bin { op: BinOp::Mul, .. }
+        ));
     }
 
     #[test]
     fn unary_minus() {
         let k = parse("y = -x + 1;").unwrap();
-        let Expr::Bin { lhs, .. } = &k.assigns[0].value else { panic!() };
+        let Expr::Bin { lhs, .. } = &k.assigns[0].value else {
+            panic!()
+        };
         assert!(matches!(**lhs, Expr::Neg(_)));
     }
 
     #[test]
     fn subscript_errors() {
         assert!(parse("y = x[j-1];").unwrap_err().message.contains("[i-K]"));
-        assert!(parse("y = x[i-0];").unwrap_err().message.contains("delay 0"));
-        assert!(parse("y = x[i+1];").unwrap_err().message.contains("'-' in subscript"));
+        assert!(parse("y = x[i-0];")
+            .unwrap_err()
+            .message
+            .contains("delay 0"));
+        assert!(parse("y = x[i+1];")
+            .unwrap_err()
+            .message
+            .contains("'-' in subscript"));
         assert!(parse("y = x[i-1;").unwrap_err().message.contains("']'"));
     }
 

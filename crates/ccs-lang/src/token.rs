@@ -77,7 +77,11 @@ pub struct LangError {
 
 impl LangError {
     pub(crate) fn new(line: usize, col: usize, message: impl Into<String>) -> Self {
-        LangError { line, col, message: message.into() }
+        LangError {
+            line,
+            col,
+            message: message.into(),
+        }
     }
 }
 
@@ -110,53 +114,96 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
                     i += 1;
                 }
                 '=' => {
-                    out.push(Token { kind: TokenKind::Assign, line, col });
+                    out.push(Token {
+                        kind: TokenKind::Assign,
+                        line,
+                        col,
+                    });
                     i += 1;
                 }
                 '+' => {
-                    out.push(Token { kind: TokenKind::Plus, line, col });
+                    out.push(Token {
+                        kind: TokenKind::Plus,
+                        line,
+                        col,
+                    });
                     i += 1;
                 }
                 '-' => {
-                    out.push(Token { kind: TokenKind::Minus, line, col });
+                    out.push(Token {
+                        kind: TokenKind::Minus,
+                        line,
+                        col,
+                    });
                     i += 1;
                 }
                 '*' => {
-                    out.push(Token { kind: TokenKind::Star, line, col });
+                    out.push(Token {
+                        kind: TokenKind::Star,
+                        line,
+                        col,
+                    });
                     i += 1;
                 }
                 '/' => {
-                    out.push(Token { kind: TokenKind::Slash, line, col });
+                    out.push(Token {
+                        kind: TokenKind::Slash,
+                        line,
+                        col,
+                    });
                     i += 1;
                 }
                 '(' => {
-                    out.push(Token { kind: TokenKind::LParen, line, col });
+                    out.push(Token {
+                        kind: TokenKind::LParen,
+                        line,
+                        col,
+                    });
                     i += 1;
                 }
                 ')' => {
-                    out.push(Token { kind: TokenKind::RParen, line, col });
+                    out.push(Token {
+                        kind: TokenKind::RParen,
+                        line,
+                        col,
+                    });
                     i += 1;
                 }
                 '[' => {
-                    out.push(Token { kind: TokenKind::LBracket, line, col });
+                    out.push(Token {
+                        kind: TokenKind::LBracket,
+                        line,
+                        col,
+                    });
                     i += 1;
                 }
                 ']' => {
-                    out.push(Token { kind: TokenKind::RBracket, line, col });
+                    out.push(Token {
+                        kind: TokenKind::RBracket,
+                        line,
+                        col,
+                    });
                     i += 1;
                 }
                 ';' => {
-                    out.push(Token { kind: TokenKind::Semi, line, col });
+                    out.push(Token {
+                        kind: TokenKind::Semi,
+                        line,
+                        col,
+                    });
                     i += 1;
                 }
                 c if c.is_ascii_alphabetic() || c == '_' => {
                     let start = i;
-                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_')
-                    {
+                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
                         i += 1;
                     }
                     let text: String = bytes[start..i].iter().collect();
-                    out.push(Token { kind: TokenKind::Ident(text), line, col });
+                    out.push(Token {
+                        kind: TokenKind::Ident(text),
+                        line,
+                        col,
+                    });
                 }
                 c if c.is_ascii_digit() => {
                     let start = i;
@@ -226,7 +273,10 @@ mod tests {
     #[test]
     fn positions_are_tracked() {
         let toks = lex("a = 1;\n b = 2;").unwrap();
-        let b = toks.iter().find(|t| t.kind == TokenKind::Ident("b".into())).unwrap();
+        let b = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("b".into()))
+            .unwrap();
         assert_eq!((b.line, b.col), (2, 2));
     }
 

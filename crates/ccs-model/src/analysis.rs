@@ -36,9 +36,8 @@ pub struct GraphStats {
 /// Computes [`GraphStats`] for `g`.
 pub fn stats(g: &Csdfg) -> GraphStats {
     let sccs = tarjan_scc(g.graph());
-    let non_trivial = |c: &Vec<NodeId>| {
-        c.len() > 1 || c.first().is_some_and(|&v| g.succs(v).any(|s| s == v))
-    };
+    let non_trivial =
+        |c: &Vec<NodeId>| c.len() > 1 || c.first().is_some_and(|&v| g.succs(v).any(|s| s == v));
     GraphStats {
         tasks: g.task_count(),
         deps: g.dep_count(),
@@ -177,7 +176,11 @@ mod tests {
 
     #[test]
     fn acyclic_graph_has_no_recurrences() {
-        let g = GraphBuilder::new().dep("A", "B", 0, 1).dep("B", "C", 2, 1).build().unwrap();
+        let g = GraphBuilder::new()
+            .dep("A", "B", 0, 1)
+            .dep("B", "C", 2, 1)
+            .build()
+            .unwrap();
         assert_eq!(stats(&g).recurrences, 0);
     }
 }

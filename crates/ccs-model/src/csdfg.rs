@@ -91,7 +91,10 @@ impl Default for Csdfg {
 impl Csdfg {
     /// Creates an empty graph.
     pub fn new() -> Self {
-        Csdfg { graph: DiGraph::new(), by_name: HashMap::new() }
+        Csdfg {
+            graph: DiGraph::new(),
+            by_name: HashMap::new(),
+        }
     }
 
     /// Adds a task with the given `name` and computation time `time`.
@@ -103,7 +106,10 @@ impl Csdfg {
         if self.by_name.contains_key(&name) {
             return Err(ModelError::DuplicateTask(name));
         }
-        let id = self.graph.add_node(Task { name: name.clone(), time });
+        let id = self.graph.add_node(Task {
+            name: name.clone(),
+            time,
+        });
         self.by_name.insert(name, id);
         Ok(id)
     }
@@ -244,14 +250,22 @@ impl Csdfg {
     pub fn lookup_all(&self, names: &[&str]) -> Result<Vec<NodeId>, ModelError> {
         names
             .iter()
-            .map(|n| self.task_by_name(n).ok_or_else(|| ModelError::UnknownTask((*n).into())))
+            .map(|n| {
+                self.task_by_name(n)
+                    .ok_or_else(|| ModelError::UnknownTask((*n).into()))
+            })
             .collect()
     }
 }
 
 impl fmt::Display for Csdfg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "CSDFG: {} tasks, {} deps", self.task_count(), self.dep_count())?;
+        writeln!(
+            f,
+            "CSDFG: {} tasks, {} deps",
+            self.task_count(),
+            self.dep_count()
+        )?;
         for v in self.tasks() {
             writeln!(f, "  node {} t={}", self.name(v), self.time(v))?;
         }
@@ -300,7 +314,10 @@ mod tests {
     fn duplicate_names_rejected() {
         let mut g = Csdfg::new();
         g.add_task("A", 1).unwrap();
-        assert_eq!(g.add_task("A", 1), Err(ModelError::DuplicateTask("A".into())));
+        assert_eq!(
+            g.add_task("A", 1),
+            Err(ModelError::DuplicateTask("A".into()))
+        );
     }
 
     #[test]
@@ -322,7 +339,10 @@ mod tests {
         let b = bad.add_task("B", 1).unwrap();
         bad.add_dep(a, b, 0, 1).unwrap();
         bad.add_dep(b, a, 0, 1).unwrap();
-        assert!(matches!(bad.check_legal(), Err(ModelError::ZeroDelayCycle(_))));
+        assert!(matches!(
+            bad.check_legal(),
+            Err(ModelError::ZeroDelayCycle(_))
+        ));
     }
 
     #[test]
@@ -351,7 +371,10 @@ mod tests {
     fn lookup_all_reports_unknown() {
         let (g, a, b) = two_node_loop();
         assert_eq!(g.lookup_all(&["A", "B"]).unwrap(), vec![a, b]);
-        assert!(matches!(g.lookup_all(&["A", "Q"]), Err(ModelError::UnknownTask(_))));
+        assert!(matches!(
+            g.lookup_all(&["A", "Q"]),
+            Err(ModelError::UnknownTask(_))
+        ));
     }
 
     #[test]

@@ -42,10 +42,7 @@ mod proptests {
             let times = proptest::collection::vec(1u32..4, n);
             // forward edges (i < j): optional delay 0..2; back edges
             // (i >= j): delay 1..4.
-            let edges = proptest::collection::vec(
-                (0..n, 0..n, 0u32..3, 1u32..4),
-                0..n * 2,
-            );
+            let edges = proptest::collection::vec((0..n, 0..n, 0u32..3, 1u32..4), 0..n * 2);
             (times, edges).prop_map(move |(times, edges)| {
                 let mut g = Csdfg::new();
                 let ids: Vec<_> = times

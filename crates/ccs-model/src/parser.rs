@@ -35,7 +35,10 @@ impl std::error::Error for ParseError {}
 
 impl ParseError {
     fn new(line: usize, message: impl Into<String>) -> Self {
-        ParseError { line, message: message.into() }
+        ParseError {
+            line,
+            message: message.into(),
+        }
     }
 }
 
@@ -105,10 +108,14 @@ pub fn parse(input: &str) -> Result<Csdfg, ParseError> {
                     Some(d) => d,
                     None => g.add_task(dst, 1).map_err(|e| model_err(lineno, e))?,
                 };
-                g.add_dep(s, d, delay, volume).map_err(|e| model_err(lineno, e))?;
+                g.add_dep(s, d, delay, volume)
+                    .map_err(|e| model_err(lineno, e))?;
             }
             Some(other) => {
-                return Err(ParseError::new(lineno, format!("unknown directive {other:?}")))
+                return Err(ParseError::new(
+                    lineno,
+                    format!("unknown directive {other:?}"),
+                ))
             }
             None => unreachable!("blank lines were filtered"),
         }

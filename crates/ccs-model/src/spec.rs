@@ -70,7 +70,10 @@ impl From<&Csdfg> for CsdfgSpec {
     fn from(g: &Csdfg) -> Self {
         let nodes = g
             .tasks()
-            .map(|v| NodeSpec { name: g.name(v).to_owned(), time: g.time(v) })
+            .map(|v| NodeSpec {
+                name: g.name(v).to_owned(),
+                time: g.time(v),
+            })
             .collect();
         let edges = g
             .deps()
@@ -95,12 +98,28 @@ mod tests {
     fn demo() -> CsdfgSpec {
         CsdfgSpec {
             nodes: vec![
-                NodeSpec { name: "A".into(), time: 1 },
-                NodeSpec { name: "B".into(), time: 2 },
+                NodeSpec {
+                    name: "A".into(),
+                    time: 1,
+                },
+                NodeSpec {
+                    name: "B".into(),
+                    time: 2,
+                },
             ],
             edges: vec![
-                EdgeSpec { src: "A".into(), dst: "B".into(), delay: 0, volume: 1 },
-                EdgeSpec { src: "B".into(), dst: "A".into(), delay: 1, volume: 2 },
+                EdgeSpec {
+                    src: "A".into(),
+                    dst: "B".into(),
+                    delay: 0,
+                    volume: 1,
+                },
+                EdgeSpec {
+                    src: "B".into(),
+                    dst: "A".into(),
+                    delay: 1,
+                    volume: 2,
+                },
             ],
         }
     }
@@ -116,7 +135,12 @@ mod tests {
     #[test]
     fn unknown_edge_endpoint_rejected() {
         let mut s = demo();
-        s.edges.push(EdgeSpec { src: "Z".into(), dst: "A".into(), delay: 0, volume: 1 });
+        s.edges.push(EdgeSpec {
+            src: "Z".into(),
+            dst: "A".into(),
+            delay: 0,
+            volume: 1,
+        });
         assert!(matches!(s.build(), Err(ModelError::UnknownTask(_))));
     }
 

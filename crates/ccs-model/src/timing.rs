@@ -80,7 +80,10 @@ pub fn analyze(g: &Csdfg) -> Result<Timing, CycleError> {
         }
         tail[v.index()] = best + i64::from(g.time(v));
     }
-    let asap = asap_raw.iter().map(|&x| u32::try_from(x.max(1)).unwrap()).collect();
+    let asap = asap_raw
+        .iter()
+        .map(|&x| u32::try_from(x.max(1)).unwrap())
+        .collect();
     let alap = g
         .tasks()
         .map(|v| (v.index(), critical - tail[v.index()] + 1))
@@ -88,7 +91,11 @@ pub fn analyze(g: &Csdfg) -> Result<Timing, CycleError> {
             acc[i] = u32::try_from(x.max(1)).unwrap();
             acc
         });
-    Ok(Timing { asap, alap, critical_path: u32::try_from(critical.max(0)).unwrap() })
+    Ok(Timing {
+        asap,
+        alap,
+        critical_path: u32::try_from(critical.max(0)).unwrap(),
+    })
 }
 
 #[cfg(test)]
@@ -131,7 +138,7 @@ mod tests {
         assert_eq!(t.asap(n[3]), 4); // D
         assert_eq!(t.asap(n[4]), 4); // E
         assert_eq!(t.asap(n[5]), 6); // F
-        // Critical path: A(1) B(2-3) E(4-5) F(6) = 6 control steps.
+                                     // Critical path: A(1) B(2-3) E(4-5) F(6) = 6 control steps.
         assert_eq!(t.critical_path, 6);
     }
 

@@ -108,13 +108,16 @@ pub fn prune_to(g: &Csdfg, keep: &[NodeId]) -> Csdfg {
     let mut out = Csdfg::new();
     let mut map: HashMap<NodeId, NodeId> = HashMap::new();
     for v in g.tasks().filter(|v| needed[v.index()]) {
-        let nv = out.add_task(g.name(v).to_owned(), g.time(v)).expect("names unique");
+        let nv = out
+            .add_task(g.name(v).to_owned(), g.time(v))
+            .expect("names unique");
         map.insert(v, nv);
     }
     for e in g.deps() {
         let (u, v) = g.endpoints(e);
         if needed[u.index()] && needed[v.index()] {
-            out.add_dep(map[&u], map[&v], g.delay(e), g.volume(e)).expect("volume >= 1");
+            out.add_dep(map[&u], map[&v], g.delay(e), g.volume(e))
+                .expect("volume >= 1");
         }
     }
     out
@@ -227,7 +230,10 @@ mod tests {
         assert!(pruned.task_by_name("D").is_none());
         assert!(pruned.check_legal().is_ok());
         // the loop-carried feed of A is kept
-        let (ca, aa) = (pruned.task_by_name("C").unwrap(), pruned.task_by_name("A").unwrap());
+        let (ca, aa) = (
+            pruned.task_by_name("C").unwrap(),
+            pruned.task_by_name("A").unwrap(),
+        );
         assert_eq!(pruned.delay(pruned.graph().find_edge(ca, aa).unwrap()), 1);
     }
 
@@ -270,7 +276,9 @@ mod tests {
         g.add_dep(a, a, 1, 1).unwrap(); // self loop with one delay
         let u = unfold(&g, 3);
         // A#0 -> A#1 d=0, A#1 -> A#2 d=0, A#2 -> A#0 d=1.
-        let n: Vec<_> = (0..3).map(|i| u.task_by_name(&format!("A#{i}")).unwrap()).collect();
+        let n: Vec<_> = (0..3)
+            .map(|i| u.task_by_name(&format!("A#{i}")).unwrap())
+            .collect();
         assert_eq!(u.delay(u.graph().find_edge(n[0], n[1]).unwrap()), 0);
         assert_eq!(u.delay(u.graph().find_edge(n[1], n[2]).unwrap()), 0);
         assert_eq!(u.delay(u.graph().find_edge(n[2], n[0]).unwrap()), 1);

@@ -23,7 +23,9 @@ pub fn clock_period(g: &Csdfg) -> u32 {
 /// `Δ(v)` for every node (indexed by `NodeId::index`): the longest
 /// zero-delay chain ending at `v`, inclusive of `t(v)`.
 fn deltas(g: &Csdfg) -> Vec<u32> {
-    let order = g.zero_delay_topo().expect("illegal CSDFG: zero-delay cycle");
+    let order = g
+        .zero_delay_topo()
+        .expect("illegal CSDFG: zero-delay cycle");
     let mut delta = vec![0u32; g.graph().node_bound()];
     for &v in &order {
         let mut best = 0;

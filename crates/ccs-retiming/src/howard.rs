@@ -28,8 +28,7 @@ pub fn max_cycle_ratio_howard(g: &Csdfg) -> Option<Ratio> {
 
     let mut best: Option<Ratio> = None;
     for scc in tarjan_scc(g.graph()) {
-        let has_cycle =
-            scc.len() > 1 || scc.first().is_some_and(|&v| g.succs(v).any(|s| s == v));
+        let has_cycle = scc.len() > 1 || scc.first().is_some_and(|&v| g.succs(v).any(|s| s == v));
         if !has_cycle {
             continue;
         }
@@ -60,7 +59,9 @@ fn component_ratio(g: &Csdfg, scc: &[NodeId]) -> Ratio {
         in_scc[v.index()] = true;
     }
     let internal_edges = |v: NodeId| -> Vec<EdgeId> {
-        g.out_deps(v).filter(|&e| in_scc[g.endpoints(e).1.index()]).collect()
+        g.out_deps(v)
+            .filter(|&e| in_scc[g.endpoints(e).1.index()])
+            .collect()
     };
 
     // Initial policy: the internal out-edge with the largest delay
@@ -68,7 +69,10 @@ fn component_ratio(g: &Csdfg, scc: &[NodeId]) -> Ratio {
     let mut policy: Vec<Option<EdgeId>> = vec![None; bound];
     for &v in scc {
         policy[v.index()] = internal_edges(v).into_iter().max_by_key(|&e| g.delay(e));
-        assert!(policy[v.index()].is_some(), "SCC node without internal out-edge");
+        assert!(
+            policy[v.index()].is_some(),
+            "SCC node without internal out-edge"
+        );
     }
 
     let mut result = Ratio::new(0, 1);
@@ -85,8 +89,8 @@ fn component_ratio(g: &Csdfg, scc: &[NodeId]) -> Ratio {
             for e in internal_edges(v) {
                 let (_, w) = g.endpoints(e);
                 let lw = eval.lambda[w.index()];
-                let cand_val = f64::from(g.time(v)) - lw * f64::from(g.delay(e))
-                    + eval.value[w.index()];
+                let cand_val =
+                    f64::from(g.time(v)) - lw * f64::from(g.delay(e)) + eval.value[w.index()];
                 let key = (lw, cand_val);
                 if key.0 > best_key.0 + 1e-9
                     || ((key.0 - best_key.0).abs() <= 1e-9 && key.1 > best_key.1 + 1e-9)
@@ -118,7 +122,8 @@ fn evaluate(g: &Csdfg, scc: &[NodeId], policy: &[Option<EdgeId>]) -> Eval {
     let mut any_cycle = false;
 
     let next_of = |v: NodeId| -> NodeId {
-        g.endpoints(policy[v.index()].expect("policy covers the SCC")).1
+        g.endpoints(policy[v.index()].expect("policy covers the SCC"))
+            .1
     };
 
     for &start in scc {
@@ -185,7 +190,11 @@ fn evaluate(g: &Csdfg, scc: &[NodeId], policy: &[Option<EdgeId>]) -> Eval {
             state[v.index()] = 2;
         }
     }
-    Eval { lambda, value, best_cycle }
+    Eval {
+        lambda,
+        value,
+        best_cycle,
+    }
 }
 
 #[cfg(test)]

@@ -38,7 +38,10 @@ impl Ratio {
         assert!(den != 0, "zero denominator");
         let g = gcd(num.max(1), den);
         let g = if num == 0 { den } else { g };
-        Ratio { num: num / g, den: den / g }
+        Ratio {
+            num: num / g,
+            den: den / g,
+        }
     }
 
     /// Floating approximation.

@@ -122,6 +122,77 @@ pub fn rotate(g: &Csdfg, set: &[NodeId]) -> Result<Csdfg, EdgeId> {
     Ok(r.apply(g))
 }
 
+/// The boundary of `set` in `g`: edges entering the set from outside
+/// and edges leaving it — the only edges a rotation changes (internal
+/// and self edges get `+1 - 1 = 0`).
+fn rotation_boundary(g: &Csdfg, set: &[NodeId]) -> (Vec<EdgeId>, Vec<EdgeId>) {
+    let mut in_set = vec![false; g.graph().node_bound()];
+    for &v in set {
+        in_set[v.index()] = true;
+    }
+    let mut entering = Vec::new();
+    let mut leaving = Vec::new();
+    for &v in set {
+        for e in g.in_deps(v) {
+            let (u, _) = g.endpoints(e);
+            if !in_set[u.index()] {
+                entering.push(e);
+            }
+        }
+        for e in g.out_deps(v) {
+            let (_, w) = g.endpoints(e);
+            if !in_set[w.index()] {
+                leaving.push(e);
+            }
+        }
+    }
+    (entering, leaving)
+}
+
+/// In-place [`rotate`]: retimes every node of `set` by `+1` directly on
+/// `g`, touching only the set's boundary edges instead of cloning the
+/// graph.  On `Err(edge)` (an incoming boundary edge carries no delay)
+/// `g` is left unmodified.  [`unrotate_in_place`] with the same set is
+/// the exact inverse.
+pub fn rotate_in_place(g: &mut Csdfg, set: &[NodeId]) -> Result<(), EdgeId> {
+    let (entering, leaving) = rotation_boundary(g, set);
+    if let Some(&bad) = entering.iter().find(|&&e| g.delay(e) == 0) {
+        return Err(bad);
+    }
+    for &e in &leaving {
+        let d = g.delay(e);
+        g.set_delay(e, d + 1);
+    }
+    for &e in &entering {
+        let d = g.delay(e);
+        g.set_delay(e, d - 1);
+    }
+    Ok(())
+}
+
+/// Inverse of [`rotate_in_place`]: retimes every node of `set` by `-1`
+/// directly on `g`.
+///
+/// # Panics
+///
+/// Panics if some outgoing boundary edge of the set carries no delay
+/// (i.e. the rotation being undone was never applied).
+pub fn unrotate_in_place(g: &mut Csdfg, set: &[NodeId]) {
+    let (entering, leaving) = rotation_boundary(g, set);
+    for &e in &entering {
+        let d = g.delay(e);
+        g.set_delay(e, d + 1);
+    }
+    for &e in &leaving {
+        let d = g.delay(e);
+        assert!(
+            d > 0,
+            "unrotate of a rotation that was never applied: edge {e:?}"
+        );
+        g.set_delay(e, d - 1);
+    }
+}
+
 /// The prologue implied by a (normalized, non-negative) retiming: the
 /// list of `(node, count)` pairs meaning "execute `node` `count` extra
 /// times before entering the steady state".

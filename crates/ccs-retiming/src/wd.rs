@@ -41,7 +41,10 @@ impl WdMatrices {
             if u == v {
                 continue; // self loop is never a *shortest* useful path
             }
-            let cand = (u64::from(g.delay(e)), u64::from(g.time(u)) + u64::from(g.time(v)));
+            let cand = (
+                u64::from(g.delay(e)),
+                u64::from(g.time(u)) + u64::from(g.time(v)),
+            );
             let slot = &mut w[at(u.index(), v.index())];
             *slot = Some(match *slot {
                 None => cand,
@@ -51,9 +54,13 @@ impl WdMatrices {
         let live: Vec<usize> = g.tasks().map(|v| v.index()).collect();
         for &k in &live {
             for &i in &live {
-                let Some((dik, tik)) = w[at(i, k)] else { continue };
+                let Some((dik, tik)) = w[at(i, k)] else {
+                    continue;
+                };
                 for &j in &live {
-                    let Some((dkj, tkj)) = w[at(k, j)] else { continue };
+                    let Some((dkj, tkj)) = w[at(k, j)] else {
+                        continue;
+                    };
                     if i == k || j == k {
                         continue;
                     }
@@ -202,8 +209,11 @@ mod tests {
     fn w_and_d_on_the_triangle() {
         let g = loop3();
         let wd = WdMatrices::new(&g);
-        let (a, b, c) =
-            (g.task_by_name("A").unwrap(), g.task_by_name("B").unwrap(), g.task_by_name("C").unwrap());
+        let (a, b, c) = (
+            g.task_by_name("A").unwrap(),
+            g.task_by_name("B").unwrap(),
+            g.task_by_name("C").unwrap(),
+        );
         assert_eq!(wd.w(a, b), Some(0));
         assert_eq!(wd.d(a, b), Some(2));
         assert_eq!(wd.w(a, c), Some(0));

@@ -59,11 +59,19 @@ impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Violation::Unplaced(n) => write!(f, "task {n} is not placed"),
-            Violation::Precedence { edge, earliest, actual } => write!(
+            Violation::Precedence {
+                edge,
+                earliest,
+                actual,
+            } => write!(
                 f,
                 "edge {edge}: consumer starts at cs{actual}, earliest legal cs{earliest}"
             ),
-            Violation::LengthTooShort { edge, required, actual } => write!(
+            Violation::LengthTooShort {
+                edge,
+                required,
+                actual,
+            } => write!(
                 f,
                 "edge {edge}: schedule length {actual} below projected length {required}"
             ),
@@ -154,11 +162,19 @@ pub fn validate(g: &Csdfg, m: &Machine, s: &Schedule) -> Result<(), Vec<Violatio
             let earliest = s.ce(u).expect("checked placed") + mm + 1;
             let actual = s.cb(v).expect("checked placed");
             if actual < earliest {
-                violations.push(Violation::Precedence { edge: e, earliest, actual });
+                violations.push(Violation::Precedence {
+                    edge: e,
+                    earliest,
+                    actual,
+                });
             }
         } else if let Some(required) = psl(g, m, s, e) {
             if length < required {
-                violations.push(Violation::LengthTooShort { edge: e, required, actual: length });
+                violations.push(Violation::LengthTooShort {
+                    edge: e,
+                    required,
+                    actual: length,
+                });
             }
         }
     }
@@ -211,7 +227,11 @@ mod tests {
         let errs = validate(&g, &m, &s).unwrap_err();
         assert!(matches!(
             errs[0],
-            Violation::Precedence { earliest: 4, actual: 2, .. }
+            Violation::Precedence {
+                earliest: 4,
+                actual: 2,
+                ..
+            }
         ));
         // Move B to cs4: precedence ok, but the back edge B->A (volume 1,
         // one hop) now needs L >= M + CE(B) - CB(A) + 1 = 1 + 5 - 1 + 1 = 6.
@@ -221,7 +241,11 @@ mod tests {
         let errs = validate(&g, &m, &s2).unwrap_err();
         assert!(matches!(
             errs[0],
-            Violation::LengthTooShort { required: 6, actual: 5, .. }
+            Violation::LengthTooShort {
+                required: 6,
+                actual: 5,
+                ..
+            }
         ));
         // Padding to 6 fixes it.
         s2.pad_to(6);

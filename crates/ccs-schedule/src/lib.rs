@@ -36,16 +36,18 @@ mod proptests {
     /// Random placements into a fixed-size table; placement conflicts
     /// are allowed to fail (we only keep successful ones).
     fn arb_schedule() -> impl Strategy<Value = Schedule> {
-        (1usize..5, proptest::collection::vec((0u32..4, 1u32..10, 1u32..4), 0..12)).prop_map(
-            |(pes, reqs)| {
+        (
+            1usize..5,
+            proptest::collection::vec((0u32..4, 1u32..10, 1u32..4), 0..12),
+        )
+            .prop_map(|(pes, reqs)| {
                 let mut s = Schedule::new(pes);
                 for (i, (pe, start, dur)) in reqs.into_iter().enumerate() {
                     let pe = Pe(pe % pes as u32);
                     let _ = s.place(NodeId::from_index(i), pe, start, dur);
                 }
                 s
-            },
-        )
+            })
     }
 
     proptest! {

@@ -50,7 +50,14 @@ pub fn stats(g: &Csdfg, machine: &Machine, sched: &Schedule) -> ScheduleStats {
             traffic += u64::from(cost);
         }
     }
-    ScheduleStats { length, busy, used_pes, utilization, cross_edges, traffic }
+    ScheduleStats {
+        length,
+        busy,
+        used_pes,
+        utilization,
+        cross_edges,
+        traffic,
+    }
 }
 
 /// Exports the schedule as CSV: `task,pe,start,end` rows (1-based
@@ -59,7 +66,9 @@ pub fn to_csv(g: &Csdfg, sched: &Schedule) -> String {
     let mut rows: Vec<(u32, u32, String, u32)> = g
         .tasks()
         .filter_map(|v| {
-            sched.slot(v).map(|s| (s.start, s.pe.0 + 1, g.name(v).to_owned(), s.end()))
+            sched
+                .slot(v)
+                .map(|s| (s.start, s.pe.0 + 1, g.name(v).to_owned(), s.end()))
         })
         .collect();
     rows.sort();

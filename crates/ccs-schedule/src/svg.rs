@@ -20,7 +20,12 @@ pub struct SvgOptions {
 
 impl Default for SvgOptions {
     fn default() -> Self {
-        SvgOptions { cell_w: 34, cell_h: 26, margin_left: 48, margin_top: 28 }
+        SvgOptions {
+            cell_w: 34,
+            cell_h: 26,
+            margin_left: 48,
+            margin_top: 28,
+        }
     }
 }
 
@@ -30,7 +35,9 @@ const PALETTE: [&str; 8] = [
 ];
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Renders `sched` (hosting `g`) as a standalone SVG document: one
@@ -50,7 +57,10 @@ pub fn to_svg(g: &Csdfg, sched: &Schedule, opt: SvgOptions) -> String {
         out,
         r##"  <style>text {{ font: 11px sans-serif; }} .lbl {{ fill: #fff; text-anchor: middle; dominant-baseline: central; }} .ax {{ fill: #444; text-anchor: middle; }}</style>"##
     );
-    let _ = writeln!(out, r##"  <rect width="{width}" height="{height}" fill="white"/>"##);
+    let _ = writeln!(
+        out,
+        r##"  <rect width="{width}" height="{height}" fill="white"/>"##
+    );
 
     // Grid and axes.
     for cs in 0..length {

@@ -1,8 +1,17 @@
 //! The static schedule table: control steps x processors.
+//!
+//! Storage is dense: placements live in a `Vec<Option<Slot>>` indexed
+//! by raw node id, and per-PE occupancy is a flat row of control-step
+//! cells with a first-free cursor, so the hot operations of the
+//! cyclo-compaction inner loop ([`Schedule::earliest_free`],
+//! [`Schedule::place`], [`Schedule::drop_and_shift_by`]) are
+//! O(1)-amortized instead of tree walks.  The public API, the serde
+//! JSON shape, and every tie-break ordering are identical to the
+//! original `BTreeMap`-backed table.
 
 use ccs_model::NodeId;
 use ccs_topology::Pe;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -60,6 +69,9 @@ impl fmt::Display for TableError {
 
 impl std::error::Error for TableError {}
 
+/// Free-cell sentinel in an occupancy row.
+const FREE: usize = usize::MAX;
+
 /// A static schedule for one loop iteration: every task gets a
 /// processor and a 1-based start control step; the table repeats every
 /// [`Schedule::length`] steps.
@@ -68,13 +80,21 @@ impl std::error::Error for TableError {}
 /// cyclo-compaction appends empty control steps when the projected
 /// schedule length `PSL` demands more room than the occupied rows
 /// (§4), which [`Schedule::pad_to`] models.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Schedule {
     num_pes: usize,
-    /// Node -> slot. Key is the raw node index.
-    slots: BTreeMap<usize, Slot>,
-    /// Per-PE occupancy: cs -> node raw index.
-    occupancy: Vec<BTreeMap<u32, usize>>,
+    /// Node raw index -> slot; dense, grown on demand.
+    slots: Vec<Option<Slot>>,
+    /// Number of `Some` entries in `slots`.
+    placed: usize,
+    /// Cached `max_u CE(u)` (0 when empty).
+    occupied_end: u32,
+    /// Per-PE occupancy row; cell `cs - 1` holds the occupying node's
+    /// raw index, or [`FREE`].
+    rows: Vec<Vec<usize>>,
+    /// Per-PE cursor: the smallest free control step (1-based).  Every
+    /// cell strictly below the cursor is occupied.
+    first_free: Vec<u32>,
     /// Extra empty control steps appended at the end.
     padding: u32,
 }
@@ -85,8 +105,11 @@ impl Schedule {
         assert!(num_pes > 0, "schedule needs at least one PE");
         Schedule {
             num_pes,
-            slots: BTreeMap::new(),
-            occupancy: vec![BTreeMap::new(); num_pes],
+            slots: Vec::new(),
+            placed: 0,
+            occupied_end: 0,
+            rows: vec![Vec::new(); num_pes],
+            first_free: vec![1; num_pes],
             padding: 0,
         }
     }
@@ -98,17 +121,17 @@ impl Schedule {
 
     /// Number of placed tasks.
     pub fn placed_count(&self) -> usize {
-        self.slots.len()
+        self.placed
     }
 
     /// `true` if `node` has been placed.
     pub fn is_placed(&self, node: NodeId) -> bool {
-        self.slots.contains_key(&node.index())
+        self.slots.get(node.index()).is_some_and(Option::is_some)
     }
 
     /// The slot of `node`, if placed.
     pub fn slot(&self, node: NodeId) -> Option<Slot> {
-        self.slots.get(&node.index()).copied()
+        self.slots.get(node.index()).copied().flatten()
     }
 
     /// The paper's `CB(u)`: start control step.
@@ -128,8 +151,7 @@ impl Schedule {
 
     /// Schedule length `L`: last occupied control step, plus padding.
     pub fn length(&self) -> u32 {
-        let occupied = self.slots.values().map(Slot::end).max().unwrap_or(0);
-        occupied + self.padding
+        self.occupied_end + self.padding
     }
 
     /// Current padding (empty control steps at the end).
@@ -140,9 +162,8 @@ impl Schedule {
     /// Ensures `length() >= target` by appending empty control steps.
     /// Never shrinks.
     pub fn pad_to(&mut self, target: u32) {
-        let occupied = self.slots.values().map(Slot::end).max().unwrap_or(0);
-        if target > occupied + self.padding {
-            self.padding = target - occupied;
+        if target > self.occupied_end + self.padding {
+            self.padding = target - self.occupied_end;
         }
     }
 
@@ -168,51 +189,114 @@ impl Schedule {
         if self.is_placed(node) {
             return Err(TableError::AlreadyPlaced(node));
         }
-        let lane = &self.occupancy[pe.index()];
-        for cs in start..start + duration {
-            if let Some(&by) = lane.get(&cs) {
-                return Err(TableError::Occupied { pe, cs, by: NodeId::from_index(by) });
+        let end = start + duration - 1;
+        let row = &mut self.rows[pe.index()];
+        // Conflict scan in ascending cs order (first conflict reported,
+        // as in the sparse original).  Cells beyond the row are free.
+        for cs in start..=end.min(row.len() as u32) {
+            let by = row[(cs - 1) as usize];
+            if by != FREE {
+                return Err(TableError::Occupied {
+                    pe,
+                    cs,
+                    by: NodeId::from_index(by),
+                });
             }
         }
-        let lane = &mut self.occupancy[pe.index()];
-        for cs in start..start + duration {
-            lane.insert(cs, node.index());
+        if (row.len() as u32) < end {
+            row.resize(end as usize, FREE);
         }
-        self.slots.insert(node.index(), Slot { pe, start, duration });
+        for cs in start..=end {
+            row[(cs - 1) as usize] = node.index();
+        }
+        // Advance the first-free cursor past the newly filled run.
+        let cursor = &mut self.first_free[pe.index()];
+        if (start..=end).contains(cursor) {
+            let mut cs = end + 1;
+            while (cs as usize) <= row.len() && row[(cs - 1) as usize] != FREE {
+                cs += 1;
+            }
+            *cursor = cs;
+        }
+        if node.index() >= self.slots.len() {
+            self.slots.resize(node.index() + 1, None);
+        }
+        self.slots[node.index()] = Some(Slot {
+            pe,
+            start,
+            duration,
+        });
+        self.placed += 1;
+        self.occupied_end = self.occupied_end.max(end);
         Ok(())
     }
 
     /// Removes `node` from the table, returning its slot.
     pub fn remove(&mut self, node: NodeId) -> Option<Slot> {
-        let slot = self.slots.remove(&node.index())?;
-        let lane = &mut self.occupancy[slot.pe.index()];
-        for cs in slot.start..slot.start + slot.duration {
-            lane.remove(&cs);
+        let slot = self.slots.get_mut(node.index())?.take()?;
+        let row = &mut self.rows[slot.pe.index()];
+        for cs in slot.start..=slot.end() {
+            row[(cs - 1) as usize] = FREE;
+        }
+        let cursor = &mut self.first_free[slot.pe.index()];
+        *cursor = (*cursor).min(slot.start);
+        self.placed -= 1;
+        if slot.end() == self.occupied_end {
+            self.occupied_end = self
+                .slots
+                .iter()
+                .flatten()
+                .map(Slot::end)
+                .max()
+                .unwrap_or(0);
         }
         Some(slot)
     }
 
     /// Node occupying `(pe, cs)`, if any.
     pub fn at(&self, pe: Pe, cs: u32) -> Option<NodeId> {
-        self.occupancy[pe.index()].get(&cs).map(|&i| NodeId::from_index(i))
+        if cs == 0 {
+            return None;
+        }
+        match self.rows[pe.index()].get((cs - 1) as usize) {
+            Some(&i) if i != FREE => Some(NodeId::from_index(i)),
+            _ => None,
+        }
     }
 
     /// `true` if `pe` is free for `[start, start + duration)`.
     pub fn is_free(&self, pe: Pe, start: u32, duration: u32) -> bool {
-        let lane = &self.occupancy[pe.index()];
-        lane.range(start..start + duration).next().is_none()
+        let row = &self.rows[pe.index()];
+        for cs in start..start + duration {
+            if cs == 0 {
+                continue; // control steps are 1-based; cs 0 never exists
+            }
+            if matches!(row.get((cs - 1) as usize), Some(&i) if i != FREE) {
+                return false;
+            }
+        }
+        true
     }
 
     /// First control step `>= from` at which `pe` can host a task of
     /// `duration` steps.
     pub fn earliest_free(&self, pe: Pe, from: u32, duration: u32) -> u32 {
-        let mut cs = from.max(1);
+        let row = &self.rows[pe.index()];
+        let len = row.len() as u32;
+        // Every cell below the cursor is occupied, so no window can
+        // start there.
+        let mut run_start = from.max(1).max(self.first_free[pe.index()]);
+        let mut cs = run_start;
         loop {
-            // Jump past the first conflict in [cs, cs+duration).
-            match self.occupancy[pe.index()].range(cs..cs + duration).next() {
-                None => return cs,
-                Some((&busy, _)) => cs = busy + 1,
+            if cs >= run_start + duration || cs > len {
+                // Window complete, or everything from `cs` on is past
+                // the occupied row (hence free).
+                return run_start;
             }
+            if row[(cs - 1) as usize] != FREE {
+                run_start = cs + 1;
+            }
+            cs += 1;
         }
     }
 
@@ -224,16 +308,18 @@ impl Schedule {
     /// Nodes beginning at control step `<= upto` — the rotation set of
     /// a multi-row rotation pass.
     pub fn rows_upto(&self, upto: u32) -> Vec<NodeId> {
-        self.slots
-            .iter()
+        self.placements()
             .filter(|(_, s)| s.start <= upto)
-            .map(|(&i, _)| NodeId::from_index(i))
+            .map(|(n, _)| n)
             .collect()
     }
 
     /// All placed nodes with their slots, ordered by node id.
     pub fn placements(&self) -> impl Iterator<Item = (NodeId, Slot)> + '_ {
-        self.slots.iter().map(|(&i, &s)| (NodeId::from_index(i), s))
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|s| (NodeId::from_index(i), s)))
     }
 
     /// Removes the given nodes and shifts every remaining placement one
@@ -265,28 +351,72 @@ impl Schedule {
             self.padding = 0;
             return;
         }
-        let old: Vec<(NodeId, Slot)> = self.placements().collect();
-        for (n, _) in &old {
-            self.remove(*n);
+        // Validate in node-id order (matching the sparse original's
+        // panic site), then shift every slot in place and rebuild the
+        // occupancy rows in one sweep — no remove/re-place churn.
+        for (i, s) in self.slots.iter().enumerate() {
+            if let Some(s) = s {
+                assert!(
+                    s.start > shift,
+                    "drop_and_shift_by: node {n} starts at cs{start} <= shift {shift}",
+                    n = NodeId::from_index(i),
+                    start = s.start,
+                );
+            }
         }
-        for (n, s) in old {
-            assert!(
-                s.start > shift,
-                "drop_and_shift_by: node {n} starts at cs{} <= shift {shift}",
-                s.start
-            );
-            self.place(n, s.pe, s.start - shift, s.duration)
-                .expect("shift of a valid schedule cannot conflict");
+        for s in self.slots.iter_mut().flatten() {
+            s.start -= shift;
         }
+        self.occupied_end = self.occupied_end.saturating_sub(shift);
+        self.rebuild_rows();
         self.padding = 0;
+    }
+
+    /// Shifts every placement `shift` control steps later — the exact
+    /// inverse of the renumbering in [`Schedule::drop_and_shift_by`]
+    /// (used to roll a rotation pass back without cloning the table).
+    /// Padding is left unchanged.
+    pub fn shift_later(&mut self, shift: u32) {
+        if shift == 0 || self.placed == 0 {
+            return;
+        }
+        for s in self.slots.iter_mut().flatten() {
+            s.start += shift;
+        }
+        self.occupied_end += shift;
+        self.rebuild_rows();
+    }
+
+    /// Reconstructs occupancy rows and cursors from `slots`.
+    fn rebuild_rows(&mut self) {
+        for row in &mut self.rows {
+            row.clear();
+        }
+        for (i, slot) in self.slots.iter().enumerate() {
+            let Some(slot) = slot else { continue };
+            let row = &mut self.rows[slot.pe.index()];
+            let end = slot.end();
+            if (row.len() as u32) < end {
+                row.resize(end as usize, FREE);
+            }
+            for cs in slot.start..=end {
+                row[(cs - 1) as usize] = i;
+            }
+        }
+        for (p, row) in self.rows.iter().enumerate() {
+            let mut cs = 1u32;
+            while (cs as usize) <= row.len() && row[(cs - 1) as usize] != FREE {
+                cs += 1;
+            }
+            self.first_free[p] = cs;
+        }
     }
 
     /// Renders the table in the paper's layout (`cs` rows, `pe`
     /// columns), labelling tasks via `name`.
     pub fn render(&self, mut name: impl FnMut(NodeId) -> String) -> String {
         let len = self.length();
-        let mut cells: Vec<Vec<String>> =
-            vec![vec![String::new(); self.num_pes]; len as usize];
+        let mut cells: Vec<Vec<String>> = vec![vec![String::new(); self.num_pes]; len as usize];
         for (node, slot) in self.placements() {
             let label = name(node);
             for cs in slot.start..=slot.end() {
@@ -328,6 +458,72 @@ impl Schedule {
     }
 }
 
+/// Equality is over the logical contents: machine size, placements,
+/// and padding (occupancy rows are derived state).
+impl PartialEq for Schedule {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_pes == other.num_pes
+            && self.padding == other.padding
+            && self.placed == other.placed
+            && self.placements().eq(other.placements())
+    }
+}
+
+impl Eq for Schedule {}
+
+/// Serializes in the original sparse shape:
+/// `{num_pes, slots: {node: Slot}, occupancy: [{cs: node}], padding}`.
+impl Serialize for Schedule {
+    fn to_value(&self) -> Value {
+        let slots: BTreeMap<usize, Slot> = self.placements().map(|(n, s)| (n.index(), s)).collect();
+        let occupancy: Vec<BTreeMap<u32, usize>> = self
+            .rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .filter(|(_, &i)| i != FREE)
+                    .map(|(c, &i)| (c as u32 + 1, i))
+                    .collect()
+            })
+            .collect();
+        Value::Object(vec![
+            ("num_pes".into(), self.num_pes.to_value()),
+            ("slots".into(), slots.to_value()),
+            ("occupancy".into(), occupancy.to_value()),
+            ("padding".into(), self.padding.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Schedule {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::msg("Schedule: expected object"))?;
+        let field = |name: &str| {
+            serde::__field(obj, name)
+                .ok_or_else(|| DeError::msg(format!("Schedule: missing field `{name}`")))
+        };
+        let num_pes = usize::from_value(field("num_pes")?)?;
+        if num_pes == 0 {
+            return Err(DeError::msg("Schedule: num_pes must be >= 1"));
+        }
+        let slots: BTreeMap<usize, Slot> = BTreeMap::from_value(field("slots")?)?;
+        let padding = u32::from_value(field("padding")?)?;
+        // `occupancy` is derived state: accept and ignore its contents,
+        // rebuilding from `slots` (which also validates consistency).
+        let mut sched = Schedule::new(num_pes);
+        for (node, slot) in slots {
+            sched
+                .place(NodeId::from_index(node), slot.pe, slot.start, slot.duration)
+                .map_err(|e| DeError::msg(format!("Schedule: bad slot table: {e}")))?;
+        }
+        sched.padding = padding;
+        Ok(sched)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,8 +552,18 @@ mod tests {
         let mut s = Schedule::new(1);
         s.place(n(0), Pe(0), 1, 2).unwrap();
         let err = s.place(n(1), Pe(0), 2, 1).unwrap_err();
-        assert_eq!(err, TableError::Occupied { pe: Pe(0), cs: 2, by: n(0) });
-        assert_eq!(s.place(n(0), Pe(0), 5, 1), Err(TableError::AlreadyPlaced(n(0))));
+        assert_eq!(
+            err,
+            TableError::Occupied {
+                pe: Pe(0),
+                cs: 2,
+                by: n(0)
+            }
+        );
+        assert_eq!(
+            s.place(n(0), Pe(0), 5, 1),
+            Err(TableError::AlreadyPlaced(n(0)))
+        );
         assert_eq!(s.place(n(2), Pe(0), 0, 1), Err(TableError::BadInterval));
         assert_eq!(s.place(n(2), Pe(1), 1, 1), Err(TableError::BadPe(Pe(1))));
     }
@@ -383,6 +589,19 @@ mod tests {
         assert_eq!(s.earliest_free(Pe(0), 5, 3), 5);
         // from=0 clamps to 1
         assert_eq!(s.earliest_free(Pe(0), 0, 1), 1);
+    }
+
+    #[test]
+    fn first_free_cursor_tracks_prefix() {
+        let mut s = Schedule::new(1);
+        s.place(n(0), Pe(0), 1, 2).unwrap();
+        s.place(n(1), Pe(0), 3, 1).unwrap();
+        // Prefix cs1-3 is solid: earliest free is 4 even when asked
+        // from 1.
+        assert_eq!(s.earliest_free(Pe(0), 1, 1), 4);
+        s.remove(n(0)).unwrap();
+        assert_eq!(s.earliest_free(Pe(0), 1, 1), 1);
+        assert_eq!(s.earliest_free(Pe(0), 1, 3), 4);
     }
 
     #[test]
@@ -471,6 +690,40 @@ mod tests {
     }
 
     #[test]
+    fn drop_and_shift_reuses_freed_cells() {
+        let mut s = Schedule::new(2);
+        s.place(n(0), Pe(0), 1, 1).unwrap();
+        s.place(n(1), Pe(0), 2, 2).unwrap();
+        s.place(n(2), Pe(1), 1, 3).unwrap();
+        s.drop_and_shift(&[n(0), n(2)]);
+        // After the shift, cs1-2 on pe1 hold node 1; pe2 is empty.
+        assert_eq!(s.at(Pe(0), 1), Some(n(1)));
+        assert_eq!(s.at(Pe(0), 2), Some(n(1)));
+        assert_eq!(s.at(Pe(1), 1), None);
+        assert_eq!(s.earliest_free(Pe(1), 1, 5), 1);
+        assert_eq!(s.earliest_free(Pe(0), 1, 1), 3);
+        // Freed space is placeable again.
+        s.place(n(0), Pe(1), 1, 2).unwrap();
+        assert_eq!(s.length(), 2);
+    }
+
+    #[test]
+    fn shift_later_inverts_drop_and_shift() {
+        let mut s = Schedule::new(2);
+        s.place(n(0), Pe(0), 1, 1).unwrap();
+        s.place(n(1), Pe(0), 2, 2).unwrap();
+        s.place(n(2), Pe(1), 3, 1).unwrap();
+        let before = s.clone();
+        let slot0 = s.slot(n(0)).unwrap();
+        s.drop_and_shift(&[n(0)]);
+        s.shift_later(1);
+        s.place(n(0), slot0.pe, slot0.start, slot0.duration)
+            .unwrap();
+        assert_eq!(s, before);
+        assert_eq!(s.earliest_free(Pe(0), 1, 1), 4);
+    }
+
+    #[test]
     fn render_matches_paper_layout() {
         let mut s = Schedule::new(2);
         s.place(n(0), Pe(0), 1, 1).unwrap();
@@ -498,7 +751,11 @@ mod tests {
 
     #[test]
     fn slot_end_arithmetic() {
-        let s = Slot { pe: Pe(0), start: 4, duration: 3 };
+        let s = Slot {
+            pe: Pe(0),
+            start: 4,
+            duration: 3,
+        };
         assert_eq!(s.end(), 6);
     }
 
@@ -511,5 +768,40 @@ mod tests {
         let back: Schedule = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
         assert_eq!(back.length(), 4);
+    }
+
+    #[test]
+    fn serde_emits_legacy_sparse_shape() {
+        let mut s = Schedule::new(2);
+        s.place(n(3), Pe(1), 2, 2).unwrap();
+        s.pad_to(5);
+        let v = serde_json::to_value(&s).unwrap();
+        assert_eq!(v["num_pes"].as_u64(), Some(2));
+        assert_eq!(v["padding"].as_u64(), Some(2));
+        assert_eq!(v["slots"]["3"]["pe"].as_u64(), Some(1));
+        assert_eq!(v["slots"]["3"]["start"].as_u64(), Some(2));
+        assert_eq!(v["occupancy"][1]["2"].as_u64(), Some(3));
+        assert_eq!(v["occupancy"][1]["3"].as_u64(), Some(3));
+        assert_eq!(v["occupancy"][0], serde::Value::Object(vec![]));
+    }
+
+    #[test]
+    fn serde_rejects_conflicting_slot_table() {
+        let text = r#"{"num_pes":1,"slots":{"0":{"pe":0,"start":1,"duration":2},
+            "1":{"pe":0,"start":2,"duration":1}},"occupancy":[{}],"padding":0}"#;
+        assert!(serde_json::from_str::<Schedule>(text).is_err());
+    }
+
+    #[test]
+    fn eq_ignores_storage_history() {
+        let mut a = Schedule::new(2);
+        a.place(n(0), Pe(0), 1, 1).unwrap();
+        a.place(n(5), Pe(1), 2, 1).unwrap();
+        a.remove(n(5)).unwrap();
+        let mut b = Schedule::new(2);
+        b.place(n(0), Pe(0), 1, 1).unwrap();
+        assert_eq!(a, b);
+        b.pad_to(3);
+        assert_ne!(a, b);
     }
 }

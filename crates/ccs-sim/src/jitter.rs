@@ -64,7 +64,9 @@ pub fn run_jittered(
                 if k > i {
                     continue;
                 }
-                let Some(&f) = finish.get(&(u.index(), i - k)) else { continue };
+                let Some(&f) = finish.get(&(u.index(), i - k)) else {
+                    continue;
+                };
                 let pu = sched.pe(u).expect("placed");
                 let hops = machine.distance(pu, pe);
                 let cost = u64::from(hops) * u64::from(g.volume(e));
@@ -94,7 +96,13 @@ pub fn run_jittered(
     } else {
         (makespan - first_iter_end) as f64 / f64::from(iterations - 1)
     };
-    SelfTimedReport { iterations, makespan, initiation_interval, messages, traffic }
+    SelfTimedReport {
+        iterations,
+        makespan,
+        initiation_interval,
+        messages,
+        traffic,
+    }
 }
 
 #[cfg(test)]
@@ -121,7 +129,16 @@ mod tests {
     fn zero_jitter_matches_self_timed() {
         let (g, m, s) = setup();
         let base = run_self_timed(&g, &m, &s, 25);
-        let jit = run_jittered(&g, &m, &s, 25, JitterConfig { max_jitter: 0, seed: 1 });
+        let jit = run_jittered(
+            &g,
+            &m,
+            &s,
+            25,
+            JitterConfig {
+                max_jitter: 0,
+                seed: 1,
+            },
+        );
         assert_eq!(jit.makespan, base.makespan);
         assert!((jit.initiation_interval - base.initiation_interval).abs() < 1e-9);
     }
@@ -131,11 +148,19 @@ mod tests {
         let (g, m, s) = setup();
         let base = run_self_timed(&g, &m, &s, 25);
         for j in [1u32, 3, 7] {
-            let jit = run_jittered(&g, &m, &s, 25, JitterConfig { max_jitter: j, seed: 9 });
+            let jit = run_jittered(
+                &g,
+                &m,
+                &s,
+                25,
+                JitterConfig {
+                    max_jitter: j,
+                    seed: 9,
+                },
+            );
             assert!(jit.initiation_interval >= base.initiation_interval - 1e-9);
             // Worst case adds max_jitter per task per iteration.
-            let ceiling = base.initiation_interval
-                + f64::from(j) * g.task_count() as f64;
+            let ceiling = base.initiation_interval + f64::from(j) * g.task_count() as f64;
             assert!(jit.initiation_interval <= ceiling + 1e-9);
         }
     }
@@ -143,10 +168,37 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let (g, m, s) = setup();
-        let a = run_jittered(&g, &m, &s, 30, JitterConfig { max_jitter: 4, seed: 42 });
-        let b = run_jittered(&g, &m, &s, 30, JitterConfig { max_jitter: 4, seed: 42 });
+        let a = run_jittered(
+            &g,
+            &m,
+            &s,
+            30,
+            JitterConfig {
+                max_jitter: 4,
+                seed: 42,
+            },
+        );
+        let b = run_jittered(
+            &g,
+            &m,
+            &s,
+            30,
+            JitterConfig {
+                max_jitter: 4,
+                seed: 42,
+            },
+        );
         assert_eq!(a.makespan, b.makespan);
-        let c = run_jittered(&g, &m, &s, 30, JitterConfig { max_jitter: 4, seed: 43 });
+        let c = run_jittered(
+            &g,
+            &m,
+            &s,
+            30,
+            JitterConfig {
+                max_jitter: 4,
+                seed: 43,
+            },
+        );
         // Different seed, overwhelmingly likely different makespan.
         assert_ne!(a.makespan, c.makespan);
     }
@@ -163,7 +215,10 @@ mod tests {
             &m,
             &r.schedule,
             50,
-            JitterConfig { max_jitter: 1, seed: 7 },
+            JitterConfig {
+                max_jitter: 1,
+                seed: 7,
+            },
         );
         // Unit jitter on a 6-task graph: inflation stays within the
         // total-extra-work bound.

@@ -145,7 +145,13 @@ pub fn run_contended(
         (makespan - first_iter_end) as f64 / f64::from(iterations - 1)
     };
     ContendedReport {
-        base: SelfTimedReport { iterations, makespan, initiation_interval, messages, traffic },
+        base: SelfTimedReport {
+            iterations,
+            makespan,
+            initiation_interval,
+            messages,
+            traffic,
+        },
         links,
     }
 }
@@ -268,7 +274,11 @@ mod tests {
     fn contention_never_speeds_up_paper_workloads() {
         use ccs_core::{cyclo_compact, CompactConfig};
         let g = ccs_workloads::paper::fig7_example();
-        for m in [Machine::linear_array(8), Machine::mesh(4, 2), Machine::ring(8)] {
+        for m in [
+            Machine::linear_array(8),
+            Machine::mesh(4, 2),
+            Machine::ring(8),
+        ] {
             let r = cyclo_compact(&g, &m, CompactConfig::default()).unwrap();
             let free = run_self_timed(&r.graph, &m, &r.schedule, 24);
             let contended = run_contended(&r.graph, &m, &r.schedule, 24);

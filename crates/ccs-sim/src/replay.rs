@@ -136,7 +136,10 @@ mod tests {
         // The A->B violation repeats every iteration; the tightened
         // back edge B->A also misses from iteration 1 on.
         let a = g.task_by_name("A").unwrap();
-        let ab = g.graph().find_edge(a, g.task_by_name("B").unwrap()).unwrap();
+        let ab = g
+            .graph()
+            .find_edge(a, g.task_by_name("B").unwrap())
+            .unwrap();
         let ab_violations = r.violations.iter().filter(|v| v.edge == ab).count();
         assert_eq!(ab_violations, 3);
         assert_eq!(r.violations.len(), 5);

@@ -84,7 +84,13 @@ pub fn run_self_timed(
     } else {
         (makespan - first_iter_end) as f64 / f64::from(iterations - 1)
     };
-    SelfTimedReport { iterations, makespan, initiation_interval, messages, traffic }
+    SelfTimedReport {
+        iterations,
+        makespan,
+        initiation_interval,
+        messages,
+        traffic,
+    }
 }
 
 #[cfg(test)]
@@ -128,7 +134,11 @@ mod tests {
         let m = Machine::linear_array(2);
         let s = sched_same_pe(&g);
         let r = run_self_timed(&g, &m, &s, 50);
-        assert!((r.initiation_interval - 3.0).abs() < 1e-9, "{}", r.initiation_interval);
+        assert!(
+            (r.initiation_interval - 3.0).abs() < 1e-9,
+            "{}",
+            r.initiation_interval
+        );
     }
 
     #[test]
@@ -155,7 +165,11 @@ mod tests {
         assert_eq!(r.messages, 7);
         assert_eq!(r.traffic, 7);
         // Steady II includes the round trip: A(1) + hop(1) + B(2) + hop(1) = 5.
-        assert!((r.initiation_interval - 5.0).abs() < 1e-9, "{}", r.initiation_interval);
+        assert!(
+            (r.initiation_interval - 5.0).abs() < 1e-9,
+            "{}",
+            r.initiation_interval
+        );
     }
 
     #[test]

@@ -112,7 +112,10 @@ mod tests {
         assert_eq!(events.len(), 6);
         // iteration 1's A starts at period 4 + 0.
         let a = g.task_by_name("A").unwrap();
-        let a1 = events.iter().find(|e| e.node == a && e.iteration == 1).unwrap();
+        let a1 = events
+            .iter()
+            .find(|e| e.node == a && e.iteration == 1)
+            .unwrap();
         assert_eq!(a1.start, 4);
         assert_eq!(a1.end, 5);
     }

@@ -44,13 +44,19 @@ impl Machine {
         assert!(n > 0, "a machine needs at least one PE");
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut norm: Vec<(usize, usize)> = Vec::new();
+        // Set-based dedup: the dense builders (`complete`, `ncube`)
+        // emit O(n^2) links, so a linear `contains` scan here made
+        // construction quadratic in the link count.  `norm` still
+        // records first-seen order for a stable public link list.
+        let mut seen: std::collections::HashSet<(usize, usize)> =
+            std::collections::HashSet::with_capacity(links.len());
         for &(a, b) in links {
             assert!(a < n && b < n, "link ({a},{b}) out of range for {n} PEs");
             if a == b {
                 continue;
             }
             let key = (a.min(b), a.max(b));
-            if !norm.contains(&key) {
+            if seen.insert(key) {
                 norm.push(key);
                 adj[a].push(b);
                 adj[b].push(a);
@@ -71,7 +77,12 @@ impl Machine {
                 }
             }
         }
-        Machine { name: name.into(), n, dist, links: norm }
+        Machine {
+            name: name.into(),
+            n,
+            dist,
+            links: norm,
+        }
     }
 
     /// An idealized PRAM-style machine: `n` PEs, fully linked, and
@@ -89,7 +100,12 @@ impl Machine {
                 links.push((a, b));
             }
         }
-        Machine { name: format!("Ideal {n}"), n, dist: vec![0; n * n], links }
+        Machine {
+            name: format!("Ideal {n}"),
+            n,
+            dist: vec![0; n * n],
+            links,
+        }
     }
 
     /// Machine name (e.g. `"2-D Mesh 4x2"`).
@@ -115,7 +131,11 @@ impl Machine {
     /// disconnected machine (we treat that as a construction error).
     pub fn distance(&self, a: Pe, b: Pe) -> u32 {
         let d = self.dist[a.index() * self.n + b.index()];
-        assert!(d != u32::MAX, "machine {:?} is disconnected between {a} and {b}", self.name);
+        assert!(
+            d != u32::MAX,
+            "machine {:?} is disconnected between {a} and {b}",
+            self.name
+        );
         d
     }
 
@@ -138,7 +158,10 @@ impl Machine {
     /// Degree (number of attached links) of a PE.
     pub fn degree(&self, p: Pe) -> usize {
         let i = p.index();
-        self.links.iter().filter(|&&(a, b)| a == i || b == i).count()
+        self.links
+            .iter()
+            .filter(|&&(a, b)| a == i || b == i)
+            .count()
     }
 
     /// Maximum hop distance over all PE pairs.

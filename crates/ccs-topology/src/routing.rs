@@ -28,7 +28,10 @@ impl RoutingTable {
     /// Panics if the machine is disconnected.
     pub fn new(machine: &Machine) -> Self {
         let n = machine.num_pes();
-        assert!(machine.is_connected(), "cannot route a disconnected machine");
+        assert!(
+            machine.is_connected(),
+            "cannot route a disconnected machine"
+        );
         // adjacency, sorted so ties resolve deterministically
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
         for &(a, b) in machine.links() {

@@ -41,7 +41,9 @@ fn err(msg: impl Into<String>) -> SpecError {
 pub fn parse_spec(spec: &str) -> Result<Machine, SpecError> {
     let mut parts = spec.split(':');
     let kind = parts.next().ok_or_else(|| err("empty spec"))?;
-    let size = parts.next().ok_or_else(|| err(format!("{spec:?}: missing size")))?;
+    let size = parts
+        .next()
+        .ok_or_else(|| err(format!("{spec:?}: missing size")))?;
     let tail = parts.next();
     if parts.next().is_some() {
         return Err(err(format!("{spec:?}: too many ':' segments")));
@@ -56,7 +58,9 @@ pub fn parse_spec(spec: &str) -> Result<Machine, SpecError> {
         Ok((n(r)?, n(c)?))
     };
     if tail.is_some() && kind != "random" {
-        return Err(err(format!("{spec:?}: only random:N:SEED takes a third field")));
+        return Err(err(format!(
+            "{spec:?}: only random:N:SEED takes a third field"
+        )));
     }
     let m = match kind {
         "linear" => Machine::linear_array(check_nonzero(n(size)?)?),
@@ -66,7 +70,9 @@ pub fn parse_spec(spec: &str) -> Result<Machine, SpecError> {
         "star" => Machine::star(check_nonzero(n(size)?)?),
         "tree" => Machine::binary_tree(check_nonzero(n(size)?)?),
         "hypercube" => {
-            let d: u32 = size.parse().map_err(|_| err(format!("bad dimension {size:?}")))?;
+            let d: u32 = size
+                .parse()
+                .map_err(|_| err(format!("bad dimension {size:?}")))?;
             if d > 16 {
                 return Err(err("hypercube dimension > 16 is unreasonable"));
             }
@@ -151,8 +157,17 @@ mod tests {
     #[test]
     fn rejects_bad_specs() {
         for spec in [
-            "", "mesh", "mesh:4", "mesh:4y2", "ring:zero", "warp:4", "ring:0",
-            "hypercube:99", "random:5", "ring:5:7", "mesh:2x3:4:5",
+            "",
+            "mesh",
+            "mesh:4",
+            "mesh:4y2",
+            "ring:zero",
+            "warp:4",
+            "ring:0",
+            "hypercube:99",
+            "random:5",
+            "ring:5:7",
+            "mesh:2x3:4:5",
         ] {
             assert!(parse_spec(spec).is_err(), "{spec:?} should fail");
         }

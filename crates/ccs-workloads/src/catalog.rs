@@ -3,8 +3,7 @@
 
 use crate::dsp_extra::{allpole_lattice, correlator, volterra2};
 use crate::filters::{
-    diffeq_solver, elliptic_wave_filter, fir_filter, iir_biquad_cascade, lattice_filter,
-    OpTimes,
+    diffeq_solver, elliptic_wave_filter, fir_filter, iir_biquad_cascade, lattice_filter, OpTimes,
 };
 use crate::paper::{fig1_example, fig7_example};
 use ccs_model::Csdfg;
@@ -28,7 +27,9 @@ impl Workload {
 
 impl std::fmt::Debug for Workload {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Workload").field("name", &self.name).finish()
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .finish()
     }
 }
 

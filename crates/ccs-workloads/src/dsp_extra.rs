@@ -81,7 +81,10 @@ pub fn allpole_lattice(stages: usize, times: OpTimes) -> Csdfg {
 /// multipliers, a good stress test for communication volumes (each
 /// quadratic product ships `volume = 2`).
 pub fn volterra2(taps: usize, times: OpTimes) -> Csdfg {
-    assert!((2..=5).contains(&taps), "taps in 2..=5 keeps the kernel reasonable");
+    assert!(
+        (2..=5).contains(&taps),
+        "taps in 2..=5 keeps the kernel reasonable"
+    );
     let mut g = Csdfg::new();
     let x = g.add_task("x", times.add).unwrap();
     let mut partials: Vec<NodeId> = Vec::new();

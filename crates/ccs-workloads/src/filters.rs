@@ -228,7 +228,7 @@ pub fn diffeq_solver(times: OpTimes) -> Csdfg {
     let m5 = g.add_task("3ydt", times.mul).unwrap(); // 3y*dt
     let m6 = g.add_task("udt", times.mul).unwrap(); // u*dt
     let sub = g.add_task("sub", times.add).unwrap(); // partial u update
-    // state reads from the previous iteration
+                                                     // state reads from the previous iteration
     for (src, dst) in [(x, m1), (u, m2), (y, m4), (u, m6), (u, sub), (x, x), (y, y)] {
         g.add_dep(src, dst, 1, 1).unwrap();
     }

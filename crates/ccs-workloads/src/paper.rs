@@ -47,10 +47,12 @@ pub fn fig1_example() -> Csdfg {
 pub fn fig7_example() -> Csdfg {
     let mut g = Csdfg::new();
     for name in [
-        "A", "B", "C", "D", "E", "F", "G", "H", "I", "J", "K", "L", "M", "N", "O", "P", "Q",
-        "R", "S",
+        "A", "B", "C", "D", "E", "F", "G", "H", "I", "J", "K", "L", "M", "N", "O", "P", "Q", "R",
+        "S",
     ] {
-        let t = matches!(name, "C" | "F" | "J" | "L" | "P").then_some(2).unwrap_or(1);
+        let t = matches!(name, "C" | "F" | "J" | "L" | "P")
+            .then_some(2)
+            .unwrap_or(1);
         g.add_task(name, t).expect("unique names");
     }
     let n = |s: &str| g.task_by_name(s).expect("known name");
@@ -135,9 +137,16 @@ mod tests {
         let g = fig7_example();
         assert_eq!(g.task_count(), 19);
         assert!(g.check_legal().is_ok());
-        for (name, t) in
-            [("C", 2), ("F", 2), ("J", 2), ("L", 2), ("P", 2), ("A", 1), ("S", 1), ("M", 1)]
-        {
+        for (name, t) in [
+            ("C", 2),
+            ("F", 2),
+            ("J", 2),
+            ("L", 2),
+            ("P", 2),
+            ("A", 1),
+            ("S", 1),
+            ("M", 1),
+        ] {
             assert_eq!(g.time(g.task_by_name(name).unwrap()), t, "t({name})");
         }
         // Total work: 5 nodes of 2 + 14 of 1 = 24.

@@ -60,7 +60,11 @@ pub fn random_csdfg(config: RandomGraphConfig, seed: u64) -> Csdfg {
         for j in (i + 1)..config.nodes {
             if rng.gen_bool(config.forward_density) {
                 let vol = rng.gen_range(1..=config.max_volume.max(1));
-                let delay = if rng.gen_bool(0.2) { rng.gen_range(1..=config.max_delay.max(1)) } else { 0 };
+                let delay = if rng.gen_bool(0.2) {
+                    rng.gen_range(1..=config.max_delay.max(1))
+                } else {
+                    0
+                };
                 g.add_dep(ids[i], ids[j], delay, vol).expect("volume >= 1");
             }
         }
@@ -72,7 +76,8 @@ pub fn random_csdfg(config: RandomGraphConfig, seed: u64) -> Csdfg {
         let (src, dst) = if a >= b { (a, b) } else { (b, a) };
         let delay = rng.gen_range(1..=config.max_delay.max(1));
         let vol = rng.gen_range(1..=config.max_volume.max(1));
-        g.add_dep(ids[src], ids[dst], delay, vol).expect("volume >= 1");
+        g.add_dep(ids[src], ids[dst], delay, vol)
+            .expect("volume >= 1");
     }
     debug_assert!(g.check_legal().is_ok());
     g
@@ -100,7 +105,11 @@ mod tests {
 
     #[test]
     fn always_legal_across_seeds() {
-        let cfg = RandomGraphConfig { nodes: 30, back_edges: 12, ..Default::default() };
+        let cfg = RandomGraphConfig {
+            nodes: 30,
+            back_edges: 12,
+            ..Default::default()
+        };
         for seed in 0..50 {
             let g = random_csdfg(cfg, seed);
             assert!(g.check_legal().is_ok(), "seed {seed}");
@@ -110,7 +119,12 @@ mod tests {
 
     #[test]
     fn spine_guarantees_single_weak_component() {
-        let cfg = RandomGraphConfig { nodes: 15, forward_density: 0.0, back_edges: 0, ..Default::default() };
+        let cfg = RandomGraphConfig {
+            nodes: 15,
+            forward_density: 0.0,
+            back_edges: 0,
+            ..Default::default()
+        };
         let g = random_csdfg(cfg, 7);
         // Every node except v0 has at least one predecessor.
         for v in g.tasks() {

@@ -27,7 +27,9 @@ fn machines() -> Vec<Machine> {
 }
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "fig7".to_string());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "fig7".to_string());
     let workload = cyclosched::workloads::workload_by_name(&which)
         .unwrap_or_else(|| panic!("unknown workload {which:?}"));
     let graph = workload.build();
@@ -38,8 +40,7 @@ fn main() {
         "machine", "PEs", "diameter", "start-up", "compact", "speedup", "traffic"
     );
     for machine in machines() {
-        let r = cyclo_compact(&graph, &machine, CompactConfig::default())
-            .expect("legal workload");
+        let r = cyclo_compact(&graph, &machine, CompactConfig::default()).expect("legal workload");
         validate(&r.graph, &machine, &r.schedule).expect("valid");
         let replay = replay_static(&r.graph, &machine, &r.schedule, 50);
         assert!(replay.is_valid());

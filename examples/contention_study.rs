@@ -11,7 +11,9 @@ use cyclosched::prelude::*;
 use cyclosched::sim::run_contended;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "volterra".to_string());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "volterra".to_string());
     let workload = cyclosched::workloads::workload_by_name(&which)
         .unwrap_or_else(|| panic!("unknown workload {which:?}"));
     let graph = workload.build();
@@ -43,13 +45,18 @@ fn main() {
             free.initiation_interval,
             contended.base.initiation_interval,
             inflation,
-            contended.links.mean_utilization(contended.base.makespan, machine.links().len())
+            contended
+                .links
+                .mean_utilization(contended.base.makespan, machine.links().len())
                 * 100.0,
         );
         if let Some(((a, b), cycles)) = contended.links.hottest() {
             println!(
                 "{:<22} hottest link pe{}-pe{}: {} busy cycles",
-                "", a + 1, b + 1, cycles
+                "",
+                a + 1,
+                b + 1,
+                cycles
             );
         }
     }

@@ -31,19 +31,27 @@ fn main() {
         "demo" => cyclosched::workloads::paper::fig1_example(),
         "-" => {
             let mut text = String::new();
-            std::io::stdin().read_to_string(&mut text).expect("read stdin");
+            std::io::stdin()
+                .read_to_string(&mut text)
+                .expect("read stdin");
             parser::parse(&text).unwrap_or_else(|e| panic!("parse error: {e}"))
         }
         file => {
-            let text = std::fs::read_to_string(file)
-                .unwrap_or_else(|e| panic!("cannot read {file}: {e}"));
+            let text =
+                std::fs::read_to_string(file).unwrap_or_else(|e| panic!("cannot read {file}: {e}"));
             parser::parse(&text).unwrap_or_else(|e| panic!("parse error: {e}"))
         }
     };
-    graph.check_legal().expect("graph must have positive-delay cycles");
+    graph
+        .check_legal()
+        .expect("graph must have positive-delay cycles");
     let machine = parse_spec(&spec).unwrap_or_else(|e| panic!("{e}"));
 
-    println!("graph: {} tasks, {} deps", graph.task_count(), graph.dep_count());
+    println!(
+        "graph: {} tasks, {} deps",
+        graph.task_count(),
+        graph.dep_count()
+    );
     println!("machine: {machine}\n");
 
     let result = cyclo_compact(&graph, &machine, CompactConfig::default()).expect("legal");
@@ -53,7 +61,10 @@ fn main() {
         result.best_length,
         result.speedup()
     );
-    println!("\n{}", result.schedule.render(|v| result.graph.name(v).to_string()));
+    println!(
+        "\n{}",
+        result.schedule.render(|v| result.graph.name(v).to_string())
+    );
 
     if let Some(b) = iteration_bound(&graph) {
         println!(
@@ -68,5 +79,12 @@ fn main() {
         .filter(|&v| retiming.get(v) != 0)
         .map(|v| format!("{}:{}", graph.name(v), retiming.get(v)))
         .collect();
-    println!("retiming (prologue copies per task): {}", if moved.is_empty() { "none".into() } else { moved.join(" ") });
+    println!(
+        "retiming (prologue copies per task): {}",
+        if moved.is_empty() {
+            "none".into()
+        } else {
+            moved.join(" ")
+        }
+    );
 }

@@ -10,7 +10,9 @@ use cyclosched::model::transform::slowdown;
 use cyclosched::prelude::*;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "elliptic".to_string());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "elliptic".to_string());
     let workload = cyclosched::workloads::workload_by_name(&which)
         .unwrap_or_else(|| panic!("unknown workload {which:?}; try `elliptic` or `lattice`"));
     // Table 11 runs the filters with a slow-down factor of 3.
@@ -24,7 +26,10 @@ fn main() {
         graph.total_time()
     );
     if let Some(b) = iteration_bound(&graph) {
-        println!("  iteration bound: {b} ({:.2} cycles/iteration)\n", b.as_f64());
+        println!(
+            "  iteration bound: {b} ({:.2} cycles/iteration)\n",
+            b.as_f64()
+        );
     }
 
     println!(
@@ -32,8 +37,7 @@ fn main() {
         "machine", "start-up", "compacted", "obl-list", "obl-rot", "self-timed II"
     );
     for machine in Machine::paper_suite() {
-        let aware = cyclo_compact(&graph, &machine, CompactConfig::default())
-            .expect("legal graph");
+        let aware = cyclo_compact(&graph, &machine, CompactConfig::default()).expect("legal graph");
         let obl_list = oblivious_list_scheduling(&graph, &machine).expect("legal graph");
         let (obl_rot, obl_graph) =
             oblivious_rotation_scheduling(&graph, &machine, 64).expect("legal graph");

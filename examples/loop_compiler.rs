@@ -40,8 +40,8 @@ fn main() {
     };
 
     println!("== kernel source ==\n{source}");
-    let lowered = compile(&source, LowerConfig::default())
-        .unwrap_or_else(|e| panic!("compile error: {e}"));
+    let lowered =
+        compile(&source, LowerConfig::default()).unwrap_or_else(|e| panic!("compile error: {e}"));
     let graph = &lowered.graph;
     println!("== compiled CSDFG ==");
     print!("{graph}");
@@ -60,7 +60,10 @@ fn main() {
         result.best_length,
         result.speedup()
     );
-    println!("{}", result.schedule.render(|v| result.graph.name(v).to_string()));
+    println!(
+        "{}",
+        result.schedule.render(|v| result.graph.name(v).to_string())
+    );
 
     validate(&result.graph, &machine, &result.schedule).expect("valid schedule");
     let replay = replay_static(&result.graph, &machine, &result.schedule, 200);

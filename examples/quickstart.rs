@@ -21,13 +21,19 @@ fn main() {
     println!("{machine}\n");
 
     // Start-up schedule (paper Figure 2a) + cyclo-compaction.
-    let result = cyclo_compact(&graph, &machine, CompactConfig::default())
-        .expect("fig1 is a legal CSDFG");
+    let result =
+        cyclo_compact(&graph, &machine, CompactConfig::default()).expect("fig1 is a legal CSDFG");
 
-    println!("== start-up schedule ({} control steps) ==", result.initial_length);
+    println!(
+        "== start-up schedule ({} control steps) ==",
+        result.initial_length
+    );
     println!("{}", result.initial.render(|v| graph.name(v).to_string()));
 
-    println!("== after cyclo-compaction ({} control steps) ==", result.best_length);
+    println!(
+        "== after cyclo-compaction ({} control steps) ==",
+        result.best_length
+    );
     println!("{}", result.schedule.render(|v| graph.name(v).to_string()));
 
     println!("== pass history ==");
@@ -60,10 +66,7 @@ fn main() {
     let events = cyclosched::sim::trace_static(&result.graph, &result.schedule, 3);
     print!(
         "{}",
-        cyclosched::sim::render_gantt(&result.graph, &events, |v| result
-            .graph
-            .name(v)
-            .to_string())
+        cyclosched::sim::render_gantt(&result.graph, &events, |v| result.graph.name(v).to_string())
     );
 
     // Double-check with the independent validators.
@@ -76,8 +79,5 @@ fn main() {
         replay.messages,
         replay.utilization() * 100.0
     );
-    println!(
-        "speedup over start-up schedule: {:.2}x",
-        result.speedup()
-    );
+    println!("speedup over start-up schedule: {:.2}x", result.speedup());
 }

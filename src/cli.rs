@@ -168,12 +168,15 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
             no_more(args)?;
             Ok(Command::Workloads { name })
         }
-        other => Err(fail(format!("unknown command {other:?}; try `cyclosched help`"))),
+        other => Err(fail(format!(
+            "unknown command {other:?}; try `cyclosched help`"
+        ))),
     }
 }
 
 fn positional(args: &mut VecDeque<String>, what: &str) -> Result<String, CliError> {
-    args.pop_front().ok_or_else(|| fail(format!("missing <{what}> argument")))
+    args.pop_front()
+        .ok_or_else(|| fail(format!("missing <{what}> argument")))
 }
 
 fn no_more(args: VecDeque<String>) -> Result<(), CliError> {
@@ -185,11 +188,13 @@ fn no_more(args: VecDeque<String>) -> Result<(), CliError> {
 }
 
 fn take_value(args: &mut VecDeque<String>, flag: &str) -> Result<String, CliError> {
-    args.pop_front().ok_or_else(|| fail(format!("{flag} needs a value")))
+    args.pop_front()
+        .ok_or_else(|| fail(format!("{flag} needs a value")))
 }
 
 fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, CliError> {
-    v.parse().map_err(|_| fail(format!("{flag}: bad number {v:?}")))
+    v.parse()
+        .map_err(|_| fail(format!("{flag}: bad number {v:?}")))
 }
 
 fn parse_schedule(mut args: VecDeque<String>) -> Result<Command, CliError> {
@@ -226,14 +231,17 @@ fn parse_schedule(mut args: VecDeque<String>) -> Result<Command, CliError> {
 
 fn parse_compile(mut args: VecDeque<String>) -> Result<Command, CliError> {
     let input = positional(&mut args, "kernel")?;
-    let mut out = CompileArgs { input, add: 1, mul: 2, volume: 1 };
+    let mut out = CompileArgs {
+        input,
+        add: 1,
+        mul: 2,
+        volume: 1,
+    };
     while let Some(flag) = args.pop_front() {
         match flag.as_str() {
             "--add" => out.add = parse_num(&take_value(&mut args, "--add")?, "--add")?,
             "--mul" => out.mul = parse_num(&take_value(&mut args, "--mul")?, "--mul")?,
-            "--volume" => {
-                out.volume = parse_num(&take_value(&mut args, "--volume")?, "--volume")?
-            }
+            "--volume" => out.volume = parse_num(&take_value(&mut args, "--volume")?, "--volume")?,
             other => return Err(fail(format!("compile: unknown flag {other:?}"))),
         }
     }
@@ -245,14 +253,17 @@ fn parse_compile(mut args: VecDeque<String>) -> Result<Command, CliError> {
 
 fn parse_simulate(mut args: VecDeque<String>) -> Result<Command, CliError> {
     let input = positional(&mut args, "graph")?;
-    let mut out =
-        SimulateArgs { input, machine: String::new(), iterations: 100, contended: false };
+    let mut out = SimulateArgs {
+        input,
+        machine: String::new(),
+        iterations: 100,
+        contended: false,
+    };
     while let Some(flag) = args.pop_front() {
         match flag.as_str() {
             "--machine" => out.machine = take_value(&mut args, "--machine")?,
             "--iterations" => {
-                out.iterations =
-                    parse_num(&take_value(&mut args, "--iterations")?, "--iterations")?
+                out.iterations = parse_num(&take_value(&mut args, "--iterations")?, "--iterations")?
             }
             "--contended" => out.contended = true,
             other => return Err(fail(format!("simulate: unknown flag {other:?}"))),
@@ -333,15 +344,24 @@ mod tests {
 
     #[test]
     fn bound_and_listing_commands() {
-        assert_eq!(parse("bound g.csdfg").unwrap(), Command::Bound { input: "g.csdfg".into() });
+        assert_eq!(
+            parse("bound g.csdfg").unwrap(),
+            Command::Bound {
+                input: "g.csdfg".into()
+            }
+        );
         assert_eq!(parse("machines").unwrap(), Command::Machines { spec: None });
         assert_eq!(
             parse("machines mesh:3x3").unwrap(),
-            Command::Machines { spec: Some("mesh:3x3".into()) }
+            Command::Machines {
+                spec: Some("mesh:3x3".into())
+            }
         );
         assert_eq!(
             parse("workloads elliptic").unwrap(),
-            Command::Workloads { name: Some("elliptic".into()) }
+            Command::Workloads {
+                name: Some("elliptic".into())
+            }
         );
     }
 

@@ -67,8 +67,8 @@ pub use ccs_topology as topology;
 pub use ccs_workloads as workloads;
 
 pub use ccs_core::{
-    cyclo_compact, startup_schedule, CompactConfig, Compaction, Priority, RemapConfig,
-    RemapMode, StartupConfig,
+    cyclo_compact, startup_schedule, CompactConfig, Compaction, Priority, RemapConfig, RemapMode,
+    StartupConfig,
 };
 pub use ccs_model::{Csdfg, ModelError};
 pub use ccs_schedule::{validate, Schedule};

@@ -58,8 +58,7 @@ fn run(cmd: Command) -> Result<(), String> {
             let stats = cyclosched::model::analysis::stats(&g);
             println!(
                 "{} tasks, {} deps ({} zero-delay), total work {}, {} recurrences",
-                stats.tasks, stats.deps, stats.zero_delay_deps, stats.total_time,
-                stats.recurrences
+                stats.tasks, stats.deps, stats.zero_delay_deps, stats.total_time, stats.recurrences
             );
             match iteration_bound(&g) {
                 Some(b) => println!(
@@ -83,8 +82,16 @@ fn run(cmd: Command) -> Result<(), String> {
                 None => {
                     println!("built-in machine specs:");
                     for s in [
-                        "linear:N", "ring:N", "complete:N", "mesh:RxC", "torus:RxC",
-                        "hypercube:D", "star:N", "tree:N", "ideal:N", "random:N:SEED",
+                        "linear:N",
+                        "ring:N",
+                        "complete:N",
+                        "mesh:RxC",
+                        "torus:RxC",
+                        "hypercube:D",
+                        "star:N",
+                        "tree:N",
+                        "ideal:N",
+                        "random:N:SEED",
                     ] {
                         println!("  {s}");
                     }
@@ -137,12 +144,8 @@ fn run_schedule(args: ScheduleArgs) -> Result<(), String> {
     let mut result = cyclo_compact(&g, &machine, args.compact_config())
         .map_err(|e| format!("scheduling failed: {e}"))?;
     if args.refine {
-        let refined = cyclosched::core::refine::refine_binding(
-            &result.graph,
-            &machine,
-            &result.schedule,
-            16,
-        );
+        let refined =
+            cyclosched::core::refine::refine_binding(&result.graph, &machine, &result.schedule, 16);
         if refined.moves > 0 {
             eprintln!(
                 "refinement: {} moves, (length, traffic) {:?} -> {:?}",
@@ -163,7 +166,10 @@ fn run_schedule(args: ScheduleArgs) -> Result<(), String> {
         result.speedup()
     );
     if args.csv {
-        print!("{}", cyclosched::schedule::to_csv(&result.graph, &result.schedule));
+        print!(
+            "{}",
+            cyclosched::schedule::to_csv(&result.graph, &result.schedule)
+        );
     } else {
         print!(
             "{}",
@@ -213,7 +219,10 @@ fn run_simulate(args: SimulateArgs) -> Result<(), String> {
         replay.is_valid()
     );
     let st = run_self_timed(&result.graph, &machine, &result.schedule, args.iterations);
-    println!("self-timed: II {:.2} cycles/iteration", st.initiation_interval);
+    println!(
+        "self-timed: II {:.2} cycles/iteration",
+        st.initiation_interval
+    );
     if args.contended {
         let c = cyclosched::sim::run_contended(
             &result.graph,
@@ -225,10 +234,17 @@ fn run_simulate(args: SimulateArgs) -> Result<(), String> {
             "contended:  II {:.2} cycles/iteration ({} messages), mean link utilization {:.1}%",
             c.base.initiation_interval,
             c.base.messages,
-            c.links.mean_utilization(c.base.makespan, machine.links().len()) * 100.0
+            c.links
+                .mean_utilization(c.base.makespan, machine.links().len())
+                * 100.0
         );
         if let Some(((a, b), cycles)) = c.links.hottest() {
-            println!("hottest link: pe{}-pe{} with {} busy cycles", a + 1, b + 1, cycles);
+            println!(
+                "hottest link: pe{}-pe{} with {} busy cycles",
+                a + 1,
+                b + 1,
+                cycles
+            );
         }
     }
     Ok(())

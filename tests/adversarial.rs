@@ -25,8 +25,7 @@ fn huge_volumes_force_colocation() {
     let m = Machine::linear_array(4);
     let r = cyclo_compact(&g, &m, CompactConfig::default()).unwrap();
     validate(&r.graph, &m, &r.schedule).unwrap();
-    let pes: std::collections::HashSet<_> =
-        g.tasks().map(|v| r.schedule.pe(v).unwrap()).collect();
+    let pes: std::collections::HashSet<_> = g.tasks().map(|v| r.schedule.pe(v).unwrap()).collect();
     assert_eq!(pes.len(), 1, "tasks were split across {pes:?}");
     assert_eq!(r.best_length, 3);
 }
@@ -45,7 +44,10 @@ fn diameter_spanning_communication() {
         .unwrap();
     let m = Machine::linear_array(8);
     // Hand-place at the two ends: 7 hops x volume 3 = 21 per direction.
-    let (src, sink) = (g.task_by_name("src").unwrap(), g.task_by_name("sink").unwrap());
+    let (src, sink) = (
+        g.task_by_name("src").unwrap(),
+        g.task_by_name("sink").unwrap(),
+    );
     let mut s = Schedule::new(8);
     s.place(src, Pe(0), 1, 1).unwrap();
     s.place(sink, Pe(7), 23, 1).unwrap(); // 1 + 21 + 1
@@ -74,7 +76,11 @@ fn parallel_edges_and_self_loops_survive_the_pipeline() {
     g.add_dep(b, a, 1, 2).unwrap();
     g.add_dep(a, a, 1, 1).unwrap(); // self loop
     assert!(g.check_legal().is_ok());
-    for m in [Machine::linear_array(2), Machine::complete(3), Machine::mesh(2, 2)] {
+    for m in [
+        Machine::linear_array(2),
+        Machine::complete(3),
+        Machine::mesh(2, 2),
+    ] {
         let r = cyclo_compact(&g, &m, CompactConfig::default()).unwrap();
         validate(&r.graph, &m, &r.schedule).unwrap();
         assert!(replay_static(&r.graph, &m, &r.schedule, 8).is_valid());
@@ -124,7 +130,11 @@ fn long_delay_chains_relax_constraints() {
 fn checker_and_replay_agree_under_mutation() {
     let mut rng = StdRng::seed_from_u64(0xC5DF);
     for seed in 0..30u64 {
-        let cfg = RandomGraphConfig { nodes: 8, back_edges: 3, ..Default::default() };
+        let cfg = RandomGraphConfig {
+            nodes: 8,
+            back_edges: 3,
+            ..Default::default()
+        };
         let g = random_csdfg(cfg, seed);
         let m = Machine::mesh(2, 2);
         let r = cyclo_compact(&g, &m, CompactConfig::default()).unwrap();
@@ -144,7 +154,8 @@ fn checker_and_replay_agree_under_mutation() {
             let checker_ok = validate(&graph, &m, &s).is_ok();
             let replay_ok = replay_static(&graph, &m, &s, 12).is_valid();
             assert_eq!(
-                checker_ok, replay_ok,
+                checker_ok,
+                replay_ok,
                 "disagreement: seed {seed}, task {} to {new_pe}@cs{new_cs}",
                 graph.name(v)
             );
@@ -181,7 +192,9 @@ fn zero_padding_trim_breaks_psl_and_both_views_see_it() {
 #[test]
 fn star_hub_is_the_bottleneck_under_contention() {
     use cyclosched::sim::run_contended;
-    let g = cyclosched::workloads::workload_by_name("volterra").unwrap().build();
+    let g = cyclosched::workloads::workload_by_name("volterra")
+        .unwrap()
+        .build();
     let m = Machine::star(8);
     let r = cyclo_compact(&g, &m, CompactConfig::default()).unwrap();
     let c = run_contended(&r.graph, &m, &r.schedule, 30);

@@ -78,7 +78,10 @@ fn schedule_from_stdin_renders_a_table() {
 
 #[test]
 fn schedule_csv_output() {
-    let out = run_with_stdin(&["schedule", "-", "--machine", "complete:2", "--csv"], GRAPH);
+    let out = run_with_stdin(
+        &["schedule", "-", "--machine", "complete:2", "--csv"],
+        GRAPH,
+    );
     let text = stdout_of(&out);
     assert!(text.starts_with("task,pe,start,end"));
     assert!(text.contains("A,"));
@@ -121,7 +124,14 @@ fn compile_error_carries_position() {
 #[test]
 fn simulate_reports_replay_and_self_timed() {
     let out = run_with_stdin(
-        &["simulate", "-", "--machine", "linear:2", "--iterations", "10"],
+        &[
+            "simulate",
+            "-",
+            "--machine",
+            "linear:2",
+            "--iterations",
+            "10",
+        ],
         GRAPH,
     );
     let text = stdout_of(&out);
@@ -133,7 +143,15 @@ fn simulate_reports_replay_and_self_timed() {
 #[test]
 fn simulate_contended_adds_link_stats() {
     let out = run_with_stdin(
-        &["simulate", "-", "--machine", "star:4", "--iterations", "10", "--contended"],
+        &[
+            "simulate",
+            "-",
+            "--machine",
+            "star:4",
+            "--iterations",
+            "10",
+            "--contended",
+        ],
         GRAPH,
     );
     let text = stdout_of(&out);
@@ -168,7 +186,14 @@ fn svg_export_writes_a_file() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("sched.svg");
     let out = run_with_stdin(
-        &["schedule", "-", "--machine", "complete:2", "--svg", path.to_str().unwrap()],
+        &[
+            "schedule",
+            "-",
+            "--machine",
+            "complete:2",
+            "--svg",
+            path.to_str().unwrap(),
+        ],
         GRAPH,
     );
     assert!(out.status.success());

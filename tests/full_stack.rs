@@ -36,7 +36,9 @@ fn every_workload_on_every_machine() {
 #[test]
 fn slowdown_workloads_schedule_cleanly() {
     for name in ["elliptic", "lattice"] {
-        let base = cyclosched::workloads::workload_by_name(name).unwrap().build();
+        let base = cyclosched::workloads::workload_by_name(name)
+            .unwrap()
+            .build();
         let g = transform::slowdown(&base, 3);
         for machine in Machine::paper_suite() {
             let r = cyclo_compact(&g, &machine, CompactConfig::default()).unwrap();
@@ -56,7 +58,9 @@ fn slowdown_workloads_schedule_cleanly() {
 
 #[test]
 fn compacted_length_respects_iteration_bound_after_slowdown() {
-    let base = cyclosched::workloads::workload_by_name("lattice").unwrap().build();
+    let base = cyclosched::workloads::workload_by_name("lattice")
+        .unwrap()
+        .build();
     for f in 1..=4u32 {
         let g = transform::slowdown(&base, f);
         let bound = iteration_bound(&g).unwrap();
@@ -98,17 +102,23 @@ fn unfolded_graphs_still_schedule() {
 #[test]
 fn random_graph_stress() {
     use cyclosched::workloads::{random_csdfg, RandomGraphConfig};
-    let cfg = RandomGraphConfig { nodes: 24, back_edges: 8, ..Default::default() };
+    let cfg = RandomGraphConfig {
+        nodes: 24,
+        back_edges: 8,
+        ..Default::default()
+    };
     for seed in 0..12 {
         let g = random_csdfg(cfg, seed);
         let machine = Machine::hypercube(3);
         let r = cyclo_compact(&g, &machine, CompactConfig::default()).unwrap();
-        validate(&r.graph, &machine, &r.schedule)
-            .unwrap_or_else(|v| panic!("seed {seed}: {v:?}"));
+        validate(&r.graph, &machine, &r.schedule).unwrap_or_else(|v| panic!("seed {seed}: {v:?}"));
         let replay = replay_static(&r.graph, &machine, &r.schedule, 6);
         assert!(replay.is_valid(), "seed {seed}");
         let st = run_self_timed(&r.graph, &machine, &r.schedule, 30);
-        assert!(st.initiation_interval <= f64::from(r.best_length) + 1e-9, "seed {seed}");
+        assert!(
+            st.initiation_interval <= f64::from(r.best_length) + 1e-9,
+            "seed {seed}"
+        );
     }
 }
 

@@ -31,13 +31,19 @@ fn first_rotation_matches_figure_1c() {
     let result = cyclo_compact(
         &g,
         &machine,
-        CompactConfig { passes: 1, ..Default::default() },
+        CompactConfig {
+            passes: 1,
+            ..Default::default()
+        },
     )
     .unwrap();
     // One pass rotates exactly {A} and yields a 6-step schedule.
     assert_eq!(result.history.len(), 1);
-    let rotated: Vec<&str> =
-        result.history[0].rotated.iter().map(|&v| g.name(v)).collect();
+    let rotated: Vec<&str> = result.history[0]
+        .rotated
+        .iter()
+        .map(|&v| g.name(v))
+        .collect();
     assert_eq!(rotated, vec!["A"]);
     assert_eq!(result.best_length, 6);
     // Figure 1(c): one delay moved from D->A onto A's out-edges.
@@ -53,7 +59,11 @@ fn paper_example_reaches_figure_3b_or_better() {
     let machine = Machine::mesh(2, 2);
     let result = cyclo_compact(&g, &machine, CompactConfig::default()).unwrap();
     assert_eq!(result.initial_length, 7);
-    assert!(result.best_length <= 5, "paper reached 5, we got {}", result.best_length);
+    assert!(
+        result.best_length <= 5,
+        "paper reached 5, we got {}",
+        result.best_length
+    );
     // Never below the iteration bound (3 for this graph).
     assert!(result.best_length >= 3);
     validate(&result.graph, &machine, &result.schedule).unwrap();
@@ -79,7 +89,12 @@ fn fig7_compacts_on_all_five_architectures() {
         validate(&r.graph, &machine, &r.schedule).unwrap();
         // Independent replay for many iterations.
         let replay = replay_static(&r.graph, &machine, &r.schedule, 25);
-        assert!(replay.is_valid(), "{}: {:?}", machine.name(), replay.violations);
+        assert!(
+            replay.is_valid(),
+            "{}: {:?}",
+            machine.name(),
+            replay.violations
+        );
     }
 }
 
@@ -91,7 +106,11 @@ fn completely_connected_is_never_worse_than_sparse_machines() {
     let complete = cyclo_compact(&g, &Machine::complete(8), CompactConfig::default())
         .unwrap()
         .best_length;
-    for machine in [Machine::linear_array(8), Machine::ring(8), Machine::mesh(4, 2)] {
+    for machine in [
+        Machine::linear_array(8),
+        Machine::ring(8),
+        Machine::mesh(4, 2),
+    ] {
         let len = cyclo_compact(&g, &machine, CompactConfig::default())
             .unwrap()
             .best_length;

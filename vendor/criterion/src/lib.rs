@@ -1,0 +1,247 @@
+//! Offline stand-in for `criterion` (0.5-style API subset).
+//!
+//! Provides `Criterion::benchmark_group`, `BenchmarkGroup::{bench_function,
+//! bench_with_input, sample_size, finish}`, `BenchmarkId`, `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros.  Timing is a
+//! simple warmup-then-median loop — adequate for the relative comparisons
+//! this workspace records, not a statistics engine.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export so existing `use criterion::black_box` call sites work.
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `group/function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Id with both a function name and a parameter.
+    pub fn new<F: fmt::Display, P: fmt::Display>(function: F, parameter: P) -> Self {
+        BenchmarkId {
+            function: Some(function.to_string()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Id with a parameter only (`group/parameter`).
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function: Some(name.to_owned()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function: Some(name),
+            parameter: None,
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(func), Some(p)) => write!(f, "{func}/{p}"),
+            (Some(func), None) => write!(f, "{func}"),
+            (None, Some(p)) => write!(f, "{p}"),
+            (None, None) => write!(f, "?"),
+        }
+    }
+}
+
+/// Per-iteration timer handed to the closure under test.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, recording `target_samples` samples of
+    /// `iters_per_sample` iterations each (after one warmup sample).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup & calibration: grow the batch until one sample takes
+        // at least ~1ms so Instant overhead stays negligible.
+        let mut iters = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.target_samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn median_per_iter(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut s = self.samples.clone();
+        s.sort();
+        Some(s[s.len() / 2] / u32::try_from(self.iters_per_sample).unwrap_or(u32::MAX))
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_count: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Runs `routine` as a benchmark named `id` within this group.
+    pub fn bench_function<I: Into<BenchmarkId>, R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut routine: R,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            target_samples: self.sample_count,
+        };
+        routine(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Runs `routine` with a borrowed `input` as a benchmark named `id`.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, R: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut routine: R,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            target_samples: self.sample_count,
+        };
+        routine(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Marks the group as complete (prints nothing extra; exists for
+    /// API compatibility).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        match b.median_per_iter() {
+            Some(t) => println!("{}/{:<40} {:>14.3?}/iter", self.name, id.to_string(), t),
+            None => println!("{}/{} no samples", self.name, id),
+        }
+    }
+}
+
+/// Top-level benchmark harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Creates a fresh harness with default settings.
+    pub fn new() -> Self {
+        Criterion {}
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_count: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Config hook kept for compatibility; returns self unchanged.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::new().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+}

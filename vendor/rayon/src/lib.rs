@@ -1,0 +1,225 @@
+//! Offline stand-in for `rayon` (prelude subset).
+//!
+//! `into_par_iter()/par_iter()` + `map` + `collect::<Vec<_>>()` backed by
+//! `std::thread::scope`: the input is split into one ordered chunk per
+//! thread, each chunk is mapped on its own thread, and the per-chunk
+//! outputs are concatenated in order.  Result ordering is therefore
+//! identical to the sequential `iter().map().collect()` regardless of
+//! thread count — the property the workspace's determinism tests rely on.
+//!
+//! Honors `RAYON_NUM_THREADS` (like upstream rayon) so tests can force
+//! specific thread counts, including 1.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads the pool would use.
+pub fn current_num_threads() -> usize {
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `items` to outputs in parallel, preserving input order.
+fn ordered_par_map<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Split into `threads` contiguous chunks, sized as evenly as possible.
+    let base = n / threads;
+    let extra = n % threads;
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    for i in 0..threads {
+        let len = base + usize::from(i < extra);
+        chunks.push(it.by_ref().take(len).collect());
+    }
+    let mut out: Vec<Vec<U>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("rayon stand-in worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// Parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Parallel iterator produced by [`ParIter::map`].
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps each item through `f` (runs when collected).
+    pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync + Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Collects the items unchanged.
+    pub fn collect<C: FromParallelIterator<T>>(self) -> C {
+        C::from_ordered_vec(ordered_par_map(self.items, &|x| x))
+    }
+}
+
+impl<T, U, F> ParMap<T, F>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync + Send,
+{
+    /// Runs the map in parallel and collects outputs in input order.
+    pub fn collect<C: FromParallelIterator<U>>(self) -> C {
+        C::from_ordered_vec(ordered_par_map(self.items, &self.f))
+    }
+}
+
+/// Collection types constructible from an ordered parallel result.
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from items already in input order.
+    fn from_ordered_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Types convertible into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Reference-based entry points (`par_iter`), as in rayon's prelude.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type produced (a shared reference).
+    type Item: Send;
+    /// Parallel iterator over `&self`'s items.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Glob-import surface mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use super::{FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.clone().into_par_iter().map(|x| x * 2).collect();
+        let expected: Vec<u64> = input.iter().map(|x| x * 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn par_iter_by_reference() {
+        let input: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let out: Vec<usize> = input.par_iter().map(|s| s.len()).collect();
+        let expected: Vec<usize> = input.iter().map(|s| s.len()).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn range_and_small_inputs() {
+        let out: Vec<usize> = (0..3usize).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![1, 2, 3]);
+        let empty: Vec<usize> = Vec::<usize>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<usize> = vec![7].into_par_iter().map(|x| x).collect();
+        assert_eq!(one, vec![7]);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}

@@ -1,0 +1,273 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! the vendored `serde` data model without depending on `syn`/`quote`
+//! (unavailable offline).  Supports exactly what this workspace uses:
+//!
+//! * named-field structs (no generics),
+//! * newtype tuple structs (serialized transparently),
+//! * `#[serde(default)]` and `#[serde(default = "path")]` on fields.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field default policy parsed from `#[serde(...)]`.
+#[derive(Clone, Debug, PartialEq)]
+enum FieldDefault {
+    /// Field is required.
+    None,
+    /// `#[serde(default)]` — use `Default::default()`.
+    Trait,
+    /// `#[serde(default = "path")]` — call `path()`.
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    /// Newtype struct: exactly one unnamed field.
+    Newtype,
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    let body = match &parsed.shape {
+        Shape::Newtype => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Shape::Named(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{n}\"), \
+                     ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(__fields)"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n",
+        name = parsed.name
+    )
+    .parse()
+    .expect("derive(Serialize): generated code parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Newtype => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Named(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let missing = match &f.default {
+                    FieldDefault::None => format!(
+                        "return ::std::result::Result::Err(::serde::DeError::msg(\
+                         \"missing field `{n}` in {name}\"))",
+                        n = f.name
+                    ),
+                    FieldDefault::Trait => "::std::default::Default::default()".to_owned(),
+                    FieldDefault::Path(p) => format!("{p}()"),
+                };
+                inits.push_str(&format!(
+                    "{n}: match ::serde::__field(__obj, \"{n}\") {{\n\
+                     ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                     ::std::option::Option::None => {missing},\n}},\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::msg(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("derive(Deserialize): generated code parses")
+}
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => i += 1,
+        other => panic!("serde stand-in derive supports only structs, found {other:?}"),
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct name, found {other:?}"),
+    };
+    i += 1;
+    match tokens.get(i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde stand-in derive does not support generic structs ({name})")
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input {
+            name,
+            shape: Shape::Named(parse_named_fields(g.stream())),
+        },
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let n = count_tuple_fields(g.stream());
+            assert!(
+                n == 1,
+                "serde stand-in derive supports only 1-field tuple structs ({name})"
+            );
+            Input {
+                name,
+                shape: Shape::Newtype,
+            }
+        }
+        other => panic!("unsupported struct body for {name}: {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Field attributes.
+        let mut default = FieldDefault::None;
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                        if let Some(d) = parse_serde_attr(g.stream()) {
+                            default = d;
+                        }
+                    }
+                    i += 2;
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break; // trailing comma / end of stream
+        };
+        let name = id.to_string();
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Parses the inside of a `[...]` attribute group; returns the default
+/// policy if it is a `serde(...)` attribute carrying one.
+fn parse_serde_attr(stream: TokenStream) -> Option<FieldDefault> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let Some(TokenTree::Group(g)) = tokens.get(1) else {
+        return None;
+    };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    match inner.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => {}
+        _ => return None,
+    }
+    match inner.get(1) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+            let Some(TokenTree::Literal(lit)) = inner.get(2) else {
+                panic!("expected string literal in #[serde(default = ...)]");
+            };
+            let s = lit.to_string();
+            let path = s.trim_matches('"').to_owned();
+            Some(FieldDefault::Path(path))
+        }
+        None => Some(FieldDefault::Trait),
+        other => panic!("unsupported #[serde(default ...)] form: {other:?}"),
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1usize;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
