@@ -1,0 +1,271 @@
+//! `ccsc-check`: run the Pass A static diagnostics over CSDFG files,
+//! bundled workloads, and machine specs.
+//!
+//! ```text
+//! ccsc-check graph.csdfg                        # graph-only checks
+//! ccsc-check graph.csdfg --machine mesh:2x2     # graph + machine + cross
+//! ccsc-check --workloads --paper-machines      # whole bundled catalog
+//! ccsc-check --workload elliptic --machine ring:4 --format json
+//! ```
+//!
+//! Inputs whose first non-whitespace byte is `{` are parsed as JSON
+//! [`CsdfgSpec`]s; anything else goes through the `node`/`edge` text
+//! parser.  Exit status: `0` clean (warnings allowed), `1` any
+//! error-severity diagnostic, `2` usage or I/O failure.
+
+use ccs_analyze::diag::{codes, Diagnostic, Report, Subject};
+use ccs_analyze::passes::{analyze_cross, analyze_graph, analyze_machine, analyze_spec};
+use ccs_model::spec::CsdfgSpec;
+use ccs_model::Csdfg;
+use ccs_topology::{parse_spec, Machine};
+use serde::{Serialize, Value};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+ccsc-check: static diagnostics for cyclo-compaction scheduling inputs
+
+USAGE:
+    ccsc-check [FILE]... [OPTIONS]
+
+OPTIONS:
+    --workloads          check every bundled workload
+    --workload NAME      check one bundled workload (repeatable)
+    --machine SPEC       machine to cross-check against, e.g. mesh:2x2,
+                         ring:4, complete:3, ideal:2 (repeatable)
+    --paper-machines     cross-check against the paper's machine suite
+    --format FMT         human (default) or json
+    -h, --help           this message
+
+EXIT STATUS:
+    0  clean, or warnings only
+    1  at least one error-severity diagnostic
+    2  usage or I/O failure";
+
+struct Args {
+    files: Vec<String>,
+    workloads: bool,
+    workload_names: Vec<String>,
+    machines: Vec<String>,
+    paper_machines: bool,
+    json: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut a = Args {
+        files: Vec::new(),
+        workloads: false,
+        workload_names: Vec::new(),
+        machines: Vec::new(),
+        paper_machines: false,
+        json: false,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workloads" => a.workloads = true,
+            "--paper-machines" => a.paper_machines = true,
+            "--workload" => a
+                .workload_names
+                .push(it.next().ok_or("--workload needs a NAME")?.clone()),
+            "--machine" => a
+                .machines
+                .push(it.next().ok_or("--machine needs a SPEC")?.clone()),
+            "--format" => {
+                let f = it.next().ok_or("--format needs human|json")?;
+                match f.as_str() {
+                    "human" => a.json = false,
+                    "json" => a.json = true,
+                    other => return Err(format!("unknown format {other:?}")),
+                }
+            }
+            "-h" | "--help" => return Err(String::new()),
+            f if !f.starts_with('-') => a.files.push(f.to_string()),
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if a.files.is_empty() && !a.workloads && a.workload_names.is_empty() {
+        return Err("nothing to check: pass FILEs, --workloads, or --workload NAME".into());
+    }
+    Ok(a)
+}
+
+/// One named input graph plus its report.
+struct Checked {
+    name: String,
+    report: Report,
+}
+
+impl Serialize for Checked {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("input".into(), Value::String(self.name.clone())),
+            ("report".into(), self.report.to_value()),
+        ])
+    }
+}
+
+/// Loads one input file as either a JSON spec or the text format.
+/// Parse failures become a `CCS000` report instead of an abort so a
+/// multi-file run reports everything.
+fn load_file(path: &str) -> Result<(Option<Csdfg>, Report), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    if text.trim_start().starts_with('{') {
+        match serde_json::from_str::<CsdfgSpec>(&text) {
+            Ok(spec) => {
+                let report = analyze_spec(&spec);
+                let graph = if report.has_errors() {
+                    None
+                } else {
+                    spec.build().ok()
+                };
+                Ok((graph, report))
+            }
+            Err(e) => {
+                let mut r = Report::new();
+                r.push(Diagnostic::error(
+                    codes::PARSE,
+                    Subject::Graph,
+                    format!("not a valid JSON CSDFG spec: {e}"),
+                ));
+                Ok((None, r))
+            }
+        }
+    } else {
+        match ccs_model::parser::parse(&text) {
+            Ok(g) => {
+                let report = analyze_graph(&g);
+                Ok((Some(g), report))
+            }
+            Err(e) => {
+                let mut r = Report::new();
+                r.push(
+                    Diagnostic::error(codes::PARSE, Subject::Graph, e.to_string())
+                        .with_suggestion("expected `node NAME t=N` / `edge A -> B d=N c=N` lines"),
+                );
+                Ok((None, r))
+            }
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv)?;
+
+    // Machines to cross-check against.
+    let mut machines: Vec<Machine> = Vec::new();
+    for spec in &args.machines {
+        machines.push(parse_spec(spec).map_err(|e| e.to_string())?);
+    }
+    if args.paper_machines {
+        machines.extend(Machine::paper_suite());
+    }
+
+    // Gather (name, graph, base report) triples.
+    let mut inputs: Vec<(String, Option<Csdfg>, Report)> = Vec::new();
+    for path in &args.files {
+        let (g, r) = load_file(path)?;
+        inputs.push((path.clone(), g, r));
+    }
+    let catalog = ccs_workloads::catalog::all();
+    if args.workloads {
+        for w in &catalog {
+            let g = w.build();
+            let r = analyze_graph(&g);
+            inputs.push((format!("workload:{}", w.name), Some(g), r));
+        }
+    }
+    for name in &args.workload_names {
+        let w = catalog
+            .iter()
+            .find(|w| w.name == name.as_str())
+            .ok_or_else(|| {
+                let known: Vec<_> = catalog.iter().map(|w| w.name).collect();
+                format!("unknown workload {name:?}; known: {}", known.join(", "))
+            })?;
+        let g = w.build();
+        let r = analyze_graph(&g);
+        inputs.push((format!("workload:{}", w.name), Some(g), r));
+    }
+
+    // Machine-only diagnostics are reported once per machine, then the
+    // cross checks fan out over every (input, machine) pair.
+    let mut results: Vec<Checked> = Vec::new();
+    for m in &machines {
+        results.push(Checked {
+            name: format!("machine:{}", m.name()),
+            report: analyze_machine(m),
+        });
+    }
+    for (name, graph, base) in inputs {
+        let mut report = base;
+        if let Some(g) = &graph {
+            for m in &machines {
+                let cross = analyze_cross(g, m);
+                if !cross.is_clean() {
+                    let mut tagged = Report::new();
+                    for d in cross.diagnostics() {
+                        let mut d = d.clone();
+                        d.message = format!("[vs {}] {}", m.name(), d.message);
+                        tagged.push(d);
+                    }
+                    report.merge(tagged);
+                }
+            }
+        }
+        results.push(Checked { name, report });
+    }
+
+    let any_errors = results.iter().any(|c| c.report.has_errors());
+    // Write through an explicit handle and swallow write errors so a
+    // downstream `| head` closing the pipe doesn't panic the checker.
+    use std::io::Write as _;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if args.json {
+        let total_e: usize = results.iter().map(|c| c.report.errors().count()).sum();
+        let total_w: usize = results.iter().map(|c| c.report.warnings().count()).sum();
+        let doc = Value::Object(vec![
+            (
+                "results".into(),
+                Value::Array(results.iter().map(Serialize::to_value).collect()),
+            ),
+            ("errors".into(), Value::UInt(total_e as u64)),
+            ("warnings".into(), Value::UInt(total_w as u64)),
+        ]);
+        let rendered = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+        let _ = writeln!(out, "{rendered}");
+    } else {
+        for c in &results {
+            if c.report.is_clean() {
+                let _ = writeln!(out, "{}: clean", c.name);
+            } else {
+                let _ = writeln!(out, "{}:", c.name);
+                for line in c.report.render_human().lines() {
+                    let _ = writeln!(out, "  {line}");
+                }
+            }
+        }
+    }
+    Ok(if any_errors {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("ccsc-check: {msg}");
+                eprintln!("{USAGE}");
+                ExitCode::from(2)
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # ccs-analyze
+//!
+//! Compiler-style static diagnostics for the cyclo-compaction
+//! scheduling pipeline: structured lints with stable codes over
+//! CSDFGs, machine topologies, and schedule tables.
+//!
+//! * [`diag`] — the diagnostic data model: [`codes`] (`CCS0xx`
+//!   errors, `CCSWxx` warnings), [`Severity`], [`Subject`],
+//!   [`Diagnostic`], and [`Report`] with human and JSON renderers;
+//! * [`passes`] — the analyses: [`analyze_graph`] (CSDFG
+//!   well-formedness, paper §2), [`analyze_machine`] (Definition 3.5
+//!   sanity), [`analyze_cross`] (graph × machine futility bounds,
+//!   Lemma 4.3), [`analyze_spec`] (exhaustive spec-level reporting),
+//!   and [`check_schedule`] (the `CCS02x` schedule-validity wrapper
+//!   shared with the `paranoid` oracle in `ccs-core`);
+//! * `ccsc-check` — the CLI binary running Pass A over files,
+//!   bundled workloads, and machine specs, with `--format json` for
+//!   tooling.
+//!
+//! The full code catalogue, with paper lemma references, lives in
+//! `DESIGN.md` §"Diagnostics".
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod passes;
+
+pub use diag::{codes, Diagnostic, Report, Severity, Subject};
+pub use passes::{
+    analyze, analyze_cross, analyze_graph, analyze_machine, analyze_spec, check_schedule,
+};

@@ -1,0 +1,610 @@
+//! Pass A: static analysis of the scheduling *inputs* — CSDFG
+//! well-formedness, machine sanity, and graph × machine cross checks —
+//! plus the schedule-validity wrapper used by Pass B (the `paranoid`
+//! oracle in `ccs-core`) and the `ccsc-check` CLI.
+
+use crate::diag::{codes, Diagnostic, Report, Subject};
+use ccs_model::spec::CsdfgSpec;
+use ccs_model::{Csdfg, ModelError, NodeId};
+use ccs_retiming::iteration_bound;
+use ccs_schedule::{validate, Schedule, Violation};
+use ccs_topology::Machine;
+use std::collections::HashMap;
+
+/// Runs every Pass A check: [`analyze_graph`], [`analyze_machine`],
+/// and [`analyze_cross`], in that order.
+pub fn analyze(g: &Csdfg, m: &Machine) -> Report {
+    let mut r = analyze_graph(g);
+    r.merge(analyze_machine(m));
+    r.merge(analyze_cross(g, m));
+    r
+}
+
+/// CSDFG well-formedness (paper §2): zero-delay cycles, degenerate
+/// times/volumes, zero-delay self-edges, isolated nodes, fragmented
+/// graphs, redundant parallel edges.
+pub fn analyze_graph(g: &Csdfg) -> Report {
+    let mut r = Report::new();
+
+    // Errors first. Zero-delay self-edges are the smallest zero-delay
+    // cycles; report them individually before the generic cycle check.
+    for e in g.deps() {
+        let (u, v) = g.endpoints(e);
+        if u == v && g.delay(e) == 0 {
+            r.push(
+                Diagnostic::error(
+                    codes::ZERO_DELAY_SELF_EDGE,
+                    edge_subject(g, e),
+                    "self-edge with d = 0: the task would need its own same-iteration result",
+                )
+                .with_suggestion("give the self-edge at least one delay (d >= 1)"),
+            );
+        }
+    }
+    if let Err(ModelError::ZeroDelayCycle(witness)) = g.check_legal() {
+        r.push(
+            Diagnostic::error(
+                codes::ZERO_DELAY_CYCLE,
+                Subject::Node(g.name(witness).to_string()),
+                "a directed cycle through this node carries zero total delay: \
+                 no iteration can ever start (paper §2 legality)",
+            )
+            .with_suggestion(
+                "every directed cycle needs >= 1 delay; retime or add a loop-carried edge",
+            ),
+        );
+    }
+    // t(v) >= 1 and c(e) >= 1 are enforced by the `Csdfg` constructors;
+    // re-verified here as defense in depth for graphs that arrive
+    // through other channels (deserialization, FFI, future builders).
+    for v in g.tasks() {
+        if g.time(v) < 1 {
+            r.push(Diagnostic::error(
+                codes::ZERO_TIME,
+                Subject::Node(g.name(v).to_string()),
+                "computation time t(v) < 1",
+            ));
+        }
+    }
+    for e in g.deps() {
+        if g.volume(e) < 1 {
+            r.push(Diagnostic::error(
+                codes::ZERO_VOLUME,
+                edge_subject(g, e),
+                "communication volume c(e) < 1",
+            ));
+        }
+    }
+
+    // Warnings.
+    for v in g.tasks() {
+        if g.in_deps(v).next().is_none() && g.out_deps(v).next().is_none() {
+            r.push(
+                Diagnostic::warning(
+                    codes::W_ISOLATED_NODE,
+                    Subject::Node(g.name(v).to_string()),
+                    "task has no dependencies at all",
+                )
+                .with_suggestion(
+                    "isolated tasks trivially fill idle slots; confirm it is intended",
+                ),
+            );
+        }
+    }
+    let components = weak_components(g);
+    if components > 1 {
+        r.push(Diagnostic::warning(
+            codes::W_FRAGMENTED_GRAPH,
+            Subject::Graph,
+            format!("graph splits into {components} weakly-connected components"),
+        ));
+    }
+    // Redundant parallel edges: same endpoints, same delay — only the
+    // largest volume can ever be the binding constraint.
+    let mut seen: HashMap<(NodeId, NodeId, u32), usize> = HashMap::new();
+    for e in g.deps() {
+        let (u, v) = g.endpoints(e);
+        *seen.entry((u, v, g.delay(e))).or_insert(0) += 1;
+    }
+    let mut dups: Vec<_> = seen
+        .into_iter()
+        .filter(|&(_, count)| count > 1)
+        .map(|((u, v, d), count)| (g.name(u).to_string(), g.name(v).to_string(), d, count))
+        .collect();
+    dups.sort();
+    for (src, dst, d, count) in dups {
+        r.push(
+            Diagnostic::warning(
+                codes::W_REDUNDANT_EDGE,
+                Subject::Edge {
+                    src: src.clone(),
+                    dst: dst.clone(),
+                },
+                format!("{count} parallel edges with identical endpoints and delay d = {d}"),
+            )
+            .with_suggestion("merge them, keeping the largest volume"),
+        );
+    }
+    r
+}
+
+/// Machine sanity (Definition 3.5): connected topology, well-formed
+/// hop tables, non-degenerate parallelism.
+pub fn analyze_machine(m: &Machine) -> Report {
+    let mut r = Report::new();
+    for (a, b) in m.unreachable_pairs() {
+        r.push(
+            Diagnostic::error(
+                codes::MACHINE_DISCONNECTED,
+                Subject::PePair(a.0, b.0),
+                "no path between these PEs: the communication cost M(p_i, p_j) is undefined",
+            )
+            .with_suggestion("add links until the topology is connected"),
+        );
+    }
+    // Degenerate hop tables (impossible for BFS-built machines; checked
+    // as defense in depth).
+    for a in m.pes() {
+        if m.try_distance(a, a) != Some(0) {
+            r.push(Diagnostic::error(
+                codes::HOP_TABLE_DEGENERATE,
+                Subject::Pe(a.0),
+                "hops(p, p) != 0",
+            ));
+        }
+        for b in m.pes() {
+            if a.index() < b.index() && m.try_distance(a, b) != m.try_distance(b, a) {
+                r.push(Diagnostic::error(
+                    codes::HOP_TABLE_DEGENERATE,
+                    Subject::PePair(a.0, b.0),
+                    "asymmetric hop table",
+                ));
+            }
+        }
+    }
+    if m.num_pes() == 1 {
+        r.push(Diagnostic::warning(
+            codes::W_SINGLE_PE,
+            Subject::Machine,
+            "single-PE machine: scheduling degenerates to serialization",
+        ));
+    } else if m.is_connected() && m.diameter() == 0 {
+        r.push(Diagnostic::warning(
+            codes::W_FREE_COMM,
+            Subject::Machine,
+            "all hop distances are zero (ideal machine): \
+             communication-sensitivity cannot influence the schedule",
+        ));
+    }
+    r
+}
+
+/// Graph × machine cross checks: PSL/iteration-bound lower bounds
+/// against single-PE serialization, machine sizing.
+pub fn analyze_cross(g: &Csdfg, m: &Machine) -> Report {
+    let mut r = Report::new();
+    let tasks = g.task_count();
+    if tasks > 0 && m.num_pes() > tasks {
+        r.push(Diagnostic::warning(
+            codes::W_MORE_PES_THAN_TASKS,
+            Subject::Machine,
+            format!(
+                "{} PEs for {} tasks: at least {} PEs can never be used",
+                m.num_pes(),
+                tasks,
+                m.num_pes() - tasks
+            ),
+        ));
+    }
+    // Lower bounds need a legal graph (the iteration bound is undefined
+    // — infinite — on zero-delay cycles, which analyze_graph reports).
+    if g.task_count() == 0 || g.check_legal().is_err() {
+        return r;
+    }
+    let serial = g.total_time();
+    if let Some(bound) = iteration_bound(g) {
+        // Any static schedule satisfies L >= ceil(B) (the PSL bound of
+        // the critical cycle, Lemma 4.3 with zero communication); a
+        // single PE achieves L = total_time.  When the former meets the
+        // latter, compaction cannot help.
+        if bound.ceil() >= serial && serial > 0 {
+            r.push(
+                Diagnostic::warning(
+                    codes::W_COMPACTION_CANNOT_HELP,
+                    Subject::Graph,
+                    format!(
+                        "iteration bound {bound} already >= single-PE serialization ({serial}): \
+                         no multi-PE schedule can be shorter"
+                    ),
+                )
+                .with_suggestion("schedule on one PE, or unfold the loop to expose parallelism"),
+            );
+        }
+    }
+    if m.num_pes() > 1 && m.diameter() >= 1 {
+        if let Some(e) = g.deps().max_by_key(|&e| g.volume(e)) {
+            let heaviest = u64::from(g.volume(e));
+            if heaviest >= serial && serial > 0 {
+                r.push(
+                    Diagnostic::warning(
+                        codes::W_COMM_DOMINATES,
+                        edge_subject(g, e),
+                        format!(
+                            "heaviest edge volume ({heaviest}) >= single-PE serialization \
+                             ({serial}): moving it even one hop costs more than running \
+                             everything on one PE"
+                        ),
+                    )
+                    .with_suggestion("keep this edge's endpoints co-located, or reduce its volume"),
+                );
+            }
+        }
+    }
+    r
+}
+
+/// Spec-level well-formedness: the checks that `CsdfgSpec::build`
+/// enforces by erroring out, reported as structured diagnostics
+/// instead (so one run reports *all* problems).  When the spec builds
+/// cleanly, the graph-level checks of [`analyze_graph`] run too.
+pub fn analyze_spec(spec: &CsdfgSpec) -> Report {
+    let mut r = Report::new();
+    let mut names: HashMap<&str, usize> = HashMap::new();
+    for n in &spec.nodes {
+        *names.entry(n.name.as_str()).or_insert(0) += 1;
+        if n.time < 1 {
+            r.push(
+                Diagnostic::error(
+                    codes::ZERO_TIME,
+                    Subject::Node(n.name.clone()),
+                    format!("computation time t(v) = {} < 1", n.time),
+                )
+                .with_suggestion("every task needs at least one control step"),
+            );
+        }
+    }
+    for (name, count) in names.iter() {
+        if *count > 1 {
+            r.push(Diagnostic::error(
+                codes::DUPLICATE_TASK,
+                Subject::Node((*name).to_string()),
+                format!("{count} tasks share this name"),
+            ));
+        }
+    }
+    for e in &spec.edges {
+        if e.volume < 1 {
+            r.push(Diagnostic::error(
+                codes::ZERO_VOLUME,
+                Subject::Edge {
+                    src: e.src.clone(),
+                    dst: e.dst.clone(),
+                },
+                format!("communication volume c(e) = {} < 1", e.volume),
+            ));
+        }
+        for end in [&e.src, &e.dst] {
+            if !names.contains_key(end.as_str()) {
+                r.push(Diagnostic::error(
+                    codes::UNKNOWN_TASK,
+                    Subject::Edge {
+                        src: e.src.clone(),
+                        dst: e.dst.clone(),
+                    },
+                    format!("edge references unknown task {end:?}"),
+                ));
+            }
+        }
+        if e.src == e.dst && e.delay == 0 {
+            r.push(Diagnostic::error(
+                codes::ZERO_DELAY_SELF_EDGE,
+                Subject::Edge {
+                    src: e.src.clone(),
+                    dst: e.dst.clone(),
+                },
+                "self-edge with d = 0",
+            ));
+        }
+    }
+    if !r.has_errors() {
+        match spec.build() {
+            Ok(g) => r.merge(analyze_graph(&g)),
+            Err(err) => r.push(Diagnostic::error(
+                codes::PARSE,
+                Subject::Graph,
+                format!("spec does not build: {err}"),
+            )),
+        }
+    }
+    r
+}
+
+/// Pass B entry point: re-validates a schedule through the extended
+/// `ccs-schedule` checker and reports each [`Violation`] as a
+/// structured diagnostic carrying its stable `CCS02x` code.
+pub fn check_schedule(g: &Csdfg, m: &Machine, s: &Schedule) -> Report {
+    let mut r = Report::new();
+    if let Err(violations) = validate(g, m, s) {
+        for v in violations {
+            r.push(violation_to_diag(g, &v));
+        }
+    }
+    r
+}
+
+/// Maps one checker violation to a diagnostic.
+fn violation_to_diag(g: &Csdfg, v: &Violation) -> Diagnostic {
+    let subject = match v {
+        Violation::Unplaced(n)
+        | Violation::BadPe { node: n, .. }
+        | Violation::DuplicatePlacement { node: n } => Subject::Node(g.name(*n).to_string()),
+        Violation::Precedence { edge, .. }
+        | Violation::LengthTooShort { edge, .. }
+        | Violation::UnreachablePes { edge, .. } => edge_subject(g, *edge),
+        Violation::Overlap { .. } => Subject::Schedule,
+    };
+    let full = v.to_string();
+    // Display prefixes the code in brackets; the structured form
+    // carries it separately.
+    let message = full
+        .strip_prefix(&format!("[{}] ", v.code()))
+        .unwrap_or(&full)
+        .to_string();
+    Diagnostic::error(v.code(), subject, message)
+}
+
+/// Subject naming an edge through its endpoint task names.
+fn edge_subject(g: &Csdfg, e: ccs_model::EdgeId) -> Subject {
+    let (u, v) = g.endpoints(e);
+    Subject::Edge {
+        src: g.name(u).to_string(),
+        dst: g.name(v).to_string(),
+    }
+}
+
+/// Number of weakly-connected components (0 for an empty graph).
+fn weak_components(g: &Csdfg) -> usize {
+    let bound = g.graph().node_bound();
+    let mut parent: Vec<usize> = (0..bound).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for e in g.deps() {
+        let (u, v) = g.endpoints(e);
+        let (ru, rv) = (find(&mut parent, u.index()), find(&mut parent, v.index()));
+        if ru != rv {
+            parent[ru] = rv;
+        }
+    }
+    let mut roots: Vec<usize> = g.tasks().map(|v| find(&mut parent, v.index())).collect();
+    roots.sort_unstable();
+    roots.dedup();
+    roots.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+    use ccs_model::spec::{EdgeSpec, NodeSpec};
+    use ccs_topology::Pe;
+
+    fn two_node_loop() -> Csdfg {
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 1).unwrap();
+        let b = g.add_task("B", 2).unwrap();
+        g.add_dep(a, b, 0, 1).unwrap();
+        g.add_dep(b, a, 1, 1).unwrap();
+        g
+    }
+
+    #[test]
+    fn clean_graph_clean_machine() {
+        // Two delays on the back edge: bound = 3/2, strictly below the
+        // single-PE serialization of 3, so no futility warning fires.
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 1).unwrap();
+        let b = g.add_task("B", 2).unwrap();
+        g.add_dep(a, b, 0, 1).unwrap();
+        g.add_dep(b, a, 2, 1).unwrap();
+        let m = Machine::mesh(2, 1);
+        let r = analyze(&g, &m);
+        assert!(r.is_clean(), "{}", r.render_human());
+    }
+
+    #[test]
+    fn zero_delay_cycle_is_ccs001() {
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 1).unwrap();
+        let b = g.add_task("B", 1).unwrap();
+        g.add_dep(a, b, 0, 1).unwrap();
+        g.add_dep(b, a, 0, 1).unwrap();
+        let r = analyze_graph(&g);
+        assert!(r.has_errors());
+        assert_eq!(r.errors().next().unwrap().code, codes::ZERO_DELAY_CYCLE);
+    }
+
+    #[test]
+    fn zero_delay_self_edge_is_ccs004() {
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 1).unwrap();
+        g.add_dep(a, a, 0, 1).unwrap();
+        let r = analyze_graph(&g);
+        let codes_seen: Vec<_> = r.errors().map(|d| d.code).collect();
+        assert!(codes_seen.contains(&codes::ZERO_DELAY_SELF_EDGE));
+        assert!(codes_seen.contains(&codes::ZERO_DELAY_CYCLE));
+    }
+
+    #[test]
+    fn isolated_and_fragmented_warned() {
+        let mut g = two_node_loop();
+        g.add_task("Lonely", 1).unwrap();
+        let r = analyze_graph(&g);
+        assert!(!r.has_errors());
+        let w: Vec<_> = r.warnings().map(|d| d.code).collect();
+        assert!(w.contains(&codes::W_ISOLATED_NODE));
+        assert!(w.contains(&codes::W_FRAGMENTED_GRAPH));
+    }
+
+    #[test]
+    fn redundant_parallel_edges_warned() {
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 1).unwrap();
+        let b = g.add_task("B", 1).unwrap();
+        g.add_dep(a, b, 0, 1).unwrap();
+        g.add_dep(a, b, 0, 3).unwrap(); // same endpoints + delay
+        g.add_dep(b, a, 1, 1).unwrap();
+        let r = analyze_graph(&g);
+        assert!(r.warnings().any(|d| d.code == codes::W_REDUNDANT_EDGE));
+    }
+
+    #[test]
+    fn disconnected_machine_is_ccs010() {
+        let m = Machine::from_links("islands", 4, &[(0, 1), (2, 3)]);
+        let r = analyze_machine(&m);
+        assert_eq!(r.errors().count(), 4); // 4 unreachable pairs
+        assert!(r.errors().all(|d| d.code == codes::MACHINE_DISCONNECTED));
+    }
+
+    #[test]
+    fn ideal_and_single_pe_machines_warned() {
+        let r = analyze_machine(&Machine::ideal(4));
+        assert!(!r.has_errors());
+        assert!(r.warnings().any(|d| d.code == codes::W_FREE_COMM));
+        let r = analyze_machine(&Machine::complete(1));
+        assert!(r.warnings().any(|d| d.code == codes::W_SINGLE_PE));
+    }
+
+    #[test]
+    fn oversized_machine_warned() {
+        let g = two_node_loop();
+        let r = analyze_cross(&g, &Machine::complete(5));
+        assert!(r.warnings().any(|d| d.code == codes::W_MORE_PES_THAN_TASKS));
+    }
+
+    #[test]
+    fn compaction_cannot_help_when_bound_meets_serialization() {
+        // One cycle A->B->A with 1 delay: B = (1+2)/1 = 3 = total time.
+        let g = two_node_loop();
+        let r = analyze_cross(&g, &Machine::mesh(2, 1));
+        assert!(r
+            .warnings()
+            .any(|d| d.code == codes::W_COMPACTION_CANNOT_HELP));
+    }
+
+    #[test]
+    fn heavy_edge_dominating_serialization_warned() {
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 1).unwrap();
+        let b = g.add_task("B", 1).unwrap();
+        g.add_dep(a, b, 0, 50).unwrap(); // volume 50 >> serial 2
+        g.add_dep(b, a, 5, 1).unwrap(); // big delay: bound stays small
+        let r = analyze_cross(&g, &Machine::linear_array(4));
+        assert!(r.warnings().any(|d| d.code == codes::W_COMM_DOMINATES));
+    }
+
+    #[test]
+    fn spec_level_reports_everything_at_once() {
+        let spec = CsdfgSpec {
+            nodes: vec![
+                NodeSpec {
+                    name: "A".into(),
+                    time: 0,
+                },
+                NodeSpec {
+                    name: "A".into(),
+                    time: 1,
+                },
+            ],
+            edges: vec![
+                EdgeSpec {
+                    src: "A".into(),
+                    dst: "Z".into(),
+                    delay: 0,
+                    volume: 0,
+                },
+                EdgeSpec {
+                    src: "A".into(),
+                    dst: "A".into(),
+                    delay: 0,
+                    volume: 1,
+                },
+            ],
+        };
+        let r = analyze_spec(&spec);
+        let seen: Vec<_> = r.errors().map(|d| d.code).collect();
+        for expected in [
+            codes::ZERO_TIME,
+            codes::DUPLICATE_TASK,
+            codes::ZERO_VOLUME,
+            codes::UNKNOWN_TASK,
+            codes::ZERO_DELAY_SELF_EDGE,
+        ] {
+            assert!(seen.contains(&expected), "missing {expected}: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn clean_spec_falls_through_to_graph_checks() {
+        let spec = CsdfgSpec {
+            nodes: vec![
+                NodeSpec {
+                    name: "A".into(),
+                    time: 1,
+                },
+                NodeSpec {
+                    name: "B".into(),
+                    time: 1,
+                },
+            ],
+            edges: vec![
+                EdgeSpec {
+                    src: "A".into(),
+                    dst: "B".into(),
+                    delay: 0,
+                    volume: 1,
+                },
+                EdgeSpec {
+                    src: "B".into(),
+                    dst: "A".into(),
+                    delay: 0,
+                    volume: 1,
+                },
+            ],
+        };
+        let r = analyze_spec(&spec);
+        assert!(r.errors().any(|d| d.code == codes::ZERO_DELAY_CYCLE));
+    }
+
+    #[test]
+    fn schedule_diagnostics_carry_checker_codes() {
+        let g = two_node_loop();
+        let m = Machine::linear_array(2);
+        let mut s = Schedule::new(4);
+        let (a, b) = (g.task_by_name("A").unwrap(), g.task_by_name("B").unwrap());
+        s.place(a, Pe(0), 1, 1).unwrap();
+        s.place(b, Pe(3), 2, 2).unwrap(); // nonexistent PE on this machine
+        let r = check_schedule(&g, &m, &s);
+        assert!(r.has_errors());
+        let d = r.errors().next().unwrap();
+        assert_eq!(d.code, "CCS024");
+        assert_eq!(d.severity, Severity::Error);
+        assert!(matches!(&d.subject, Subject::Node(n) if n == "B"));
+        assert!(!d.message.starts_with('['), "code stripped from message");
+    }
+
+    #[test]
+    fn valid_schedule_clean() {
+        let g = two_node_loop();
+        let m = Machine::linear_array(2);
+        let mut s = Schedule::new(2);
+        let (a, b) = (g.task_by_name("A").unwrap(), g.task_by_name("B").unwrap());
+        s.place(a, Pe(0), 1, 1).unwrap();
+        s.place(b, Pe(0), 2, 2).unwrap();
+        assert!(check_schedule(&g, &m, &s).is_clean());
+    }
+}

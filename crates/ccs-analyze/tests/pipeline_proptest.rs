@@ -1,0 +1,110 @@
+//! Property tests: the whole scheduling pipeline produces outputs the
+//! analyzer certifies error-free.
+//!
+//! For random CSDFGs on random machines, every stage —
+//! `startup_schedule`, `cyclo_compact`, and the oblivious baselines —
+//! must yield schedules whose [`ccs_analyze::check_schedule`] report
+//! contains **zero errors** (warnings are allowed: random graphs on
+//! tiny machines legitimately trip CCSW1x/CCSW2x advisories).  The
+//! random inputs themselves must also be free of graph/machine/cross
+//! *errors*, which pins down that the analyzer front end never
+//! misfires on legal instances.
+
+use ccs_analyze::{analyze, analyze_graph, check_schedule};
+use ccs_core::{cyclo_compact, startup_schedule, CompactConfig, StartupConfig};
+use ccs_model::Csdfg;
+use ccs_topology::Machine;
+use proptest::prelude::*;
+
+/// Random legal CSDFGs: zero-delay edges only go "forward" (index
+/// order), so the zero-delay view is acyclic by construction.
+fn arb_csdfg() -> impl Strategy<Value = Csdfg> {
+    (2usize..9).prop_flat_map(|n| {
+        let times = proptest::collection::vec(1u32..4, n);
+        let edges = proptest::collection::vec((0..n, 0..n, 0u32..3, 1u32..4), 1..n * 2);
+        (times, edges).prop_map(move |(times, edges)| {
+            let mut g = Csdfg::new();
+            let ids: Vec<_> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| g.add_task(format!("v{i}"), t).unwrap())
+                .collect();
+            for (a, b, d, c) in edges {
+                let delay = if a < b { d } else { d.max(1) };
+                g.add_dep(ids[a], ids[b], delay, c).unwrap();
+            }
+            g
+        })
+    })
+}
+
+fn arb_machine() -> impl Strategy<Value = Machine> {
+    prop_oneof![
+        (2usize..6).prop_map(Machine::linear_array),
+        (3usize..7).prop_map(Machine::ring),
+        (2usize..6).prop_map(Machine::complete),
+        Just(Machine::mesh(2, 2)),
+        Just(Machine::mesh(4, 2)),
+        Just(Machine::hypercube(3)),
+    ]
+}
+
+/// Asserts `report` has no error-severity diagnostics, with a helpful
+/// rendering on failure.
+macro_rules! assert_no_errors {
+    ($report:expr, $what:expr) => {
+        prop_assert!(
+            !$report.has_errors(),
+            "{} produced analyzer errors:\n{}",
+            $what,
+            $report.render_human()
+        );
+    };
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_legal_inputs_have_no_front_end_errors(
+        g in arb_csdfg(), m in arb_machine()
+    ) {
+        assert_no_errors!(analyze_graph(&g), "analyze_graph");
+        assert_no_errors!(analyze(&g, &m), "analyze (graph+machine+cross)");
+    }
+
+    #[test]
+    fn startup_schedules_pass_check_schedule_clean(
+        g in arb_csdfg(), m in arb_machine()
+    ) {
+        let s = startup_schedule(&g, &m, StartupConfig::default()).unwrap();
+        let report = check_schedule(&g, &m, &s);
+        assert_no_errors!(report, "check_schedule(startup)");
+    }
+
+    #[test]
+    fn compaction_outputs_pass_check_schedule_clean(
+        g in arb_csdfg(), m in arb_machine()
+    ) {
+        let cfg = CompactConfig { passes: 10, ..Default::default() };
+        let r = cyclo_compact(&g, &m, cfg).unwrap();
+        // The retimed graph is itself a legal CSDFG the analyzer must
+        // accept, and the compacted schedule must check out.
+        assert_no_errors!(analyze_graph(&r.graph), "analyze_graph(retimed)");
+        let report = check_schedule(&r.graph, &m, &r.schedule);
+        assert_no_errors!(report, "check_schedule(compacted)");
+    }
+
+    #[test]
+    fn oblivious_baselines_pass_check_schedule_clean(
+        g in arb_csdfg(), m in arb_machine()
+    ) {
+        let bl = ccs_core::baselines::oblivious_list_scheduling(&g, &m).unwrap();
+        assert_no_errors!(check_schedule(&g, &m, &bl.schedule), "check_schedule(oblivious list)");
+        let (br, retimed) = ccs_core::baselines::oblivious_rotation_scheduling(&g, &m, 6).unwrap();
+        assert_no_errors!(
+            check_schedule(&retimed, &m, &br.schedule),
+            "check_schedule(oblivious rotation)"
+        );
+    }
+}

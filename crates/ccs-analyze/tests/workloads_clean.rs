@@ -1,0 +1,85 @@
+//! Every built-in workload, on every machine of the paper's 8-PE
+//! suite, must (a) carry **zero analyzer errors** on input, (b) emit
+//! exactly the advisory warnings recorded in `workloads_expected.txt`
+//! (so a new warning — or a silently vanished one — fails review), and
+//! (c) produce cyclo-compaction schedules that [`check_schedule`]
+//! certifies error-free.
+//!
+//! To refresh the expectations after an intentional analyzer change,
+//! run this test and paste the "actual" block from the failure message
+//! into `workloads_expected.txt`.
+
+use ccs_analyze::{analyze_cross, analyze_graph, analyze_machine, check_schedule};
+use ccs_core::{cyclo_compact, CompactConfig};
+use ccs_topology::Machine;
+
+const EXPECTED: &str = include_str!("workloads_expected.txt");
+
+/// One line per diagnostic, stable order: workloads in registry order,
+/// machines in paper-suite order, diagnostics in emission order.
+fn actual_lines() -> Vec<String> {
+    let mut lines = Vec::new();
+    for w in ccs_workloads::all_workloads() {
+        let g = w.build();
+        let graph_report = analyze_graph(&g);
+        assert!(
+            !graph_report.has_errors(),
+            "workload {:?} has graph errors:\n{}",
+            w.name,
+            graph_report.render_human()
+        );
+        for d in graph_report.diagnostics() {
+            lines.push(format!("{} graph: {}", w.name, d.code));
+        }
+        for m in Machine::paper_suite() {
+            let mut report = analyze_machine(&m);
+            report.merge(analyze_cross(&g, &m));
+            assert!(
+                !report.has_errors(),
+                "workload {:?} on {} has machine/cross errors:\n{}",
+                w.name,
+                m.name(),
+                report.render_human()
+            );
+            for d in report.diagnostics() {
+                lines.push(format!("{} vs {}: {}", w.name, m.name(), d.code));
+            }
+        }
+    }
+    lines
+}
+
+#[test]
+fn workload_warnings_match_expectations_file() {
+    let actual = actual_lines();
+    let expected: Vec<&str> = EXPECTED
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    assert_eq!(
+        actual,
+        expected,
+        "\nworkload diagnostics drifted from workloads_expected.txt;\nactual:\n{}\n",
+        actual.join("\n")
+    );
+}
+
+#[test]
+fn compacted_workload_schedules_are_error_free() {
+    for w in ccs_workloads::all_workloads() {
+        let g = w.build();
+        for m in Machine::paper_suite() {
+            let r = cyclo_compact(&g, &m, CompactConfig::default())
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", w.name, m.name()));
+            let report = check_schedule(&r.graph, &m, &r.schedule);
+            assert!(
+                !report.has_errors(),
+                "{} on {}: compacted schedule has analyzer errors:\n{}",
+                w.name,
+                m.name(),
+                report.render_human()
+            );
+        }
+    }
+}

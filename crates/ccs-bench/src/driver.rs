@@ -56,6 +56,7 @@ pub fn compact_grid(
     machines: &[Machine],
     configs: &[CompactConfig],
 ) -> Vec<GridCell> {
+    preflight(workloads, machines);
     let mut cells = Vec::with_capacity(workloads.len() * machines.len() * configs.len());
     for w in workloads {
         for m in machines {
@@ -75,6 +76,33 @@ pub fn compact_grid(
             best: r.best_length,
         }
     })
+}
+
+/// Pass A preflight: every workload x machine pair must be free of
+/// analyzer *errors* before the sweep burns CPU on it.  Runs once per
+/// grid, sequentially, outside every timed region — experiment
+/// binaries call [`compact_grid`] from untimed setup code, and the
+/// hot-path benchmark does not use grids at all.
+///
+/// # Panics
+///
+/// Panics with the rendered diagnostics when any pair has errors; an
+/// experiment grid with an illegal cell would otherwise die later with
+/// a less helpful message from inside the scheduler.
+fn preflight(workloads: &[Workload], machines: &[Machine]) {
+    for w in workloads {
+        let g = w.build();
+        for m in machines {
+            let report = ccs_analyze::analyze(&g, m);
+            assert!(
+                !report.has_errors(),
+                "preflight: workload {:?} on {} has analyzer errors:\n{}",
+                w.name,
+                m.name(),
+                report.render_human()
+            );
+        }
+    }
 }
 
 #[cfg(test)]

@@ -132,6 +132,14 @@ pub fn cyclo_compact(
             }
             continue;
         }
+        // Pass B oracle: an accepted pass must leave a valid pair
+        // (no-op unless debug assertions or the `paranoid` feature).
+        crate::oracle::verify(
+            "cyclo_compact: accepted pass",
+            &cur_graph,
+            machine,
+            &cur_sched,
+        );
         // Snapshot only on improvement — the single remaining clone.
         if cur_sched.length() < best_sched.length() {
             best_sched = cur_sched.clone();

@@ -41,6 +41,7 @@
 pub mod baselines;
 pub mod compact;
 pub mod optimal;
+pub mod oracle;
 pub mod presets;
 pub mod priority;
 pub mod refine;

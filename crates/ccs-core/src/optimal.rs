@@ -54,10 +54,15 @@ impl OptimalOutcome {
 ///
 /// Panics if `g` is illegal.
 pub fn optimal_schedule(g: &Csdfg, machine: &Machine, max_states: u64) -> OptimalOutcome {
+    // INVARIANT: documented contract — this function panics on illegal
+    // graphs (see the doc comment above).
     g.check_legal().expect("legal CSDFG");
+    // INVARIANT: check_legal above proved the zero-delay view acyclic.
     let order = g.zero_delay_topo().expect("legal graph");
     let total: u64 = g.total_time();
     let pes = machine.num_pes() as u64;
+    // INVARIANT: timing analysis only fails on zero-delay cycles,
+    // excluded by check_legal above.
     let t = timing::analyze(g).expect("legal graph");
     let lb_work = total.div_ceil(pes);
     let lb_bound = iteration_bound(g).map(|b| b.ceil()).unwrap_or(0);
@@ -65,7 +70,11 @@ pub fn optimal_schedule(g: &Csdfg, machine: &Machine, max_states: u64) -> Optima
     let mut lower = lb_work.max(lb_bound).max(lb_node).max(1) as u32;
     // A safe upper limit: the critical path plus the serialized rest
     // always admits a one-PE schedule.
-    let upper = u32::try_from(total).expect("fits") + t.critical_path;
+    // Saturate instead of panicking on absurd totals; a u32::MAX upper
+    // bound just means the search runs until the state budget is spent.
+    let upper = u32::try_from(total)
+        .unwrap_or(u32::MAX)
+        .saturating_add(t.critical_path);
 
     let mut budget = max_states;
     let mut best: Option<Schedule> = None;
@@ -147,6 +156,8 @@ fn place(
         if dead {
             continue;
         }
+        // INVARIANT: lb <= ub <= target here (checked above), and
+        // target is a u32, so the clamped value always fits.
         let mut cs = u32::try_from(lb.max(1)).expect("positive");
         loop {
             cs = table.earliest_free(pe, cs, duration);
@@ -159,6 +170,8 @@ fn place(
             *budget -= 1;
             table
                 .place(v, pe, cs, duration)
+                // INVARIANT: cs came from earliest_free(pe, ..) just
+                // above, so the interval is free by construction.
                 .expect("slot free by construction");
             match place(g, machine, order, depth + 1, target, table, budget) {
                 SearchResult::Found => return SearchResult::Found,

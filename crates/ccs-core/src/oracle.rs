@@ -1,0 +1,138 @@
+//! Pass B: the invariant oracle.
+//!
+//! Every mutation of the `(graph, schedule)` pair on the compaction
+//! hot path — a rotate-remap apply, a rollback, an accepted driver
+//! pass — is re-validated through the independent `ccs-schedule`
+//! checker.  A failed validation aborts immediately with the stage
+//! name and every violation's stable `CCS02x` code, so a scheduler bug
+//! surfaces at the mutation that introduced it instead of as a wrong
+//! number three layers later.
+//!
+//! The oracle is compiled in whenever `debug_assertions` are on (so
+//! every `cargo test` exercises it for free) or the `paranoid` cargo
+//! feature is enabled (so release binaries can opt in:
+//! `cargo test --release --features paranoid`).  In plain release
+//! builds [`verify`] is an empty inline function and costs nothing —
+//! the bench fingerprints and timings are identical with the oracle
+//! compiled out.
+
+use ccs_model::Csdfg;
+use ccs_schedule::{validate, Schedule, Violation};
+use ccs_topology::Machine;
+
+/// `true` when the oracle is compiled in: debug/test builds, or any
+/// build with the `paranoid` feature.
+pub const ENABLED: bool = cfg!(any(debug_assertions, feature = "paranoid"));
+
+/// Non-panicking probe: re-runs the full schedule validator and
+/// returns its violations.  Always available (independent of the
+/// `paranoid` gate); used by tests and by callers that want to handle
+/// corruption themselves.
+pub fn check(g: &Csdfg, machine: &Machine, sched: &Schedule) -> Result<(), Vec<Violation>> {
+    validate(g, machine, sched)
+}
+
+/// Re-validates `sched` against `(g, machine)` and panics with the
+/// stage name and every violation (each carrying its `CCS02x` code)
+/// if the schedule is invalid.  Compiled to a no-op unless
+/// [`ENABLED`].
+#[inline]
+pub fn verify(stage: &str, g: &Csdfg, machine: &Machine, sched: &Schedule) {
+    #[cfg(any(debug_assertions, feature = "paranoid"))]
+    {
+        if let Err(violations) = validate(g, machine, sched) {
+            use std::fmt::Write as _;
+            let mut msg = format!(
+                "invariant oracle tripped at `{stage}`: {} violation(s)",
+                violations.len()
+            );
+            for v in &violations {
+                let _ = write!(msg, "\n  {v}");
+            }
+            panic!("{msg}");
+        }
+    }
+    #[cfg(not(any(debug_assertions, feature = "paranoid")))]
+    {
+        let _ = (stage, g, machine, sched);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::startup::{startup_schedule, StartupConfig};
+    use ccs_schedule::Slot;
+    use ccs_topology::Pe;
+
+    fn setup() -> (Csdfg, Machine, Schedule) {
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 1).unwrap();
+        let b = g.add_task("B", 2).unwrap();
+        g.add_dep(a, b, 0, 1).unwrap();
+        g.add_dep(b, a, 2, 1).unwrap();
+        let m = Machine::mesh(2, 2);
+        let s = startup_schedule(&g, &m, StartupConfig::default()).unwrap();
+        (g, m, s)
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn oracle_enabled_in_test_builds() {
+        // Tests run with debug_assertions on, so the gate must be open
+        // (and the mutation tests below actually exercise the oracle).
+        // The assertion is deliberately on the compile-time constant:
+        // it documents and enforces the build configuration.
+        assert!(ENABLED);
+    }
+
+    #[test]
+    fn clean_schedule_passes() {
+        let (g, m, s) = setup();
+        assert!(check(&g, &m, &s).is_ok());
+        verify("unit test", &g, &m, &s); // must not panic
+    }
+
+    /// Mutation smoke test: seed one illegal placement through the
+    /// fault-injection hook and assert the oracle reports it with the
+    /// right stable code (`CCS024` = task on nonexistent PE).
+    #[test]
+    fn seeded_bad_pe_is_reported_as_ccs024() {
+        let (g, m, mut s) = setup();
+        let a = g.task_by_name("A").unwrap();
+        let slot = s.slot(a).unwrap();
+        s.fault_force_slot(a, Slot { pe: Pe(99), ..slot });
+        let violations = check(&g, &m, &s).unwrap_err();
+        assert!(
+            violations.iter().any(|v| v.code() == "CCS024"),
+            "expected CCS024, got {violations:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "CCS024")]
+    fn verify_panics_with_stage_and_code() {
+        let (g, m, mut s) = setup();
+        let a = g.task_by_name("A").unwrap();
+        let slot = s.slot(a).unwrap();
+        s.fault_force_slot(a, Slot { pe: Pe(99), ..slot });
+        verify("mutation smoke test", &g, &m, &s);
+    }
+
+    /// Occupancy-index corruption (a phantom cell nobody owns) is the
+    /// other fault class; it must surface as a duplicate placement.
+    #[test]
+    fn seeded_phantom_cell_is_reported_as_ccs026() {
+        let (g, m, mut s) = setup();
+        let a = g.task_by_name("A").unwrap();
+        let free = (1..64)
+            .find(|&cs| s.at(Pe(1), cs).is_none())
+            .expect("some free cell");
+        s.fault_force_occupy(Pe(1), free, a);
+        let violations = check(&g, &m, &s).unwrap_err();
+        assert!(
+            violations.iter().any(|v| v.code() == "CCS026"),
+            "expected CCS026, got {violations:?}"
+        );
+    }
+}

@@ -49,6 +49,8 @@ pub fn refine_binding(
     for _ in 0..max_rounds {
         let mut improved = false;
         for v in g.tasks() {
+            // INVARIANT: `best` starts as a validated complete schedule
+            // and every committed move keeps all tasks placed.
             let slot = best.slot(v).expect("task placed");
             for pe in machine.pes() {
                 if pe == slot.pe || !best.is_free(pe, slot.start, slot.duration) {
@@ -57,6 +59,8 @@ pub fn refine_binding(
                 let mut cand = best.clone();
                 cand.remove(v);
                 cand.place(v, pe, slot.start, slot.duration)
+                    // INVARIANT: is_free(pe, ..) was checked in the
+                    // loop guard before cloning the candidate.
                     .expect("checked free");
                 if validate_quick(g, machine, &cand, current.0) {
                     let cand_score = score(&cand);

@@ -121,7 +121,7 @@ pub fn rotate_remap_in_place(
     sched: &mut Schedule,
     config: RemapConfig,
 ) -> InPlaceOutcome {
-    debug_assert!(ccs_schedule::validate(g, machine, sched).is_ok());
+    crate::oracle::verify("rotate_remap_in_place: entry", g, machine, sched);
     let prev_len = sched.length();
     let rows = config.rows_per_pass.clamp(1, prev_len.max(1));
     let mut rotated = sched.rows_upto(rows);
@@ -150,6 +150,8 @@ pub fn rotate_remap_in_place(
     // without a table clone.
     let saved: Vec<(NodeId, Slot)> = rotated
         .iter()
+        // INVARIANT: the rotation set came from rows_upto, which only
+        // yields placed nodes, and nothing was removed since.
         .map(|&v| (v, sched.slot(v).expect("rotated nodes are placed")))
         .collect();
     sched.drop_and_shift_by(&rotated, rows);
@@ -177,6 +179,8 @@ pub fn rotate_remap_in_place(
             if let Some((cs, pe)) = best_position(machine, sched, duration, &mut scratch, target) {
                 sched
                     .place(v, pe, cs, duration)
+                    // INVARIANT: best_position only returns slots that
+                    // earliest_free reported free for `duration`.
                     .expect("position checked free");
                 continue 'remap;
             }
@@ -190,11 +194,7 @@ pub fn rotate_remap_in_place(
         let required = required_length(g, machine, sched);
         if config.mode != RemapMode::WithoutRelaxation || required <= prev_len {
             sched.pad_to(required);
-            debug_assert!(
-                ccs_schedule::validate(g, machine, sched).is_ok(),
-                "remap produced an invalid schedule: {:?}",
-                ccs_schedule::validate(g, machine, sched)
-            );
+            crate::oracle::verify("rotate_remap_in_place: accepted remap", g, machine, sched);
             return InPlaceOutcome {
                 rotated,
                 reverted: false,
@@ -213,12 +213,14 @@ pub fn rotate_remap_in_place(
     for &(v, s) in &saved {
         sched
             .place(v, s.pe, s.start, s.duration)
+            // INVARIANT: these exact cells were freed by the removes
+            // above; restoring the pre-pass placement cannot collide.
             .expect("restoring original placement");
     }
     sched.trim_padding();
     sched.pad_to(prev_len);
     unrotate_in_place(g, &rotated);
-    debug_assert!(ccs_schedule::validate(g, machine, sched).is_ok());
+    crate::oracle::verify("rotate_remap_in_place: rollback", g, machine, sched);
     InPlaceOutcome {
         rotated,
         reverted: true,
@@ -394,6 +396,8 @@ fn best_position(
         if lb > ub {
             continue;
         }
+        // INVARIANT: lb <= ub <= target at this point (checked above)
+        // and target is a u32, so the clamped value always fits.
         let from = u32::try_from(lb.max(1)).expect("clamped positive");
         let cs = table.earliest_free(pe, from, duration);
         if i64::from(cs) + i64::from(duration) - 1 > ub {
@@ -414,7 +418,10 @@ fn best_position(
                 needed = needed.max(psl(m, ce_v, e.step, e.k));
             }
         }
-        let impact = u32::try_from(needed.max(0)).expect("length impact fits u32");
+        // Saturating conversion: PSL terms are sums of u32 quantities
+        // and cannot meaningfully exceed u32::MAX; if one ever does,
+        // the candidate simply ranks last instead of panicking.
+        let impact = u32::try_from(needed.max(0)).unwrap_or(u32::MAX);
         let key = (impact, cs, comm, pe.index());
         if best.is_none_or(|(bi, bcs, bcomm, bpe)| key < (bi, bcs, bcomm, bpe.index())) {
             best = Some((impact, cs, comm, pe));

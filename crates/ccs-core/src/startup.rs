@@ -42,6 +42,8 @@ pub fn startup_schedule(
     config: StartupConfig,
 ) -> Result<Schedule, ModelError> {
     g.check_legal()?;
+    // INVARIANT: check_legal above proved the zero-delay view acyclic,
+    // the only failure mode of the timing analysis.
     let timing = timing::analyze(g).expect("legal graph has acyclic zero-delay view");
     let mut sched = Schedule::new(machine.num_pes());
 
@@ -73,6 +75,8 @@ pub fn startup_schedule(
                 Some(pe) => {
                     sched
                         .place(node, pe, cs, g.time(node))
+                        // INVARIANT: best_slot_at only returns PEs it
+                        // verified free at `cs` for the full duration.
                         .expect("best_slot_at returned a free processor");
                     unscheduled -= 1;
                     for e in g.intra_iter_out_deps(node) {
@@ -130,6 +134,8 @@ fn best_slot_at(
             let m = if ignore_comm {
                 0
             } else {
+                // INVARIANT: ce(u) succeeded just above, so u is
+                // placed and has a processor.
                 machine.comm_cost(sched.pe(u).expect("placed"), pe, g.volume(e))
             };
             cm = cm.max(ce_u + m);
@@ -150,11 +156,13 @@ fn best_slot_at(
 /// their communication-aware precedences and processor availability.
 pub fn legalize(g: &Csdfg, machine: &Machine, sched: &Schedule) -> Schedule {
     let mut order: Vec<NodeId> = g.tasks().filter(|&v| sched.is_placed(v)).collect();
+    // INVARIANT: `order` was filtered to placed nodes one line above.
     order.sort_by_key(|&v| (sched.cb(v).expect("placed"), sched.pe(v).expect("placed")));
     let mut out = Schedule::new(sched.num_pes());
     // Replay in topological-compatible order (original CBs respect the
     // zero-delay DAG, so sorting by CB is a valid replay order).
     for v in order {
+        // INVARIANT: `order` only contains placed nodes (see filter).
         let pe = sched.pe(v).expect("placed");
         let mut earliest = 1;
         for e in g.intra_iter_in_deps(v) {
@@ -165,6 +173,7 @@ pub fn legalize(g: &Csdfg, machine: &Machine, sched: &Schedule) -> Schedule {
         }
         let start = out.earliest_free(pe, earliest, g.time(v));
         out.place(v, pe, start, g.time(v))
+            // INVARIANT: start came from earliest_free on this PE.
             .expect("searched free slot");
     }
     out

@@ -1,5 +1,6 @@
 //! Independent schedule validity checking: the paper's precedence,
-//! communication, and projected-schedule-length constraints.
+//! communication, and projected-schedule-length constraints, plus
+//! machine-aware and table-consistency checks.
 //!
 //! # Timing convention
 //!
@@ -15,10 +16,19 @@
 //!   `PSL(e) = ceil((M + CE(u) - CB(v) + 1) / k)`
 //!   (Lemma 4.3, with the `+1` restored for consistency with the
 //!   start-up scheduler and Lemma 4.2).
+//!
+//! # Diagnostics codes
+//!
+//! Every violation carries a stable `CCS0xx` code
+//! ([`Violation::code`]); `ccs-analyze` re-exports these as structured
+//! diagnostics, and the `paranoid` oracle in `ccs-core` reports them
+//! when an in-place compaction pass corrupts its schedule.  [`validate`]
+//! is *total*: it never panics on malformed input (nonexistent PEs,
+//! disconnected machines, desynchronized tables) — it reports instead.
 
 use crate::table::Schedule;
 use ccs_model::{Csdfg, EdgeId, NodeId};
-use ccs_topology::Machine;
+use ccs_topology::{Machine, Pe};
 use std::fmt;
 
 /// One constraint violation found by [`validate`].
@@ -46,17 +56,61 @@ pub enum Violation {
         actual: u32,
     },
     /// Two tasks overlap on one processor (only possible for schedules
-    /// built outside [`Schedule::place`]'s checks).
+    /// corrupted outside [`Schedule::place`]'s checks).
     Overlap {
         /// First task.
         a: NodeId,
         /// Second task.
         b: NodeId,
     },
+    /// A task is placed on a processor the machine does not have.
+    BadPe {
+        /// The misplaced task.
+        node: NodeId,
+        /// Its (out-of-range) processor.
+        pe: Pe,
+        /// Number of PEs the machine actually has.
+        num_pes: usize,
+    },
+    /// An edge's endpoints sit on PEs with no connecting path in the
+    /// machine topology — the hop lookup (and hence the communication
+    /// cost) is undefined.
+    UnreachablePes {
+        /// The stranded edge.
+        edge: EdgeId,
+        /// Producer's processor.
+        from: Pe,
+        /// Consumer's processor.
+        to: Pe,
+    },
+    /// The occupancy index and the slot list disagree about this node —
+    /// a duplicate or stale placement left behind by a buggy in-place
+    /// mutation.
+    DuplicatePlacement {
+        /// The node with inconsistent table state.
+        node: NodeId,
+    },
+}
+
+impl Violation {
+    /// The stable diagnostics code of this violation (see `DESIGN.md`
+    /// §"Diagnostics" for the full catalogue and paper references).
+    pub fn code(&self) -> &'static str {
+        match self {
+            Violation::Unplaced(_) => "CCS020",
+            Violation::Precedence { .. } => "CCS021",
+            Violation::LengthTooShort { .. } => "CCS022",
+            Violation::Overlap { .. } => "CCS023",
+            Violation::BadPe { .. } => "CCS024",
+            Violation::UnreachablePes { .. } => "CCS025",
+            Violation::DuplicatePlacement { .. } => "CCS026",
+        }
+    }
 }
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.code())?;
         match self {
             Violation::Unplaced(n) => write!(f, "task {n} is not placed"),
             Violation::Precedence {
@@ -76,6 +130,19 @@ impl fmt::Display for Violation {
                 "edge {edge}: schedule length {actual} below projected length {required}"
             ),
             Violation::Overlap { a, b } => write!(f, "tasks {a} and {b} overlap on one PE"),
+            Violation::BadPe { node, pe, num_pes } => write!(
+                f,
+                "task {node} placed on {pe}, but the machine has only {num_pes} PEs"
+            ),
+            Violation::UnreachablePes { edge, from, to } => write!(
+                f,
+                "edge {edge}: no path between {from} and {to} in the machine topology"
+            ),
+            Violation::DuplicatePlacement { node } => write!(
+                f,
+                "task {node}: occupancy cells disagree with its recorded slot \
+                 (duplicate or stale placement)"
+            ),
         }
     }
 }
@@ -83,6 +150,13 @@ impl fmt::Display for Violation {
 /// Communication cost of edge `e` for the placements in `s`
 /// (the paper's `M(PE(u), PE(v)) * c(e)`, zero if either endpoint is
 /// unplaced or they share a PE).
+///
+/// # Panics
+///
+/// Panics if the placements name out-of-range PEs or PEs in different
+/// partitions of a disconnected machine.  Scheduler code only builds
+/// placements on real, connected PEs; diagnostics code that must stay
+/// total goes through [`Machine::try_comm_cost`] instead.
 pub fn edge_comm_cost(g: &Csdfg, m: &Machine, s: &Schedule, e: EdgeId) -> u32 {
     let (u, v) = g.endpoints(e);
     match (s.pe(u), s.pe(v)) {
@@ -94,7 +168,9 @@ pub fn edge_comm_cost(g: &Csdfg, m: &Machine, s: &Schedule, e: EdgeId) -> u32 {
 /// Projected schedule length of a loop-carried edge (`d(e) >= 1`):
 /// the minimum static schedule length that satisfies it.
 ///
-/// Returns `None` for zero-delay edges or when an endpoint is unplaced.
+/// Returns `None` for zero-delay edges, when an endpoint is unplaced,
+/// or when the endpoints' PEs cannot reach each other (no finite
+/// communication cost exists, hence no finite PSL).
 pub fn psl(g: &Csdfg, m: &Machine, s: &Schedule, e: EdgeId) -> Option<u32> {
     let k = g.delay(e);
     if k == 0 {
@@ -103,12 +179,15 @@ pub fn psl(g: &Csdfg, m: &Machine, s: &Schedule, e: EdgeId) -> Option<u32> {
     let (u, v) = g.endpoints(e);
     let ce_u = i64::from(s.ce(u)?);
     let cb_v = i64::from(s.cb(v)?);
-    let mm = i64::from(edge_comm_cost(g, m, s, e));
+    let mm = i64::from(m.try_comm_cost(s.pe(u)?, s.pe(v)?, g.volume(e))?);
     let num = mm + ce_u - cb_v + 1;
     let k = i64::from(k);
     // ceil(num / k) for possibly negative num.
     let q = num.div_euclid(k) + i64::from(num.rem_euclid(k) != 0);
-    Some(u32::try_from(q.max(0)).expect("PSL fits u32"))
+    // INVARIANT: q is clamped to >= 0 and bounded by M + CE(u) + 1,
+    // both of which are sums/products of u32 values well below 2^33,
+    // so the conversion cannot truncate.
+    Some(u32::try_from(q.max(0)).unwrap_or(u32::MAX))
 }
 
 /// The minimum legal length for the *current placements* of `s`:
@@ -119,11 +198,20 @@ pub fn required_length(g: &Csdfg, m: &Machine, s: &Schedule) -> u32 {
     occupied.max(psl_max)
 }
 
+/// `true` when the slot's processor exists on `m`.
+fn pe_in_range(m: &Machine, pe: Pe) -> bool {
+    pe.index() < m.num_pes()
+}
+
 /// Validates `s` as a static cyclic schedule of `g` on machine `m`.
 ///
-/// Checks: every task placed; durations match `t(v)`; no PE overlap;
-/// intra-iteration precedence with communication; and the PSL bound for
-/// every loop-carried edge.  Returns all violations found.
+/// Checks, in order: every task placed; every placement on a PE the
+/// machine actually has; the occupancy index consistent with the slot
+/// list; no PE overlap; reachability of every cross-PE edge in the
+/// topology; intra-iteration precedence with communication; and the
+/// PSL bound for every loop-carried edge.  Returns all violations
+/// found.  Never panics on malformed schedules — corruption is
+/// reported, not crashed on.
 pub fn validate(g: &Csdfg, m: &Machine, s: &Schedule) -> Result<(), Vec<Violation>> {
     let mut violations = Vec::new();
     for v in g.tasks() {
@@ -143,6 +231,44 @@ pub fn validate(g: &Csdfg, m: &Machine, s: &Schedule) -> Result<(), Vec<Violatio
         return Err(violations);
     }
 
+    // Machine-aware placement sanity: the table may have been built for
+    // a machine with more PEs than `m` has.
+    for (node, slot) in s.placements() {
+        if !pe_in_range(m, slot.pe) {
+            violations.push(Violation::BadPe {
+                node,
+                pe: slot.pe,
+                num_pes: m.num_pes(),
+            });
+        }
+    }
+
+    // Table self-consistency: every occupied cell must belong to the
+    // recorded slot of its node, and every slot must have all its cells
+    // marked.  A mismatch in either direction means a duplicate or
+    // stale placement (the occupancy index desynchronized from the slot
+    // list).
+    let mut desynced: Vec<NodeId> = Vec::new();
+    for (pe, cs, node) in s.occupied_cells() {
+        let consistent = s
+            .slot(node)
+            .is_some_and(|sl| sl.pe == pe && sl.start <= cs && cs <= sl.end());
+        if !consistent {
+            desynced.push(node);
+        }
+    }
+    for (node, slot) in s.placements() {
+        let covered = (slot.start..=slot.end()).all(|cs| s.at(slot.pe, cs) == Some(node));
+        if !covered {
+            desynced.push(node);
+        }
+    }
+    desynced.sort();
+    desynced.dedup();
+    for node in desynced {
+        violations.push(Violation::DuplicatePlacement { node });
+    }
+
     // Overlaps (re-derive from slots; Schedule::place prevents them, but
     // schedules may be deserialized or hand-built).
     let placed: Vec<(NodeId, crate::table::Slot)> = s.placements().collect();
@@ -157,10 +283,23 @@ pub fn validate(g: &Csdfg, m: &Machine, s: &Schedule) -> Result<(), Vec<Violatio
     let length = s.length();
     for e in g.deps() {
         let (u, v) = g.endpoints(e);
-        let mm = edge_comm_cost(g, m, s, e);
+        let (Some(su), Some(sv)) = (s.slot(u), s.slot(v)) else {
+            continue; // unplaced endpoints were reported above
+        };
+        if !pe_in_range(m, su.pe) || !pe_in_range(m, sv.pe) {
+            continue; // BadPe already reported; no hop table to consult
+        }
+        let Some(mm) = m.try_comm_cost(su.pe, sv.pe, g.volume(e)) else {
+            violations.push(Violation::UnreachablePes {
+                edge: e,
+                from: su.pe,
+                to: sv.pe,
+            });
+            continue;
+        };
         if g.delay(e) == 0 {
-            let earliest = s.ce(u).expect("checked placed") + mm + 1;
-            let actual = s.cb(v).expect("checked placed");
+            let earliest = su.end() + mm + 1;
+            let actual = sv.start;
             if actual < earliest {
                 violations.push(Violation::Precedence {
                     edge: e,
@@ -189,6 +328,7 @@ pub fn validate(g: &Csdfg, m: &Machine, s: &Schedule) -> Result<(), Vec<Violatio
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::table::Slot;
     use ccs_topology::Pe;
 
     /// Two tasks on a 2-PE linear array.
@@ -275,6 +415,7 @@ mod tests {
         let errs = validate(&g, &m, &s).unwrap_err();
         assert_eq!(errs.len(), 1);
         assert!(matches!(errs[0], Violation::Unplaced(_)));
+        assert_eq!(errs[0].code(), "CCS020");
     }
 
     #[test]
@@ -307,6 +448,102 @@ mod tests {
             actual: 2,
         };
         assert!(v.to_string().contains("earliest legal cs4"));
+        assert!(v.to_string().starts_with("[CCS021]"));
+    }
+
+    #[test]
+    fn nonexistent_pe_reported_not_panicked() {
+        let (g, m) = setup(); // machine has 2 PEs
+        let (a, b) = (g.task_by_name("A").unwrap(), g.task_by_name("B").unwrap());
+        let mut s = Schedule::new(4); // table sized for a bigger machine
+        s.place(a, Pe(0), 1, 1).unwrap();
+        s.place(b, Pe(3), 2, 2).unwrap(); // Pe(3) does not exist on m
+        let errs = validate(&g, &m, &s).unwrap_err();
+        assert!(errs.iter().any(|v| matches!(
+            v,
+            Violation::BadPe {
+                pe: Pe(3),
+                num_pes: 2,
+                ..
+            }
+        )));
+        assert!(errs.iter().any(|v| v.code() == "CCS024"));
+    }
+
+    #[test]
+    fn unreachable_pe_pair_reported() {
+        let (g, _) = setup();
+        let m = Machine::from_links("islands", 4, &[(0, 1), (2, 3)]);
+        let (a, b) = (g.task_by_name("A").unwrap(), g.task_by_name("B").unwrap());
+        let mut s = Schedule::new(4);
+        s.place(a, Pe(0), 1, 1).unwrap();
+        s.place(b, Pe(2), 2, 2).unwrap(); // island the data cannot reach
+        let errs = validate(&g, &m, &s).unwrap_err();
+        // Both edges (A->B intra, B->A loop) cross the partition.
+        let unreachable: Vec<_> = errs
+            .iter()
+            .filter(|v| matches!(v, Violation::UnreachablePes { .. }))
+            .collect();
+        assert_eq!(unreachable.len(), 2);
+        assert!(unreachable.iter().all(|v| v.code() == "CCS025"));
+        // psl is total on the stranded edge: no finite value.
+        let loop_edge = g.out_deps(b).next().unwrap();
+        assert_eq!(psl(&g, &m, &s, loop_edge), None);
+    }
+
+    #[test]
+    fn duplicate_placement_detected_both_directions() {
+        let (g, m) = setup();
+        let (a, b) = (g.task_by_name("A").unwrap(), g.task_by_name("B").unwrap());
+        // Direction 1: slot list says Pe(1), occupancy still marks Pe(0)
+        // (a stale duplicate left by a buggy in-place move).
+        let mut s = Schedule::new(2);
+        s.place(a, Pe(0), 1, 1).unwrap();
+        s.place(b, Pe(0), 2, 2).unwrap();
+        s.fault_force_slot(
+            a,
+            Slot {
+                pe: Pe(1),
+                start: 1,
+                duration: 1,
+            },
+        );
+        let errs = validate(&g, &m, &s).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, Violation::DuplicatePlacement { node } if *node == a)));
+        // Direction 2: an extra occupancy cell not backed by any slot.
+        let mut s2 = Schedule::new(2);
+        s2.place(a, Pe(0), 1, 1).unwrap();
+        s2.place(b, Pe(0), 2, 2).unwrap();
+        s2.fault_force_occupy(Pe(1), 3, a);
+        let errs = validate(&g, &m, &s2).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, Violation::DuplicatePlacement { node } if *node == a)));
+        assert!(errs.iter().any(|v| v.code() == "CCS026"));
+    }
+
+    #[test]
+    fn forced_overlap_detected() {
+        let (g, m) = setup();
+        let (a, b) = (g.task_by_name("A").unwrap(), g.task_by_name("B").unwrap());
+        let mut s = Schedule::new(2);
+        s.place(a, Pe(0), 1, 1).unwrap();
+        s.place(b, Pe(1), 2, 2).unwrap();
+        // Corrupt B's slot onto A's cell.
+        s.fault_force_slot(
+            b,
+            Slot {
+                pe: Pe(0),
+                start: 1,
+                duration: 2,
+            },
+        );
+        let errs = validate(&g, &m, &s).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, Violation::Overlap { .. }) && v.code() == "CCS023"));
     }
 
     #[test]

@@ -30,6 +30,8 @@ pub struct ScheduleStats {
 pub fn stats(g: &Csdfg, machine: &Machine, sched: &Schedule) -> ScheduleStats {
     let mut busy = vec![0u32; machine.num_pes()];
     for v in g.tasks() {
+        // INVARIANT: documented contract — stats requires a complete
+        // schedule (see the doc comment's Panics section).
         let pe = sched.pe(v).expect("task placed");
         busy[pe.index()] += g.time(v);
     }

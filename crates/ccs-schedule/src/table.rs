@@ -253,12 +253,18 @@ impl Schedule {
         Some(slot)
     }
 
-    /// Node occupying `(pe, cs)`, if any.
+    /// Node occupying `(pe, cs)`, if any.  Total: out-of-range `pe` or
+    /// `cs` simply yields `None` (the checker probes corrupted slots
+    /// whose PE may not exist in this table).
     pub fn at(&self, pe: Pe, cs: u32) -> Option<NodeId> {
         if cs == 0 {
             return None;
         }
-        match self.rows[pe.index()].get((cs - 1) as usize) {
+        match self
+            .rows
+            .get(pe.index())
+            .and_then(|row| row.get((cs - 1) as usize))
+        {
             Some(&i) if i != FREE => Some(NodeId::from_index(i)),
             _ => None,
         }
@@ -320,6 +326,52 @@ impl Schedule {
             .iter()
             .enumerate()
             .filter_map(|(i, s)| s.map(|s| (NodeId::from_index(i), s)))
+    }
+
+    /// Every occupied `(pe, control step, node)` cell of the table, in
+    /// `(pe, cs)` order.  The checker cross-validates these cells
+    /// against [`Schedule::placements`] — for a healthy table they
+    /// agree exactly; a mismatch means the occupancy index and the slot
+    /// list have desynchronized (a duplicate or stale placement).
+    pub fn occupied_cells(&self) -> impl Iterator<Item = (Pe, u32, NodeId)> + '_ {
+        self.rows.iter().enumerate().flat_map(|(p, row)| {
+            row.iter()
+                .enumerate()
+                .filter(|&(_, &i)| i != FREE)
+                .map(move |(c, &i)| (Pe::from_index(p), c as u32 + 1, NodeId::from_index(i)))
+        })
+    }
+
+    /// Fault injection for oracle/mutation tests: overwrites the slot
+    /// record of `node` **without** updating the occupancy rows or any
+    /// cached state — exactly the kind of single-sided corruption an
+    /// aliasing bug in an in-place pass would produce.  The resulting
+    /// table is *illegal by construction*; the only legitimate use is
+    /// proving that the invariant oracle catches it.
+    #[doc(hidden)]
+    pub fn fault_force_slot(&mut self, node: NodeId, slot: Slot) {
+        if node.index() >= self.slots.len() {
+            self.slots.resize(node.index() + 1, None);
+        }
+        if self.slots[node.index()].is_none() {
+            self.placed += 1;
+        }
+        self.slots[node.index()] = Some(slot);
+        self.occupied_end = self.occupied_end.max(slot.end());
+    }
+
+    /// Fault injection for oracle/mutation tests: writes one occupancy
+    /// cell directly, bypassing every placement check (the complement
+    /// of [`Schedule::fault_force_slot`] — corrupts the occupancy index
+    /// instead of the slot list).
+    #[doc(hidden)]
+    pub fn fault_force_occupy(&mut self, pe: Pe, cs: u32, node: NodeId) {
+        assert!(cs >= 1, "control steps are 1-based");
+        let row = &mut self.rows[pe.index()];
+        if (row.len() as u32) < cs {
+            row.resize(cs as usize, FREE);
+        }
+        row[(cs - 1) as usize] = node.index();
     }
 
     /// Removes the given nodes and shifts every remaining placement one

@@ -139,9 +139,44 @@ impl Machine {
         d
     }
 
+    /// Hop distance between two PEs without the connectivity panic of
+    /// [`Machine::distance`]: `None` when the PEs lie in different
+    /// partitions of a disconnected machine or an index is out of
+    /// range.  This is the entry point diagnostics code uses — it must
+    /// report unreachable pairs, not die on them.
+    pub fn try_distance(&self, a: Pe, b: Pe) -> Option<u32> {
+        if a.index() >= self.n || b.index() >= self.n {
+            return None;
+        }
+        match self.dist[a.index() * self.n + b.index()] {
+            u32::MAX => None,
+            d => Some(d),
+        }
+    }
+
+    /// Communication cost `hops * volume` without the connectivity
+    /// panic: `None` when [`Machine::try_distance`] is `None`.
+    pub fn try_comm_cost(&self, from: Pe, to: Pe, volume: u32) -> Option<u32> {
+        self.try_distance(from, to).map(|d| d * volume)
+    }
+
     /// `true` if every PE can reach every other PE.
     pub fn is_connected(&self) -> bool {
         self.dist.iter().all(|&d| d != u32::MAX)
+    }
+
+    /// All unordered PE pairs with no connecting path (empty for a
+    /// connected machine).  Reported pairs satisfy `a < b`.
+    pub fn unreachable_pairs(&self) -> Vec<(Pe, Pe)> {
+        let mut out = Vec::new();
+        for a in 0..self.n {
+            for b in (a + 1)..self.n {
+                if self.dist[a * self.n + b] == u32::MAX {
+                    out.push((Pe::from_index(a), Pe::from_index(b)));
+                }
+            }
+        }
+        out
     }
 
     /// The paper's communication function
@@ -258,6 +293,27 @@ mod tests {
     fn disconnected_machine_detected() {
         let m = Machine::from_links("two islands", 4, &[(0, 1), (2, 3)]);
         assert!(!m.is_connected());
+        assert_eq!(
+            m.unreachable_pairs(),
+            vec![
+                (Pe(0), Pe(2)),
+                (Pe(0), Pe(3)),
+                (Pe(1), Pe(2)),
+                (Pe(1), Pe(3))
+            ]
+        );
+    }
+
+    #[test]
+    fn try_distance_is_total() {
+        let m = Machine::from_links("two islands", 4, &[(0, 1), (2, 3)]);
+        assert_eq!(m.try_distance(Pe(0), Pe(1)), Some(1));
+        assert_eq!(m.try_distance(Pe(0), Pe(3)), None);
+        assert_eq!(m.try_distance(Pe(0), Pe(9)), None); // out of range
+        assert_eq!(m.try_comm_cost(Pe(0), Pe(1), 5), Some(5));
+        assert_eq!(m.try_comm_cost(Pe(1), Pe(2), 5), None);
+        let c = Machine::complete(3);
+        assert!(c.unreachable_pairs().is_empty());
     }
 
     #[test]

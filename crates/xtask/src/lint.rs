@@ -1,0 +1,298 @@
+//! The lint engine: line-based, std-only source checks enforcing the
+//! repo's panic-hygiene and documentation policies (see `DESIGN.md`
+//! §"Diagnostics", "Pass C").
+//!
+//! Rules:
+//!
+//! * `no-unchecked-unwrap` — `.unwrap()` / `.expect(` in *non-test*
+//!   code of the scheduler hot crates (`ccs-core`, `ccs-schedule`)
+//!   must carry a nearby `// INVARIANT:` comment explaining why the
+//!   panic is unreachable;
+//! * `no-truncating-cast` — no truncating `as` casts in the remap hot
+//!   path (`ccs-core/src/remap.rs`); use `try_from` with an
+//!   `INVARIANT` note instead;
+//! * `lib-header` — every crate root under `crates/*/src/lib.rs`
+//!   declares `#![warn(missing_docs)]` and `#![forbid(unsafe_code)]`.
+
+/// One lint hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// Rule identifier.
+    pub rule: &'static str,
+    /// What is wrong and how to fix it.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Rule identifier for unchecked `.unwrap()` / `.expect(`.
+pub const RULE_UNWRAP: &str = "no-unchecked-unwrap";
+/// Rule identifier for truncating `as` casts in the remap hot path.
+pub const RULE_CAST: &str = "no-truncating-cast";
+/// Rule identifier for missing crate-root lint headers.
+pub const RULE_HEADER: &str = "lib-header";
+
+/// Crates whose non-test code falls under [`RULE_UNWRAP`].
+const PANIC_HYGIENE_ROOTS: [&str; 2] = ["crates/ccs-core/src", "crates/ccs-schedule/src"];
+
+/// The one file under [`RULE_CAST`].
+const CAST_FILE: &str = "crates/ccs-core/src/remap.rs";
+
+/// Truncating integer casts (widening casts and `as usize`/`as u64`
+/// on u32 sources are fine; these can silently drop bits).
+const TRUNCATING_CASTS: [&str; 6] = [
+    " as u8", " as u16", " as u32", " as i8", " as i16", " as i32",
+];
+
+/// How many lines above a flagged call an `INVARIANT:` comment is
+/// accepted as justification.
+const JUSTIFICATION_WINDOW: usize = 4;
+
+/// Lints one source file given its repo-relative path (with `/`
+/// separators) and contents.  Pure function — unit-testable on
+/// fixture strings.
+pub fn lint_source(rel: &str, text: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if rel.ends_with("/src/lib.rs") && !rel.starts_with("vendor/") {
+        lint_lib_header(rel, text, &mut out);
+    }
+    let hygiene = PANIC_HYGIENE_ROOTS.iter().any(|p| rel.starts_with(p));
+    let cast = rel == CAST_FILE;
+    if !hygiene && !cast {
+        return out;
+    }
+
+    let lines: Vec<&str> = text.lines().collect();
+    let test_mask = test_block_mask(&lines);
+    for (i, raw) in lines.iter().enumerate() {
+        if test_mask[i] {
+            continue;
+        }
+        let code = strip_line_comment(raw);
+        if hygiene {
+            if let Some(call) = unchecked_call(code) {
+                let lo = i.saturating_sub(JUSTIFICATION_WINDOW);
+                let justified = lines[lo..=i].iter().any(|l| l.contains("INVARIANT:"));
+                if !justified {
+                    out.push(Finding {
+                        file: rel.to_string(),
+                        line: i + 1,
+                        rule: RULE_UNWRAP,
+                        message: format!(
+                            "`{call}` in non-test scheduler code without an \
+                             `// INVARIANT:` justification; return a typed error \
+                             or document why the panic is unreachable"
+                        ),
+                    });
+                }
+            }
+        }
+        if cast {
+            for pat in TRUNCATING_CASTS {
+                if code.contains(pat) {
+                    out.push(Finding {
+                        file: rel.to_string(),
+                        line: i + 1,
+                        rule: RULE_CAST,
+                        message: format!(
+                            "truncating `{}` cast in the remap hot path; \
+                             use `try_from` and handle (or justify) the failure",
+                            pat.trim_start()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Checks the crate-root lint headers.
+fn lint_lib_header(rel: &str, text: &str, out: &mut Vec<Finding>) {
+    for required in ["#![warn(missing_docs)]", "#![forbid(unsafe_code)]"] {
+        if !text.contains(required) {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: 0,
+                rule: RULE_HEADER,
+                message: format!("crate root does not declare `{required}`"),
+            });
+        }
+    }
+}
+
+/// The unchecked call present in a (comment-stripped) code line, if
+/// any.  `unwrap_or*` and `expect_err` are checked alternatives, not
+/// panics on the happy path's inverse, and are allowed.
+fn unchecked_call(code: &str) -> Option<&'static str> {
+    if code.contains(".unwrap()") {
+        return Some(".unwrap()");
+    }
+    // `.expect(` but not `.expect_err(`.
+    let mut rest = code;
+    while let Some(pos) = rest.find(".expect") {
+        let after = &rest[pos + ".expect".len()..];
+        if after.starts_with('(') {
+            return Some(".expect(");
+        }
+        rest = after;
+    }
+    None
+}
+
+/// Strips a trailing `//` line comment (naive: does not parse string
+/// literals, which is fine for this codebase's style).
+fn strip_line_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(ix) => &line[..ix],
+        None => line,
+    }
+}
+
+/// `mask[i] == true` for every line inside a `#[cfg(test)]` item
+/// (attribute line included), found by brace counting from the
+/// attribute.
+fn test_block_mask(lines: &[&str]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if !lines[i].trim_start().starts_with("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        let mut j = i;
+        while j < lines.len() {
+            mask[j] = true;
+            for ch in strip_line_comment(lines[j]).chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HYGIENE_FILE: &str = "crates/ccs-core/src/demo.rs";
+
+    #[test]
+    fn bare_unwrap_is_flagged() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let f = lint_source(HYGIENE_FILE, src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RULE_UNWRAP);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn bare_expect_is_flagged_but_expect_err_is_not() {
+        let src = "fn f(x: Result<u32, ()>) -> u32 {\n    x.expect(\"boom\")\n}\n";
+        assert_eq!(lint_source(HYGIENE_FILE, src).len(), 1);
+        let src = "fn f(x: Result<u32, ()>) {\n    let _ = x.expect_err(\"fine\");\n}\n";
+        assert!(lint_source(HYGIENE_FILE, src).is_empty());
+    }
+
+    #[test]
+    fn invariant_comment_justifies() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    \
+                   // INVARIANT: x is Some by construction (see caller).\n    \
+                   x.unwrap()\n}\n";
+        assert!(lint_source(HYGIENE_FILE, src).is_empty());
+        // Same-line justification also accepted.
+        let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // INVARIANT: non-empty\n}\n";
+        assert!(lint_source(HYGIENE_FILE, src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_family_is_allowed() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    \
+                   x.unwrap_or(0) + x.unwrap_or_else(|| 1) + x.unwrap_or_default()\n}\n";
+        assert!(lint_source(HYGIENE_FILE, src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_skipped() {
+        let src = "fn ok() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n    \
+                   #[test]\n    \
+                   fn t() { Some(1).unwrap(); }\n\
+                   }\n";
+        assert!(lint_source(HYGIENE_FILE, src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_after_test_block_is_still_flagged() {
+        let src = "#[cfg(test)]\n\
+                   mod tests {\n    \
+                   fn t() { Some(1).unwrap(); }\n\
+                   }\n\
+                   fn g() { Some(1).unwrap(); }\n";
+        let f = lint_source(HYGIENE_FILE, src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn commented_unwrap_is_ignored() {
+        let src = "fn f() {\n    // calls .unwrap() eventually\n}\n";
+        assert!(lint_source(HYGIENE_FILE, src).is_empty());
+    }
+
+    #[test]
+    fn other_crates_are_not_under_the_unwrap_rule() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(lint_source("crates/ccs-workloads/src/demo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn truncating_cast_in_remap_is_flagged() {
+        let src = "fn f(x: i64) -> u32 {\n    x as u32\n}\n";
+        let f = lint_source("crates/ccs-core/src/remap.rs", src);
+        assert!(f.iter().any(|f| f.rule == RULE_CAST && f.line == 2));
+        // Widening / usize casts are fine.
+        let src = "fn f(x: u32) -> u64 {\n    let _ = x as usize;\n    x as u64\n}\n";
+        let f = lint_source("crates/ccs-core/src/remap.rs", src);
+        assert!(f.iter().all(|f| f.rule != RULE_CAST), "{f:?}");
+    }
+
+    #[test]
+    fn lib_header_rule() {
+        let good = "//! docs\n#![warn(missing_docs)]\n#![forbid(unsafe_code)]\n";
+        assert!(lint_source("crates/ccs-foo/src/lib.rs", good).is_empty());
+        let bad = "//! docs\n";
+        let f = lint_source("crates/ccs-foo/src/lib.rs", bad);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|f| f.rule == RULE_HEADER));
+        // Vendored stand-ins are exempt.
+        assert!(lint_source("vendor/serde/src/lib.rs", bad).is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! `cargo run -p xtask -- lint`: offline repo lints (no registry
+//! dependencies), run in CI next to `cargo fmt --check` / `clippy`.
+//!
+//! See [`lint`] for the rule catalogue.  Exit status: `0` clean,
+//! `1` findings, `2` usage/I-O failure.
+
+mod lint;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(),
+        Some(other) => {
+            eprintln!(
+                "xtask: unknown task {other:?}\n\nTASKS:\n    lint    run the repo source lints"
+            );
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("xtask: missing task\n\nTASKS:\n    lint    run the repo source lints");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_lint() -> ExitCode {
+    // xtask lives at <repo>/crates/xtask, so the repo root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask has a repo root two levels up")
+        .to_path_buf();
+    let mut files: Vec<PathBuf> = Vec::new();
+    if let Err(e) = collect_rs(&root.join("crates"), &mut files) {
+        eprintln!("xtask lint: walking crates/: {e}");
+        return ExitCode::from(2);
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        match std::fs::read_to_string(path) {
+            Ok(text) => findings.extend(lint::lint_source(&rel, &text)),
+            Err(e) => {
+                eprintln!("xtask lint: {rel}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if findings.is_empty() {
+        println!("xtask lint: {} files clean", files.len());
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        println!(
+            "xtask lint: {} finding(s) in {} files",
+            findings.len(),
+            files.len()
+        );
+        ExitCode::from(1)
+    }
+}
+
+/// Recursively collects `.rs` files, skipping build output.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

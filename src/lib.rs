@@ -50,12 +50,14 @@
 //! | [`sim`] | `ccs-sim` | cycle-accurate replay + self-timed execution |
 //! | [`workloads`] | `ccs-workloads` | paper examples, DSP filters, random graphs |
 //! | [`lang`] | `ccs-lang` | loop-kernel language compiling to CSDFGs |
+//! | [`analyze`] | `ccs-analyze` | static diagnostics (`CCS0xx`/`CCSWxx`), `ccsc-check` |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cli;
 
+pub use ccs_analyze as analyze;
 pub use ccs_core as core;
 pub use ccs_graph as graph;
 pub use ccs_lang as lang;

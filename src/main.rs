@@ -43,8 +43,38 @@ fn read_input(path: &str) -> Result<String, String> {
 fn load_graph(path: &str) -> Result<Csdfg, String> {
     let text = read_input(path)?;
     let g = graph_parser::parse(&text).map_err(|e| format!("parse error: {e}"))?;
+    // Pass A: full input diagnostics. Errors abort (with the same
+    // stable CCS0xx codes `ccsc-check` prints); warnings go to stderr
+    // but do not stop the run.
+    let report = cyclosched::analyze::analyze_graph(&g);
+    report_or_abort(path, &report)?;
     g.check_legal().map_err(|e| format!("illegal graph: {e}"))?;
     Ok(g)
+}
+
+/// Loads a machine spec and runs the analyzer's machine + cross checks
+/// against `g`, reporting like [`load_graph`] does for graph checks.
+fn load_machine(spec: &str, g: &Csdfg) -> Result<Machine, String> {
+    let machine = parse_spec(spec).map_err(|e| e.to_string())?;
+    let mut report = cyclosched::analyze::analyze_machine(&machine);
+    report.merge(cyclosched::analyze::analyze_cross(g, &machine));
+    report_or_abort(machine.name(), &report)?;
+    Ok(machine)
+}
+
+/// Prints warnings of `report` to stderr; turns errors into `Err`.
+fn report_or_abort(subject: &str, report: &cyclosched::analyze::Report) -> Result<(), String> {
+    if report.has_errors() {
+        return Err(format!(
+            "{subject}: analysis found {} error(s):\n{}",
+            report.errors().count(),
+            report.render_human()
+        ));
+    }
+    for d in report.diagnostics() {
+        eprintln!("{subject}: {d}");
+    }
+    Ok(())
 }
 
 fn run(cmd: Command) -> Result<(), String> {
@@ -140,7 +170,7 @@ fn run_compile(args: CompileArgs) -> Result<(), String> {
 
 fn run_schedule(args: ScheduleArgs) -> Result<(), String> {
     let g = load_graph(&args.input)?;
-    let machine = parse_spec(&args.machine).map_err(|e| e.to_string())?;
+    let machine = load_machine(&args.machine, &g)?;
     let mut result = cyclo_compact(&g, &machine, args.compact_config())
         .map_err(|e| format!("scheduling failed: {e}"))?;
     if args.refine {
@@ -201,7 +231,7 @@ fn run_schedule(args: ScheduleArgs) -> Result<(), String> {
 
 fn run_simulate(args: SimulateArgs) -> Result<(), String> {
     let g = load_graph(&args.input)?;
-    let machine = parse_spec(&args.machine).map_err(|e| e.to_string())?;
+    let machine = load_machine(&args.machine, &g)?;
     let result = cyclo_compact(&g, &machine, Default::default())
         .map_err(|e| format!("scheduling failed: {e}"))?;
     println!(

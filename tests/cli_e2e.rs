@@ -97,10 +97,14 @@ fn schedule_requires_machine_flag() {
 
 #[test]
 fn illegal_graph_rejected_cleanly() {
+    // The analyzer's Pass A runs before `check_legal` and reports the
+    // zero-delay cycle with its stable diagnostic code.
     let bad = "edge A -> B d=0 c=1\nedge B -> A d=0 c=1\n";
     let out = run_with_stdin(&["bound", "-"], bad);
     assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("illegal graph"));
+    let err = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(err.contains("CCS001"), "stderr: {err}");
+    assert!(err.contains("zero total delay"), "stderr: {err}");
 }
 
 #[test]
