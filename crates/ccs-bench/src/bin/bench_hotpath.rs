@@ -15,6 +15,12 @@
 //!   `speedup`, and fail (exit 1) if any schedule fingerprint differs.
 //! * `--seeds N` — random-sweep seeds per cell (default 10).
 //! * `--reps N` — timing repetitions, median reported (default 3).
+//!
+//! All timed sections run with **no trace sink installed** (asserted),
+//! so the numbers measure the uninstrumented hot path.  A separate,
+//! untimed instrumented run afterwards feeds a
+//! [`ccs_trace::metrics::MetricsSink`] and lands in the report as the
+//! `"metrics"` section (per-phase counters + wall-time histograms).
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -22,6 +28,7 @@ use std::time::Instant;
 use ccs_bench::experiments::random_sweep;
 use ccs_core::{cyclo_compact, CompactConfig};
 use ccs_topology::Machine;
+use ccs_trace::metrics::MetricsSink;
 use ccs_workloads::random::{random_csdfg, RandomGraphConfig};
 use serde_json::Value;
 
@@ -99,6 +106,15 @@ fn main() {
         }
     }
 
+    // Overhead guard: every timed/fingerprinted section below must run
+    // the uninstrumented scheduler path.  If something installed a
+    // sink (and leaked its guard), the timings and the zero-overhead
+    // claim would be meaningless — fail loudly instead.
+    assert!(
+        !ccs_trace::installed(),
+        "trace sink installed before timed sections"
+    );
+
     // --- Schedule fingerprints & lengths: full paper suite x machines.
     let mut lengths: BTreeMap<String, (u32, u32)> = BTreeMap::new();
     let mut prints: BTreeMap<String, String> = BTreeMap::new();
@@ -167,6 +183,26 @@ fn main() {
         total
     });
     timings.insert("paper_suite_compaction".into(), t);
+    assert!(
+        !ccs_trace::installed(),
+        "trace sink installed after timed sections"
+    );
+
+    // --- Instrumented run (untimed): per-phase metrics registry.
+    // One pass over the paper suite plus the 64-node mesh compaction,
+    // with a MetricsSink collecting the structured event stream.  This
+    // deliberately happens *after* every timed section so the sink
+    // never perturbs the numbers above.
+    let ((), sink) = ccs_trace::with_sink(MetricsSink::new(), || {
+        for w in ccs_workloads::all_workloads() {
+            let g = w.build();
+            for machine in machine_suite() {
+                let _ = cyclo_compact(&g, &machine, CompactConfig::default()).expect("legal");
+            }
+        }
+        let _ = cyclo_compact(&big, &mesh, CompactConfig::default()).expect("legal");
+    });
+    let metrics = sink.into_metrics();
 
     // --- Assemble the report.
     let mut root: Vec<(String, Value)> = vec![
@@ -210,6 +246,7 @@ fn main() {
                     .collect(),
             ),
         ),
+        ("metrics".into(), metrics.to_value()),
     ];
 
     let mut mismatches = 0usize;

@@ -1,11 +1,14 @@
 //! The cyclo-compaction driver (paper §4, `Algorithm Cyclo-Compact`).
 
-use crate::remap::{rotate_remap_in_place, RemapConfig, RemapMode};
-use crate::startup::{startup_schedule, StartupConfig};
+use crate::remap::{nid, remap_probed, RemapConfig, RemapMode};
+use crate::startup::{startup_probed, StartupConfig};
 use ccs_model::{Csdfg, ModelError, NodeId};
 use ccs_retiming::Retiming;
 use ccs_schedule::Schedule;
 use ccs_topology::Machine;
+use ccs_trace::{Event, Off, Probe, Tls};
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::time::Instant;
 
 /// Options for [`cyclo_compact`].
 #[derive(Clone, Copy, Debug)]
@@ -58,6 +61,71 @@ pub struct PassRecord {
     pub length: u32,
     /// Whether the pass was rolled back.
     pub reverted: bool,
+    /// Wall-clock milliseconds the pass took.  Observability only —
+    /// excluded from every determinism fingerprint (the schedule and
+    /// the decision sequence stay a pure function of the inputs).
+    pub wall_ms: f64,
+}
+
+// Manual impls: the vendored serde derive handles named-field structs
+// only via `Serialize`/`Deserialize` on every field, and `NodeId`
+// deliberately has no serde surface (schedules serialize raw indices).
+impl Serialize for PassRecord {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("pass".to_string(), Value::UInt(self.pass as u64)),
+            (
+                "rotated".to_string(),
+                Value::Array(
+                    self.rotated
+                        .iter()
+                        .map(|&v| Value::UInt(u64::from(nid(v))))
+                        .collect(),
+                ),
+            ),
+            ("length".to_string(), Value::UInt(u64::from(self.length))),
+            ("reverted".to_string(), Value::Bool(self.reverted)),
+            ("wall_ms".to_string(), Value::Float(self.wall_ms)),
+        ])
+    }
+}
+
+impl Deserialize for PassRecord {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let pass = v
+            .get("pass")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| DeError::msg("PassRecord: missing `pass`"))?;
+        let rotated = v
+            .get("rotated")
+            .and_then(Value::as_array)
+            .ok_or_else(|| DeError::msg("PassRecord: missing `rotated`"))?
+            .iter()
+            .map(|x| {
+                x.as_u64()
+                    .and_then(|i| usize::try_from(i).ok())
+                    .map(NodeId::from_index)
+                    .ok_or_else(|| DeError::msg("PassRecord: bad node index"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let length = v
+            .get("length")
+            .and_then(Value::as_u64)
+            .and_then(|x| u32::try_from(x).ok())
+            .ok_or_else(|| DeError::msg("PassRecord: missing `length`"))?;
+        let reverted = v
+            .get("reverted")
+            .and_then(Value::as_bool)
+            .ok_or_else(|| DeError::msg("PassRecord: missing `reverted`"))?;
+        let wall_ms = v.get("wall_ms").and_then(Value::as_f64).unwrap_or(0.0);
+        Ok(PassRecord {
+            pass: usize::try_from(pass).map_err(|_| DeError::msg("PassRecord: pass overflow"))?,
+            rotated,
+            length,
+            reverted,
+            wall_ms,
+        })
+    }
 }
 
 /// Result of [`cyclo_compact`].
@@ -99,7 +167,30 @@ pub fn cyclo_compact(
     machine: &Machine,
     config: CompactConfig,
 ) -> Result<Compaction, ModelError> {
-    let initial = startup_schedule(g, machine, config.startup)?;
+    // One dispatch per run; the probe is threaded through startup and
+    // every pass, so the uninstrumented path never re-checks the sink.
+    if ccs_trace::installed() {
+        compact_probed(g, machine, config, &mut Tls)
+    } else {
+        compact_probed(g, machine, config, &mut Off)
+    }
+}
+
+/// [`cyclo_compact`] instrumented against probe `P`.
+pub(crate) fn compact_probed<P: Probe>(
+    g: &Csdfg,
+    machine: &Machine,
+    config: CompactConfig,
+    probe: &mut P,
+) -> Result<Compaction, ModelError> {
+    if P::ACTIVE {
+        probe.emit(Event::CompactBegin {
+            tasks: u32::try_from(g.task_count()).unwrap_or(u32::MAX),
+            pes: u32::try_from(machine.num_pes()).unwrap_or(u32::MAX),
+            max_passes: u32::try_from(config.passes).unwrap_or(u32::MAX),
+        });
+    }
+    let initial = startup_probed(g, machine, config.startup, probe)?;
     let initial_length = initial.length();
 
     let mut cur_sched = initial.clone();
@@ -110,21 +201,41 @@ pub fn cyclo_compact(
     let mut best_retiming = retiming.clone();
     let mut history = Vec::with_capacity(config.passes);
 
+    let mut passes_run: u32 = 0;
     for pass in 1..=config.passes {
+        let prev_len = cur_sched.length();
+        if P::ACTIVE {
+            probe.emit(Event::PassBegin {
+                pass: u32::try_from(pass).unwrap_or(u32::MAX),
+                prev_len,
+                rows: config.remap.rows_per_pass.clamp(1, prev_len.max(1)),
+            });
+        }
+        let t0 = Instant::now();
         // The pass mutates the working pair in place; a reverted pass
         // restores it, so nothing is cloned on the per-pass hot path.
-        let out = rotate_remap_in_place(&mut cur_graph, machine, &mut cur_sched, config.remap);
+        let out = remap_probed(&mut cur_graph, machine, &mut cur_sched, config.remap, probe);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        passes_run += 1;
         if !out.reverted {
             for &v in &out.rotated {
                 retiming.bump(v, 1);
             }
         }
         let reverted = out.reverted;
+        if P::ACTIVE {
+            probe.emit(Event::PassEnd {
+                pass: u32::try_from(pass).unwrap_or(u32::MAX),
+                accepted: !reverted,
+                length: cur_sched.length(),
+            });
+        }
         history.push(PassRecord {
             pass,
             rotated: out.rotated,
             length: cur_sched.length(),
             reverted,
+            wall_ms,
         });
         if reverted {
             if config.stop_on_revert {
@@ -140,15 +251,38 @@ pub fn cyclo_compact(
             machine,
             &cur_sched,
         );
+        if P::ACTIVE {
+            let occ = cur_sched.occupancy();
+            probe.emit(Event::OccupancySnapshot {
+                pass: u32::try_from(pass).unwrap_or(u32::MAX),
+                busy_cells: occ.busy_cells,
+                holes: occ.holes,
+                used_pes: occ.used_pes,
+                length: occ.length,
+            });
+        }
         // Snapshot only on improvement — the single remaining clone.
         if cur_sched.length() < best_sched.length() {
             best_sched = cur_sched.clone();
             best_graph = cur_graph.clone();
             best_retiming = retiming.clone();
+            if P::ACTIVE {
+                probe.emit(Event::BestSnapshot {
+                    pass: u32::try_from(pass).unwrap_or(u32::MAX),
+                    length: best_sched.length(),
+                });
+            }
         }
     }
 
     let best_length = best_sched.length();
+    if P::ACTIVE {
+        probe.emit(Event::CompactEnd {
+            initial: initial_length,
+            best: best_length,
+            passes: passes_run,
+        });
+    }
     Ok(Compaction {
         schedule: best_sched,
         graph: best_graph,
@@ -276,6 +410,67 @@ mod tests {
         for (i, rec) in result.history.iter().enumerate() {
             assert_eq!(rec.pass, i + 1);
         }
+    }
+
+    #[test]
+    fn pass_records_have_wall_time_and_round_trip_serde() {
+        let (g, _, m) = fig1();
+        let result = cyclo_compact(&g, &m, CompactConfig::default()).unwrap();
+        assert!(!result.history.is_empty());
+        for rec in &result.history {
+            assert!(rec.wall_ms >= 0.0);
+            let v = rec.to_value();
+            let back = PassRecord::from_value(&v).unwrap();
+            assert_eq!(back.pass, rec.pass);
+            assert_eq!(back.rotated, rec.rotated);
+            assert_eq!(back.length, rec.length);
+            assert_eq!(back.reverted, rec.reverted);
+            assert!((back.wall_ms - rec.wall_ms).abs() < 1e-9);
+        }
+        // Older serialized records without `wall_ms` still load.
+        let v = Value::Object(vec![
+            ("pass".to_string(), Value::UInt(1)),
+            ("rotated".to_string(), Value::Array(vec![Value::UInt(0)])),
+            ("length".to_string(), Value::UInt(5)),
+            ("reverted".to_string(), Value::Bool(false)),
+        ]);
+        let rec = PassRecord::from_value(&v).unwrap();
+        assert_eq!(rec.wall_ms, 0.0);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_run() {
+        let (g, _, m) = fig1();
+        let plain = cyclo_compact(&g, &m, CompactConfig::default()).unwrap();
+        let (traced, events) =
+            ccs_trace::record(|| cyclo_compact(&g, &m, CompactConfig::default()).unwrap());
+        assert_eq!(traced.best_length, plain.best_length);
+        assert_eq!(traced.initial_length, plain.initial_length);
+        let a: Vec<_> = traced.schedule.placements().collect();
+        let b: Vec<_> = plain.schedule.placements().collect();
+        assert_eq!(a, b, "tracing must not perturb the schedule");
+        assert!(!events.is_empty());
+        // Every remapped node names its chosen slot; the stream starts
+        // with the compact span and ends with its close.
+        assert!(matches!(
+            events.first().map(|t| &t.event),
+            Some(ccs_trace::Event::CompactBegin { .. })
+        ));
+        assert!(matches!(
+            events.last().map(|t| &t.event),
+            Some(ccs_trace::Event::CompactEnd { .. })
+        ));
+        let places = events
+            .iter()
+            .filter(|t| matches!(t.event, ccs_trace::Event::Placed { .. }))
+            .count();
+        let rotated: usize = traced
+            .history
+            .iter()
+            .filter(|r| !r.reverted)
+            .map(|r| r.rotated.len())
+            .sum();
+        assert!(places >= rotated, "placed {places} < rotated {rotated}");
     }
 
     #[test]

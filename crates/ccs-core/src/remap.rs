@@ -12,6 +12,43 @@ use ccs_model::{Csdfg, NodeId};
 use ccs_retiming::{rotate_in_place, unrotate_in_place};
 use ccs_schedule::{required_length, Schedule, Slot};
 use ccs_topology::{Machine, Pe};
+use ccs_trace::{Event, Off, Probe, RunnerUp, Tls, Verdict};
+
+/// Raw `u32` index of a node, for event payloads.  (Node indices are
+/// backed by `u32` so the fallback is unreachable; `try_from` keeps
+/// the remap hot path free of `as` casts.)
+#[inline]
+pub(crate) fn nid(v: NodeId) -> u32 {
+    u32::try_from(v.index()).unwrap_or(u32::MAX)
+}
+
+/// Per-pass hot-path counters behind [`Event::PassStats`].  Only
+/// maintained when the probe is active — every increment is gated on
+/// `P::ACTIVE`, so the disabled path carries no bookkeeping.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct Counters {
+    /// Resolved edges swept in `best_position` (per PE × target).
+    pub edges_swept: u64,
+    /// Candidate slots probed via `earliest_free`.
+    pub slots_probed: u64,
+    /// Per-node scratch resolutions reused across targets.
+    pub scratch_reuses: u64,
+    /// Invariant-oracle invocations (0 unless the oracle is compiled
+    /// in; see `oracle::ENABLED`).
+    pub oracle_calls: u64,
+}
+
+impl Counters {
+    /// The corresponding [`Event::PassStats`] payload.
+    pub fn stats_event(self) -> Event {
+        Event::PassStats {
+            edges_swept: self.edges_swept,
+            slots_probed: self.slots_probed,
+            scratch_reuses: self.scratch_reuses,
+            oracle_calls: self.oracle_calls,
+        }
+    }
+}
 
 /// Remapping policy (Definition 4.2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -121,7 +158,31 @@ pub fn rotate_remap_in_place(
     sched: &mut Schedule,
     config: RemapConfig,
 ) -> InPlaceOutcome {
+    // One dispatch per pass: with no sink installed the `Off` probe
+    // monomorphizes every instrumentation site away and this is the
+    // exact pre-tracing code path.
+    if ccs_trace::installed() {
+        remap_probed(g, machine, sched, config, &mut Tls)
+    } else {
+        remap_probed(g, machine, sched, config, &mut Off)
+    }
+}
+
+/// [`rotate_remap_in_place`] instrumented against probe `P` (the
+/// driver threads one probe through the whole run so dispatch happens
+/// once per `cyclo_compact`, not once per pass).
+pub(crate) fn remap_probed<P: Probe>(
+    g: &mut Csdfg,
+    machine: &Machine,
+    sched: &mut Schedule,
+    config: RemapConfig,
+    probe: &mut P,
+) -> InPlaceOutcome {
+    let mut counters = Counters::default();
     crate::oracle::verify("rotate_remap_in_place: entry", g, machine, sched);
+    if P::ACTIVE {
+        counters.oracle_calls += u64::from(crate::oracle::ENABLED);
+    }
     let prev_len = sched.length();
     let rows = config.rows_per_pass.clamp(1, prev_len.max(1));
     let mut rotated = sched.rows_upto(rows);
@@ -144,6 +205,11 @@ pub fn rotate_remap_in_place(
             rotated,
             reverted: true,
         };
+    }
+    if P::ACTIVE {
+        probe.emit(Event::Rotate {
+            nodes: rotated.iter().map(|&v| nid(v)).collect(),
+        });
     }
 
     // Snapshot the rotated nodes' slots so a revert can restore them
@@ -175,14 +241,46 @@ pub fn rotate_remap_in_place(
         // Placements only change between nodes, so neighbour slots can
         // be resolved once per node and reused across PEs and targets.
         scratch.resolve(adj, sched);
+        let mut attempts: u64 = 0;
         for &target in &targets {
-            if let Some((cs, pe)) = best_position(machine, sched, duration, &mut scratch, target) {
+            if P::ACTIVE {
+                counters.scratch_reuses += u64::from(attempts > 0);
+                attempts += 1;
+            }
+            if let Some(found) = best_position(
+                machine,
+                sched,
+                duration,
+                &mut scratch,
+                target,
+                nid(v),
+                probe,
+                &mut counters,
+            ) {
                 sched
-                    .place(v, pe, cs, duration)
+                    .place(v, found.pe, found.cs, duration)
                     // INVARIANT: best_position only returns slots that
                     // earliest_free reported free for `duration`.
                     .expect("position checked free");
+                if P::ACTIVE {
+                    probe.emit(Event::Placed {
+                        node: nid(v),
+                        pe: found.pe.0,
+                        cs: found.cs,
+                        duration,
+                        target,
+                        impact: found.impact,
+                        comm: found.comm,
+                        runner_up: found.runner_up,
+                    });
+                }
                 continue 'remap;
+            }
+            if P::ACTIVE {
+                probe.emit(Event::NoSlot {
+                    node: nid(v),
+                    target,
+                });
             }
         }
         failed = true;
@@ -193,8 +291,18 @@ pub fn rotate_remap_in_place(
         // Cover the projected schedule lengths by appending empty steps.
         let required = required_length(g, machine, sched);
         if config.mode != RemapMode::WithoutRelaxation || required <= prev_len {
+            if P::ACTIVE && required > sched.length() {
+                probe.emit(Event::SlackRepair {
+                    required,
+                    occupied: sched.length(),
+                });
+            }
             sched.pad_to(required);
             crate::oracle::verify("rotate_remap_in_place: accepted remap", g, machine, sched);
+            if P::ACTIVE {
+                counters.oracle_calls += u64::from(crate::oracle::ENABLED);
+                probe.emit(counters.stats_event());
+            }
             return InPlaceOutcome {
                 rotated,
                 reverted: false,
@@ -221,6 +329,10 @@ pub fn rotate_remap_in_place(
     sched.pad_to(prev_len);
     unrotate_in_place(g, &rotated);
     crate::oracle::verify("rotate_remap_in_place: rollback", g, machine, sched);
+    if P::ACTIVE {
+        counters.oracle_calls += u64::from(crate::oracle::ENABLED);
+        probe.emit(counters.stats_event());
+    }
     InPlaceOutcome {
         rotated,
         reverted: true,
@@ -354,17 +466,43 @@ fn psl(m: i64, ce: i64, cb: i64, k: i64) -> i64 {
 /// across dense machines: a remote slot one step earlier is worthless
 /// if its communication inflates a projected schedule length.
 ///
+/// The winning placement found by [`best_position`], with the ranking
+/// components the tracing layer reports (`impact`, `comm`) and the
+/// second-best candidate for the `--explain` narrative.
+struct Placement {
+    /// Start control step.
+    cs: u32,
+    /// Chosen processor.
+    pe: Pe,
+    /// Schedule length this placement forces (Lemma 4.3).
+    impact: u32,
+    /// Total communication traffic.
+    comm: u32,
+    /// Second-best candidate under the same ranking (only tracked when
+    /// the probe is active; always `None` otherwise).
+    runner_up: Option<RunnerUp>,
+}
+
 /// The lower/upper-bound sweep, the traffic sum, and the per-edge
 /// communication costs of the impact sweep are fused into a single pass
 /// over the resolved edges per processor.
-fn best_position(
+///
+/// With an active probe every scanned PE emits an [`Event::Candidate`]
+/// carrying the `AN` bounds and the rejection reason, and the
+/// second-best feasible slot is tracked for the placement's
+/// `runner_up`; with the no-op probe all of that is compiled away.
+#[allow(clippy::too_many_arguments)]
+fn best_position<P: Probe>(
     machine: &Machine,
     table: &Schedule,
     duration: u32,
     scratch: &mut Scratch,
     target: u32,
-) -> Option<(u32, Pe)> {
-    let target = i64::from(target);
+    node: u32,
+    probe: &mut P,
+    counters: &mut Counters,
+) -> Option<Placement> {
+    let target_len = i64::from(target);
     let Scratch {
         ins,
         outs,
@@ -372,7 +510,12 @@ fn best_position(
         m_outs,
     } = scratch;
     let mut best: Option<(u32, u32, u32, Pe)> = None;
+    // Runner-up slot for the explain narrative (probe-gated).
+    let mut second: Option<(u32, u32, u32, Pe)> = None;
     for pe in machine.pes() {
+        if P::ACTIVE {
+            counters.edges_swept += (ins.len() + outs.len()) as u64;
+        }
         // Lower bound on CB(v) from placed predecessors; total traffic
         // and per-edge comm costs fall out of the same sweep.
         let mut lb: i64 = 1;
@@ -382,25 +525,50 @@ fn best_position(
             let m = i64::from(c);
             *m_slot = m;
             comm += c;
-            lb = lb.max(m + e.step + 1 - e.k * target);
+            lb = lb.max(m + e.step + 1 - e.k * target_len);
         }
         // Upper bound on CE(v) from placed successors and the target.
-        let mut ub: i64 = target;
+        let mut ub: i64 = target_len;
         for (e, m_slot) in outs.iter().zip(m_outs.iter_mut()) {
             let c = machine.comm_cost(pe, e.pe, e.vol);
             let m = i64::from(c);
             *m_slot = m;
             comm += c;
-            ub = ub.min(e.k * target + e.step - m - 1);
+            ub = ub.min(e.k * target_len + e.step - m - 1);
         }
         if lb > ub {
+            if P::ACTIVE {
+                probe.emit(Event::Candidate {
+                    node,
+                    target,
+                    pe: pe.0,
+                    lb,
+                    ub,
+                    comm,
+                    verdict: Verdict::Infeasible,
+                });
+            }
             continue;
         }
         // INVARIANT: lb <= ub <= target at this point (checked above)
         // and target is a u32, so the clamped value always fits.
         let from = u32::try_from(lb.max(1)).expect("clamped positive");
         let cs = table.earliest_free(pe, from, duration);
+        if P::ACTIVE {
+            counters.slots_probed += 1;
+        }
         if i64::from(cs) + i64::from(duration) - 1 > ub {
+            if P::ACTIVE {
+                probe.emit(Event::Candidate {
+                    node,
+                    target,
+                    pe: pe.0,
+                    lb,
+                    ub,
+                    comm,
+                    verdict: Verdict::NoFreeSlot,
+                });
+            }
             continue;
         }
         // Length impact: the node's own end step and the PSL of every
@@ -423,11 +591,51 @@ fn best_position(
         // the candidate simply ranks last instead of panicking.
         let impact = u32::try_from(needed.max(0)).unwrap_or(u32::MAX);
         let key = (impact, cs, comm, pe.index());
-        if best.is_none_or(|(bi, bcs, bcomm, bpe)| key < (bi, bcs, bcomm, bpe.index())) {
+        let leads = best.is_none_or(|(bi, bcs, bcomm, bpe)| key < (bi, bcs, bcomm, bpe.index()));
+        if P::ACTIVE {
+            probe.emit(Event::Candidate {
+                node,
+                target,
+                pe: pe.0,
+                lb,
+                ub,
+                comm,
+                verdict: if leads {
+                    Verdict::Leading { cs, impact }
+                } else {
+                    Verdict::Feasible { cs, impact }
+                },
+            });
+            // The displaced best (or the losing candidate) competes
+            // for the runner-up slot.
+            let contender = if leads {
+                best
+            } else {
+                Some((impact, cs, comm, pe))
+            };
+            if let Some(c) = contender {
+                let ckey = (c.0, c.1, c.2, c.3.index());
+                if second.is_none_or(|(si, scs, scomm, spe)| ckey < (si, scs, scomm, spe.index())) {
+                    second = Some(c);
+                }
+            }
+        }
+        if leads {
             best = Some((impact, cs, comm, pe));
         }
     }
-    best.map(|(_, cs, _, pe)| (cs, pe))
+    best.map(|(impact, cs, comm, pe)| Placement {
+        cs,
+        pe,
+        impact,
+        comm,
+        runner_up: second.map(|(si, scs, scomm, spe)| RunnerUp {
+            pe: spe.0,
+            cs: scs,
+            impact: si,
+            comm: scomm,
+        }),
+    })
 }
 
 #[cfg(test)]

@@ -11,9 +11,11 @@
 //! table to the projected schedule length.
 
 use crate::priority::{evaluate, Priority};
+use crate::remap::nid;
 use ccs_model::{timing, Csdfg, ModelError, NodeId};
 use ccs_schedule::{required_length, Schedule};
 use ccs_topology::{Machine, Pe};
+use ccs_trace::{Event, Off, Probe, Tls};
 
 /// Start-up scheduler options.
 #[derive(Clone, Copy, Debug, Default)]
@@ -41,11 +43,33 @@ pub fn startup_schedule(
     machine: &Machine,
     config: StartupConfig,
 ) -> Result<Schedule, ModelError> {
+    // One dispatch per call: the `Off` probe compiles every
+    // instrumentation site below away.
+    if ccs_trace::installed() {
+        startup_probed(g, machine, config, &mut Tls)
+    } else {
+        startup_probed(g, machine, config, &mut Off)
+    }
+}
+
+/// [`startup_schedule`] instrumented against probe `P`.
+pub(crate) fn startup_probed<P: Probe>(
+    g: &Csdfg,
+    machine: &Machine,
+    config: StartupConfig,
+    probe: &mut P,
+) -> Result<Schedule, ModelError> {
     g.check_legal()?;
     // INVARIANT: check_legal above proved the zero-delay view acyclic,
     // the only failure mode of the timing analysis.
     let timing = timing::analyze(g).expect("legal graph has acyclic zero-delay view");
     let mut sched = Schedule::new(machine.num_pes());
+    if P::ACTIVE {
+        probe.emit(Event::StartupBegin {
+            tasks: u32::try_from(g.task_count()).unwrap_or(u32::MAX),
+            pes: u32::try_from(machine.num_pes()).unwrap_or(u32::MAX),
+        });
+    }
 
     let bound = g.graph().node_bound();
     // Remaining zero-delay in-degree per node.
@@ -67,6 +91,18 @@ pub fn startup_schedule(
                 v.index(),
             )
         });
+        if P::ACTIVE {
+            // Re-evaluate the priorities only on the traced path; the
+            // sort key above is not retained.
+            for (rank, &v) in ready.iter().enumerate() {
+                probe.emit(Event::ReadyPick {
+                    cs,
+                    rank: u32::try_from(rank).unwrap_or(u32::MAX),
+                    node: nid(v),
+                    priority: evaluate(config.priority, g, &timing, &sched, v, cs),
+                });
+            }
+        }
 
         let mut deferred: Vec<NodeId> = Vec::new();
         let mut newly_ready: Vec<NodeId> = Vec::new();
@@ -78,6 +114,14 @@ pub fn startup_schedule(
                         // INVARIANT: best_slot_at only returns PEs it
                         // verified free at `cs` for the full duration.
                         .expect("best_slot_at returned a free processor");
+                    if P::ACTIVE {
+                        probe.emit(Event::StartupPlace {
+                            node: nid(node),
+                            pe: pe.0,
+                            cs,
+                            duration: g.time(node),
+                        });
+                    }
                     unscheduled -= 1;
                     for e in g.intra_iter_out_deps(node) {
                         let (_, w) = g.endpoints(e);
@@ -87,7 +131,15 @@ pub fn startup_schedule(
                         }
                     }
                 }
-                None => deferred.push(node),
+                None => {
+                    if P::ACTIVE {
+                        probe.emit(Event::StartupDefer {
+                            node: nid(node),
+                            cs,
+                        });
+                    }
+                    deferred.push(node);
+                }
             }
         }
         ready = deferred;
@@ -100,7 +152,19 @@ pub fn startup_schedule(
         // start times for the real machine before padding.
         sched = legalize(g, machine, &sched);
     }
-    sched.pad_to(required_length(g, machine, &sched));
+    let required = required_length(g, machine, &sched);
+    if P::ACTIVE && required > sched.length() {
+        probe.emit(Event::SlackRepair {
+            required,
+            occupied: sched.length(),
+        });
+    }
+    sched.pad_to(required);
+    if P::ACTIVE {
+        probe.emit(Event::StartupEnd {
+            length: sched.length(),
+        });
+    }
     Ok(sched)
 }
 

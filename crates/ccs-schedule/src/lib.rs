@@ -24,7 +24,7 @@ mod table;
 pub use checker::{edge_comm_cost, psl, required_length, validate, Violation};
 pub use stats::{stats, to_csv, ScheduleStats};
 pub use svg::{to_svg, SvgOptions};
-pub use table::{Schedule, Slot, TableError};
+pub use table::{Occupancy, Schedule, Slot, TableError};
 
 #[cfg(test)]
 mod proptests {
@@ -80,6 +80,22 @@ mod proptests {
                     prop_assert!(!s.is_free(pe, earlier, dur));
                 }
             }
+        }
+
+        #[test]
+        fn occupancy_stats_are_consistent(s in arb_schedule()) {
+            let occ = s.occupancy();
+            let busy: u64 = s.placements().map(|(_, sl)| u64::from(sl.duration)).sum();
+            prop_assert_eq!(occ.busy_cells, busy);
+            prop_assert_eq!(occ.length, s.length());
+            prop_assert!((occ.used_pes as usize) <= s.num_pes());
+            // busy + holes = sum over PEs of the last occupied step.
+            let mut last_per_pe = vec![0u64; s.num_pes()];
+            for (pe, cs, _) in s.occupied_cells() {
+                let cell = &mut last_per_pe[pe.index()];
+                *cell = (*cell).max(u64::from(cs));
+            }
+            prop_assert_eq!(occ.busy_cells + occ.holes, last_per_pe.iter().sum::<u64>());
         }
 
         #[test]

@@ -33,6 +33,22 @@ impl Slot {
     }
 }
 
+/// Slot-occupancy statistics of a [`Schedule`] (see
+/// [`Schedule::occupancy`]): the observability layer's view of how
+/// densely and how fragmented the table is.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Occupied cells across all PEs (`sum_u t(u)` for placed nodes).
+    pub busy_cells: u64,
+    /// Free cells strictly below each PE's last occupied step —
+    /// fragmentation the remapper could in principle fill.
+    pub holes: u64,
+    /// PEs hosting at least one task.
+    pub used_pes: u32,
+    /// Current schedule length (including padding).
+    pub length: u32,
+}
+
 /// Errors raised when mutating a schedule table.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TableError {
@@ -340,6 +356,38 @@ impl Schedule {
                 .filter(|&(_, &i)| i != FREE)
                 .map(move |(c, &i)| (Pe::from_index(p), c as u32 + 1, NodeId::from_index(i)))
         })
+    }
+
+    /// Slot-occupancy statistics of the table: how busy the rows are
+    /// and how fragmented.  `O(cells)`; intended for observability
+    /// snapshots (the tracing layer's `schedule.occupancy` events), not
+    /// the hot path.
+    pub fn occupancy(&self) -> Occupancy {
+        let mut busy_cells: u64 = 0;
+        let mut holes: u64 = 0;
+        let mut used_pes: u32 = 0;
+        for row in &self.rows {
+            // Cells past the last occupied index are tail freedom, not
+            // fragmentation; count FREE cells only below it.
+            let last = row.iter().rposition(|&i| i != FREE);
+            let Some(last) = last else {
+                continue;
+            };
+            used_pes += 1;
+            for &cell in &row[..=last] {
+                if cell == FREE {
+                    holes += 1;
+                } else {
+                    busy_cells += 1;
+                }
+            }
+        }
+        Occupancy {
+            busy_cells,
+            holes,
+            used_pes,
+            length: self.length(),
+        }
     }
 
     /// Fault injection for oracle/mutation tests: overwrites the slot

@@ -1,0 +1,43 @@
+//! `trace-check` — validates a Chrome-trace JSON document produced by
+//! `cyclosched schedule --trace`.
+//!
+//! ```text
+//! trace-check out.json
+//! ```
+//!
+//! Exit codes: `0` valid, `1` structurally invalid, `2` usage/IO error.
+//! CI runs this on the artifact uploaded by the trace job.
+
+use ccs_trace::chrome::validate_chrome;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let path = match (args.next(), args.next()) {
+        (Some(p), None) if p != "--help" && p != "-h" => p,
+        _ => {
+            eprintln!("usage: trace-check <trace.json>");
+            return ExitCode::from(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace-check: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match validate_chrome(&text) {
+        Ok(stats) => {
+            println!(
+                "{path}: OK — {} records ({} spans, {} instants)",
+                stats.total, stats.spans, stats.instants
+            );
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{path}: INVALID — {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Human-readable decision narrative.
+//!
+//! [`explain`] replays a recorded event stream and renders, per pass
+//! and per node, *why* the scheduler did what it did: which `(PE,
+//! control step)` each rotated node landed on, what the runner-up slot
+//! was, which candidate PEs were rejected and for which reason
+//! (anticipation-function bounds crossed vs. occupancy-row full), where
+//! `PSL` slack forced padding, and which passes were accepted or
+//! reverted.  The `cyclosched schedule --explain` flag pipes the
+//! recorded stream of a real run through this renderer.
+//!
+//! The renderer is a pure function of the event stream, so its output
+//! is as deterministic as the events themselves.
+
+use crate::event::{Event, Verdict};
+use crate::TimedEvent;
+use std::fmt::Write as _;
+
+/// Pending candidate-scan lines for one `(node, target)` attempt.
+#[derive(Default)]
+struct Scan {
+    node: u32,
+    target: u32,
+    lines: Vec<String>,
+}
+
+/// Renders the decision narrative for `events`.
+///
+/// `name` maps a raw node index to a display name (pass
+/// `|n| format!("n{n}")` when no graph is at hand).  PEs are shown
+/// 1-based to match the paper's `PE1..PEm` convention; control steps
+/// are 0-based table rows.
+pub fn explain(events: &[TimedEvent], mut name: impl FnMut(u32) -> String) -> String {
+    let mut out = String::new();
+    // Candidate events for the attempt currently being scanned.  A
+    // `Placed`/`NoSlot` event closes the attempt; `Placed` flushes the
+    // buffered rejections under the placement line.
+    let mut scan = Scan::default();
+    let mut in_pass = false;
+
+    let flush_scan = |out: &mut String, scan: &mut Scan, keep: bool| {
+        if keep {
+            for line in &scan.lines {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        scan.lines.clear();
+    };
+
+    for te in events {
+        match &te.event {
+            Event::StartupBegin { tasks, pes } => {
+                let _ = writeln!(out, "startup: {tasks} tasks on {pes} PEs");
+            }
+            Event::ReadyPick {
+                cs,
+                rank,
+                node,
+                priority,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  cs {cs}: ready[{rank}] = {} (PF={priority})",
+                    name(*node)
+                );
+            }
+            Event::StartupPlace {
+                node,
+                pe,
+                cs,
+                duration,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  place {} -> PE{} @ cs {cs} (dur {duration})",
+                    name(*node),
+                    pe + 1
+                );
+            }
+            Event::StartupDefer { node, cs } => {
+                let _ = writeln!(out, "  defer {} at cs {cs} (no feasible PE)", name(*node));
+            }
+            Event::StartupEnd { length } => {
+                let _ = writeln!(out, "startup done: length {length}");
+            }
+            Event::CompactBegin {
+                tasks,
+                pes,
+                max_passes,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "cyclo-compact: {tasks} tasks, {pes} PEs, up to {max_passes} passes"
+                );
+            }
+            Event::PassBegin {
+                pass,
+                prev_len,
+                rows,
+            } => {
+                in_pass = true;
+                let _ = writeln!(
+                    out,
+                    "pass {pass}: length {prev_len}, rotating {rows} leading row(s)"
+                );
+            }
+            Event::Rotate { nodes } => {
+                let names: Vec<String> = nodes.iter().map(|&n| name(n)).collect();
+                let _ = writeln!(out, "  rotated J = {{{}}}", names.join(", "));
+            }
+            Event::Candidate {
+                node,
+                target,
+                pe,
+                lb,
+                ub,
+                comm,
+                verdict,
+            } => {
+                if scan.node != *node || scan.target != *target {
+                    // A new attempt implicitly abandons the previous
+                    // buffer (its outcome event already consumed it).
+                    scan.lines.clear();
+                    scan.node = *node;
+                    scan.target = *target;
+                }
+                let line = match verdict {
+                    Verdict::Infeasible => format!(
+                        "      PE{}: rejected — AN bounds cross (lb {lb} > ub {ub})",
+                        pe + 1
+                    ),
+                    Verdict::NoFreeSlot => format!(
+                        "      PE{}: rejected — no free slot in [{lb}, {ub}]",
+                        pe + 1
+                    ),
+                    Verdict::Feasible { cs, impact } => format!(
+                        "      PE{}: feasible @ cs {cs} (impact {impact}, comm {comm}) — outranked",
+                        pe + 1
+                    ),
+                    Verdict::Leading { cs, impact } => format!(
+                        "      PE{}: feasible @ cs {cs} (impact {impact}, comm {comm}) — leading",
+                        pe + 1
+                    ),
+                };
+                scan.lines.push(line);
+            }
+            Event::Placed {
+                node,
+                pe,
+                cs,
+                duration,
+                target,
+                impact,
+                comm,
+                runner_up,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "    {} -> PE{} @ cs {cs} (dur {duration}, target {target}, impact {impact}, comm {comm})",
+                    name(*node),
+                    pe + 1
+                );
+                match runner_up {
+                    Some(r) => {
+                        let _ = writeln!(
+                            out,
+                            "      runner-up: PE{} @ cs {} (impact {}, comm {})",
+                            r.pe + 1,
+                            r.cs,
+                            r.impact,
+                            r.comm
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "      runner-up: none (only feasible slot)");
+                    }
+                }
+                let keep = scan.node == *node && scan.target == *target;
+                flush_scan(&mut out, &mut scan, keep);
+            }
+            Event::NoSlot { node, target } => {
+                let _ = writeln!(
+                    out,
+                    "    {}: no slot at target {target} — retrying longer",
+                    name(*node)
+                );
+                let keep = scan.node == *node && scan.target == *target;
+                flush_scan(&mut out, &mut scan, keep);
+            }
+            Event::SlackRepair { required, occupied } => {
+                let indent = if in_pass { "    " } else { "  " };
+                let _ = writeln!(
+                    out,
+                    "{indent}PSL pad: occupied {occupied} -> required {required}"
+                );
+            }
+            Event::PassStats {
+                edges_swept,
+                slots_probed,
+                scratch_reuses,
+                oracle_calls,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  stats: {edges_swept} edges swept, {slots_probed} slots probed, {scratch_reuses} scratch reuses, {oracle_calls} oracle calls"
+                );
+            }
+            Event::PassEnd {
+                pass,
+                accepted,
+                length,
+            } => {
+                in_pass = false;
+                let verdict = if *accepted { "accepted" } else { "reverted" };
+                let _ = writeln!(out, "pass {pass} {verdict}: length {length}");
+            }
+            Event::BestSnapshot { pass, length } => {
+                let _ = writeln!(out, "  new best: length {length} (pass {pass})");
+            }
+            Event::OccupancySnapshot {
+                pass: _,
+                busy_cells,
+                holes,
+                used_pes,
+                length,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  occupancy: {busy_cells} busy cells, {holes} holes, {used_pes} PEs used, length {length}"
+                );
+            }
+            Event::CompactEnd {
+                initial,
+                best,
+                passes,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "compaction done: {initial} -> {best} after {passes} pass(es)"
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::RunnerUp;
+
+    fn timed(events: Vec<Event>) -> Vec<TimedEvent> {
+        events
+            .into_iter()
+            .map(|event| TimedEvent { ns: 0, event })
+            .collect()
+    }
+
+    #[test]
+    fn narrates_placement_with_runner_up_and_rejections() {
+        let events = timed(vec![
+            Event::PassBegin {
+                pass: 1,
+                prev_len: 6,
+                rows: 1,
+            },
+            Event::Rotate { nodes: vec![0] },
+            Event::Candidate {
+                node: 0,
+                target: 6,
+                pe: 0,
+                lb: 2,
+                ub: 1,
+                comm: 0,
+                verdict: Verdict::Infeasible,
+            },
+            Event::Candidate {
+                node: 0,
+                target: 6,
+                pe: 1,
+                lb: 0,
+                ub: 5,
+                comm: 2,
+                verdict: Verdict::Leading { cs: 3, impact: 6 },
+            },
+            Event::Placed {
+                node: 0,
+                pe: 1,
+                cs: 3,
+                duration: 1,
+                target: 6,
+                impact: 6,
+                comm: 2,
+                runner_up: Some(RunnerUp {
+                    pe: 2,
+                    cs: 4,
+                    impact: 6,
+                    comm: 3,
+                }),
+            },
+            Event::PassEnd {
+                pass: 1,
+                accepted: true,
+                length: 5,
+            },
+        ]);
+        let text = explain(&events, |n| format!("n{n}"));
+        assert!(text.contains("rotated J = {n0}"), "{text}");
+        assert!(text.contains("n0 -> PE2 @ cs 3"), "{text}");
+        assert!(text.contains("runner-up: PE3 @ cs 4"), "{text}");
+        assert!(text.contains("PE1: rejected — AN bounds cross"), "{text}");
+        assert!(text.contains("pass 1 accepted: length 5"), "{text}");
+    }
+
+    #[test]
+    fn no_slot_keeps_rejection_detail() {
+        let events = timed(vec![
+            Event::Candidate {
+                node: 4,
+                target: 5,
+                pe: 0,
+                lb: 0,
+                ub: 4,
+                comm: 1,
+                verdict: Verdict::NoFreeSlot,
+            },
+            Event::NoSlot { node: 4, target: 5 },
+        ]);
+        let text = explain(&events, |n| format!("n{n}"));
+        assert!(text.contains("no slot at target 5"), "{text}");
+        assert!(text.contains("PE1: rejected — no free slot"), "{text}");
+    }
+
+    #[test]
+    fn empty_stream_renders_empty() {
+        assert!(explain(&[], |n| format!("n{n}")).is_empty());
+    }
+}

@@ -12,7 +12,13 @@
 //!   path (`ccs-core/src/remap.rs`); use `try_from` with an
 //!   `INVARIANT` note instead;
 //! * `lib-header` — every crate root under `crates/*/src/lib.rs`
-//!   declares `#![warn(missing_docs)]` and `#![forbid(unsafe_code)]`.
+//!   declares `#![warn(missing_docs)]` and `#![forbid(unsafe_code)]`;
+//! * `no-println-in-libs` — no `println!` / `eprintln!` / `print!` /
+//!   `eprint!` in library code (`crates/*/src/**` and the root
+//!   `src/`): libraries report through return values, the `ccs-trace`
+//!   event stream, or `Display` impls — never by writing to the
+//!   process's stdio.  Binaries (`src/bin/**`, the root
+//!   `src/main.rs`) and `crates/xtask` are exempt, as are tests.
 
 /// One lint hit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +49,12 @@ pub const RULE_UNWRAP: &str = "no-unchecked-unwrap";
 pub const RULE_CAST: &str = "no-truncating-cast";
 /// Rule identifier for missing crate-root lint headers.
 pub const RULE_HEADER: &str = "lib-header";
+/// Rule identifier for stdio print macros in library code.
+pub const RULE_PRINT: &str = "no-println-in-libs";
+
+/// Print macros banned in library code, longest pattern first so the
+/// reported name is exact (`eprintln!(` contains `println!(`).
+const PRINT_MACROS: [&str; 4] = ["eprintln!(", "println!(", "eprint!(", "print!("];
 
 /// Crates whose non-test code falls under [`RULE_UNWRAP`].
 const PANIC_HYGIENE_ROOTS: [&str; 2] = ["crates/ccs-core/src", "crates/ccs-schedule/src"];
@@ -70,7 +82,8 @@ pub fn lint_source(rel: &str, text: &str) -> Vec<Finding> {
     }
     let hygiene = PANIC_HYGIENE_ROOTS.iter().any(|p| rel.starts_with(p));
     let cast = rel == CAST_FILE;
-    if !hygiene && !cast {
+    let print = print_rule_applies(rel);
+    if !hygiene && !cast && !print {
         return out;
     }
 
@@ -99,6 +112,20 @@ pub fn lint_source(rel: &str, text: &str) -> Vec<Finding> {
                 }
             }
         }
+        if print {
+            if let Some(mac) = PRINT_MACROS.iter().find(|pat| code.contains(*pat)) {
+                out.push(Finding {
+                    file: rel.to_string(),
+                    line: i + 1,
+                    rule: RULE_PRINT,
+                    message: format!(
+                        "`{}` in library code; report through return values, \
+                         the ccs-trace event stream, or a `Display` impl instead",
+                        mac.trim_end_matches('(')
+                    ),
+                });
+            }
+        }
         if cast {
             for pat in TRUNCATING_CASTS {
                 if code.contains(pat) {
@@ -117,6 +144,23 @@ pub fn lint_source(rel: &str, text: &str) -> Vec<Finding> {
         }
     }
     out
+}
+
+/// Whether `rel` is library code under [`RULE_PRINT`]: any `.rs` file
+/// in `crates/*/src/**` or the root `src/`, excluding binary targets
+/// (`src/bin/**`, the root `src/main.rs`), the `xtask` tool itself,
+/// and vendored stand-ins.
+fn print_rule_applies(rel: &str) -> bool {
+    if rel.starts_with("crates/xtask/") || rel.starts_with("vendor/") {
+        return false;
+    }
+    if rel.contains("/src/bin/") {
+        return false;
+    }
+    if rel.starts_with("crates/") {
+        return rel.contains("/src/");
+    }
+    rel.starts_with("src/") && rel != "src/main.rs"
 }
 
 /// Checks the crate-root lint headers.
@@ -282,6 +326,33 @@ mod tests {
         let src = "fn f(x: u32) -> u64 {\n    let _ = x as usize;\n    x as u64\n}\n";
         let f = lint_source("crates/ccs-core/src/remap.rs", src);
         assert!(f.iter().all(|f| f.rule != RULE_CAST), "{f:?}");
+    }
+
+    #[test]
+    fn print_macros_in_library_code_are_flagged() {
+        let src = "fn f() {\n    println!(\"hi\");\n    eprintln!(\"oh\");\n}\n";
+        let f = lint_source("crates/ccs-workloads/src/demo.rs", src);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|f| f.rule == RULE_PRINT));
+        assert!(f[0].message.contains("`println!`"));
+        assert!(f[1].message.contains("`eprintln!`"));
+        // Root library files are covered too.
+        assert_eq!(lint_source("src/cli.rs", src).len(), 2);
+    }
+
+    #[test]
+    fn print_macros_in_binaries_tests_and_xtask_are_allowed() {
+        let src = "fn main() {\n    println!(\"hi\");\n}\n";
+        assert!(lint_source("crates/ccs-bench/src/bin/bench_hotpath.rs", src).is_empty());
+        assert!(lint_source("src/main.rs", src).is_empty());
+        assert!(lint_source("crates/xtask/src/main.rs", src).is_empty());
+        assert!(lint_source("crates/ccs-core/tests/e2e.rs", src).is_empty());
+        let in_test = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    \
+                       fn t() { println!(\"dbg\"); }\n}\n";
+        assert!(lint_source("crates/ccs-workloads/src/demo.rs", in_test).is_empty());
+        // Commented mentions are fine.
+        let comment = "fn f() {\n    // never println!(..) here\n}\n";
+        assert!(lint_source("crates/ccs-workloads/src/demo.rs", comment).is_empty());
     }
 
     #[test]

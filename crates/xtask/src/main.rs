@@ -38,6 +38,11 @@ fn run_lint() -> ExitCode {
         eprintln!("xtask lint: walking crates/: {e}");
         return ExitCode::from(2);
     }
+    // The root crate's library sources fall under the print rule too.
+    if let Err(e) = collect_rs(&root.join("src"), &mut files) {
+        eprintln!("xtask lint: walking src/: {e}");
+        return ExitCode::from(2);
+    }
     files.sort();
 
     let mut findings = Vec::new();

@@ -57,6 +57,25 @@ pub struct ScheduleArgs {
     pub svg: Option<String>,
     /// Run the processor-binding refinement post-pass.
     pub refine: bool,
+    /// Write a Chrome-trace JSON of the scheduler's decision stream to
+    /// this path.
+    pub trace: Option<String>,
+    /// Trace timestamp domain (`logical` is deterministic; `wall` uses
+    /// real time).
+    pub trace_clock: TraceClock,
+    /// Print the per-node decision narrative.
+    pub explain: bool,
+}
+
+/// Timestamp domain for `--trace` output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TraceClock {
+    /// Event-index timestamps: byte-identical output across runs and
+    /// thread counts.
+    #[default]
+    Logical,
+    /// Recorded wall-clock timestamps.
+    Wall,
 }
 
 impl ScheduleArgs {
@@ -128,6 +147,7 @@ USAGE:
   cyclosched schedule <graph.csdfg|-> --machine SPEC [--passes N]
                       [--strict] [--rows N] [--refine] [--csv]
                       [--gantt N] [--svg FILE]
+                      [--trace FILE [--trace-clock logical|wall]] [--explain]
   cyclosched compile  <kernel.loop|-> [--add N] [--mul N] [--volume N]
   cyclosched bound    <graph.csdfg|->
   cyclosched simulate <graph.csdfg|-> --machine SPEC [--iterations N] [--contended]
@@ -140,6 +160,13 @@ MACHINE SPECS:
 
 Graphs use the textual format: `node A t=1` / `edge A -> B d=0 c=1`.
 Kernels use the loop language: `y = y[i-1]*k + x;` (see `compile`).
+
+OBSERVABILITY:
+  --trace FILE   export the scheduler's decision stream as Chrome-trace
+                 JSON (open in chrome://tracing or ui.perfetto.dev);
+                 deterministic with the default `--trace-clock logical`
+  --explain      narrate, per node, the chosen (PE, step), the
+                 runner-up slot, and every rejected candidate
 ";
 
 /// Parses raw arguments (without the program name).
@@ -209,6 +236,9 @@ fn parse_schedule(mut args: VecDeque<String>) -> Result<Command, CliError> {
         gantt: 0,
         svg: None,
         refine: false,
+        trace: None,
+        trace_clock: TraceClock::default(),
+        explain: false,
     };
     while let Some(flag) = args.pop_front() {
         match flag.as_str() {
@@ -217,8 +247,21 @@ fn parse_schedule(mut args: VecDeque<String>) -> Result<Command, CliError> {
             "--rows" => out.rows = parse_num(&take_value(&mut args, "--rows")?, "--rows")?,
             "--gantt" => out.gantt = parse_num(&take_value(&mut args, "--gantt")?, "--gantt")?,
             "--svg" => out.svg = Some(take_value(&mut args, "--svg")?),
+            "--trace" => out.trace = Some(take_value(&mut args, "--trace")?),
+            "--trace-clock" => {
+                out.trace_clock = match take_value(&mut args, "--trace-clock")?.as_str() {
+                    "logical" => TraceClock::Logical,
+                    "wall" => TraceClock::Wall,
+                    other => {
+                        return Err(fail(format!(
+                            "--trace-clock: expected `logical` or `wall`, got {other:?}"
+                        )))
+                    }
+                }
+            }
             "--strict" => out.strict = true,
             "--refine" => out.refine = true,
+            "--explain" => out.explain = true,
             "--csv" => out.csv = true,
             other => return Err(fail(format!("schedule: unknown flag {other:?}"))),
         }
@@ -312,6 +355,27 @@ mod tests {
         let cfg = a.compact_config();
         assert_eq!(cfg.remap.mode, RemapMode::WithoutRelaxation);
         assert_eq!(cfg.remap.rows_per_pass, 2);
+    }
+
+    #[test]
+    fn schedule_trace_flags() {
+        let Command::Schedule(a) =
+            parse("schedule g.csdfg --machine mesh:2x2 --trace out.json --explain").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.trace.as_deref(), Some("out.json"));
+        assert_eq!(a.trace_clock, TraceClock::Logical);
+        assert!(a.explain);
+
+        let Command::Schedule(a) =
+            parse("schedule g --machine mesh:2x2 --trace t.json --trace-clock wall").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.trace_clock, TraceClock::Wall);
+        assert!(parse("schedule g --machine m --trace-clock sundial").is_err());
+        assert!(parse("schedule g --machine m --trace").is_err());
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub use ccs_retiming as retiming;
 pub use ccs_schedule as schedule;
 pub use ccs_sim as sim;
 pub use ccs_topology as topology;
+pub use ccs_trace as trace;
 pub use ccs_workloads as workloads;
 
 pub use ccs_core::{

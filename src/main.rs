@@ -3,7 +3,9 @@
 //!
 //! See `cyclosched help` (or [`cyclosched::cli::USAGE`]) for usage.
 
-use cyclosched::cli::{parse_args, Command, CompileArgs, ScheduleArgs, SimulateArgs, USAGE};
+use cyclosched::cli::{
+    parse_args, Command, CompileArgs, ScheduleArgs, SimulateArgs, TraceClock, USAGE,
+};
 use cyclosched::lang::{compile as lang_compile, LowerConfig};
 use cyclosched::model::parser as graph_parser;
 use cyclosched::prelude::*;
@@ -171,8 +173,18 @@ fn run_compile(args: CompileArgs) -> Result<(), String> {
 fn run_schedule(args: ScheduleArgs) -> Result<(), String> {
     let g = load_graph(&args.input)?;
     let machine = load_machine(&args.machine, &g)?;
-    let mut result = cyclo_compact(&g, &machine, args.compact_config())
-        .map_err(|e| format!("scheduling failed: {e}"))?;
+    // Record the decision stream only when a consumer asked for it;
+    // otherwise the scheduler runs the exact uninstrumented path.
+    let traced = args.trace.is_some() || args.explain;
+    let (outcome, events) = if traced {
+        cyclosched::trace::record(|| cyclo_compact(&g, &machine, args.compact_config()))
+    } else {
+        (
+            cyclo_compact(&g, &machine, args.compact_config()),
+            Vec::new(),
+        )
+    };
+    let mut result = outcome.map_err(|e| format!("scheduling failed: {e}"))?;
     if args.refine {
         let refined =
             cyclosched::core::refine::refine_binding(&result.graph, &machine, &result.schedule, 16);
@@ -195,6 +207,18 @@ fn run_schedule(args: ScheduleArgs) -> Result<(), String> {
         result.best_length,
         result.speedup()
     );
+    if !result.history.is_empty() {
+        let accepted = result.history.iter().filter(|r| !r.reverted).count();
+        let total_ms: f64 = result.history.iter().map(|r| r.wall_ms).sum();
+        eprintln!(
+            "passes: {} run ({} accepted, {} reverted) in {:.2} ms ({:.3} ms/pass)",
+            result.history.len(),
+            accepted,
+            result.history.len() - accepted,
+            total_ms,
+            total_ms / result.history.len() as f64
+        );
+    }
     if args.csv {
         print!(
             "{}",
@@ -216,15 +240,36 @@ fn run_schedule(args: ScheduleArgs) -> Result<(), String> {
         eprintln!("wrote {path}");
     }
     if args.gantt > 0 {
-        let events = cyclosched::sim::trace_static(&result.graph, &result.schedule, args.gantt);
+        let gantt_events =
+            cyclosched::sim::trace_static(&result.graph, &result.schedule, args.gantt);
         eprintln!();
         eprint!(
             "{}",
-            cyclosched::sim::render_gantt(&result.graph, &events, |v| result
+            cyclosched::sim::render_gantt(&result.graph, &gantt_events, |v| result
                 .graph
                 .name(v)
                 .to_string())
         );
+    }
+    if args.explain {
+        print!(
+            "{}",
+            cyclosched::trace::explain::explain(&events, |n| {
+                result
+                    .graph
+                    .name(NodeId::from_index(n as usize))
+                    .to_string()
+            })
+        );
+    }
+    if let Some(path) = &args.trace {
+        let clock = match args.trace_clock {
+            TraceClock::Logical => cyclosched::trace::chrome::Clock::Logical,
+            TraceClock::Wall => cyclosched::trace::chrome::Clock::Wall,
+        };
+        let json = cyclosched::trace::chrome::to_chrome(&events, clock);
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote {path} ({} trace events)", events.len());
     }
     Ok(())
 }

@@ -214,3 +214,85 @@ fn refine_flag_accepted() {
     );
     assert!(out.status.success());
 }
+
+/// Spawns `schedule fig1 --machine mesh:2x2 --trace <path>` with a
+/// pinned `RAYON_NUM_THREADS`, returning the written trace text.
+fn trace_with_threads(threads: &str, path: &std::path::Path) -> String {
+    let graph = stdout_of(&bin().args(["workloads", "fig1"]).output().unwrap());
+    let mut child = bin()
+        .args([
+            "schedule",
+            "-",
+            "--machine",
+            "mesh:2x2",
+            "--trace",
+            path.to_str().unwrap(),
+        ])
+        .env("RAYON_NUM_THREADS", threads)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn cyclosched");
+    let _ = child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(graph.as_bytes());
+    let out = child.wait_with_output().expect("wait for cyclosched");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::read_to_string(path).expect("read trace")
+}
+
+#[test]
+fn trace_export_is_valid_chrome_json_and_thread_count_invariant() {
+    let dir = std::env::temp_dir().join(format!("ccs_trace_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let t1 = trace_with_threads("1", &dir.join("t1.json"));
+    let t8 = trace_with_threads("8", &dir.join("t8.json"));
+    // Determinism contract: the logical-clock trace is byte-identical
+    // regardless of how many worker threads the process uses.
+    assert_eq!(t1, t8, "trace must not depend on RAYON_NUM_THREADS");
+    let stats = cyclosched::trace::chrome::validate_chrome(&t1).expect("valid Chrome trace");
+    assert!(stats.total > 0);
+    assert!(stats.spans >= 2, "startup + compact spans at minimum");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn explain_names_choice_and_runner_up() {
+    let graph = stdout_of(&bin().args(["workloads", "fig1"]).output().unwrap());
+    let out = run_with_stdin(
+        &["schedule", "-", "--machine", "mesh:2x2", "--explain"],
+        &graph,
+    );
+    let text = stdout_of(&out);
+    // Every remapped node gets a placement line with its chosen
+    // (PE, step) and a runner-up line right after it.
+    assert!(text.contains("-> PE"), "{text}");
+    assert!(text.contains("runner-up:"), "{text}");
+    assert!(text.contains("rotated J = {"), "{text}");
+    assert!(text.contains("compaction done:"), "{text}");
+}
+
+#[test]
+fn trace_clock_flag_is_validated() {
+    let out = run_with_stdin(
+        &[
+            "schedule",
+            "-",
+            "--machine",
+            "complete:2",
+            "--trace-clock",
+            "sundial",
+        ],
+        GRAPH,
+    );
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--trace-clock"), "{err}");
+}
