@@ -20,7 +20,9 @@
 //! so the numbers measure the uninstrumented hot path.  A separate,
 //! untimed instrumented run afterwards feeds a
 //! [`ccs_trace::metrics::MetricsSink`] and lands in the report as the
-//! `"metrics"` section (per-phase counters + wall-time histograms).
+//! `"metrics"` section (per-phase counters + wall-time histograms),
+//! and a metered grid sweep lands as `"cells"` (per-cell counters,
+//! deterministic — the part `bench-report` diffs between reports).
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -204,6 +206,18 @@ fn main() {
     });
     let metrics = sink.into_metrics();
 
+    // --- Per-cell metered sweep (untimed): one row per workload x
+    // machine with the cell's own counter registry.  Counters are pure
+    // event-stream folds, so this section is byte-identical across
+    // runs and thread counts and diffable by `bench-report`.
+    let cells = ccs_bench::compact_grid_metered(
+        &ccs_workloads::all_workloads(),
+        &machine_suite(),
+        &[CompactConfig::default()],
+    );
+    let cells_value = Value::Array(cells.iter().map(ccs_bench::MeteredCell::to_value).collect());
+    assert!(!ccs_trace::installed(), "metered sweep leaked a trace sink");
+
     // --- Assemble the report.
     let mut root: Vec<(String, Value)> = vec![
         (
@@ -247,6 +261,7 @@ fn main() {
             ),
         ),
         ("metrics".into(), metrics.to_value()),
+        ("cells".into(), cells_value),
     ];
 
     let mut mismatches = 0usize;

@@ -1,0 +1,82 @@
+//! `bench-report` — diffs a chronological sequence of `bench_hotpath`
+//! JSON reports into a perf / fingerprint trajectory.
+//!
+//! ```text
+//! bench_report [--max-regression PCT] BENCH_pr1.json BENCH_pr3.json ...
+//! ```
+//!
+//! Prints the timing table (one column per report, first→last speedup)
+//! and every finding.  Exit codes: `0` clean, `1` fingerprint drift or
+//! a timing regression worse than `PCT` percent between adjacent
+//! reports (default 100, i.e. 2x — timings are machine-dependent, so
+//! the default only catches catastrophic slowdowns; CI can tighten
+//! it), `2` usage/IO error.
+
+use ccs_bench::report_diff::{analyze, render, BenchReport};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut max_regression_pct = 100.0f64;
+    let mut paths = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--max-regression" => {
+                max_regression_pct = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(p) => p,
+                    None => {
+                        eprintln!("--max-regression needs a percentage");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: bench_report [--max-regression PCT] <report.json>...");
+                return ExitCode::from(2);
+            }
+            _ => paths.push(a),
+        }
+    }
+    if paths.len() < 2 {
+        eprintln!("usage: bench_report [--max-regression PCT] <report.json>... (need >= 2)");
+        return ExitCode::from(2);
+    }
+
+    let mut reports = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench-report: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let value = match serde_json::from_str(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("bench-report: {path}: not JSON: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match BenchReport::parse(path, &value) {
+            Ok(r) => reports.push(r),
+            Err(e) => {
+                eprintln!("bench-report: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let trajectory = analyze(reports, max_regression_pct);
+    print!("{}", render(&trajectory));
+    if trajectory.failed() {
+        eprintln!(
+            "bench-report: {} drift(s), {} regression(s) (threshold {max_regression_pct}%)",
+            trajectory.drifts.len(),
+            trajectory.regressions.len()
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -11,11 +11,21 @@
 //!
 //! [`compact_grid`] is the common special case: `cyclo_compact` over a
 //! full workloads × machines × configs grid, row-major.
+//!
+//! The `*_metered` variants run the same sweep with a per-cell
+//! [`MetricsSink`] installed, so every cell comes back with the
+//! scheduler's hot-path counters (edges swept, slots probed, traffic
+//! attribution, ...).  Counters are pure event-stream folds, so the
+//! metered report is as thread-count-invariant as the plain one;
+//! metering is opt-in because installing a sink takes the instrumented
+//! scheduler path.
 
 use ccs_core::{cyclo_compact, CompactConfig};
 use ccs_topology::Machine;
+use ccs_trace::metrics::{Metrics, MetricsSink};
 use ccs_workloads::Workload;
 use rayon::prelude::*;
+use serde::Value;
 
 /// Maps `f` over `inputs` in parallel; results come back in input
 /// order regardless of thread count.
@@ -33,6 +43,27 @@ where
     inputs.into_par_iter().map(f).collect()
 }
 
+/// Like [`run_many`], but each cell runs with its own
+/// [`MetricsSink`] installed and returns `(result, metrics)`.
+///
+/// The sink is installed per cell on whatever worker thread picks the
+/// cell up, so no counters bleed between cells and the *counter* part
+/// of every [`Metrics`] is identical at any thread count (histograms
+/// hold wall-clock samples and are not).  Serialize per-cell summaries
+/// with [`Metrics::counters_value`], never `to_value`, when the report
+/// must be byte-stable.
+pub fn run_many_metered<T, R, F>(inputs: Vec<T>, f: F) -> Vec<(R, Metrics)>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync + Send,
+{
+    run_many(inputs, |t| {
+        let (r, sink) = ccs_trace::with_sink(MetricsSink::new(), || f(t));
+        (r, sink.into_metrics())
+    })
+}
+
 /// One cell of a [`compact_grid`] sweep.
 #[derive(Clone, Debug)]
 pub struct GridCell {
@@ -48,6 +79,75 @@ pub struct GridCell {
     pub best: u32,
 }
 
+/// One cell of a [`compact_grid_metered`] sweep: the plain cell plus
+/// the scheduler's per-cell counter registry.
+#[derive(Clone, Debug)]
+pub struct MeteredCell {
+    /// The schedule-length outcome, as in [`compact_grid`].
+    pub cell: GridCell,
+    /// Hot-path counters recorded while solving this cell.  Only the
+    /// counters are deterministic; the wall-clock histograms are not.
+    pub metrics: Metrics,
+}
+
+impl MeteredCell {
+    /// Deterministic JSON summary of the cell: identity, lengths, and
+    /// the counter registry (histograms deliberately excluded so the
+    /// value is byte-identical across runs and thread counts).
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "workload".to_string(),
+                Value::String(self.cell.workload.to_string()),
+            ),
+            (
+                "machine".to_string(),
+                Value::String(self.cell.machine.clone()),
+            ),
+            (
+                "config_ix".to_string(),
+                Value::UInt(self.cell.config_ix as u64),
+            ),
+            (
+                "initial".to_string(),
+                Value::UInt(u64::from(self.cell.initial)),
+            ),
+            ("best".to_string(), Value::UInt(u64::from(self.cell.best))),
+            ("counters".to_string(), self.metrics.counters_value()),
+        ])
+    }
+}
+
+/// Row-major (workload outer, machine middle, config inner) input list
+/// for the grid sweeps.
+fn grid_inputs<'a>(
+    workloads: &'a [Workload],
+    machines: &'a [Machine],
+    configs: &[CompactConfig],
+) -> Vec<(&'a Workload, &'a Machine, usize, CompactConfig)> {
+    let mut cells = Vec::with_capacity(workloads.len() * machines.len() * configs.len());
+    for w in workloads {
+        for m in machines {
+            for (ci, c) in configs.iter().enumerate() {
+                cells.push((w, m, ci, *c));
+            }
+        }
+    }
+    cells
+}
+
+fn solve_cell(w: &Workload, m: &Machine, ci: usize, c: CompactConfig) -> GridCell {
+    let g = w.build();
+    let r = cyclo_compact(&g, m, c).expect("legal workload");
+    GridCell {
+        workload: w.name,
+        machine: m.name().to_string(),
+        config_ix: ci,
+        initial: r.initial_length,
+        best: r.best_length,
+    }
+}
+
 /// Runs `cyclo_compact` on every workload × machine × config cell in
 /// parallel.  Result order is row-major — workloads outer, machines
 /// middle, configs inner — independent of thread count.
@@ -57,25 +157,32 @@ pub fn compact_grid(
     configs: &[CompactConfig],
 ) -> Vec<GridCell> {
     preflight(workloads, machines);
-    let mut cells = Vec::with_capacity(workloads.len() * machines.len() * configs.len());
-    for w in workloads {
-        for m in machines {
-            for (ci, c) in configs.iter().enumerate() {
-                cells.push((w, m, ci, *c));
-            }
-        }
-    }
-    run_many(cells, |(w, m, ci, c)| {
-        let g = w.build();
-        let r = cyclo_compact(&g, m, c).expect("legal workload");
-        GridCell {
-            workload: w.name,
-            machine: m.name().to_string(),
-            config_ix: ci,
-            initial: r.initial_length,
-            best: r.best_length,
-        }
-    })
+    run_many(
+        grid_inputs(workloads, machines, configs),
+        |(w, m, ci, c)| solve_cell(w, m, ci, c),
+    )
+}
+
+/// [`compact_grid`] with a per-cell [`MetricsSink`]: same cells, same
+/// order, plus the scheduler's counter registry for every cell.
+///
+/// Because the counters fold the (deterministic) event stream, a
+/// metered grid serialized via [`MeteredCell::to_value`] is
+/// byte-identical across thread counts — the property
+/// `tests/determinism.rs` pins.
+pub fn compact_grid_metered(
+    workloads: &[Workload],
+    machines: &[Machine],
+    configs: &[CompactConfig],
+) -> Vec<MeteredCell> {
+    preflight(workloads, machines);
+    run_many_metered(
+        grid_inputs(workloads, machines, configs),
+        |(w, m, ci, c)| solve_cell(w, m, ci, c),
+    )
+    .into_iter()
+    .map(|(cell, metrics)| MeteredCell { cell, metrics })
+    .collect()
 }
 
 /// Pass A preflight: every workload x machine pair must be free of
@@ -113,6 +220,33 @@ mod tests {
     fn run_many_preserves_input_order() {
         let out = run_many((0..257usize).collect(), |i| i * 3);
         assert_eq!(out, (0..257).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn metered_grid_matches_plain_grid_and_counts_work() {
+        let workloads: Vec<Workload> = ccs_workloads::all_workloads()
+            .into_iter()
+            .filter(|w| w.name == "fig1")
+            .collect();
+        let machines = vec![Machine::mesh(2, 2)];
+        let configs = vec![CompactConfig::default()];
+        let plain = compact_grid(&workloads, &machines, &configs);
+        let metered = compact_grid_metered(&workloads, &machines, &configs);
+        assert_eq!(plain.len(), metered.len());
+        for (p, m) in plain.iter().zip(&metered) {
+            assert_eq!(p.workload, m.cell.workload);
+            assert_eq!(p.machine, m.cell.machine);
+            assert_eq!((p.initial, p.best), (m.cell.initial, m.cell.best));
+            // The cell actually recorded scheduler work and traffic.
+            assert!(m.metrics.counters["edges_swept"] > 0);
+            assert!(m.metrics.counters["traffic_events"] > 0);
+            let v = m.to_value();
+            assert_eq!(v["workload"].as_str(), Some("fig1"));
+            assert!(v["counters"]["placements"].as_u64().unwrap() > 0);
+            assert!(v.get("histograms").is_none(), "histograms must not leak");
+        }
+        // Metering must not leak a sink past the sweep.
+        assert!(!ccs_trace::installed());
     }
 
     #[test]

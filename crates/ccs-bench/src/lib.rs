@@ -24,8 +24,11 @@
 pub mod driver;
 pub mod experiments;
 pub mod report;
+pub mod report_diff;
 pub mod table;
 
-pub use driver::{compact_grid, run_many, GridCell};
+pub use driver::{
+    compact_grid, compact_grid_metered, run_many, run_many_metered, GridCell, MeteredCell,
+};
 pub use experiments::*;
 pub use table::TextTable;

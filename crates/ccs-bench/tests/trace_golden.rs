@@ -10,7 +10,9 @@ use ccs_trace::{record, Event};
 
 /// Two passes of the paper example keep the golden readable while
 /// still covering startup, rotation, candidate scans, placements,
-/// stats, occupancy, and the best-snapshot path.
+/// stats, occupancy, the best-snapshot path, and the traffic ledger
+/// snapshots (per accepted schedule + the final authoritative one
+/// before `compact.end`, with per-PE loads).
 fn two_pass_config() -> CompactConfig {
     CompactConfig {
         passes: 2,
@@ -55,6 +57,16 @@ startup.pick cs=6 rank=0 node=n5 pf=2
 startup.defer node=n5 cs=6
 startup.pick cs=7 rank=0 node=n5 pf=1
 startup.place node=n5 pe=0 cs=7 dur=1
+traffic.edge edge=e0 n0->n1 pe=0->0 hops=0 vol=1 cost=0 crossing=false
+traffic.edge edge=e1 n0->n2 pe=0->1 hops=1 vol=1 cost=1 crossing=true
+traffic.edge edge=e2 n0->n4 pe=0->0 hops=0 vol=1 cost=0 crossing=false
+traffic.edge edge=e3 n1->n3 pe=0->0 hops=0 vol=1 cost=0 crossing=false
+traffic.edge edge=e4 n1->n4 pe=0->0 hops=0 vol=2 cost=0 crossing=false
+traffic.edge edge=e5 n2->n4 pe=1->0 hops=1 vol=1 cost=1 crossing=true
+traffic.edge edge=e6 n3->n0 pe=0->0 hops=0 vol=3 cost=0 crossing=false
+traffic.edge edge=e7 n3->n5 pe=0->0 hops=0 vol=2 cost=0 crossing=false
+traffic.edge edge=e8 n4->n5 pe=0->0 hops=0 vol=1 cost=0 crossing=false
+traffic.edge edge=e9 n5->n4 pe=0->0 hops=0 vol=1 cost=0 crossing=false
 startup.end len=7
 pass.begin pass=1 len=7 rows=1
 pass.rotate nodes=[n0]
@@ -63,6 +75,16 @@ remap.candidate node=n0 target=6 pe=1 lb=1 ub=5 comm=5 verdict=leading cs=1 impa
 remap.candidate node=n0 target=6 pe=2 lb=1 ub=5 comm=7 verdict=feasible cs=1 impact=3
 remap.candidate node=n0 target=6 pe=3 lb=1 ub=4 comm=11 verdict=feasible cs=1 impact=5
 remap.place node=n0 pe=1 cs=1 dur=1 target=6 impact=3 comm=5 runner_up=pe3@cs1(impact=3,comm=7)
+traffic.edge edge=e0 n0->n1 pe=1->0 hops=1 vol=1 cost=1 crossing=true
+traffic.edge edge=e1 n0->n2 pe=1->1 hops=0 vol=1 cost=0 crossing=false
+traffic.edge edge=e2 n0->n4 pe=1->0 hops=1 vol=1 cost=1 crossing=true
+traffic.edge edge=e3 n1->n3 pe=0->0 hops=0 vol=1 cost=0 crossing=false
+traffic.edge edge=e4 n1->n4 pe=0->0 hops=0 vol=2 cost=0 crossing=false
+traffic.edge edge=e5 n2->n4 pe=1->0 hops=1 vol=1 cost=1 crossing=true
+traffic.edge edge=e6 n3->n0 pe=0->1 hops=1 vol=3 cost=3 crossing=true
+traffic.edge edge=e7 n3->n5 pe=0->0 hops=0 vol=2 cost=0 crossing=false
+traffic.edge edge=e8 n4->n5 pe=0->0 hops=0 vol=1 cost=0 crossing=false
+traffic.edge edge=e9 n5->n4 pe=0->0 hops=0 vol=1 cost=0 crossing=false
 pass.stats edges=16 slots=4 scratch=0 oracle=2
 pass.end pass=1 accepted=true len=6
 schedule.occupancy pass=1 busy=8 holes=0 used_pes=2 len=6
@@ -79,10 +101,34 @@ remap.candidate node=n0 target=5 pe=1 lb=1 ub=3 comm=6 verdict=feasible cs=2 imp
 remap.candidate node=n0 target=5 pe=2 lb=1 ub=5 comm=6 verdict=feasible cs=3 impact=3
 remap.candidate node=n0 target=5 pe=3 lb=4 ub=4 comm=10 verdict=feasible cs=4 impact=5
 remap.place node=n0 pe=0 cs=1 dur=1 target=5 impact=2 comm=2 runner_up=pe3@cs3(impact=3,comm=6)
+traffic.edge edge=e0 n0->n1 pe=0->2 hops=1 vol=1 cost=1 crossing=true
+traffic.edge edge=e1 n0->n2 pe=0->1 hops=1 vol=1 cost=1 crossing=true
+traffic.edge edge=e2 n0->n4 pe=0->0 hops=0 vol=1 cost=0 crossing=false
+traffic.edge edge=e3 n1->n3 pe=2->0 hops=1 vol=1 cost=1 crossing=true
+traffic.edge edge=e4 n1->n4 pe=2->0 hops=1 vol=2 cost=2 crossing=true
+traffic.edge edge=e5 n2->n4 pe=1->0 hops=1 vol=1 cost=1 crossing=true
+traffic.edge edge=e6 n3->n0 pe=0->0 hops=0 vol=3 cost=0 crossing=false
+traffic.edge edge=e7 n3->n5 pe=0->0 hops=0 vol=2 cost=0 crossing=false
+traffic.edge edge=e8 n4->n5 pe=0->0 hops=0 vol=1 cost=0 crossing=false
+traffic.edge edge=e9 n5->n4 pe=0->0 hops=0 vol=1 cost=0 crossing=false
 pass.stats edges=24 slots=8 scratch=0 oracle=2
 pass.end pass=2 accepted=true len=5
 schedule.occupancy pass=2 busy=8 holes=0 used_pes=3 len=5
 compact.best pass=2 len=5
+traffic.edge edge=e0 n0->n1 pe=0->2 hops=1 vol=1 cost=1 crossing=true
+traffic.edge edge=e1 n0->n2 pe=0->1 hops=1 vol=1 cost=1 crossing=true
+traffic.edge edge=e2 n0->n4 pe=0->0 hops=0 vol=1 cost=0 crossing=false
+traffic.edge edge=e3 n1->n3 pe=2->0 hops=1 vol=1 cost=1 crossing=true
+traffic.edge edge=e4 n1->n4 pe=2->0 hops=1 vol=2 cost=2 crossing=true
+traffic.edge edge=e5 n2->n4 pe=1->0 hops=1 vol=1 cost=1 crossing=true
+traffic.edge edge=e6 n3->n0 pe=0->0 hops=0 vol=3 cost=0 crossing=false
+traffic.edge edge=e7 n3->n5 pe=0->0 hops=0 vol=2 cost=0 crossing=false
+traffic.edge edge=e8 n4->n5 pe=0->0 hops=0 vol=1 cost=0 crossing=false
+traffic.edge edge=e9 n5->n4 pe=0->0 hops=0 vol=1 cost=0 crossing=false
+traffic.pe pe=0 tasks=4 busy=5
+traffic.pe pe=1 tasks=1 busy=1
+traffic.pe pe=2 tasks=1 busy=2
+traffic.pe pe=3 tasks=0 busy=0
 compact.end init=7 best=5 passes=2";
     let stream = render_stream().join("\n");
     assert_eq!(

@@ -67,12 +67,17 @@ pub struct PassRecord {
     pub wall_ms: f64,
 }
 
-// Manual impls: the vendored serde derive handles named-field structs
-// only via `Serialize`/`Deserialize` on every field, and `NodeId`
-// deliberately has no serde surface (schedules serialize raw indices).
-impl Serialize for PassRecord {
-    fn to_value(&self) -> Value {
-        Value::Object(vec![
+impl PassRecord {
+    /// Serializes the record, including the non-deterministic
+    /// `wall_ms` field only when `wall_clock` is `true`.
+    ///
+    /// Default artifacts (`Serialize`, which delegates here with
+    /// `wall_clock = false`) stay byte-identical across runs and
+    /// machines so they can be diffed and golden-pinned; consumers that
+    /// explicitly opt into wall time (`--trace-clock wall`) get the
+    /// extra field.
+    pub fn to_value_with_clock(&self, wall_clock: bool) -> Value {
+        let mut fields = vec![
             ("pass".to_string(), Value::UInt(self.pass as u64)),
             (
                 "rotated".to_string(),
@@ -85,8 +90,24 @@ impl Serialize for PassRecord {
             ),
             ("length".to_string(), Value::UInt(u64::from(self.length))),
             ("reverted".to_string(), Value::Bool(self.reverted)),
-            ("wall_ms".to_string(), Value::Float(self.wall_ms)),
-        ])
+        ];
+        if wall_clock {
+            fields.push(("wall_ms".to_string(), Value::Float(self.wall_ms)));
+        }
+        Value::Object(fields)
+    }
+}
+
+// Manual impls: the vendored serde derive handles named-field structs
+// only via `Serialize`/`Deserialize` on every field, and `NodeId`
+// deliberately has no serde surface (schedules serialize raw indices).
+//
+// `Serialize` deliberately omits `wall_ms`: every default export stays
+// deterministic (see `to_value_with_clock`); `Deserialize` tolerates
+// both shapes.
+impl Serialize for PassRecord {
+    fn to_value(&self) -> Value {
+        self.to_value_with_clock(false)
     }
 }
 
@@ -276,6 +297,11 @@ pub(crate) fn compact_probed<P: Probe>(
     }
 
     let best_length = best_sched.length();
+    // Authoritative final ledger: traffic attribution and per-PE loads
+    // of the *best* schedule (which may predate the last accepted pass
+    // under relaxation).  `ccs-profile` folds exactly this section.
+    crate::traffic::emit_edge_traffic(&best_graph, machine, &best_sched, probe);
+    crate::traffic::emit_pe_loads(&best_sched, probe);
     if P::ACTIVE {
         probe.emit(Event::CompactEnd {
             initial: initial_length,
@@ -419,13 +445,19 @@ mod tests {
         assert!(!result.history.is_empty());
         for rec in &result.history {
             assert!(rec.wall_ms >= 0.0);
+            // Default serialization omits the non-deterministic clock.
             let v = rec.to_value();
+            assert!(v.get("wall_ms").is_none(), "wall_ms leaked: {v:?}");
             let back = PassRecord::from_value(&v).unwrap();
             assert_eq!(back.pass, rec.pass);
             assert_eq!(back.rotated, rec.rotated);
             assert_eq!(back.length, rec.length);
             assert_eq!(back.reverted, rec.reverted);
-            assert!((back.wall_ms - rec.wall_ms).abs() < 1e-9);
+            assert_eq!(back.wall_ms, 0.0);
+            // Explicit wall-clock opt-in round-trips the field.
+            let vw = rec.to_value_with_clock(true);
+            let backw = PassRecord::from_value(&vw).unwrap();
+            assert!((backw.wall_ms - rec.wall_ms).abs() < 1e-9);
         }
         // Older serialized records without `wall_ms` still load.
         let v = Value::Object(vec![

@@ -47,6 +47,7 @@ pub mod priority;
 pub mod refine;
 pub mod remap;
 pub mod startup;
+mod traffic;
 
 pub use compact::{cyclo_compact, CompactConfig, Compaction};
 pub use priority::Priority;

@@ -299,6 +299,9 @@ pub(crate) fn remap_probed<P: Probe>(
             }
             sched.pad_to(required);
             crate::oracle::verify("rotate_remap_in_place: accepted remap", g, machine, sched);
+            // Attribution snapshot of the accepted placement: where
+            // every edge's communication lands after this pass.
+            crate::traffic::emit_edge_traffic(g, machine, sched, probe);
             if P::ACTIVE {
                 counters.oracle_calls += u64::from(crate::oracle::ENABLED);
                 probe.emit(counters.stats_event());

@@ -160,6 +160,9 @@ pub(crate) fn startup_probed<P: Probe>(
         });
     }
     sched.pad_to(required);
+    // Initial traffic picture: one attribution event per edge under the
+    // start-up placement (compiled away for the `Off` probe).
+    crate::traffic::emit_edge_traffic(g, machine, &sched, probe);
     if P::ACTIVE {
         probe.emit(Event::StartupEnd {
             length: sched.length(),

@@ -1,0 +1,117 @@
+//! `profile-check` — validates a `CommProfile` JSON document produced
+//! by `cyclosched schedule --profile`.
+//!
+//! ```text
+//! profile-check profile.json
+//! ```
+//!
+//! Checks structure (required keys, array shapes) and conservation:
+//! the sum of per-edge costs must equal `total_comm`, and crossing +
+//! local edge counts must match the ledger.  Exit codes: `0` valid,
+//! `1` invalid, `2` usage/IO error.  CI runs this on the artifact
+//! uploaded by the profile job.
+
+use serde::Value;
+use std::process::ExitCode;
+
+fn check(v: &Value) -> Result<(String, usize, u64), String> {
+    let need = |k: &str| v.get(k).ok_or_else(|| format!("missing key `{k}`"));
+    let need_u = |k: &str| {
+        need(k)?
+            .as_u64()
+            .ok_or_else(|| format!("key `{k}` is not an unsigned integer"))
+    };
+    let machine = need("machine")?
+        .as_str()
+        .ok_or_else(|| "key `machine` is not a string".to_string())?
+        .to_string();
+    for k in ["version", "pes", "initial_length", "best_length", "compute"] {
+        need_u(k)?;
+    }
+    let total_comm = need_u("total_comm")?;
+    let crossing = need_u("crossing_edges")?;
+    let local = need_u("local_edges")?;
+    let edges = need("edges")?
+        .as_array()
+        .ok_or_else(|| "key `edges` is not an array".to_string())?;
+
+    let (mut sum, mut nc, mut nl) = (0u64, 0u64, 0u64);
+    for (i, e) in edges.iter().enumerate() {
+        let cost = e
+            .get("cost")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("edges[{i}]: missing `cost`"))?;
+        let hops = e
+            .get("hops")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("edges[{i}]: missing `hops`"))?;
+        let volume = e
+            .get("volume")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("edges[{i}]: missing `volume`"))?;
+        if cost != hops.saturating_mul(volume) {
+            return Err(format!("edges[{i}]: cost {cost} != hops*volume"));
+        }
+        let x = e
+            .get("crossing")
+            .and_then(Value::as_bool)
+            .ok_or_else(|| format!("edges[{i}]: missing `crossing`"))?;
+        sum = sum.saturating_add(cost);
+        if x {
+            nc += 1;
+        } else {
+            nl += 1;
+        }
+    }
+    if sum != total_comm {
+        return Err(format!(
+            "ledger sums to {sum} but total_comm is {total_comm}"
+        ));
+    }
+    if nc != crossing || nl != local {
+        return Err(format!(
+            "edge counts {nc}/{nl} disagree with crossing_edges/local_edges {crossing}/{local}"
+        ));
+    }
+    for k in ["links", "pes_detail", "passes"] {
+        need(k)?
+            .as_array()
+            .ok_or_else(|| format!("key `{k}` is not an array"))?;
+    }
+    Ok((machine, edges.len(), total_comm))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let path = match (args.next(), args.next()) {
+        (Some(p), None) if p != "--help" && p != "-h" => p,
+        _ => {
+            eprintln!("usage: profile-check <profile.json>");
+            return ExitCode::from(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("profile-check: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let value: Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{path}: INVALID — not JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&value) {
+        Ok((machine, edges, comm)) => {
+            println!("{path}: OK — {machine}, {edges} ledger rows, total comm {comm}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{path}: INVALID — {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,610 @@
+//! # ccs-profile
+//!
+//! Communication profiling for the cyclo-compaction pipeline.
+//!
+//! The scheduler's whole premise is that schedule quality is governed
+//! by *where communication lands*: every dependence edge `e = (u, v)`
+//! pays `M(PE(u), PE(v)) = hops · c(e)` control steps.  The trace
+//! layer (`ccs-trace`) emits per-edge attribution snapshots
+//! (`traffic.edge` / `traffic.pe` events); this crate folds that
+//! stream into a [`CommProfile`]:
+//!
+//! * a **per-edge traffic ledger** of the final best schedule (who
+//!   talks to whom, over how many hops, at what cost);
+//! * a **hop-weighted link-load matrix** keyed by the machine's
+//!   physical links (deterministic BFS routes from
+//!   [`ccs_topology::RoutingTable`]);
+//! * **per-PE timelines** — tasks hosted, busy/idle cells, traffic
+//!   sent and received;
+//! * **per-pass comm/compute balance** — how crossing traffic and
+//!   total comm cost evolve from the start-up schedule through every
+//!   accepted compaction pass.
+//!
+//! The profile is a pure function of the (deterministic) event stream,
+//! so its JSON export is byte-identical across runs and thread counts
+//! — CI byte-compares it.  Renderers live in [`render`] (ASCII link
+//! heatmap for `cyclosched schedule --profile out.json --heatmap`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod render;
+
+use ccs_topology::{Machine, Pe, RoutingTable};
+use ccs_trace::{Event, Sink, TimedEvent};
+use serde::Value;
+
+/// One row of the per-edge traffic ledger.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeTraffic {
+    /// Edge index in the graph's edge order.
+    pub edge: u32,
+    /// Producer node.
+    pub src: u32,
+    /// Consumer node.
+    pub dst: u32,
+    /// PE hosting the producer.
+    pub src_pe: u32,
+    /// PE hosting the consumer.
+    pub dst_pe: u32,
+    /// Hop distance between the two PEs.
+    pub hops: u32,
+    /// Data volume of the edge (`c(e)`).
+    pub volume: u32,
+}
+
+impl EdgeTraffic {
+    /// Hop-weighted cost `hops · volume` (saturating).
+    pub fn cost(&self) -> u64 {
+        u64::from(self.hops).saturating_mul(u64::from(self.volume))
+    }
+
+    /// `true` when the edge crosses PEs.
+    pub fn crossing(&self) -> bool {
+        self.src_pe != self.dst_pe
+    }
+
+    fn to_value(self) -> Value {
+        Value::Object(vec![
+            ("edge".to_string(), Value::UInt(u64::from(self.edge))),
+            ("src".to_string(), Value::UInt(u64::from(self.src))),
+            ("dst".to_string(), Value::UInt(u64::from(self.dst))),
+            ("src_pe".to_string(), Value::UInt(u64::from(self.src_pe))),
+            ("dst_pe".to_string(), Value::UInt(u64::from(self.dst_pe))),
+            ("hops".to_string(), Value::UInt(u64::from(self.hops))),
+            ("volume".to_string(), Value::UInt(u64::from(self.volume))),
+            ("cost".to_string(), Value::UInt(self.cost())),
+            ("crossing".to_string(), Value::Bool(self.crossing())),
+        ])
+    }
+}
+
+/// Aggregated traffic over one physical machine link.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkLoad {
+    /// Lower PE index of the undirected link.
+    pub a: u32,
+    /// Higher PE index of the undirected link.
+    pub b: u32,
+    /// Total data volume routed over the link.
+    pub volume: u64,
+    /// Number of edge messages routed over the link.
+    pub messages: u64,
+}
+
+impl LinkLoad {
+    fn to_value(self) -> Value {
+        Value::Object(vec![
+            ("a".to_string(), Value::UInt(u64::from(self.a))),
+            ("b".to_string(), Value::UInt(u64::from(self.b))),
+            ("volume".to_string(), Value::UInt(self.volume)),
+            ("messages".to_string(), Value::UInt(self.messages)),
+        ])
+    }
+}
+
+/// One PE's row of the profile: load and traffic totals of the final
+/// best schedule.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PeProfile {
+    /// Processor index.
+    pub pe: u32,
+    /// Tasks hosted.
+    pub tasks: u32,
+    /// Occupied control-step cells.
+    pub busy: u32,
+    /// Free cells up to the schedule length.
+    pub idle: u32,
+    /// Hop-weighted cost of crossing traffic produced here.
+    pub send: u64,
+    /// Hop-weighted cost of crossing traffic consumed here.
+    pub recv: u64,
+}
+
+impl PeProfile {
+    fn to_value(self) -> Value {
+        Value::Object(vec![
+            ("pe".to_string(), Value::UInt(u64::from(self.pe))),
+            ("tasks".to_string(), Value::UInt(u64::from(self.tasks))),
+            ("busy".to_string(), Value::UInt(u64::from(self.busy))),
+            ("idle".to_string(), Value::UInt(u64::from(self.idle))),
+            ("send".to_string(), Value::UInt(self.send)),
+            ("recv".to_string(), Value::UInt(self.recv)),
+        ])
+    }
+}
+
+/// Comm/compute balance of one phase: the start-up schedule (`pass` 0)
+/// or one rotate-remap pass.
+///
+/// Reverted passes emit no attribution snapshot (the schedule rolled
+/// back to its pre-pass state), so their traffic fields are zero and
+/// `accepted` is `false`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PassProfile {
+    /// Phase number: 0 = start-up, `k` = rotate-remap pass `k`.
+    pub pass: u32,
+    /// Whether the phase's schedule survived.
+    pub accepted: bool,
+    /// Schedule length after the phase.
+    pub length: u32,
+    /// Total hop-weighted comm cost of the phase's placement.
+    pub comm: u64,
+    /// Edges crossing PEs.
+    pub crossing: u32,
+    /// Edges local to one PE.
+    pub local: u32,
+}
+
+impl PassProfile {
+    fn to_value(self) -> Value {
+        Value::Object(vec![
+            ("pass".to_string(), Value::UInt(u64::from(self.pass))),
+            ("accepted".to_string(), Value::Bool(self.accepted)),
+            ("length".to_string(), Value::UInt(u64::from(self.length))),
+            ("comm".to_string(), Value::UInt(self.comm)),
+            (
+                "crossing".to_string(),
+                Value::UInt(u64::from(self.crossing)),
+            ),
+            ("local".to_string(), Value::UInt(u64::from(self.local))),
+        ])
+    }
+}
+
+/// The communication profile of one scheduling run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CommProfile {
+    /// Machine name the run targeted.
+    pub machine: String,
+    /// Number of processors.
+    pub pes: u32,
+    /// Start-up schedule length.
+    pub initial_length: u32,
+    /// Best schedule length.
+    pub best_length: u32,
+    /// Total compute cells of the best schedule (Σ task durations).
+    pub compute: u64,
+    /// Total hop-weighted comm cost of the best schedule.
+    pub total_comm: u64,
+    /// Crossing edges in the best schedule.
+    pub crossing_edges: u32,
+    /// PE-local edges in the best schedule.
+    pub local_edges: u32,
+    /// The per-edge traffic ledger of the best schedule.
+    pub edges: Vec<EdgeTraffic>,
+    /// Hop-weighted load per physical link, in the machine's link
+    /// order.  Empty for machines without meaningful routes (ideal
+    /// zero-distance machines route nothing).
+    pub links: Vec<LinkLoad>,
+    /// Per-PE load/traffic rows, in PE order.
+    pub pe_rows: Vec<PeProfile>,
+    /// Comm/compute balance per phase (`pass` 0 = start-up).
+    pub passes: Vec<PassProfile>,
+}
+
+fn fold(edges: &[EdgeTraffic]) -> (u64, u32, u32) {
+    let mut comm = 0u64;
+    let (mut crossing, mut local) = (0u32, 0u32);
+    for e in edges {
+        comm = comm.saturating_add(e.cost());
+        if e.crossing() {
+            crossing += 1;
+        } else {
+            local += 1;
+        }
+    }
+    (comm, crossing, local)
+}
+
+impl CommProfile {
+    /// Serializes the profile as an ordered JSON object.  Every field
+    /// is a pure function of the event stream and the machine, so the
+    /// output is deterministic.
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("version".to_string(), Value::UInt(1)),
+            ("machine".to_string(), Value::String(self.machine.clone())),
+            ("pes".to_string(), Value::UInt(u64::from(self.pes))),
+            (
+                "initial_length".to_string(),
+                Value::UInt(u64::from(self.initial_length)),
+            ),
+            (
+                "best_length".to_string(),
+                Value::UInt(u64::from(self.best_length)),
+            ),
+            ("compute".to_string(), Value::UInt(self.compute)),
+            ("total_comm".to_string(), Value::UInt(self.total_comm)),
+            (
+                "crossing_edges".to_string(),
+                Value::UInt(u64::from(self.crossing_edges)),
+            ),
+            (
+                "local_edges".to_string(),
+                Value::UInt(u64::from(self.local_edges)),
+            ),
+            (
+                "edges".to_string(),
+                Value::Array(self.edges.iter().map(|e| e.to_value()).collect()),
+            ),
+            (
+                "links".to_string(),
+                Value::Array(self.links.iter().map(|l| l.to_value()).collect()),
+            ),
+            (
+                "pes_detail".to_string(),
+                Value::Array(self.pe_rows.iter().map(|p| p.to_value()).collect()),
+            ),
+            (
+                "passes".to_string(),
+                Value::Array(self.passes.iter().map(|p| p.to_value()).collect()),
+            ),
+        ])
+    }
+
+    /// Pretty-printed deterministic JSON export.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).unwrap_or_else(|_| "{}".to_string())
+    }
+}
+
+/// Folds the event stream into a [`CommProfile`].
+///
+/// Install one as a sink (it implements [`Sink`]) or feed it a
+/// recorded stream via [`build`].  The builder tracks the stream's
+/// phase brackets: each `traffic.edge` snapshot belongs to the
+/// start-up schedule, one rotate-remap pass, or (after the last pass)
+/// the final best schedule, whose snapshot becomes the authoritative
+/// ledger.
+#[derive(Default)]
+pub struct ProfileBuilder {
+    cur_edges: Vec<EdgeTraffic>,
+    pe_loads: Vec<(u32, u32, u32)>,
+    passes: Vec<PassProfile>,
+    initial_length: u32,
+    best_length: u32,
+}
+
+impl ProfileBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        ProfileBuilder::default()
+    }
+
+    /// Consumes the builder, resolving link routes against `machine`
+    /// (the machine the profiled run was scheduled on).
+    pub fn finish(self, machine: &Machine) -> CommProfile {
+        let edges = self.cur_edges;
+        let (total_comm, crossing_edges, local_edges) = fold(&edges);
+
+        // Hop-weighted link loads: each crossing edge charges its
+        // volume to every link on the deterministic BFS route between
+        // its PEs.  Σ over links of one edge's volume = hops · volume =
+        // the edge's cost, so link loads and the ledger agree.
+        let mut links: Vec<LinkLoad> = machine
+            .links()
+            .iter()
+            .map(|&(a, b)| LinkLoad {
+                a: u32::try_from(a).unwrap_or(u32::MAX),
+                b: u32::try_from(b).unwrap_or(u32::MAX),
+                ..LinkLoad::default()
+            })
+            .collect();
+        let routable = machine.is_connected() && !machine.links().is_empty();
+        if routable {
+            let routes = RoutingTable::new(machine);
+            let index_of = |a: usize, b: usize| {
+                machine
+                    .links()
+                    .iter()
+                    .position(|&l| l == (a.min(b), a.max(b)))
+            };
+            for e in &edges {
+                if !e.crossing() || e.hops == 0 || e.hops == u32::MAX {
+                    continue;
+                }
+                let (sp, dp) = (
+                    Pe::from_index(e.src_pe as usize),
+                    Pe::from_index(e.dst_pe as usize),
+                );
+                for (a, b) in routes.links_on_path(sp, dp) {
+                    if let Some(ix) = index_of(a, b) {
+                        links[ix].volume = links[ix].volume.saturating_add(u64::from(e.volume));
+                        links[ix].messages += 1;
+                    }
+                }
+            }
+        }
+
+        // Per-PE rows: loads from the traffic.pe events, send/recv
+        // from the ledger.
+        let mut pe_rows: Vec<PeProfile> = self
+            .pe_loads
+            .iter()
+            .map(|&(pe, tasks, busy)| PeProfile {
+                pe,
+                tasks,
+                busy,
+                idle: self.best_length.saturating_sub(busy),
+                ..PeProfile::default()
+            })
+            .collect();
+        pe_rows.sort_by_key(|r| r.pe);
+        for e in &edges {
+            if !e.crossing() {
+                continue;
+            }
+            if let Some(row) = pe_rows.iter_mut().find(|r| r.pe == e.src_pe) {
+                row.send = row.send.saturating_add(e.cost());
+            }
+            if let Some(row) = pe_rows.iter_mut().find(|r| r.pe == e.dst_pe) {
+                row.recv = row.recv.saturating_add(e.cost());
+            }
+        }
+        let compute = pe_rows.iter().map(|r| u64::from(r.busy)).sum();
+
+        CommProfile {
+            machine: machine.name().to_string(),
+            pes: u32::try_from(machine.num_pes()).unwrap_or(u32::MAX),
+            initial_length: self.initial_length,
+            best_length: self.best_length,
+            compute,
+            total_comm,
+            crossing_edges,
+            local_edges,
+            edges,
+            links,
+            pe_rows,
+            passes: self.passes,
+        }
+    }
+}
+
+impl Sink for ProfileBuilder {
+    fn event(&mut self, ev: Event) {
+        match ev {
+            Event::StartupBegin { .. } | Event::PassBegin { .. } => self.cur_edges.clear(),
+            Event::EdgeTraffic {
+                edge,
+                src,
+                dst,
+                src_pe,
+                dst_pe,
+                hops,
+                volume,
+            } => self.cur_edges.push(EdgeTraffic {
+                edge,
+                src,
+                dst,
+                src_pe,
+                dst_pe,
+                hops,
+                volume,
+            }),
+            Event::StartupEnd { length } => {
+                self.initial_length = length;
+                self.best_length = length; // until compaction improves it
+                let (comm, crossing, local) = fold(&self.cur_edges);
+                self.passes.push(PassProfile {
+                    pass: 0,
+                    accepted: true,
+                    length,
+                    comm,
+                    crossing,
+                    local,
+                });
+                self.cur_edges.clear();
+            }
+            Event::PassEnd {
+                pass,
+                accepted,
+                length,
+            } => {
+                let (comm, crossing, local) = fold(&self.cur_edges);
+                self.passes.push(PassProfile {
+                    pass,
+                    accepted,
+                    length,
+                    comm,
+                    crossing,
+                    local,
+                });
+                self.cur_edges.clear();
+            }
+            Event::PeLoad { pe, tasks, busy } => self.pe_loads.push((pe, tasks, busy)),
+            Event::CompactEnd { initial, best, .. } => {
+                self.initial_length = initial;
+                self.best_length = best;
+                // cur_edges now holds the final best-schedule snapshot;
+                // finish() adopts it as the ledger.
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Folds a recorded event stream into a [`CommProfile`] for `machine`.
+pub fn build(events: &[TimedEvent], machine: &Machine) -> CommProfile {
+    let mut b = ProfileBuilder::new();
+    for te in events {
+        b.event(te.event.clone());
+    }
+    b.finish(machine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn te(event: Event) -> TimedEvent {
+        TimedEvent { ns: 0, event }
+    }
+
+    fn traffic(edge: u32, src_pe: u32, dst_pe: u32, hops: u32, volume: u32) -> Event {
+        Event::EdgeTraffic {
+            edge,
+            src: edge,
+            dst: edge + 1,
+            src_pe,
+            dst_pe,
+            hops,
+            volume,
+        }
+    }
+
+    #[test]
+    fn folds_phases_and_final_ledger() {
+        let m = Machine::linear_array(3);
+        let events = vec![
+            te(Event::StartupBegin { tasks: 3, pes: 3 }),
+            te(traffic(0, 0, 2, 2, 3)),
+            te(traffic(1, 1, 1, 0, 4)),
+            te(Event::StartupEnd { length: 6 }),
+            te(Event::PassBegin {
+                pass: 1,
+                prev_len: 6,
+                rows: 1,
+            }),
+            te(traffic(0, 0, 1, 1, 3)),
+            te(traffic(1, 1, 1, 0, 4)),
+            te(Event::PassEnd {
+                pass: 1,
+                accepted: true,
+                length: 5,
+            }),
+            // Final best snapshot.
+            te(traffic(0, 0, 1, 1, 3)),
+            te(traffic(1, 1, 1, 0, 4)),
+            te(Event::PeLoad {
+                pe: 0,
+                tasks: 1,
+                busy: 2,
+            }),
+            te(Event::PeLoad {
+                pe: 1,
+                tasks: 2,
+                busy: 3,
+            }),
+            te(Event::PeLoad {
+                pe: 2,
+                tasks: 0,
+                busy: 0,
+            }),
+            te(Event::CompactEnd {
+                initial: 6,
+                best: 5,
+                passes: 1,
+            }),
+        ];
+        let p = build(&events, &m);
+        assert_eq!(p.initial_length, 6);
+        assert_eq!(p.best_length, 5);
+        assert_eq!(p.total_comm, 3);
+        assert_eq!(p.crossing_edges, 1);
+        assert_eq!(p.local_edges, 1);
+        assert_eq!(p.compute, 5);
+        assert_eq!(p.passes.len(), 2);
+        assert_eq!(p.passes[0].pass, 0);
+        assert_eq!(p.passes[0].comm, 6);
+        assert_eq!(p.passes[1].comm, 3);
+        // linear 3 has links (0,1) and (1,2); edge 0 crosses 0->1.
+        assert_eq!(p.links.len(), 2);
+        assert_eq!(p.links[0].volume, 3);
+        assert_eq!(p.links[0].messages, 1);
+        assert_eq!(p.links[1].volume, 0);
+        // Per-PE rows.
+        assert_eq!(p.pe_rows[0].send, 3);
+        assert_eq!(p.pe_rows[1].recv, 3);
+        assert_eq!(p.pe_rows[2].idle, 5);
+        // Link loads conserve the ledger: Σ link volume·(charged hops)
+        // equals total comm when every hop is a physical link.
+        let link_vol: u64 = p.links.iter().map(|l| l.volume).sum();
+        assert_eq!(link_vol, 3);
+    }
+
+    #[test]
+    fn reverted_pass_records_zero_traffic() {
+        let m = Machine::linear_array(2);
+        let events = vec![
+            te(Event::PassBegin {
+                pass: 1,
+                prev_len: 4,
+                rows: 1,
+            }),
+            te(Event::PassEnd {
+                pass: 1,
+                accepted: false,
+                length: 4,
+            }),
+        ];
+        let p = build(&events, &m);
+        assert_eq!(p.passes.len(), 1);
+        assert!(!p.passes[0].accepted);
+        assert_eq!(p.passes[0].comm, 0);
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        let m = Machine::ring(4);
+        let events = vec![
+            te(Event::StartupBegin { tasks: 2, pes: 4 }),
+            te(traffic(0, 0, 2, 2, 5)),
+            te(Event::StartupEnd { length: 3 }),
+            te(traffic(0, 0, 2, 2, 5)),
+            te(Event::PeLoad {
+                pe: 0,
+                tasks: 1,
+                busy: 1,
+            }),
+            te(Event::CompactEnd {
+                initial: 3,
+                best: 3,
+                passes: 0,
+            }),
+        ];
+        let a = build(&events, &m).to_json_pretty();
+        let b = build(&events, &m).to_json_pretty();
+        assert_eq!(a, b);
+        assert!(a.contains("\"total_comm\": 10"), "{a}");
+    }
+
+    #[test]
+    fn ideal_machine_routes_nothing() {
+        // Ideal machines have zero hop distance everywhere: edges may
+        // cross PEs but cost nothing and charge no link.
+        let m = Machine::ideal(3);
+        let events = vec![
+            te(traffic(0, 0, 2, 0, 7)),
+            te(Event::CompactEnd {
+                initial: 2,
+                best: 2,
+                passes: 0,
+            }),
+        ];
+        let p = build(&events, &m);
+        assert_eq!(p.total_comm, 0);
+        assert_eq!(p.crossing_edges, 1);
+        assert!(p.links.iter().all(|l| l.volume == 0));
+    }
+}

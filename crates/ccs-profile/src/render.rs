@@ -1,0 +1,179 @@
+//! ASCII renderers for a [`CommProfile`](crate::CommProfile).
+//!
+//! [`heatmap`] draws the PE-to-PE hop-weighted traffic matrix plus a
+//! per-link load bar chart — a terminal-native view of which parts of
+//! the fabric the schedule actually stresses.  Pure functions of the
+//! profile, so the output is as deterministic as the profile itself.
+
+use crate::CommProfile;
+use std::fmt::Write as _;
+
+/// Intensity ramp for the matrix cells, dimmest to brightest.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Largest PE count the matrix view renders before falling back to the
+/// link list only (a 25+ wide matrix wraps on a standard terminal).
+const MAX_MATRIX_PES: u32 = 24;
+
+fn intensity(x: u64, max: u64) -> char {
+    if x == 0 || max == 0 {
+        return RAMP[0] as char;
+    }
+    // 1..=max maps onto the non-blank ramp cells.
+    let steps = (RAMP.len() - 1) as u64;
+    let ix = 1 + (x.saturating_mul(steps - 1)) / max;
+    RAMP[ix as usize] as char
+}
+
+fn bar(x: u64, max: u64, width: usize) -> String {
+    if max == 0 {
+        return String::new();
+    }
+    let filled = ((x.saturating_mul(width as u64)) / max) as usize;
+    let filled = if x > 0 { filled.max(1) } else { 0 };
+    "#".repeat(filled.min(width))
+}
+
+/// Renders the profile's traffic picture:
+///
+/// * a summary line (machine, lengths, comm vs. compute);
+/// * the PE-to-PE matrix of hop-weighted crossing costs (sources are
+///   rows, destinations columns) when the machine has at most
+///   24 PEs;
+/// * one load bar per physical link, scaled to the hottest link.
+pub fn heatmap(p: &CommProfile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "comm profile: {} — {} PEs, length {} -> {}, comm {} / compute {}",
+        p.machine, p.pes, p.initial_length, p.best_length, p.total_comm, p.compute
+    );
+    let _ = writeln!(
+        out,
+        "edges: {} crossing, {} local",
+        p.crossing_edges, p.local_edges
+    );
+
+    // PE-to-PE hop-weighted cost matrix from the ledger.
+    if p.pes > 0 && p.pes <= MAX_MATRIX_PES {
+        let n = p.pes as usize;
+        let mut cells = vec![0u64; n * n];
+        for e in &p.edges {
+            let (s, d) = (e.src_pe as usize, e.dst_pe as usize);
+            if s < n && d < n && e.crossing() {
+                cells[s * n + d] = cells[s * n + d].saturating_add(e.cost());
+            }
+        }
+        let max = cells.iter().copied().max().unwrap_or(0);
+        let _ = writeln!(out, "traffic matrix (rows: src PE, cols: dst PE):");
+        let _ = write!(out, "      ");
+        for d in 0..n {
+            let _ = write!(out, "{:>3}", d + 1);
+        }
+        out.push('\n');
+        for s in 0..n {
+            let _ = write!(out, "  PE{:<2}", s + 1);
+            for d in 0..n {
+                let _ = write!(out, "  {}", intensity(cells[s * n + d], max));
+            }
+            out.push('\n');
+        }
+        if max > 0 {
+            let _ = writeln!(out, "  scale: blank=0 .. '@'={max}");
+        }
+    }
+
+    // Per-link load bars.
+    if !p.links.is_empty() {
+        let max = p.links.iter().map(|l| l.volume).max().unwrap_or(0);
+        let _ = writeln!(out, "link loads (volume routed over each link):");
+        for l in &p.links {
+            let _ = writeln!(
+                out,
+                "  PE{:<2}-PE{:<2} {:>6}  {}",
+                l.a + 1,
+                l.b + 1,
+                l.volume,
+                bar(l.volume, max, 32)
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EdgeTraffic, LinkLoad};
+
+    fn profile() -> CommProfile {
+        CommProfile {
+            machine: "Linear Array 3".to_string(),
+            pes: 3,
+            initial_length: 6,
+            best_length: 5,
+            compute: 5,
+            total_comm: 6,
+            crossing_edges: 1,
+            local_edges: 1,
+            edges: vec![
+                EdgeTraffic {
+                    edge: 0,
+                    src: 0,
+                    dst: 1,
+                    src_pe: 0,
+                    dst_pe: 2,
+                    hops: 2,
+                    volume: 3,
+                },
+                EdgeTraffic {
+                    edge: 1,
+                    src: 1,
+                    dst: 2,
+                    src_pe: 1,
+                    dst_pe: 1,
+                    hops: 0,
+                    volume: 4,
+                },
+            ],
+            links: vec![
+                LinkLoad {
+                    a: 0,
+                    b: 1,
+                    volume: 3,
+                    messages: 1,
+                },
+                LinkLoad {
+                    a: 1,
+                    b: 2,
+                    volume: 3,
+                    messages: 1,
+                },
+            ],
+            pe_rows: Vec::new(),
+            passes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn heatmap_mentions_machine_and_links() {
+        let text = heatmap(&profile());
+        assert!(text.contains("Linear Array 3"), "{text}");
+        assert!(text.contains("traffic matrix"), "{text}");
+        assert!(text.contains("link loads"), "{text}");
+        assert!(text.contains("PE1 -PE2"), "{text}");
+    }
+
+    #[test]
+    fn heatmap_is_deterministic() {
+        assert_eq!(heatmap(&profile()), heatmap(&profile()));
+    }
+
+    #[test]
+    fn intensity_endpoints() {
+        assert_eq!(intensity(0, 10), ' ');
+        assert_eq!(intensity(10, 10), '@');
+        assert_eq!(bar(0, 10, 8), "");
+        assert_eq!(bar(10, 10, 8), "########");
+    }
+}

@@ -1,0 +1,98 @@
+//! Conservation law: the profile's attributed traffic must equal the
+//! schedule validator's *independently computed* communication cost.
+//!
+//! `ccs-core` emits the attribution events; `ccs-schedule`'s checker
+//! recomputes `M(PE(u), PE(v)) = hops · c(e)` straight from the graph,
+//! machine, and table.  If they ever disagree, either the emission
+//! sites or the cost model drifted.
+
+use ccs_core::compact::{cyclo_compact, CompactConfig};
+use ccs_model::Csdfg;
+use ccs_schedule::checker::edge_comm_cost;
+use ccs_topology::Machine;
+use proptest::prelude::*;
+
+fn arb_csdfg() -> impl Strategy<Value = Csdfg> {
+    (2usize..8).prop_flat_map(|n| {
+        let times = proptest::collection::vec(1u32..4, n);
+        let edges = proptest::collection::vec((0..n, 0..n, 0u32..3, 1u32..4), 1..n * 2);
+        (times, edges).prop_map(move |(times, edges)| {
+            let mut g = Csdfg::new();
+            let ids: Vec<_> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| g.add_task(format!("v{i}"), t).unwrap())
+                .collect();
+            for (a, b, d, c) in edges {
+                let delay = if a < b { d } else { d.max(1) };
+                g.add_dep(ids[a], ids[b], delay, c).unwrap();
+            }
+            g
+        })
+    })
+}
+
+fn arb_machine() -> impl Strategy<Value = Machine> {
+    prop_oneof![
+        (2usize..6).prop_map(Machine::linear_array),
+        (3usize..7).prop_map(Machine::ring),
+        (2usize..6).prop_map(Machine::complete),
+        Just(Machine::mesh(2, 2)),
+        Just(Machine::hypercube(2)),
+    ]
+}
+
+/// Independent oracle: comm cost of the final (graph, schedule) pair.
+fn validator_comm(g: &Csdfg, m: &Machine, s: &ccs_schedule::Schedule) -> u64 {
+    g.deps()
+        .map(|e| u64::from(edge_comm_cost(g, m, s, e)))
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn attributed_traffic_equals_validator_comm_cost(
+        g in arb_csdfg(),
+        m in arb_machine(),
+    ) {
+        let (result, events) = ccs_trace::record(|| {
+            cyclo_compact(&g, &m, CompactConfig::default()).unwrap()
+        });
+        let profile = ccs_profile::build(&events, &m);
+
+        // The ledger covers every edge of the final graph exactly once.
+        prop_assert_eq!(profile.edges.len(), result.graph.deps().count());
+
+        // Total attributed traffic == independently recomputed cost.
+        let expect = validator_comm(&result.graph, &m, &result.schedule);
+        prop_assert_eq!(profile.total_comm, expect);
+
+        // Per-edge agreement, not just totals.
+        for e in result.graph.deps() {
+            let row = profile
+                .edges
+                .iter()
+                .find(|r| r.edge as usize == e.index())
+                .expect("ledger row for every edge");
+            prop_assert_eq!(
+                row.cost(),
+                u64::from(edge_comm_cost(&result.graph, &m, &result.schedule, e))
+            );
+        }
+
+        // Link attribution conserves hop-weighted volume: each crossing
+        // edge charges its volume once per hop, so Σ link volumes ==
+        // Σ hops·volume == total comm (all paper machines route every
+        // hop over a physical link).
+        let link_vol: u64 = profile.links.iter().map(|l| l.volume).sum();
+        prop_assert_eq!(link_vol, profile.total_comm);
+
+        // PE rows cover the whole task set and the compute total.
+        let tasks: u64 = profile.pe_rows.iter().map(|r| u64::from(r.tasks)).sum();
+        prop_assert_eq!(tasks, result.graph.task_count() as u64);
+        let busy: u64 = profile.pe_rows.iter().map(|r| u64::from(r.busy)).sum();
+        prop_assert_eq!(busy, profile.compute);
+    }
+}

@@ -1,0 +1,76 @@
+//! Golden `CommProfile` JSON for the paper's running example on each
+//! target topology.  The profile is a pure function of the
+//! (deterministic) event stream and the machine — independent of build
+//! profile and thread count — so the exact JSON is pinned.
+//!
+//! To regenerate after an intentional scheduler-semantics change:
+//!
+//! ```text
+//! UPDATE_PROFILE_GOLDEN=1 cargo test -p ccs-profile --test golden
+//! ```
+
+use ccs_core::compact::{cyclo_compact, CompactConfig};
+use ccs_topology::Machine;
+use std::path::PathBuf;
+
+fn profile_json(machine: &Machine) -> String {
+    let g = ccs_workloads::paper::fig1_example();
+    let (outcome, events) =
+        ccs_trace::record(|| cyclo_compact(&g, machine, CompactConfig::default()));
+    outcome.expect("legal");
+    let mut json = ccs_profile::build(&events, machine).to_json_pretty();
+    json.push('\n');
+    json
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+fn check(name: &str, machine: &Machine) {
+    let actual = profile_json(machine);
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_PROFILE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir");
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert_eq!(
+        actual, expected,
+        "CommProfile drifted for {name}; if intentional, regenerate with \
+         UPDATE_PROFILE_GOLDEN=1 cargo test -p ccs-profile --test golden"
+    );
+}
+
+#[test]
+fn fig1_profile_on_line() {
+    check("line4", &Machine::linear_array(4));
+}
+
+#[test]
+fn fig1_profile_on_ring() {
+    check("ring4", &Machine::ring(4));
+}
+
+#[test]
+fn fig1_profile_on_mesh() {
+    check("mesh2x2", &Machine::mesh(2, 2));
+}
+
+#[test]
+fn fig1_profile_on_complete() {
+    check("complete4", &Machine::complete(4));
+}
+
+/// The profile JSON must not depend on how many passes the recorder
+/// observed being re-run: folding the same stream twice gives the same
+/// bytes (pure function of the stream).
+#[test]
+fn profile_is_a_pure_function_of_the_stream() {
+    let m = Machine::mesh(2, 2);
+    assert_eq!(profile_json(&m), profile_json(&m));
+}

@@ -261,6 +261,37 @@ pub enum Event {
         /// Passes actually run.
         passes: u32,
     },
+    /// Per-edge traffic attribution: where one dependence edge's
+    /// communication lands on the machine under the current placement
+    /// (`M(p_i, p_j) = hops · volume`).  Emitted as a full-graph
+    /// snapshot after start-up placement, after every accepted
+    /// rotate-remap pass, and once for the final best schedule.
+    EdgeTraffic {
+        /// Edge index in the graph's edge order.
+        edge: u32,
+        /// Producer node.
+        src: u32,
+        /// Consumer node.
+        dst: u32,
+        /// Processor hosting the producer.
+        src_pe: u32,
+        /// Processor hosting the consumer.
+        dst_pe: u32,
+        /// Hop count between the two PEs (0 when co-located).
+        hops: u32,
+        /// Data volume carried by the edge (`c(e)`).
+        volume: u32,
+    },
+    /// Per-PE load summary of the final best schedule: how many tasks a
+    /// processor hosts and how many control-step cells they occupy.
+    PeLoad {
+        /// Processor index.
+        pe: u32,
+        /// Tasks placed on this PE.
+        tasks: u32,
+        /// Occupied control-step cells on this PE.
+        busy: u32,
+    },
 }
 
 impl Event {
@@ -285,6 +316,20 @@ impl Event {
             Event::BestSnapshot { .. } => "compact.best",
             Event::OccupancySnapshot { .. } => "schedule.occupancy",
             Event::CompactEnd { .. } => "compact.end",
+            Event::EdgeTraffic { .. } => "traffic.edge",
+            Event::PeLoad { .. } => "traffic.pe",
+        }
+    }
+
+    /// The hop-weighted communication cost carried by an
+    /// [`Event::EdgeTraffic`] event (`hops · volume`, saturating);
+    /// `0` for every other event kind.
+    pub fn traffic_cost(&self) -> u64 {
+        match self {
+            Event::EdgeTraffic { hops, volume, .. } => {
+                u64::from(*hops).saturating_mul(u64::from(*volume))
+            }
+            _ => 0,
         }
     }
 
@@ -451,6 +496,30 @@ impl Event {
                 ("best", u(*best)),
                 ("passes", u(*passes)),
             ]),
+            Event::EdgeTraffic {
+                edge,
+                src,
+                dst,
+                src_pe,
+                dst_pe,
+                hops,
+                volume,
+            } => obj(vec![
+                ("edge", u(*edge)),
+                ("src", u(*src)),
+                ("dst", u(*dst)),
+                ("src_pe", u(*src_pe)),
+                ("dst_pe", u(*dst_pe)),
+                ("hops", u(*hops)),
+                ("volume", u(*volume)),
+                ("cost", u64v(self.traffic_cost())),
+                ("crossing", Value::Bool(src_pe != dst_pe)),
+            ]),
+            Event::PeLoad { pe, tasks, busy } => obj(vec![
+                ("pe", u(*pe)),
+                ("tasks", u(*tasks)),
+                ("busy", u(*busy)),
+            ]),
         }
     }
 }
@@ -560,6 +629,21 @@ impl fmt::Display for Event {
                 best,
                 passes,
             } => write!(f, " init={initial} best={best} passes={passes}"),
+            Event::EdgeTraffic {
+                edge,
+                src,
+                dst,
+                src_pe,
+                dst_pe,
+                hops,
+                volume,
+            } => write!(
+                f,
+                " edge=e{edge} n{src}->n{dst} pe={src_pe}->{dst_pe} hops={hops} vol={volume} cost={} crossing={}",
+                self.traffic_cost(),
+                src_pe != dst_pe
+            ),
+            Event::PeLoad { pe, tasks, busy } => write!(f, " pe={pe} tasks={tasks} busy={busy}"),
         }
     }
 }
@@ -613,6 +697,72 @@ mod tests {
         let v = ev.args();
         assert_eq!(v["edges_swept"].as_u64(), Some(10));
         assert_eq!(ev.kind(), "pass.stats");
+    }
+
+    #[test]
+    fn edge_traffic_display_and_args() {
+        let ev = Event::EdgeTraffic {
+            edge: 4,
+            src: 0,
+            dst: 3,
+            src_pe: 1,
+            dst_pe: 2,
+            hops: 2,
+            volume: 3,
+        };
+        assert_eq!(
+            ev.to_string(),
+            "traffic.edge edge=e4 n0->n3 pe=1->2 hops=2 vol=3 cost=6 crossing=true"
+        );
+        assert_eq!(ev.kind(), "traffic.edge");
+        assert_eq!(ev.traffic_cost(), 6);
+        let v = ev.args();
+        assert_eq!(v["cost"].as_u64(), Some(6));
+        assert_eq!(v["hops"].as_u64(), Some(2));
+
+        let local = Event::EdgeTraffic {
+            edge: 0,
+            src: 1,
+            dst: 2,
+            src_pe: 0,
+            dst_pe: 0,
+            hops: 0,
+            volume: 9,
+        };
+        assert_eq!(
+            local.to_string(),
+            "traffic.edge edge=e0 n1->n2 pe=0->0 hops=0 vol=9 cost=0 crossing=false"
+        );
+        assert_eq!(local.traffic_cost(), 0);
+    }
+
+    #[test]
+    fn traffic_cost_saturates() {
+        let ev = Event::EdgeTraffic {
+            edge: 0,
+            src: 0,
+            dst: 1,
+            src_pe: 0,
+            dst_pe: 1,
+            hops: u32::MAX,
+            volume: u32::MAX,
+        };
+        // u32::MAX² fits in u64, so no saturation needed here — but the
+        // product must not panic and non-traffic events report zero.
+        assert_eq!(ev.traffic_cost(), u64::from(u32::MAX) * u64::from(u32::MAX));
+        assert_eq!(Event::StartupEnd { length: 1 }.traffic_cost(), 0);
+    }
+
+    #[test]
+    fn pe_load_display() {
+        let ev = Event::PeLoad {
+            pe: 2,
+            tasks: 3,
+            busy: 5,
+        };
+        assert_eq!(ev.to_string(), "traffic.pe pe=2 tasks=3 busy=5");
+        assert_eq!(ev.kind(), "traffic.pe");
+        assert_eq!(ev.args()["busy"].as_u64(), Some(5));
     }
 
     #[test]

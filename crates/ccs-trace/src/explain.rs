@@ -37,6 +37,10 @@ pub fn explain(events: &[TimedEvent], mut name: impl FnMut(u32) -> String) -> St
     // buffered rejections under the placement line.
     let mut scan = Scan::default();
     let mut in_pass = false;
+    // Running totals of the current contiguous `traffic.edge` snapshot
+    // (edges, crossing edges, hop-weighted cost); flushed as a one-line
+    // summary when the snapshot ends.
+    let mut traffic: Option<(u32, u32, u64)> = None;
 
     let flush_scan = |out: &mut String, scan: &mut Scan, keep: bool| {
         if keep {
@@ -49,6 +53,14 @@ pub fn explain(events: &[TimedEvent], mut name: impl FnMut(u32) -> String) -> St
     };
 
     for te in events {
+        if !matches!(te.event, Event::EdgeTraffic { .. }) {
+            if let Some((edges, crossing, cost)) = traffic.take() {
+                let _ = writeln!(
+                    out,
+                    "  traffic: {edges} edge(s), {crossing} crossing, comm cost {cost}"
+                );
+            }
+        }
         match &te.event {
             Event::StartupBegin { tasks, pes } => {
                 let _ = writeln!(out, "startup: {tasks} tasks on {pes} PEs");
@@ -240,7 +252,24 @@ pub fn explain(events: &[TimedEvent], mut name: impl FnMut(u32) -> String) -> St
                     "compaction done: {initial} -> {best} after {passes} pass(es)"
                 );
             }
+            Event::EdgeTraffic { src_pe, dst_pe, .. } => {
+                let (edges, crossing, cost) = traffic.get_or_insert((0, 0, 0));
+                *edges += 1;
+                if src_pe != dst_pe {
+                    *crossing += 1;
+                }
+                *cost = cost.saturating_add(te.event.traffic_cost());
+            }
+            Event::PeLoad { pe, tasks, busy } => {
+                let _ = writeln!(out, "  PE{}: {tasks} task(s), {busy} busy cell(s)", pe + 1);
+            }
         }
+    }
+    if let Some((edges, crossing, cost)) = traffic.take() {
+        let _ = writeln!(
+            out,
+            "  traffic: {edges} edge(s), {crossing} crossing, comm cost {cost}"
+        );
     }
     out
 }
@@ -335,5 +364,45 @@ mod tests {
     #[test]
     fn empty_stream_renders_empty() {
         assert!(explain(&[], |n| format!("n{n}")).is_empty());
+    }
+
+    #[test]
+    fn traffic_snapshots_summarize_and_pe_loads_render() {
+        let events = timed(vec![
+            Event::EdgeTraffic {
+                edge: 0,
+                src: 0,
+                dst: 1,
+                src_pe: 0,
+                dst_pe: 1,
+                hops: 2,
+                volume: 3,
+            },
+            Event::EdgeTraffic {
+                edge: 1,
+                src: 1,
+                dst: 2,
+                src_pe: 1,
+                dst_pe: 1,
+                hops: 0,
+                volume: 4,
+            },
+            Event::PeLoad {
+                pe: 0,
+                tasks: 2,
+                busy: 3,
+            },
+            Event::CompactEnd {
+                initial: 7,
+                best: 5,
+                passes: 2,
+            },
+        ]);
+        let text = explain(&events, |n| format!("n{n}"));
+        assert!(
+            text.contains("traffic: 2 edge(s), 1 crossing, comm cost 6"),
+            "{text}"
+        );
+        assert!(text.contains("PE1: 2 task(s), 3 busy cell(s)"), "{text}");
     }
 }

@@ -25,7 +25,12 @@
 //! * [`explain`] — human-readable decision narrative
 //!   (`cyclosched schedule --explain`);
 //! * [`metrics`] — counters + histograms registry serialized into the
-//!   `bench_hotpath` report.
+//!   `bench_hotpath` report;
+//! * [`sample`] — bounded, deterministic event sampling for long
+//!   sweeps (`O(cap)` memory regardless of run length);
+//! * the `ccs-profile` crate — folds the per-edge traffic attribution
+//!   events (`traffic.edge` / `traffic.pe`) into a `CommProfile`
+//!   (`cyclosched schedule --profile out.json [--heatmap]`).
 //!
 //! Sinks are **thread-local or explicitly threaded**: install one in
 //! the thread that runs the scheduler, or pass a sink through
@@ -39,6 +44,7 @@ pub mod chrome;
 pub mod event;
 pub mod explain;
 pub mod metrics;
+pub mod sample;
 
 pub use event::{Event, RunnerUp, Verdict};
 

@@ -94,15 +94,25 @@ impl Metrics {
             .record(sample);
     }
 
-    /// Serializes the registry as `{"counters": {..}, "histograms":
-    /// {name: {count, sum, min, max, mean}, ..}}`.
-    pub fn to_value(&self) -> Value {
-        let counters = Value::Object(
+    /// Serializes only the counters as an ordered JSON object.
+    ///
+    /// Counters are pure event-stream folds, so this value is
+    /// deterministic (byte-identical across runs and thread counts) —
+    /// unlike [`Metrics::to_value`], whose wall-clock histograms vary
+    /// per run.  Per-cell sweep summaries serialize this.
+    pub fn counters_value(&self) -> Value {
+        Value::Object(
             self.counters
                 .iter()
                 .map(|(k, v)| (k.clone(), Value::UInt(*v)))
                 .collect(),
-        );
+        )
+    }
+
+    /// Serializes the registry as `{"counters": {..}, "histograms":
+    /// {name: {count, sum, min, max, mean}, ..}}`.
+    pub fn to_value(&self) -> Value {
+        let counters = self.counters_value();
         let histograms = Value::Object(
             self.histograms
                 .iter()
@@ -226,6 +236,29 @@ impl Sink for MetricsSink {
             Event::StartupPlace { .. } => m.add("startup_placements", 1),
             Event::StartupDefer { .. } => m.add("startup_defers", 1),
             Event::OccupancySnapshot { .. } => {}
+            Event::EdgeTraffic {
+                src_pe,
+                dst_pe,
+                volume,
+                hops,
+                ..
+            } => {
+                m.add("traffic_events", 1);
+                m.add(
+                    if src_pe == dst_pe {
+                        "traffic_local"
+                    } else {
+                        "traffic_crossing"
+                    },
+                    1,
+                );
+                m.add("traffic_volume", u64::from(volume));
+                m.add(
+                    "traffic_cost",
+                    u64::from(hops).saturating_mul(u64::from(volume)),
+                );
+            }
+            Event::PeLoad { busy, .. } => m.add("pe_busy_cells", u64::from(busy)),
         }
     }
 }
@@ -285,6 +318,51 @@ mod tests {
         assert_eq!(m.counters["passes_accepted"], 1);
         assert_eq!(m.histograms["pass_wall_ms"].count, 1);
         assert_eq!(m.histograms["compact_wall_ms"].count, 1);
+    }
+
+    #[test]
+    fn sink_folds_traffic_events() {
+        let mut sink = MetricsSink::new();
+        sink.event(Event::EdgeTraffic {
+            edge: 0,
+            src: 0,
+            dst: 1,
+            src_pe: 0,
+            dst_pe: 2,
+            hops: 2,
+            volume: 3,
+        });
+        sink.event(Event::EdgeTraffic {
+            edge: 1,
+            src: 1,
+            dst: 2,
+            src_pe: 1,
+            dst_pe: 1,
+            hops: 0,
+            volume: 5,
+        });
+        sink.event(Event::PeLoad {
+            pe: 0,
+            tasks: 2,
+            busy: 4,
+        });
+        let m = sink.into_metrics();
+        assert_eq!(m.counters["traffic_events"], 2);
+        assert_eq!(m.counters["traffic_crossing"], 1);
+        assert_eq!(m.counters["traffic_local"], 1);
+        assert_eq!(m.counters["traffic_volume"], 8);
+        assert_eq!(m.counters["traffic_cost"], 6);
+        assert_eq!(m.counters["pe_busy_cells"], 4);
+    }
+
+    #[test]
+    fn counters_value_is_counters_only() {
+        let mut m = Metrics::new();
+        m.add("a", 1);
+        m.observe("h", 2.0);
+        let v = m.counters_value();
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert!(v.get("h").is_none(), "histograms must not leak");
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Bounded, deterministic sampling sink for long sweeps.
+//!
+//! A full [`Recorder`](crate::Recorder) keeps every event — fine for a
+//! single schedule, unbounded for a sweep over thousands of cells.
+//! [`SampleSink`] keeps every `stride`-th event up to a hard `cap`, so
+//! its memory is `O(cap)` no matter how long the run is, and the kept
+//! subset is a pure function of the event stream (no randomness, no
+//! clocks): the same run keeps the same events at any thread count.
+//!
+//! Long `run_many` sweeps that want an event-level sample (rather than
+//! the counter folds of [`MetricsSink`](crate::metrics::MetricsSink))
+//! install one of these per cell.
+
+use crate::event::Event;
+use crate::Sink;
+
+/// Keeps every `stride`-th event, up to `cap` events, dropping the
+/// rest.  Deterministic and bounded.
+pub struct SampleSink {
+    stride: u64,
+    cap: usize,
+    /// Total events seen (kept + dropped).
+    pub seen: u64,
+    /// The kept sample, in emission order.
+    pub kept: Vec<Event>,
+}
+
+impl SampleSink {
+    /// A sink keeping events `0, stride, 2·stride, …` until `cap`
+    /// events are held.  A `stride` of 0 is treated as 1 (keep all, up
+    /// to `cap`).
+    pub fn new(stride: u64, cap: usize) -> Self {
+        SampleSink {
+            stride: stride.max(1),
+            cap,
+            seen: 0,
+            kept: Vec::new(),
+        }
+    }
+
+    /// `true` when the cap has been reached (later events are counted
+    /// but no longer kept).
+    pub fn saturated(&self) -> bool {
+        self.kept.len() >= self.cap
+    }
+
+    /// Consumes the sink, returning `(seen, kept)`.
+    pub fn into_parts(self) -> (u64, Vec<Event>) {
+        (self.seen, self.kept)
+    }
+}
+
+impl Sink for SampleSink {
+    fn event(&mut self, ev: Event) {
+        let ix = self.seen;
+        self.seen += 1;
+        if ix.is_multiple_of(self.stride) && self.kept.len() < self.cap {
+            self.kept.push(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(n: u32) -> Event {
+        Event::StartupEnd { length: n }
+    }
+
+    fn lengths(kept: &[Event]) -> Vec<u32> {
+        kept.iter()
+            .map(|e| match e {
+                Event::StartupEnd { length } => *length,
+                _ => panic!("unexpected event"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn keeps_every_stride_th_event() {
+        let mut s = SampleSink::new(3, 100);
+        for n in 0..10 {
+            s.event(ev(n));
+        }
+        assert_eq!(s.seen, 10);
+        assert_eq!(lengths(&s.kept), vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn cap_bounds_memory() {
+        let mut s = SampleSink::new(1, 4);
+        for n in 0..1000 {
+            s.event(ev(n));
+        }
+        assert_eq!(s.seen, 1000);
+        assert_eq!(lengths(&s.kept), vec![0, 1, 2, 3]);
+        assert!(s.saturated());
+    }
+
+    #[test]
+    fn zero_stride_means_keep_all() {
+        let mut s = SampleSink::new(0, 10);
+        for n in 0..3 {
+            s.event(ev(n));
+        }
+        assert_eq!(lengths(&s.kept), vec![0, 1, 2]);
+        assert!(!s.saturated());
+    }
+
+    #[test]
+    fn deterministic_for_same_stream() {
+        let run = || {
+            let mut s = SampleSink::new(2, 5);
+            for n in 0..20 {
+                s.event(ev(n));
+            }
+            s.into_parts()
+        };
+        assert_eq!(run(), run());
+    }
+}

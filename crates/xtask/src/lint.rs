@@ -18,7 +18,12 @@
 //!   `src/`): libraries report through return values, the `ccs-trace`
 //!   event stream, or `Display` impls — never by writing to the
 //!   process's stdio.  Binaries (`src/bin/**`, the root
-//!   `src/main.rs`) and `crates/xtask` are exempt, as are tests.
+//!   `src/main.rs`) and `crates/xtask` are exempt, as are tests;
+//! * `probe-emit-guarded` — every `probe.emit(..)` site in the
+//!   scheduler hot crate (`ccs-core/src/**`, non-test) must sit inside
+//!   an `if P::ACTIVE` block, so the `Off` probe monomorphizes every
+//!   emission (argument construction included) away and the traced and
+//!   untraced hot paths stay the same code.
 
 /// One lint hit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,6 +56,11 @@ pub const RULE_CAST: &str = "no-truncating-cast";
 pub const RULE_HEADER: &str = "lib-header";
 /// Rule identifier for stdio print macros in library code.
 pub const RULE_PRINT: &str = "no-println-in-libs";
+/// Rule identifier for unguarded `probe.emit(` sites in `ccs-core`.
+pub const RULE_PROBE: &str = "probe-emit-guarded";
+
+/// The crate whose emission sites fall under [`RULE_PROBE`].
+const PROBE_ROOT: &str = "crates/ccs-core/src";
 
 /// Print macros banned in library code, longest pattern first so the
 /// reported name is exact (`eprintln!(` contains `println!(`).
@@ -83,17 +93,34 @@ pub fn lint_source(rel: &str, text: &str) -> Vec<Finding> {
     let hygiene = PANIC_HYGIENE_ROOTS.iter().any(|p| rel.starts_with(p));
     let cast = rel == CAST_FILE;
     let print = print_rule_applies(rel);
-    if !hygiene && !cast && !print {
+    let probe = rel.starts_with(PROBE_ROOT);
+    if !hygiene && !cast && !print && !probe {
         return out;
     }
 
     let lines: Vec<&str> = text.lines().collect();
     let test_mask = test_block_mask(&lines);
+    let guard_mask = if probe {
+        probe_guard_mask(&lines)
+    } else {
+        Vec::new()
+    };
     for (i, raw) in lines.iter().enumerate() {
         if test_mask[i] {
             continue;
         }
         let code = strip_line_comment(raw);
+        if probe && code.contains("probe.emit(") && !guard_mask[i] {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: i + 1,
+                rule: RULE_PROBE,
+                message: "`probe.emit(..)` outside an `if P::ACTIVE` guard; wrap the \
+                          emission (and its argument construction) so the `Off` probe \
+                          compiles the site away"
+                    .to_string(),
+            });
+        }
         if hygiene {
             if let Some(call) = unchecked_call(code) {
                 let lo = i.saturating_sub(JUSTIFICATION_WINDOW);
@@ -203,6 +230,45 @@ fn strip_line_comment(line: &str) -> &str {
         Some(ix) => &line[..ix],
         None => line,
     }
+}
+
+/// `mask[i] == true` for every line inside an `if P::ACTIVE` block
+/// (guard line included), found by brace counting from the guard —
+/// same technique as [`test_block_mask`].  `else` arms of a guarded
+/// `if` are not masked, which is what we want: an emission in the
+/// "probe inactive" arm would be exactly the bug the rule exists to
+/// catch.
+fn probe_guard_mask(lines: &[&str]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if !strip_line_comment(lines[i]).contains("if P::ACTIVE") {
+            i += 1;
+            continue;
+        }
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        let mut j = i;
+        while j < lines.len() {
+            mask[j] = true;
+            for ch in strip_line_comment(lines[j]).chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    mask
 }
 
 /// `mask[i] == true` for every line inside a `#[cfg(test)]` item
@@ -353,6 +419,52 @@ mod tests {
         // Commented mentions are fine.
         let comment = "fn f() {\n    // never println!(..) here\n}\n";
         assert!(lint_source("crates/ccs-workloads/src/demo.rs", comment).is_empty());
+    }
+
+    #[test]
+    fn unguarded_probe_emit_is_flagged() {
+        let src = "fn f<P: Probe>(probe: &mut P) {\n    probe.emit(Event::Rotate { nodes: vec![] });\n}\n";
+        let f = lint_source("crates/ccs-core/src/demo.rs", src);
+        assert!(
+            f.iter().any(|f| f.rule == RULE_PROBE && f.line == 2),
+            "{f:?}"
+        );
+        // Other crates may structure their probes differently.
+        assert!(lint_source("crates/ccs-trace/src/demo.rs", src)
+            .iter()
+            .all(|f| f.rule != RULE_PROBE));
+    }
+
+    #[test]
+    fn guarded_probe_emit_is_allowed() {
+        let multi = "fn f<P: Probe>(probe: &mut P) {\n    \
+                     if P::ACTIVE {\n        \
+                     probe.emit(Event::Rotate { nodes: vec![] });\n    \
+                     }\n}\n";
+        assert!(lint_source("crates/ccs-core/src/demo.rs", multi)
+            .iter()
+            .all(|f| f.rule != RULE_PROBE));
+        let single = "fn f<P: Probe>(probe: &mut P) {\n    if P::ACTIVE { probe.emit(ev()); }\n}\n";
+        assert!(lint_source("crates/ccs-core/src/demo.rs", single)
+            .iter()
+            .all(|f| f.rule != RULE_PROBE));
+        // An emission *after* the guarded block is unguarded again.
+        let after = "fn f<P: Probe>(probe: &mut P) {\n    \
+                     if P::ACTIVE {\n        \
+                     probe.emit(ev());\n    \
+                     }\n    \
+                     probe.emit(ev());\n}\n";
+        let f = lint_source("crates/ccs-core/src/demo.rs", after);
+        assert!(
+            f.iter().any(|f| f.rule == RULE_PROBE && f.line == 5),
+            "{f:?}"
+        );
+        // Test code is exempt.
+        let in_test = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    \
+                       fn t<P: Probe>(probe: &mut P) { probe.emit(ev()); }\n}\n";
+        assert!(lint_source("crates/ccs-core/src/demo.rs", in_test)
+            .iter()
+            .all(|f| f.rule != RULE_PROBE));
     }
 
     #[test]

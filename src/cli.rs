@@ -65,6 +65,11 @@ pub struct ScheduleArgs {
     pub trace_clock: TraceClock,
     /// Print the per-node decision narrative.
     pub explain: bool,
+    /// Write the communication profile (`CommProfile` JSON) to this
+    /// path.
+    pub profile: Option<String>,
+    /// Print the ASCII link-load heatmap of the profile.
+    pub heatmap: bool,
 }
 
 /// Timestamp domain for `--trace` output.
@@ -148,6 +153,7 @@ USAGE:
                       [--strict] [--rows N] [--refine] [--csv]
                       [--gantt N] [--svg FILE]
                       [--trace FILE [--trace-clock logical|wall]] [--explain]
+                      [--profile FILE] [--heatmap]
   cyclosched compile  <kernel.loop|-> [--add N] [--mul N] [--volume N]
   cyclosched bound    <graph.csdfg|->
   cyclosched simulate <graph.csdfg|-> --machine SPEC [--iterations N] [--contended]
@@ -167,6 +173,11 @@ OBSERVABILITY:
                  deterministic with the default `--trace-clock logical`
   --explain      narrate, per node, the chosen (PE, step), the
                  runner-up slot, and every rejected candidate
+  --profile FILE write the communication profile (per-edge traffic
+                 ledger, link loads, per-PE and per-pass balance) as
+                 deterministic JSON; validate with `profile-check`
+  --heatmap      print the ASCII PE-to-PE traffic matrix and per-link
+                 load bars of the communication profile
 ";
 
 /// Parses raw arguments (without the program name).
@@ -239,6 +250,8 @@ fn parse_schedule(mut args: VecDeque<String>) -> Result<Command, CliError> {
         trace: None,
         trace_clock: TraceClock::default(),
         explain: false,
+        profile: None,
+        heatmap: false,
     };
     while let Some(flag) = args.pop_front() {
         match flag.as_str() {
@@ -248,6 +261,8 @@ fn parse_schedule(mut args: VecDeque<String>) -> Result<Command, CliError> {
             "--gantt" => out.gantt = parse_num(&take_value(&mut args, "--gantt")?, "--gantt")?,
             "--svg" => out.svg = Some(take_value(&mut args, "--svg")?),
             "--trace" => out.trace = Some(take_value(&mut args, "--trace")?),
+            "--profile" => out.profile = Some(take_value(&mut args, "--profile")?),
+            "--heatmap" => out.heatmap = true,
             "--trace-clock" => {
                 out.trace_clock = match take_value(&mut args, "--trace-clock")?.as_str() {
                     "logical" => TraceClock::Logical,
@@ -376,6 +391,24 @@ mod tests {
         assert_eq!(a.trace_clock, TraceClock::Wall);
         assert!(parse("schedule g --machine m --trace-clock sundial").is_err());
         assert!(parse("schedule g --machine m --trace").is_err());
+    }
+
+    #[test]
+    fn schedule_profile_flags() {
+        let Command::Schedule(a) =
+            parse("schedule g --machine mesh:2x2 --profile p.json --heatmap").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.profile.as_deref(), Some("p.json"));
+        assert!(a.heatmap);
+
+        let Command::Schedule(a) = parse("schedule g --machine ring:4 --heatmap").unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.profile, None);
+        assert!(a.heatmap);
+        assert!(parse("schedule g --machine m --profile").is_err());
     }
 
     #[test]

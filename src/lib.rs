@@ -51,6 +51,7 @@
 //! | [`workloads`] | `ccs-workloads` | paper examples, DSP filters, random graphs |
 //! | [`lang`] | `ccs-lang` | loop-kernel language compiling to CSDFGs |
 //! | [`analyze`] | `ccs-analyze` | static diagnostics (`CCS0xx`/`CCSWxx`), `ccsc-check` |
+//! | [`profile`] | `ccs-profile` | communication profiles: traffic ledger, link loads, heatmaps |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -62,6 +63,7 @@ pub use ccs_core as core;
 pub use ccs_graph as graph;
 pub use ccs_lang as lang;
 pub use ccs_model as model;
+pub use ccs_profile as profile;
 pub use ccs_retiming as retiming;
 pub use ccs_schedule as schedule;
 pub use ccs_sim as sim;

@@ -175,7 +175,7 @@ fn run_schedule(args: ScheduleArgs) -> Result<(), String> {
     let machine = load_machine(&args.machine, &g)?;
     // Record the decision stream only when a consumer asked for it;
     // otherwise the scheduler runs the exact uninstrumented path.
-    let traced = args.trace.is_some() || args.explain;
+    let traced = args.trace.is_some() || args.explain || args.profile.is_some() || args.heatmap;
     let (outcome, events) = if traced {
         cyclosched::trace::record(|| cyclo_compact(&g, &machine, args.compact_config()))
     } else {
@@ -270,6 +270,24 @@ fn run_schedule(args: ScheduleArgs) -> Result<(), String> {
         let json = cyclosched::trace::chrome::to_chrome(&events, clock);
         std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
         eprintln!("wrote {path} ({} trace events)", events.len());
+    }
+    if args.profile.is_some() || args.heatmap {
+        // The profile describes the scheduler's own placement, so it is
+        // built from the recorded stream (pre-refinement): the trace and
+        // the profile always agree with each other.
+        let profile = cyclosched::profile::build(&events, &machine);
+        if let Some(path) = &args.profile {
+            let mut json = profile.to_json_pretty();
+            json.push('\n');
+            std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!(
+                "wrote {path} (comm profile, {} ledger rows)",
+                profile.edges.len()
+            );
+        }
+        if args.heatmap {
+            print!("{}", cyclosched::profile::render::heatmap(&profile));
+        }
     }
     Ok(())
 }
