@@ -16,6 +16,12 @@
 //! * `--seeds N` — random-sweep seeds per cell (default 10).
 //! * `--reps N` — timing repetitions, median reported (default 3).
 //!
+//! A `candidate_scan/*` section times the candidate-scan engine
+//! against the [`ccs_core::ScanPolicy::Reference`] full sweep on the
+//! many-PE machines and asserts — every invocation — that both land on
+//! bit-identical schedules; the per-machine ratio is reported as
+//! `candidate_scan_speedup`.
+//!
 //! All timed sections run with **no trace sink installed** (asserted),
 //! so the numbers measure the uninstrumented hot path.  A separate,
 //! untimed instrumented run afterwards feeds a
@@ -173,6 +179,45 @@ fn main() {
         (r.initial_length, r.best_length),
     );
 
+    // --- Candidate-scan microbenchmark: the engine (cost rows + bitset
+    // occupancy + branch-and-bound pruning) against the reference full
+    // sweep, on the many-PE machines where the per-PE scan dominates.
+    // Both runs must land on bit-identical schedules (asserted here, on
+    // every machine, every invocation) — the engine is a pure speedup.
+    let mut scan_speedups: Vec<(String, Value)> = Vec::new();
+    for (slug, machine) in [
+        ("mesh4x4", Machine::mesh(4, 4)),
+        ("complete16", Machine::complete(16)),
+        ("mesh8x8", Machine::mesh(8, 8)),
+        ("complete32", Machine::complete(32)),
+    ] {
+        let config_with = |scan| CompactConfig {
+            remap: ccs_core::RemapConfig {
+                scan,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let (t_eng, r_eng) = time_median(reps, || {
+            cyclo_compact(&big, &machine, config_with(ccs_core::ScanPolicy::Engine)).expect("legal")
+        });
+        let (t_ref, r_ref) = time_median(reps, || {
+            cyclo_compact(&big, &machine, config_with(ccs_core::ScanPolicy::Reference))
+                .expect("legal")
+        });
+        let fp = fingerprint(&r_eng.schedule);
+        assert_eq!(
+            fp,
+            fingerprint(&r_ref.schedule),
+            "candidate-scan engine diverged from the reference sweep on {}",
+            machine.name()
+        );
+        timings.insert(format!("candidate_scan/{slug}/engine"), t_eng);
+        timings.insert(format!("candidate_scan/{slug}/reference"), t_ref);
+        prints.insert(format!("candidate_scan/{slug}"), fp);
+        scan_speedups.push((slug.into(), Value::Float(t_ref / t_eng)));
+    }
+
     let (t, _) = time_median(reps, || {
         let mut total = 0u64;
         for w in ccs_workloads::all_workloads() {
@@ -262,6 +307,10 @@ fn main() {
         ),
         ("metrics".into(), metrics.to_value()),
         ("cells".into(), cells_value),
+        (
+            "candidate_scan_speedup".into(),
+            Value::Object(scan_speedups),
+        ),
     ];
 
     let mut mismatches = 0usize;

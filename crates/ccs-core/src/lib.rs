@@ -51,7 +51,9 @@ mod traffic;
 
 pub use compact::{cyclo_compact, CompactConfig, Compaction};
 pub use priority::Priority;
-pub use remap::{rotate_remap, rotate_remap_in_place, InPlaceOutcome, RemapConfig, RemapMode};
+pub use remap::{
+    rotate_remap, rotate_remap_in_place, InPlaceOutcome, RemapConfig, RemapMode, ScanPolicy,
+};
 pub use startup::{startup_schedule, StartupConfig};
 
 #[cfg(test)]
@@ -114,7 +116,12 @@ mod proptests {
         fn theorem_4_4_without_relaxation_is_monotone(g in arb_csdfg(), m in arb_machine()) {
             let cfg = CompactConfig {
                 passes: 12,
-                remap: RemapConfig { mode: RemapMode::WithoutRelaxation, max_growth: 0, rows_per_pass: 1 },
+                remap: RemapConfig {
+                    mode: RemapMode::WithoutRelaxation,
+                    max_growth: 0,
+                    rows_per_pass: 1,
+                    ..Default::default()
+                },
                 ..Default::default()
             };
             let r = cyclo_compact(&g, &m, cfg).unwrap();
@@ -143,6 +150,36 @@ mod proptests {
             let reapplied = r.retiming.apply(&g);
             for e in g.deps() {
                 prop_assert_eq!(reapplied.delay(e), r.graph.delay(e));
+            }
+        }
+
+        #[test]
+        fn pruned_scan_matches_reference_scan(g in arb_csdfg(), m in arb_machine()) {
+            // Pruning soundness: the candidate-scan engine (sequential
+            // and forced-parallel) must reproduce the reference full
+            // sweep bit-for-bit — schedules, lengths, and the entire
+            // pass history.
+            let run = |scan: ScanPolicy, parallel_pes: u32| {
+                let cfg = CompactConfig {
+                    passes: 8,
+                    remap: RemapConfig { scan, parallel_pes, ..Default::default() },
+                    ..Default::default()
+                };
+                cyclo_compact(&g, &m, cfg).unwrap()
+            };
+            let reference = run(ScanPolicy::Reference, u32::MAX);
+            let engine = run(ScanPolicy::Engine, u32::MAX);
+            let parallel = run(ScanPolicy::Engine, 1);
+            for (label, r) in [("engine", &engine), ("parallel", &parallel)] {
+                prop_assert_eq!(&r.schedule, &reference.schedule, "{} schedule diverged", label);
+                prop_assert_eq!(r.best_length, reference.best_length, "{} best length", label);
+                prop_assert_eq!(r.initial_length, reference.initial_length, "{} initial", label);
+                prop_assert_eq!(r.history.len(), reference.history.len(), "{} passes", label);
+                for (a, b) in r.history.iter().zip(&reference.history) {
+                    prop_assert_eq!(a.length, b.length, "{} pass length", label);
+                    prop_assert_eq!(a.reverted, b.reverted, "{} pass verdict", label);
+                    prop_assert_eq!(&a.rotated, &b.rotated, "{} rotation set", label);
+                }
             }
         }
 

@@ -13,6 +13,7 @@ use ccs_retiming::{rotate_in_place, unrotate_in_place};
 use ccs_schedule::{required_length, Schedule, Slot};
 use ccs_topology::{Machine, Pe};
 use ccs_trace::{Event, Off, Probe, RunnerUp, Tls, Verdict};
+use rayon::prelude::*;
 
 /// Raw `u32` index of a node, for event payloads.  (Node indices are
 /// backed by `u32` so the fallback is unreachable; `try_from` keeps
@@ -65,6 +66,29 @@ pub enum RemapMode {
     WithRelaxation,
 }
 
+/// Candidate-scan strategy of the remapper's `best_position` when no
+/// trace sink is installed.  (The probe-active path always runs the
+/// full reference sweep, so `Candidate` events, their order, and every
+/// counter are unchanged by the engine.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ScanPolicy {
+    /// The candidate-scan engine: per-edge volume-scaled cost rows
+    /// hoisted once per node ([`Machine::dist_row`]), branch-and-bound
+    /// PE pruning on the `(impact, cs, comm, pe)` ranking key, and —
+    /// on machines with at least [`RemapConfig::parallel_pes`] PEs — a
+    /// deterministic parallel chunk scan.  Pruning is on strict
+    /// domination only, so the winner and every tie-break are
+    /// bit-identical to [`ScanPolicy::Reference`] (proptested).
+    #[default]
+    Engine,
+    /// The plain full sequential sweep (pre-engine behavior):
+    /// recomputes each edge's communication cost per candidate PE and
+    /// prunes nothing.  Kept as the oracle for the pruning-soundness
+    /// tests and as the baseline of the candidate-scan
+    /// microbenchmark.
+    Reference,
+}
+
 /// Options for a rotate-remap pass.
 #[derive(Clone, Copy, Debug)]
 pub struct RemapConfig {
@@ -78,6 +102,17 @@ pub struct RemapConfig {
     /// moves per pass, coarser search).  Clamped to the current
     /// schedule length.
     pub rows_per_pass: u32,
+    /// Candidate-scan strategy (see [`ScanPolicy`]).
+    pub scan: ScanPolicy,
+    /// Minimum machine size (in PEs) before the unprobed engine scan
+    /// fans the PE range out across rayon workers.  The default is
+    /// deliberately above every in-repo machine: the vendored rayon
+    /// stand-in spawns a fresh thread scope per call, so fan-out only
+    /// pays once a single scan outweighs thread spawn-up — lower it
+    /// explicitly for very wide machines (or to exercise the parallel
+    /// path in tests; results are byte-identical at any threshold and
+    /// thread count).
+    pub parallel_pes: u32,
 }
 
 impl Default for RemapConfig {
@@ -86,6 +121,8 @@ impl Default for RemapConfig {
             mode: RemapMode::default(),
             max_growth: 8,
             rows_per_pass: 1,
+            scan: ScanPolicy::default(),
+            parallel_pes: 128,
         }
     }
 }
@@ -179,6 +216,13 @@ pub(crate) fn remap_probed<P: Probe>(
     probe: &mut P,
 ) -> InPlaceOutcome {
     let mut counters = Counters::default();
+    // Connectivity is a construction-time property (cached, O(1));
+    // past this point the hot path reads the hop table branch-free.
+    debug_assert!(
+        machine.is_connected(),
+        "cannot remap on disconnected machine {}",
+        machine.name()
+    );
     crate::oracle::verify("rotate_remap_in_place: entry", g, machine, sched);
     if P::ACTIVE {
         counters.oracle_calls += u64::from(crate::oracle::ENABLED);
@@ -235,12 +279,15 @@ pub(crate) fn remap_probed<P: Probe>(
     // flat slices instead of re-walking edge lists per (PE, target).
     let adjacency = hoist_adjacency(g, &rotated);
     let mut scratch = Scratch::default();
+    // Cost rows only feed the unprobed engine scan; the probed and
+    // reference sweeps recompute per-candidate costs instead.
+    let cost_rows = !P::ACTIVE && config.scan == ScanPolicy::Engine;
     let mut failed = false;
     'remap: for (&v, adj) in rotated.iter().zip(&adjacency) {
         let duration = g.time(v);
         // Placements only change between nodes, so neighbour slots can
         // be resolved once per node and reused across PEs and targets.
-        scratch.resolve(adj, sched);
+        scratch.resolve(adj, sched, machine, cost_rows);
         let mut attempts: u64 = 0;
         for &target in &targets {
             if P::ACTIVE {
@@ -254,6 +301,7 @@ pub(crate) fn remap_probed<P: Probe>(
                 &mut scratch,
                 target,
                 nid(v),
+                config,
                 probe,
                 &mut counters,
             ) {
@@ -394,20 +442,32 @@ struct PlacedEdge {
 }
 
 /// Reusable per-node buffers for [`best_position`]: resolved placed
-/// neighbours plus per-edge communication costs for the candidate PE
-/// (written in the bound sweep, reused in the impact sweep).
+/// neighbours, per-candidate communication costs for the reference and
+/// probed sweeps (written in the bound sweep, reused in the impact
+/// sweep), and — for the engine scan — the per-PE total traffic `comm`
+/// (the column sums of every edge's volume-scaled hop-distance row),
+/// hoisted once per node so it is shared across every target the
+/// remapper tries and every per-PE sweep reads it as one indexed add.
 #[derive(Default)]
 struct Scratch {
     ins: Vec<PlacedEdge>,
     outs: Vec<PlacedEdge>,
     m_ins: Vec<i64>,
     m_outs: Vec<i64>,
+    comm: Vec<u32>,
 }
 
 impl Scratch {
     /// Resolves `adj` against the current table, keeping only edges
-    /// whose neighbour is placed (unplaced neighbours never constrain).
-    fn resolve(&mut self, adj: &NodeAdj, table: &Schedule) {
+    /// whose neighbour is placed (unplaced neighbours never constrain),
+    /// and with `cost_rows` accumulates the per-PE traffic columns from
+    /// each edge's volume-scaled hop-distance row
+    /// ([`Machine::dist_row`]; distances are symmetric, so one row
+    /// serves in- and out-edges alike).  Every buffer is `clear`ed
+    /// before refilling, so a node with fewer resolved edges than its
+    /// predecessor can never observe stale slots (regression-tested
+    /// below).
+    fn resolve(&mut self, adj: &NodeAdj, table: &Schedule, machine: &Machine, cost_rows: bool) {
         self.ins.clear();
         for &(u, k, vol) in &adj.ins {
             let (Some(ce_u), Some(pu)) = (table.ce(u), table.pe(u)) else {
@@ -432,8 +492,20 @@ impl Scratch {
                 step: i64::from(cb_w),
             });
         }
+        self.m_ins.clear();
         self.m_ins.resize(self.ins.len(), 0);
+        self.m_outs.clear();
         self.m_outs.resize(self.outs.len(), 0);
+        self.comm.clear();
+        if cost_rows {
+            self.comm.resize(machine.num_pes(), 0);
+            for e in self.ins.iter().chain(&self.outs) {
+                let vol = e.vol;
+                for (sum, &d) in self.comm.iter_mut().zip(machine.dist_row(e.pe)) {
+                    *sum += d * vol;
+                }
+            }
+        }
     }
 }
 
@@ -441,7 +513,15 @@ impl Scratch {
 /// `ceil((M + CE(u) - CB(w) + 1) / k)`.
 fn psl(m: i64, ce: i64, cb: i64, k: i64) -> i64 {
     let num = m + ce - cb + 1;
-    num.div_euclid(k) + i64::from(num.rem_euclid(k) != 0)
+    // k > 0, so flooring plus a product check needs one division
+    // instead of two — and delay-1 edges (the common case) skip the
+    // division entirely.
+    if k == 1 {
+        num
+    } else {
+        let q = num.div_euclid(k);
+        q + i64::from(num != q * k)
+    }
 }
 
 /// Finds the cheapest feasible `(control step, processor)` for the node
@@ -486,14 +566,227 @@ struct Placement {
     runner_up: Option<RunnerUp>,
 }
 
+/// A candidate's full ranking key `(impact, cs, comm, pe index)`;
+/// lexicographic minimum wins, and the trailing PE index makes the
+/// minimum unique — the property the deterministic parallel reduce
+/// relies on.
+type CandKey = (u32, u32, u32, u32);
+
+/// Sequential candidate-scan-engine sweep over the PE span
+/// `[lo, hi)`, returning the span's best ranking key.
+///
+/// The `AN` bounds are computed column-major: one tight add-and-
+/// accumulate loop per resolved edge over the span's slice of its
+/// hoisted cost row (indexed adds, no multiplies, no bounds checks, no
+/// hop-matrix branch — the compiler vectorizes these), instead of
+/// re-walking the edge list once per PE.  Per-PE traffic comes from
+/// the column sums [`Scratch::comm`] hoisted once per *node*, shared
+/// across every target.
+///
+/// Branch-and-bound then decides per PE whether the expensive part —
+/// the free-window scan and the PSL sweep — can be skipped: every
+/// component of the eventual key is bounded below by what is already
+/// fixed (`cs` by the anticipation bound and the PE's free cursor,
+/// `impact` by the end step of that earliest window, `comm` and `pe`
+/// exactly), and component-wise `>=` implies lexicographic `>=`.  A PE
+/// is pruned only when even its floor key fails to *strictly* beat the
+/// incumbent — precisely the candidates the reference sweep would
+/// discard too — so winner and tie-breaks are bit-identical.
+fn scan_span(
+    machine: &Machine,
+    table: &Schedule,
+    duration: u32,
+    scratch: &Scratch,
+    target: u32,
+    lo: usize,
+    hi: usize,
+) -> Option<CandKey> {
+    let target_len = i64::from(target);
+    let dur = i64::from(duration);
+    let span = hi - lo;
+    // Lower bound on CB(v) per PE from placed predecessors (Lemma 4.2)
+    // and upper bound on CE(v) from placed successors and the target,
+    // accumulated column-major straight off each edge's hop-distance
+    // row slice.  Local buffers keep the parallel chunk scan free of
+    // shared mutable state.
+    let mut lb = vec![1i64; span];
+    for e in &scratch.ins {
+        let base = e.step + 1 - e.k * target_len;
+        let vol = e.vol;
+        let row = &machine.dist_row(e.pe)[lo..hi];
+        for (l, &d) in lb.iter_mut().zip(row) {
+            *l = (*l).max(i64::from(d * vol) + base);
+        }
+    }
+    let mut ub = vec![target_len; span];
+    for e in &scratch.outs {
+        let base = e.k * target_len + e.step - 1;
+        let vol = e.vol;
+        let row = &machine.dist_row(e.pe)[lo..hi];
+        for (u, &d) in ub.iter_mut().zip(row) {
+            *u = (*u).min(base - i64::from(d * vol));
+        }
+    }
+    let mut best: Option<CandKey> = None;
+    for (i, (&lb, &ub)) in lb.iter().zip(&ub).enumerate() {
+        if lb > ub {
+            continue;
+        }
+        let p = lo + i;
+        let pe = Pe::from_index(p);
+        let comm = scratch.comm[p];
+        // INVARIANT: lb <= ub <= target at this point (checked above)
+        // and target is a u32, so the clamped value always fits.
+        let from = u32::try_from(lb.max(1)).expect("clamped positive");
+        if let Some(incumbent) = best {
+            let floor = from.max(table.free_cursor(pe));
+            let impact_floor = u32::try_from(i64::from(floor) + dur - 1).unwrap_or(u32::MAX);
+            if (impact_floor, floor, comm, pe.0) >= incumbent {
+                continue;
+            }
+        }
+        let cs = table.earliest_free(pe, from, duration);
+        let ce_v = i64::from(cs) + dur - 1;
+        if ce_v > ub {
+            continue;
+        }
+        let mut needed = ce_v;
+        for e in &scratch.ins {
+            if e.k > 0 {
+                let m = i64::from(machine.dist_row(e.pe)[p] * e.vol);
+                needed = needed.max(psl(m, e.step, i64::from(cs), e.k));
+            }
+        }
+        for e in &scratch.outs {
+            if e.k > 0 {
+                let m = i64::from(machine.dist_row(e.pe)[p] * e.vol);
+                needed = needed.max(psl(m, ce_v, e.step, e.k));
+            }
+        }
+        // Saturating conversion, matching the reference sweep exactly.
+        let impact = u32::try_from(needed.max(0)).unwrap_or(u32::MAX);
+        let key = (impact, cs, comm, pe.0);
+        if best.is_none_or(|b| key < b) {
+            best = Some(key);
+        }
+    }
+    best
+}
+
+/// Deterministic parallel engine scan: the PE range is cut into fixed
+/// contiguous chunks (one per rayon worker), each chunk runs
+/// [`scan_span`] independently, and the per-chunk minima are reduced
+/// in ascending PE order.  Chunk-local pruning never changes a chunk's
+/// exact minimum, and the trailing PE index makes the global minimum
+/// unique, so the result is byte-identical to the sequential scan at
+/// any `RAYON_NUM_THREADS`.
+fn parallel_scan(
+    machine: &Machine,
+    table: &Schedule,
+    duration: u32,
+    scratch: &Scratch,
+    target: u32,
+) -> Option<CandKey> {
+    let n = machine.num_pes();
+    let chunk = n.div_ceil(rayon::current_num_threads().min(n).max(1));
+    let spans: Vec<(usize, usize)> = (0..n)
+        .step_by(chunk)
+        .map(|lo| (lo, (lo + chunk).min(n)))
+        .collect();
+    let bests: Vec<Option<CandKey>> = spans
+        .into_par_iter()
+        .map(|(lo, hi)| scan_span(machine, table, duration, scratch, target, lo, hi))
+        .collect();
+    bests
+        .into_iter()
+        .flatten()
+        .reduce(|a, b| if b < a { b } else { a })
+}
+
+/// The pre-engine full sweep ([`ScanPolicy::Reference`]): recomputes
+/// each edge's communication cost per candidate PE via
+/// [`Machine::comm_cost`] and prunes nothing.  Oracle for the
+/// pruning-soundness tests and baseline for the candidate-scan
+/// microbenchmark.
+fn reference_scan(
+    machine: &Machine,
+    table: &Schedule,
+    duration: u32,
+    scratch: &mut Scratch,
+    target: u32,
+) -> Option<CandKey> {
+    let target_len = i64::from(target);
+    let Scratch {
+        ins,
+        outs,
+        m_ins,
+        m_outs,
+        ..
+    } = scratch;
+    let mut best: Option<CandKey> = None;
+    for pe in machine.pes() {
+        let mut lb: i64 = 1;
+        let mut comm: u32 = 0;
+        for (e, m_slot) in ins.iter().zip(m_ins.iter_mut()) {
+            let c = machine.comm_cost(e.pe, pe, e.vol);
+            let m = i64::from(c);
+            *m_slot = m;
+            comm += c;
+            lb = lb.max(m + e.step + 1 - e.k * target_len);
+        }
+        let mut ub: i64 = target_len;
+        for (e, m_slot) in outs.iter().zip(m_outs.iter_mut()) {
+            let c = machine.comm_cost(pe, e.pe, e.vol);
+            let m = i64::from(c);
+            *m_slot = m;
+            comm += c;
+            ub = ub.min(e.k * target_len + e.step - m - 1);
+        }
+        if lb > ub {
+            continue;
+        }
+        // INVARIANT: lb <= ub <= target at this point (checked above)
+        // and target is a u32, so the clamped value always fits.
+        let from = u32::try_from(lb.max(1)).expect("clamped positive");
+        let cs = table.earliest_free(pe, from, duration);
+        let ce_v = i64::from(cs) + i64::from(duration) - 1;
+        if ce_v > ub {
+            continue;
+        }
+        let mut needed = ce_v;
+        for (e, &m) in ins.iter().zip(m_ins.iter()) {
+            if e.k > 0 {
+                needed = needed.max(psl(m, e.step, i64::from(cs), e.k));
+            }
+        }
+        for (e, &m) in outs.iter().zip(m_outs.iter()) {
+            if e.k > 0 {
+                needed = needed.max(psl(m, ce_v, e.step, e.k));
+            }
+        }
+        let impact = u32::try_from(needed.max(0)).unwrap_or(u32::MAX);
+        let key = (impact, cs, comm, pe.0);
+        if best.is_none_or(|b| key < b) {
+            best = Some(key);
+        }
+    }
+    best
+}
+
 /// The lower/upper-bound sweep, the traffic sum, and the per-edge
 /// communication costs of the impact sweep are fused into a single pass
 /// over the resolved edges per processor.
 ///
-/// With an active probe every scanned PE emits an [`Event::Candidate`]
-/// carrying the `AN` bounds and the rejection reason, and the
-/// second-best feasible slot is tracked for the placement's
-/// `runner_up`; with the no-op probe all of that is compiled away.
+/// Dispatch: with an active probe every PE is scanned in full and
+/// emits an [`Event::Candidate`] carrying the `AN` bounds and the
+/// rejection reason, and the second-best feasible slot is tracked for
+/// the placement's `runner_up` — the engine never runs, so traces and
+/// counters are unchanged by it.  With the no-op probe the scan goes
+/// through [`ScanPolicy`]: the candidate-scan engine ([`scan_span`],
+/// fanned out via [`parallel_scan`] on machines of at least
+/// [`RemapConfig::parallel_pes`] PEs) or the full
+/// [`reference_scan`] — all of which return the same winner,
+/// bit-identically.
 #[allow(clippy::too_many_arguments)]
 fn best_position<P: Probe>(
     machine: &Machine,
@@ -502,15 +795,37 @@ fn best_position<P: Probe>(
     scratch: &mut Scratch,
     target: u32,
     node: u32,
+    config: RemapConfig,
     probe: &mut P,
     counters: &mut Counters,
 ) -> Option<Placement> {
+    if !P::ACTIVE {
+        let best = match config.scan {
+            ScanPolicy::Reference => reference_scan(machine, table, duration, scratch, target),
+            ScanPolicy::Engine => {
+                let n = machine.num_pes();
+                if n >= config.parallel_pes as usize && rayon::current_num_threads() > 1 {
+                    parallel_scan(machine, table, duration, &*scratch, target)
+                } else {
+                    scan_span(machine, table, duration, &*scratch, target, 0, n)
+                }
+            }
+        };
+        return best.map(|(impact, cs, comm, pe)| Placement {
+            cs,
+            pe: Pe(pe),
+            impact,
+            comm,
+            runner_up: None,
+        });
+    }
     let target_len = i64::from(target);
     let Scratch {
         ins,
         outs,
         m_ins,
         m_outs,
+        ..
     } = scratch;
     let mut best: Option<(u32, u32, u32, Pe)> = None;
     // Runner-up slot for the explain narrative (probe-gated).
@@ -695,6 +1010,7 @@ mod tests {
             mode: RemapMode::WithoutRelaxation,
             max_growth: 0,
             rows_per_pass: 1,
+            ..Default::default()
         };
         for _ in 0..10 {
             let prev = s.length();
@@ -778,6 +1094,72 @@ mod tests {
             assert_eq!(out.rotated.len(), g.task_count());
             assert!(validate(&out.graph, &m, &out.schedule).is_ok());
         }
+    }
+
+    #[test]
+    fn scratch_resolve_cannot_leak_stale_slots() {
+        // Regression: `resolve` once grew `m_ins`/`m_outs` with a bare
+        // `Vec::resize`, which never shrinks — a node with fewer
+        // resolved edges than its predecessor would keep the old tail
+        // alive and a later exact-length sweep could read stale costs.
+        // Resolve a fat node, then a thin one, and check every buffer
+        // is exactly sized and freshly filled.
+        let mut g = Csdfg::new();
+        let hub = g.add_task("hub", 1).unwrap();
+        let spokes: Vec<_> = (0..5)
+            .map(|i| g.add_task(format!("s{i}"), 1).unwrap())
+            .collect();
+        for &s in &spokes {
+            g.add_dep(s, hub, 1, 7).unwrap();
+            g.add_dep(hub, s, 1, 7).unwrap();
+        }
+        let thin = g.add_task("thin", 1).unwrap();
+        g.add_dep(spokes[0], thin, 1, 2).unwrap();
+        g.add_dep(thin, spokes[0], 1, 2).unwrap();
+
+        let m = Machine::mesh(2, 2);
+        let mut sched = Schedule::new(m.num_pes());
+        for (i, &s) in spokes.iter().enumerate() {
+            // INVARIANT: distinct (pe, cs) cells by construction.
+            sched
+                .place(
+                    s,
+                    Pe::from_index(i % 4),
+                    u32::try_from(i / 4 + 1).unwrap(),
+                    1,
+                )
+                .unwrap();
+        }
+
+        let adj = hoist_adjacency(&g, &[hub, thin]);
+        let mut scratch = Scratch::default();
+        scratch.resolve(&adj[0], &sched, &m, true);
+        assert_eq!(scratch.ins.len(), 5);
+        assert_eq!(scratch.m_ins.len(), 5);
+        assert_eq!(scratch.comm.len(), m.num_pes());
+        // Poison the reusable buffers, as a real sweep would.
+        for s in &mut scratch.m_ins {
+            *s = -99;
+        }
+        for s in &mut scratch.m_outs {
+            *s = -99;
+        }
+
+        scratch.resolve(&adj[1], &sched, &m, true);
+        assert_eq!(scratch.ins.len(), 1, "thin node resolves one in-edge");
+        assert_eq!(scratch.outs.len(), 1);
+        assert_eq!(scratch.m_ins.len(), 1, "m_ins must shrink with the node");
+        assert_eq!(scratch.m_outs.len(), 1);
+        assert_eq!(scratch.comm.len(), m.num_pes());
+        assert!(
+            scratch.m_ins.iter().chain(&scratch.m_outs).all(|&v| v == 0),
+            "stale poison leaked into the resolved buffers"
+        );
+        // The comm column is rebuilt from the thin node's own edges:
+        // one in- and one out-edge to spoke0 on PE 0, volume 2 each,
+        // so every column is 4 * dist_row(0).
+        let expect: Vec<u32> = m.dist_row(Pe(0)).iter().map(|&d| d * 4).collect();
+        assert_eq!(scratch.comm, expect);
     }
 
     #[test]

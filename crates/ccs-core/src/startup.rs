@@ -185,29 +185,37 @@ fn best_slot_at(
     ignore_comm: bool,
 ) -> Option<Pe> {
     let duration = g.time(node);
+    // Resolve the scheduled predecessors once, outside the PE loop: an
+    // unscheduled predecessor defers the node on *every* processor, and
+    // `base_cm` (the communication-free part of `cm`) lower-bounds the
+    // per-PE value, so `base_cm >= cs` defers without scanning a single
+    // processor.  Per PE the sweep is then one hop-row read per
+    // predecessor instead of a graph walk.
+    let mut base_cm: u32 = 0;
+    let mut preds: Vec<(u32, Pe, u32)> = Vec::new();
+    for e in g.intra_iter_in_deps(node) {
+        let (u, _) = g.endpoints(e);
+        let ce_u = sched.ce(u)?; // predecessor not scheduled yet
+        base_cm = base_cm.max(ce_u);
+        if !ignore_comm {
+            // INVARIANT: ce(u) succeeded just above, so u is placed
+            // and has a processor.
+            preds.push((ce_u, sched.pe(u).expect("placed"), g.volume(e)));
+        }
+    }
+    if base_cm >= cs {
+        return None;
+    }
     let mut best: Option<(u32, Pe)> = None;
     for pe in machine.pes() {
         if !sched.is_free(pe, cs, duration) {
             continue;
         }
-        let mut cm: u32 = 0;
-        let mut infeasible = false;
-        for e in g.intra_iter_in_deps(node) {
-            let (u, _) = g.endpoints(e);
-            let Some(ce_u) = sched.ce(u) else {
-                infeasible = true; // predecessor not scheduled yet
-                break;
-            };
-            let m = if ignore_comm {
-                0
-            } else {
-                // INVARIANT: ce(u) succeeded just above, so u is
-                // placed and has a processor.
-                machine.comm_cost(sched.pe(u).expect("placed"), pe, g.volume(e))
-            };
-            cm = cm.max(ce_u + m);
+        let mut cm: u32 = base_cm;
+        for &(ce_u, pu, vol) in &preds {
+            cm = cm.max(ce_u + machine.dist_row(pu)[pe.index()] * vol);
         }
-        if infeasible || cm >= cs {
+        if cm >= cs {
             continue;
         }
         if best.is_none_or(|(bcm, _)| cm < bcm) {

@@ -182,8 +182,15 @@ pub fn psl(g: &Csdfg, m: &Machine, s: &Schedule, e: EdgeId) -> Option<u32> {
     let mm = i64::from(m.try_comm_cost(s.pe(u)?, s.pe(v)?, g.volume(e))?);
     let num = mm + ce_u - cb_v + 1;
     let k = i64::from(k);
-    // ceil(num / k) for possibly negative num.
-    let q = num.div_euclid(k) + i64::from(num.rem_euclid(k) != 0);
+    // ceil(num / k) for possibly negative num; k > 0, so a floor plus
+    // a product check needs one division instead of two — and delay-1
+    // edges (the common case) skip the division entirely.
+    let q = if k == 1 {
+        num
+    } else {
+        let d = num.div_euclid(k);
+        d + i64::from(num != d * k)
+    };
     // INVARIANT: q is clamped to >= 0 and bounded by M + CE(u) + 1,
     // both of which are sums/products of u32 values well below 2^33,
     // so the conversion cannot truncate.

@@ -2,11 +2,13 @@
 //!
 //! Storage is dense: placements live in a `Vec<Option<Slot>>` indexed
 //! by raw node id, and per-PE occupancy is a flat row of control-step
-//! cells with a first-free cursor, so the hot operations of the
-//! cyclo-compaction inner loop ([`Schedule::earliest_free`],
-//! [`Schedule::place`], [`Schedule::drop_and_shift_by`]) are
-//! O(1)-amortized instead of tree walks.  The public API, the serde
-//! JSON shape, and every tie-break ordering are identical to the
+//! cells with a first-free cursor plus a mirroring bitset (one `u64`
+//! word per 64 steps), so the hot operations of the cyclo-compaction
+//! inner loop ([`Schedule::earliest_free`], [`Schedule::place`],
+//! [`Schedule::drop_and_shift_by`]) are O(1)-amortized instead of tree
+//! walks — and the free-window scan advances a word at a time via
+//! `trailing_zeros` rather than a cell at a time.  The public API, the
+//! serde JSON shape, and every tie-break ordering are identical to the
 //! original `BTreeMap`-backed table.
 
 use ccs_model::NodeId;
@@ -88,6 +90,37 @@ impl std::error::Error for TableError {}
 /// Free-cell sentinel in an occupancy row.
 const FREE: usize = usize::MAX;
 
+/// Bitset words needed to cover `cells` occupancy cells, one bit each.
+fn bit_words(cells: usize) -> usize {
+    cells.div_ceil(64)
+}
+
+/// First occupied cell index `>= from_cell` in a per-PE occupancy
+/// bitset, or `None` when everything from `from_cell` on is free.
+/// Word-level: masks the first word below `from_cell`, then jumps a
+/// whole word per iteration and finishes with `trailing_zeros`.
+fn next_occupied(bits: &[u64], from_cell: u32) -> Option<u32> {
+    let mut w = (from_cell / 64) as usize;
+    if w >= bits.len() {
+        return None;
+    }
+    let mut word = bits[w] & (u64::MAX << (from_cell % 64));
+    loop {
+        if word != 0 {
+            // INVARIANT: bits.len() <= bit_words(row.len()) and rows
+            // are far shorter than u32::MAX cells, so the cell index
+            // fits a u32.
+            let w32 = u32::try_from(w).expect("bitset shorter than u32::MAX words");
+            return Some(w32 * 64 + word.trailing_zeros());
+        }
+        w += 1;
+        if w >= bits.len() {
+            return None;
+        }
+        word = bits[w];
+    }
+}
+
 /// A static schedule for one loop iteration: every task gets a
 /// processor and a 1-based start control step; the table repeats every
 /// [`Schedule::length`] steps.
@@ -108,6 +141,13 @@ pub struct Schedule {
     /// Per-PE occupancy row; cell `cs - 1` holds the occupying node's
     /// raw index, or [`FREE`].
     rows: Vec<Vec<usize>>,
+    /// Per-PE occupancy bitset mirroring `rows`: bit `c % 64` of word
+    /// `c / 64` is set iff cell `c` (0-based; control step `c + 1`) is
+    /// occupied.  Sized to exactly `rows[p].len().div_ceil(64)` words
+    /// with no ghost bits past the row, so [`Schedule::earliest_free`]
+    /// can scan whole words with `trailing_zeros` instead of walking
+    /// cells.
+    bits: Vec<Vec<u64>>,
     /// Per-PE cursor: the smallest free control step (1-based).  Every
     /// cell strictly below the cursor is occupied.
     first_free: Vec<u32>,
@@ -125,6 +165,7 @@ impl Schedule {
             placed: 0,
             occupied_end: 0,
             rows: vec![Vec::new(); num_pes],
+            bits: vec![Vec::new(); num_pes],
             first_free: vec![1; num_pes],
             padding: 0,
         }
@@ -141,31 +182,37 @@ impl Schedule {
     }
 
     /// `true` if `node` has been placed.
+    #[inline]
     pub fn is_placed(&self, node: NodeId) -> bool {
         self.slots.get(node.index()).is_some_and(Option::is_some)
     }
 
     /// The slot of `node`, if placed.
+    #[inline]
     pub fn slot(&self, node: NodeId) -> Option<Slot> {
         self.slots.get(node.index()).copied().flatten()
     }
 
     /// The paper's `CB(u)`: start control step.
+    #[inline]
     pub fn cb(&self, node: NodeId) -> Option<u32> {
         self.slot(node).map(|s| s.start)
     }
 
     /// The paper's `CE(u)`: end control step.
+    #[inline]
     pub fn ce(&self, node: NodeId) -> Option<u32> {
         self.slot(node).map(|s| s.end())
     }
 
     /// The paper's `PE(u)`: assigned processor.
+    #[inline]
     pub fn pe(&self, node: NodeId) -> Option<Pe> {
         self.slot(node).map(|s| s.pe)
     }
 
     /// Schedule length `L`: last occupied control step, plus padding.
+    #[inline]
     pub fn length(&self) -> u32 {
         self.occupied_end + self.padding
     }
@@ -234,6 +281,13 @@ impl Schedule {
             }
             *cursor = cs;
         }
+        // Mirror the filled run into the occupancy bitset.
+        let bits = &mut self.bits[pe.index()];
+        bits.resize(bit_words(row.len()), 0);
+        for cs in start..=end {
+            let cell = (cs - 1) as usize;
+            bits[cell / 64] |= 1 << (cell % 64);
+        }
         if node.index() >= self.slots.len() {
             self.slots.resize(node.index() + 1, None);
         }
@@ -251,8 +305,11 @@ impl Schedule {
     pub fn remove(&mut self, node: NodeId) -> Option<Slot> {
         let slot = self.slots.get_mut(node.index())?.take()?;
         let row = &mut self.rows[slot.pe.index()];
+        let bits = &mut self.bits[slot.pe.index()];
         for cs in slot.start..=slot.end() {
-            row[(cs - 1) as usize] = FREE;
+            let cell = (cs - 1) as usize;
+            row[cell] = FREE;
+            bits[cell / 64] &= !(1 << (cell % 64));
         }
         let cursor = &mut self.first_free[slot.pe.index()];
         *cursor = (*cursor).min(slot.start);
@@ -302,24 +359,74 @@ impl Schedule {
 
     /// First control step `>= from` at which `pe` can host a task of
     /// `duration` steps.
+    ///
+    /// Word-level scan over the occupancy bitset: from each candidate
+    /// window start, jump straight to the next occupied cell via
+    /// masked `trailing_zeros` — if it lies at or beyond the window
+    /// end the window is free, otherwise restart one past the
+    /// conflict.  Whole free words cost one compare instead of 64 cell
+    /// reads; behavior is bit-identical to the cell-walk original
+    /// (proptested against the sparse reference in
+    /// `tests/equivalence.rs`).
+    #[inline]
     pub fn earliest_free(&self, pe: Pe, from: u32, duration: u32) -> u32 {
-        let row = &self.rows[pe.index()];
-        let len = row.len() as u32;
+        let len = self.rows[pe.index()].len() as u32;
+        let bits = &self.bits[pe.index()];
         // Every cell below the cursor is occupied, so no window can
         // start there.
-        let mut run_start = from.max(1).max(self.first_free[pe.index()]);
-        let mut cs = run_start;
+        let mut start = from.max(1).max(self.first_free[pe.index()]);
         loop {
-            if cs >= run_start + duration || cs > len {
-                // Window complete, or everything from `cs` on is past
-                // the occupied row (hence free).
-                return run_start;
+            if start > len {
+                // Everything from `start` on is past the occupied row
+                // (hence free).
+                return start;
             }
-            if row[(cs - 1) as usize] != FREE {
-                run_start = cs + 1;
+            match next_occupied(bits, start - 1) {
+                None => return start,
+                Some(occ) => {
+                    if u64::from(occ) >= u64::from(start - 1) + u64::from(duration) {
+                        // First conflict lies at or past the window
+                        // end: the window is free.
+                        return start;
+                    }
+                    // Occupied cell `occ` blocks the window; the next
+                    // candidate start is the step right after it.
+                    start = occ + 2;
+                }
             }
-            cs += 1;
         }
+    }
+
+    /// The per-PE first-free cursor: the smallest control step at
+    /// which `pe` could host anything (every step strictly below is
+    /// occupied).  `earliest_free(pe, from, d) >= free_cursor(pe)` for
+    /// any `from` and `d` — the candidate-scan engine uses this as a
+    /// cheap lower bound when deciding whether a PE can still beat the
+    /// incumbent before paying for the window scan.
+    #[inline]
+    pub fn free_cursor(&self, pe: Pe) -> u32 {
+        self.first_free[pe.index()]
+    }
+
+    /// Test support: `true` when every PE's occupancy bitset exactly
+    /// mirrors its dense row (same occupied cells, exact word count,
+    /// no ghost bits past the row).  The equivalence proptests call
+    /// this after every mutation; it is O(cells) and not for the hot
+    /// path.
+    #[doc(hidden)]
+    pub fn occupancy_bits_in_sync(&self) -> bool {
+        self.rows.iter().zip(&self.bits).all(|(row, bits)| {
+            if bits.len() != bit_words(row.len()) {
+                return false;
+            }
+            let cell_set = |c: usize| bits[c / 64] >> (c % 64) & 1 == 1;
+            let mirrored = row
+                .iter()
+                .enumerate()
+                .all(|(c, &cell)| cell_set(c) == (cell != FREE));
+            let no_ghosts = (row.len()..bits.len() * 64).all(|c| !cell_set(c));
+            mirrored && no_ghosts
+        })
     }
 
     /// Nodes beginning at control step 1 — the paper's rotation set `J`.
@@ -420,6 +527,12 @@ impl Schedule {
             row.resize(cs as usize, FREE);
         }
         row[(cs - 1) as usize] = node.index();
+        // Bits mirror rows even under fault injection, so the oracle
+        // exercises the same lookup structures the hot path reads.
+        let bits = &mut self.bits[pe.index()];
+        bits.resize(bit_words(row.len()), 0);
+        let cell = (cs - 1) as usize;
+        bits[cell / 64] |= 1 << (cell % 64);
     }
 
     /// Removes the given nodes and shifts every remaining placement one
@@ -509,6 +622,15 @@ impl Schedule {
                 cs += 1;
             }
             self.first_free[p] = cs;
+        }
+        for (row, bits) in self.rows.iter().zip(self.bits.iter_mut()) {
+            bits.clear();
+            bits.resize(bit_words(row.len()), 0);
+            for (c, &cell) in row.iter().enumerate() {
+                if cell != FREE {
+                    bits[c / 64] |= 1 << (c % 64);
+                }
+            }
         }
     }
 
@@ -890,6 +1012,60 @@ mod tests {
         let text = r#"{"num_pes":1,"slots":{"0":{"pe":0,"start":1,"duration":2},
             "1":{"pe":0,"start":2,"duration":1}},"occupancy":[{}],"padding":0}"#;
         assert!(serde_json::from_str::<Schedule>(text).is_err());
+    }
+
+    #[test]
+    fn bitsets_stay_in_sync_across_mutations() {
+        let mut s = Schedule::new(3);
+        assert!(s.occupancy_bits_in_sync());
+        s.place(n(0), Pe(0), 1, 2).unwrap();
+        s.place(n(1), Pe(0), 5, 3).unwrap();
+        s.place(n(2), Pe(1), 70, 2).unwrap(); // second bitset word
+        assert!(s.occupancy_bits_in_sync());
+        s.remove(n(0)).unwrap();
+        assert!(s.occupancy_bits_in_sync());
+        s.shift_later(2);
+        assert!(s.occupancy_bits_in_sync());
+        let rotated = s.rows_upto(7);
+        s.drop_and_shift_by(&rotated, 7);
+        assert!(s.occupancy_bits_in_sync());
+        s.fault_force_occupy(Pe(2), 130, n(0));
+        assert!(s.occupancy_bits_in_sync());
+    }
+
+    #[test]
+    fn earliest_free_across_word_boundaries() {
+        let mut s = Schedule::new(1);
+        // Occupy cs1..=128 except a 2-wide hole at cs63-64 (straddling
+        // the first word boundary) and a 3-wide hole at cs100-102.
+        s.place(n(0), Pe(0), 1, 62).unwrap();
+        s.place(n(1), Pe(0), 65, 35).unwrap();
+        s.place(n(2), Pe(0), 103, 26).unwrap();
+        assert!(s.occupancy_bits_in_sync());
+        assert_eq!(s.earliest_free(Pe(0), 1, 1), 63);
+        assert_eq!(s.earliest_free(Pe(0), 1, 2), 63);
+        assert_eq!(s.earliest_free(Pe(0), 1, 3), 100);
+        assert_eq!(s.earliest_free(Pe(0), 64, 1), 64);
+        assert_eq!(s.earliest_free(Pe(0), 1, 4), 129);
+        assert_eq!(s.earliest_free(Pe(0), 200, 9), 200);
+        s.remove(n(1)).unwrap();
+        assert_eq!(s.earliest_free(Pe(0), 1, 40), 63);
+    }
+
+    #[test]
+    fn free_cursor_is_a_lower_bound() {
+        let mut s = Schedule::new(2);
+        assert_eq!(s.free_cursor(Pe(0)), 1);
+        s.place(n(0), Pe(0), 1, 3).unwrap();
+        assert_eq!(s.free_cursor(Pe(0)), 4);
+        assert_eq!(s.free_cursor(Pe(1)), 1);
+        for from in 0..6 {
+            for dur in 1..4 {
+                assert!(s.earliest_free(Pe(0), from, dur) >= s.free_cursor(Pe(0)));
+            }
+        }
+        s.remove(n(0)).unwrap();
+        assert_eq!(s.free_cursor(Pe(0)), 1);
     }
 
     #[test]

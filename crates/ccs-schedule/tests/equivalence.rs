@@ -88,12 +88,19 @@ impl RefTable {
     }
 
     fn earliest_free(&self, pe: Pe, from: u32, duration: u32) -> u32 {
+        // Jump past the latest conflict in the probed window instead of
+        // advancing one step at a time: the old `cs += 1` walk made the
+        // reference O(row length) per query and dominated proptest
+        // runtime on padded tables.
         let mut cs = from.max(1);
         loop {
-            if self.is_free(pe, cs, duration) {
-                return cs;
+            match self.occupancy[pe.index()]
+                .range(cs..cs + duration)
+                .next_back()
+            {
+                None => return cs,
+                Some((&occupied, _)) => cs = occupied + 1,
             }
-            cs += 1;
         }
     }
 
@@ -214,6 +221,13 @@ fn arb_op() -> impl Strategy<Value = Op> {
 /// Checks every observable on both tables.
 fn assert_same(dense: &Schedule, reference: &RefTable) {
     assert_eq!(dense.num_pes(), reference.num_pes);
+    // The word-level occupancy bitsets must mirror the dense rows after
+    // every mutation (place/remove/shift/rotate round-trips alike) —
+    // `earliest_free` trusts them without consulting the rows.
+    assert!(
+        dense.occupancy_bits_in_sync(),
+        "occupancy bitsets out of sync with dense rows"
+    );
     assert_eq!(dense.length(), reference.length());
     assert_eq!(dense.padding(), reference.padding);
     assert_eq!(dense.placed_count(), reference.slots.len());

@@ -29,6 +29,11 @@ pub struct Machine {
     dist: Vec<u32>,
     /// Undirected links, each stored once with `a < b`.
     links: Vec<(usize, usize)>,
+    /// Cached at construction: `true` when every PE can reach every
+    /// other PE.  Makes [`Machine::is_connected`] O(1) so schedulers
+    /// can reject disconnected machines once at entry instead of
+    /// re-checking (or asserting) inside the candidate-scan hot path.
+    connected: bool,
 }
 
 impl Machine {
@@ -77,11 +82,13 @@ impl Machine {
                 }
             }
         }
+        let connected = dist.iter().all(|&d| d != u32::MAX);
         Machine {
             name: name.into(),
             n,
             dist,
             links: norm,
+            connected,
         }
     }
 
@@ -105,6 +112,7 @@ impl Machine {
             n,
             dist: vec![0; n * n],
             links,
+            connected: true,
         }
     }
 
@@ -114,6 +122,7 @@ impl Machine {
     }
 
     /// Number of processing elements.
+    #[inline]
     pub fn num_pes(&self) -> usize {
         self.n
     }
@@ -125,13 +134,16 @@ impl Machine {
 
     /// Hop distance between two PEs (0 for `a == b`).
     ///
-    /// # Panics
-    ///
-    /// Panics if the PEs belong to different partitions of a
-    /// disconnected machine (we treat that as a construction error).
+    /// Connectivity is a *construction-time* property: it is computed
+    /// once by [`Machine::from_links`] and exposed through the O(1)
+    /// [`Machine::is_connected`], which schedulers check at entry.
+    /// The hot path here is therefore a branch-free table read in
+    /// release builds; debug builds still panic on a cross-partition
+    /// query so misuse surfaces in tests.
+    #[inline]
     pub fn distance(&self, a: Pe, b: Pe) -> u32 {
         let d = self.dist[a.index() * self.n + b.index()];
-        assert!(
+        debug_assert!(
             d != u32::MAX,
             "machine {:?} is disconnected between {a} and {b}",
             self.name
@@ -139,11 +151,32 @@ impl Machine {
         d
     }
 
+    /// The full hop-distance row of `from`: `dist_row(p)[q.index()]`
+    /// is `distance(p, q)`.  Distances are symmetric (links are
+    /// undirected), so one row serves both send and receive costs.
+    ///
+    /// This is the bulk entry point of the candidate-scan engine: the
+    /// remapper hoists one row per resolved edge and scales it by the
+    /// edge volume once, turning the per-PE `comm`/`lb`/`ub` sweeps
+    /// into indexed adds with no multiplies.
+    ///
+    /// ```
+    /// use ccs_topology::{Machine, Pe};
+    /// let m = Machine::mesh(2, 2);
+    /// assert_eq!(m.dist_row(Pe(0)), &[0, 1, 1, 2]);
+    /// ```
+    #[inline]
+    pub fn dist_row(&self, from: Pe) -> &[u32] {
+        let i = from.index() * self.n;
+        &self.dist[i..i + self.n]
+    }
+
     /// Hop distance between two PEs without the connectivity panic of
     /// [`Machine::distance`]: `None` when the PEs lie in different
     /// partitions of a disconnected machine or an index is out of
     /// range.  This is the entry point diagnostics code uses — it must
     /// report unreachable pairs, not die on them.
+    #[inline]
     pub fn try_distance(&self, a: Pe, b: Pe) -> Option<u32> {
         if a.index() >= self.n || b.index() >= self.n {
             return None;
@@ -156,13 +189,16 @@ impl Machine {
 
     /// Communication cost `hops * volume` without the connectivity
     /// panic: `None` when [`Machine::try_distance`] is `None`.
+    #[inline]
     pub fn try_comm_cost(&self, from: Pe, to: Pe, volume: u32) -> Option<u32> {
         self.try_distance(from, to).map(|d| d * volume)
     }
 
-    /// `true` if every PE can reach every other PE.
+    /// `true` if every PE can reach every other PE.  O(1): cached at
+    /// construction.
+    #[inline]
     pub fn is_connected(&self) -> bool {
-        self.dist.iter().all(|&d| d != u32::MAX)
+        self.connected
     }
 
     /// All unordered PE pairs with no connecting path (empty for a
@@ -181,6 +217,7 @@ impl Machine {
 
     /// The paper's communication function
     /// `M(p_i, p_j) = hops * volume` (Definition 3.5).
+    #[inline]
     pub fn comm_cost(&self, from: Pe, to: Pe, volume: u32) -> u32 {
         self.distance(from, to) * volume
     }
@@ -318,9 +355,27 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "disconnected")]
-    fn distance_across_partition_panics() {
+    #[cfg_attr(
+        not(debug_assertions),
+        ignore = "distance() is a branch-free table read in release builds"
+    )]
+    fn distance_across_partition_panics_in_debug() {
         let m = Machine::from_links("two islands", 4, &[(0, 1), (2, 3)]);
         let _ = m.distance(Pe(0), Pe(3));
+    }
+
+    #[test]
+    fn dist_row_matches_distance() {
+        let m = Machine::from_links("path4", 4, &[(0, 1), (1, 2), (2, 3)]);
+        for a in m.pes() {
+            let row = m.dist_row(a);
+            assert_eq!(row.len(), m.num_pes());
+            for b in m.pes() {
+                assert_eq!(row[b.index()], m.distance(a, b));
+                // Undirected links: rows are symmetric.
+                assert_eq!(row[b.index()], m.dist_row(b)[a.index()]);
+            }
+        }
     }
 
     #[test]

@@ -23,7 +23,14 @@
 //!   scheduler hot crate (`ccs-core/src/**`, non-test) must sit inside
 //!   an `if P::ACTIVE` block, so the `Off` probe monomorphizes every
 //!   emission (argument construction included) away and the traced and
-//!   untraced hot paths stay the same code.
+//!   untraced hot paths stay the same code;
+//! * `hot-path-no-assert` — no `assert!` / `assert_eq!` / `assert_ne!`
+//!   / `panic!` inside the innermost-loop functions of the candidate
+//!   scan (`best_position` in `ccs-core/src/remap.rs`, `earliest_free`
+//!   in `ccs-schedule/src/table.rs`, `Machine::distance` in
+//!   `ccs-topology/src/machine.rs`): release builds must stay
+//!   branch-free there.  `debug_assert!` (which compiles away) is the
+//!   sanctioned alternative.
 
 /// One lint hit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,6 +65,21 @@ pub const RULE_HEADER: &str = "lib-header";
 pub const RULE_PRINT: &str = "no-println-in-libs";
 /// Rule identifier for unguarded `probe.emit(` sites in `ccs-core`.
 pub const RULE_PROBE: &str = "probe-emit-guarded";
+/// Rule identifier for panicking macros in hot-path functions.
+pub const RULE_HOT_ASSERT: &str = "hot-path-no-assert";
+
+/// The innermost-loop functions that must stay panic-free in release
+/// builds, as `(file, function)` pairs.
+const HOT_PATH_FNS: [(&str, &str); 3] = [
+    ("crates/ccs-core/src/remap.rs", "best_position"),
+    ("crates/ccs-schedule/src/table.rs", "earliest_free"),
+    ("crates/ccs-topology/src/machine.rs", "distance"),
+];
+
+/// Panicking macros banned inside hot-path functions.  Matched at a
+/// token boundary, so `debug_assert!(` — whose release-build expansion
+/// is empty — does not trip the `assert!(` pattern.
+const PANIC_MACROS: [&str; 4] = ["assert!(", "assert_eq!(", "assert_ne!(", "panic!("];
 
 /// The crate whose emission sites fall under [`RULE_PROBE`].
 const PROBE_ROOT: &str = "crates/ccs-core/src";
@@ -94,7 +116,12 @@ pub fn lint_source(rel: &str, text: &str) -> Vec<Finding> {
     let cast = rel == CAST_FILE;
     let print = print_rule_applies(rel);
     let probe = rel.starts_with(PROBE_ROOT);
-    if !hygiene && !cast && !print && !probe {
+    let hot_fns: Vec<&str> = HOT_PATH_FNS
+        .iter()
+        .filter(|(file, _)| *file == rel)
+        .map(|&(_, name)| name)
+        .collect();
+    if !hygiene && !cast && !print && !probe && hot_fns.is_empty() {
         return out;
     }
 
@@ -105,6 +132,7 @@ pub fn lint_source(rel: &str, text: &str) -> Vec<Finding> {
     } else {
         Vec::new()
     };
+    let hot_mask = hot_fn_mask(&lines, &hot_fns);
     for (i, raw) in lines.iter().enumerate() {
         if test_mask[i] {
             continue;
@@ -148,6 +176,21 @@ pub fn lint_source(rel: &str, text: &str) -> Vec<Finding> {
                     message: format!(
                         "`{}` in library code; report through return values, \
                          the ccs-trace event stream, or a `Display` impl instead",
+                        mac.trim_end_matches('(')
+                    ),
+                });
+            }
+        }
+        if hot_mask[i] {
+            if let Some(mac) = PANIC_MACROS.iter().find(|pat| contains_token(code, pat)) {
+                out.push(Finding {
+                    file: rel.to_string(),
+                    line: i + 1,
+                    rule: RULE_HOT_ASSERT,
+                    message: format!(
+                        "`{}` inside a hot-path function; release builds must stay \
+                         branch-free here — use `debug_assert!` or hoist the check \
+                         to construction time",
                         mac.trim_end_matches('(')
                     ),
                 });
@@ -230,6 +273,82 @@ fn strip_line_comment(line: &str) -> &str {
         Some(ix) => &line[..ix],
         None => line,
     }
+}
+
+/// `true` when `code` contains `pat` at a token boundary (the
+/// preceding character is not part of an identifier) — so
+/// `debug_assert!(` does not count as an `assert!(` occurrence.
+fn contains_token(code: &str, pat: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(pat) {
+        let abs = start + pos;
+        let boundary = code[..abs]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        if boundary {
+            return true;
+        }
+        start = abs + pat.len();
+    }
+    false
+}
+
+/// `true` when the (comment-stripped) line declares a function named
+/// exactly `name`: the text `fn name` followed by `(` or `<`, so
+/// `fn distance(` matches but `fn try_distance(` and
+/// `fn distance_check(` do not.
+fn declares_fn(line: &str, name: &str) -> bool {
+    let code = strip_line_comment(line);
+    let pat = format!("fn {name}");
+    let mut rest = code;
+    while let Some(pos) = rest.find(&pat) {
+        let after = &rest[pos + pat.len()..];
+        if matches!(after.chars().next(), Some('(' | '<')) {
+            return true;
+        }
+        rest = after;
+    }
+    false
+}
+
+/// `mask[i] == true` for every line inside one of the named functions
+/// (signature line included), found by brace counting from the
+/// declaration — same technique as [`test_block_mask`].
+fn hot_fn_mask(lines: &[&str], names: &[&str]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    if names.is_empty() {
+        return mask;
+    }
+    let mut i = 0;
+    while i < lines.len() {
+        if !names.iter().any(|n| declares_fn(lines[i], n)) {
+            i += 1;
+            continue;
+        }
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        let mut j = i;
+        while j < lines.len() {
+            mask[j] = true;
+            for ch in strip_line_comment(lines[j]).chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    mask
 }
 
 /// `mask[i] == true` for every line inside an `if P::ACTIVE` block
@@ -465,6 +584,63 @@ mod tests {
         assert!(lint_source("crates/ccs-core/src/demo.rs", in_test)
             .iter()
             .all(|f| f.rule != RULE_PROBE));
+    }
+
+    #[test]
+    fn assert_in_hot_path_fn_is_flagged() {
+        let src = "fn best_position<P: Probe>(x: u32) -> u32 {\n    \
+                   assert!(x > 0);\n    \
+                   x\n}\n";
+        let f = lint_source("crates/ccs-core/src/remap.rs", src);
+        assert!(
+            f.iter().any(|f| f.rule == RULE_HOT_ASSERT && f.line == 2),
+            "{f:?}"
+        );
+        let src = "pub fn earliest_free(&self) -> u32 {\n    panic!(\"no slot\");\n}\n";
+        let f = lint_source("crates/ccs-schedule/src/table.rs", src);
+        assert!(
+            f.iter().any(|f| f.rule == RULE_HOT_ASSERT && f.line == 2),
+            "{f:?}"
+        );
+        let src = "pub fn distance(&self, a: Pe, b: Pe) -> u32 {\n    \
+                   assert_eq!(a.0, b.0);\n    0\n}\n";
+        let f = lint_source("crates/ccs-topology/src/machine.rs", src);
+        assert!(
+            f.iter().any(|f| f.rule == RULE_HOT_ASSERT && f.line == 2),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn debug_assert_in_hot_path_fn_is_allowed() {
+        let src = "pub fn distance(&self, a: Pe, b: Pe) -> u32 {\n    \
+                   debug_assert!(a.0 < 4);\n    \
+                   debug_assert_eq!(self.n, 4);\n    0\n}\n";
+        let f = lint_source("crates/ccs-topology/src/machine.rs", src);
+        assert!(f.iter().all(|f| f.rule != RULE_HOT_ASSERT), "{f:?}");
+    }
+
+    #[test]
+    fn asserts_outside_hot_path_fns_are_allowed() {
+        // Same file, different function: not under the rule.
+        let src = "pub fn try_distance(&self) -> u32 {\n    assert!(true);\n    0\n}\n\
+                   fn rebuild(&mut self) {\n    assert!(self.ok());\n}\n";
+        let f = lint_source("crates/ccs-topology/src/machine.rs", src);
+        assert!(f.iter().all(|f| f.rule != RULE_HOT_ASSERT), "{f:?}");
+        // A hot-path fn name in an uncovered file is not under the rule.
+        let src = "fn best_position() {\n    assert!(true);\n}\n";
+        assert!(lint_source("crates/ccs-bench/src/lib.rs", src)
+            .iter()
+            .all(|f| f.rule != RULE_HOT_ASSERT));
+    }
+
+    #[test]
+    fn assert_after_hot_path_fn_is_allowed() {
+        let src = "pub fn earliest_free(&self) -> u32 {\n    \
+                   self.cursor\n}\n\
+                   fn other(&self) {\n    assert!(self.ok());\n}\n";
+        let f = lint_source("crates/ccs-schedule/src/table.rs", src);
+        assert!(f.iter().all(|f| f.rule != RULE_HOT_ASSERT), "{f:?}");
     }
 
     #[test]
