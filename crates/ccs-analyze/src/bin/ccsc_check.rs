@@ -33,6 +33,10 @@ OPTIONS:
     --machine SPEC       machine to cross-check against, e.g. mesh:2x2,
                          ring:4, complete:3, ideal:2 (repeatable)
     --paper-machines     cross-check against the paper's machine suite
+    --certify            schedule each input on each machine with the
+                         full cyclo-compaction pipeline and certify the
+                         achieved period against the static lower
+                         bounds (CCS04x; needs at least one machine)
     --format FMT         human (default) or json
     -h, --help           this message
 
@@ -47,6 +51,7 @@ struct Args {
     workload_names: Vec<String>,
     machines: Vec<String>,
     paper_machines: bool,
+    certify: bool,
     json: bool,
 }
 
@@ -57,6 +62,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         workload_names: Vec::new(),
         machines: Vec::new(),
         paper_machines: false,
+        certify: false,
         json: false,
     };
     let mut it = argv.iter();
@@ -64,6 +70,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         match arg.as_str() {
             "--workloads" => a.workloads = true,
             "--paper-machines" => a.paper_machines = true,
+            "--certify" => a.certify = true,
             "--workload" => a
                 .workload_names
                 .push(it.next().ok_or("--workload needs a NAME")?.clone()),
@@ -89,18 +96,37 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(a)
 }
 
-/// One named input graph plus its report.
+/// One named input graph plus its report, and (under `--certify`) the
+/// full optimality report per machine.
 struct Checked {
     name: String,
     report: Report,
+    certifications: Vec<(String, ccs_bounds::OptimalityReport)>,
 }
 
 impl Serialize for Checked {
     fn to_value(&self) -> Value {
-        Value::Object(vec![
+        let mut fields = vec![
             ("input".into(), Value::String(self.name.clone())),
             ("report".into(), self.report.to_value()),
-        ])
+        ];
+        if !self.certifications.is_empty() {
+            fields.push((
+                "certify".into(),
+                Value::Array(
+                    self.certifications
+                        .iter()
+                        .map(|(m, opt)| {
+                            Value::Object(vec![
+                                ("machine".into(), Value::String(m.clone())),
+                                ("certificate".into(), opt.to_value()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        Value::Object(fields)
     }
 }
 
@@ -160,6 +186,9 @@ fn run() -> Result<ExitCode, String> {
     if args.paper_machines {
         machines.extend(Machine::paper_suite());
     }
+    if args.certify && machines.is_empty() {
+        return Err("--certify needs at least one --machine or --paper-machines".into());
+    }
 
     // Gather (name, graph, base report) triples.
     let mut inputs: Vec<(String, Option<Csdfg>, Report)> = Vec::new();
@@ -195,10 +224,12 @@ fn run() -> Result<ExitCode, String> {
         results.push(Checked {
             name: format!("machine:{}", m.name()),
             report: analyze_machine(m),
+            certifications: Vec::new(),
         });
     }
     for (name, graph, base) in inputs {
         let mut report = base;
+        let mut certifications = Vec::new();
         if let Some(g) = &graph {
             for m in &machines {
                 let cross = analyze_cross(g, m);
@@ -211,9 +242,26 @@ fn run() -> Result<ExitCode, String> {
                     }
                     report.merge(tagged);
                 }
+                if args.certify && !report.has_errors() {
+                    let run = ccs_core::cyclo_compact(g, m, ccs_core::CompactConfig::default())
+                        .map_err(|e| format!("{name} on {}: {e}", m.name()))?;
+                    let opt = ccs_bounds::certify(g, m, &run.schedule);
+                    let mut tagged = Report::new();
+                    for d in ccs_analyze::certify_report(&opt).diagnostics() {
+                        let mut d = d.clone();
+                        d.message = format!("[vs {}] {}", m.name(), d.message);
+                        tagged.push(d);
+                    }
+                    report.merge(tagged);
+                    certifications.push((m.name().to_string(), opt));
+                }
             }
         }
-        results.push(Checked { name, report });
+        results.push(Checked {
+            name,
+            report,
+            certifications,
+        });
     }
 
     let any_errors = results.iter().any(|c| c.report.has_errors());
@@ -243,6 +291,12 @@ fn run() -> Result<ExitCode, String> {
                 let _ = writeln!(out, "{}:", c.name);
                 for line in c.report.render_human().lines() {
                     let _ = writeln!(out, "  {line}");
+                }
+            }
+            for (machine, opt) in &c.certifications {
+                let _ = writeln!(out, "  certificate vs {machine}:");
+                for line in opt.render_human().lines() {
+                    let _ = writeln!(out, "    {line}");
                 }
             }
         }

@@ -1,0 +1,128 @@
+//! The certification pass: folds a `ccs-bounds` [`OptimalityReport`]
+//! into `CCS04x` diagnostics.
+//!
+//! Severity mapping:
+//!
+//! * [`codes::CERT_BOUND_EXCEEDED`] (`CCS040`) — **error**: the period
+//!   beats a proven bound, so the bound engine or the validator is
+//!   wrong.  This is the only certification outcome that is a bug.
+//! * [`codes::CERT_OPTIMAL`] (`CCS041`) — **note**: gap 0.
+//! * [`codes::CERT_GAP`] (`CCS042`) — **note**: gap within
+//!   [`ACCEPTABLE_GAP_PCT`].
+//! * [`codes::CERT_GAP_LARGE`] (`CCS043`) — **warning**: the schedule
+//!   (or the bound family) leaves more than [`ACCEPTABLE_GAP_PCT`] on
+//!   the table.
+
+use crate::diag::{codes, Diagnostic, Report, Subject};
+use ccs_bounds::{OptimalityReport, Verdict};
+
+/// Gaps at or below this percentage are reported as the benign
+/// [`codes::CERT_GAP`]; anything above becomes the
+/// [`codes::CERT_GAP_LARGE`] warning.
+pub const ACCEPTABLE_GAP_PCT: f64 = 25.0;
+
+/// Folds one optimality report into `CCS04x` diagnostics.
+pub fn certify_report(opt: &OptimalityReport) -> Report {
+    let mut report = Report::new();
+    let best = opt.best();
+    let bound_desc = match best {
+        Some(c) => format!("strongest bound {} (`{}`)", c.value, c.kind),
+        None => "no applicable bound".to_string(),
+    };
+    match opt.verdict {
+        Verdict::BoundExceeded => {
+            report.push(
+                Diagnostic::error(
+                    codes::CERT_BOUND_EXCEEDED,
+                    Subject::Schedule,
+                    format!(
+                        "period {} beats the proven lower bound — internal bug: \
+                         the bound proof or the schedule validator is wrong ({bound_desc})",
+                        opt.period
+                    ),
+                )
+                .with_suggestion(
+                    "re-run with the `paranoid` feature and file the witness certificate",
+                ),
+            );
+        }
+        Verdict::Optimal => {
+            report.push(Diagnostic::note(
+                codes::CERT_OPTIMAL,
+                Subject::Schedule,
+                format!("period {} is provably optimal ({bound_desc})", opt.period),
+            ));
+        }
+        Verdict::Gap => {
+            let msg = format!(
+                "period {} is within {:.1}% of the {bound_desc} (gap {} steps)",
+                opt.period, opt.gap_pct, opt.gap
+            );
+            if opt.gap_pct <= ACCEPTABLE_GAP_PCT {
+                report.push(Diagnostic::note(codes::CERT_GAP, Subject::Schedule, msg));
+            } else {
+                report.push(
+                    Diagnostic::warning(codes::CERT_GAP_LARGE, Subject::Schedule, msg)
+                        .with_suggestion(
+                            "raise compaction passes, try another machine shape, or accept \
+                             that the bound family is loose for this pair",
+                        ),
+                );
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_bounds::certify_period;
+    use ccs_model::Csdfg;
+    use ccs_topology::Machine;
+
+    fn pair() -> (Csdfg, Machine) {
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 1).unwrap();
+        let b = g.add_task("B", 2).unwrap();
+        g.add_dep(a, b, 0, 1).unwrap();
+        g.add_dep(b, a, 1, 1).unwrap();
+        (g, Machine::linear_array(2))
+    }
+
+    #[test]
+    fn optimal_period_is_a_note() {
+        let (g, m) = pair();
+        let r = certify_report(&certify_period(&g, &m, 3));
+        assert!(!r.has_errors());
+        let note = r.notes().next().unwrap();
+        assert_eq!(note.code, codes::CERT_OPTIMAL);
+        assert!(note.message.contains("provably optimal"));
+    }
+
+    #[test]
+    fn small_gap_is_a_note_large_gap_a_warning() {
+        let (g, m) = pair();
+        // Bound is 3: period 4 is a 33% gap -> warning; 3.6% can't be
+        // built from integers here, so use a looser pair for the note.
+        let r = certify_report(&certify_period(&g, &m, 4));
+        assert_eq!(r.warnings().next().unwrap().code, codes::CERT_GAP_LARGE);
+        let mut g2 = Csdfg::new();
+        let ids: Vec<_> = (0..10)
+            .map(|i| g2.add_task(format!("v{i}"), 1).unwrap())
+            .collect();
+        g2.add_dep(ids[0], ids[1], 1, 1).unwrap();
+        // W = 10 on 1 usable chain -> resource bound 10 on 1 PE.
+        let r2 = certify_report(&certify_period(&g2, &Machine::linear_array(1), 11));
+        let note = r2.notes().next().unwrap();
+        assert_eq!(note.code, codes::CERT_GAP);
+    }
+
+    #[test]
+    fn bound_exceeded_is_an_error() {
+        let (g, m) = pair();
+        let r = certify_report(&certify_period(&g, &m, 1));
+        assert!(r.has_errors());
+        assert_eq!(r.errors().next().unwrap().code, codes::CERT_BOUND_EXCEEDED);
+    }
+}

@@ -36,6 +36,24 @@ pub mod codes {
     // CCS020..CCS026 are schedule-validity codes owned by
     // `ccs_schedule::checker::Violation::code` and re-emitted here.
 
+    // CCS04x: bounds & certification (mixed severities — the family
+    // groups every verdict the `ccs-bounds` certifier can return).
+
+    /// The achieved period is *below* a proven lower bound: the bound
+    /// proof or the schedule validator is wrong.  Always an internal
+    /// bug — never a property of the input.
+    pub const CERT_BOUND_EXCEEDED: &str = "CCS040";
+    /// The achieved period equals the strongest proven lower bound:
+    /// the schedule is provably optimal.
+    pub const CERT_OPTIMAL: &str = "CCS041";
+    /// The achieved period is within the acceptable gap of the
+    /// strongest bound ("gap <= N%").
+    pub const CERT_GAP: &str = "CCS042";
+    /// The achieved period exceeds the strongest bound by more than
+    /// the acceptable gap: the schedule (or the bound family) leaves
+    /// real headroom on the table.
+    pub const CERT_GAP_LARGE: &str = "CCS043";
+
     /// A node with no dependencies at all.
     pub const W_ISOLATED_NODE: &str = "CCSW01";
     /// The graph splits into multiple weakly-connected components.
@@ -61,6 +79,9 @@ pub mod codes {
 /// How bad a diagnostic is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Severity {
+    /// Purely informational: a positive or neutral certified fact
+    /// (e.g. "provably optimal").  Never affects exit codes.
+    Note,
     /// Legal but suspicious, degenerate, or futile.
     Warning,
     /// Illegal under the paper's model; scheduling must not proceed.
@@ -70,6 +91,7 @@ pub enum Severity {
 impl fmt::Display for Severity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            Severity::Note => write!(f, "note"),
             Severity::Warning => write!(f, "warning"),
             Severity::Error => write!(f, "error"),
         }
@@ -152,6 +174,18 @@ impl Diagnostic {
         }
     }
 
+    /// Builds a note diagnostic (informational; never affects exit
+    /// codes or `has_errors`).
+    pub fn note(code: &'static str, subject: Subject, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Note,
+            subject,
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
     /// Attaches a suggestion.
     pub fn with_suggestion(mut self, s: impl Into<String>) -> Self {
         self.suggestion = Some(s.into());
@@ -227,6 +261,11 @@ impl Report {
         self.diags
             .iter()
             .filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// The note diagnostics.
+    pub fn notes(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diags.iter().filter(|d| d.severity == Severity::Note)
     }
 
     /// `true` if any error-severity diagnostic is present.

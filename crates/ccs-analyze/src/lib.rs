@@ -23,9 +23,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod certify;
 pub mod diag;
 pub mod passes;
 
+pub use certify::{certify_report, ACCEPTABLE_GAP_PCT};
 pub use diag::{codes, Diagnostic, Report, Severity, Subject};
 pub use passes::{
     analyze, analyze_cross, analyze_graph, analyze_machine, analyze_spec, check_schedule,

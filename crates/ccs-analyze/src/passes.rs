@@ -9,7 +9,7 @@ use ccs_model::{Csdfg, ModelError, NodeId};
 use ccs_retiming::iteration_bound;
 use ccs_schedule::{validate, Schedule, Violation};
 use ccs_topology::Machine;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Runs every Pass A check: [`analyze_graph`], [`analyze_machine`],
 /// and [`analyze_cross`], in that order.
@@ -101,7 +101,7 @@ pub fn analyze_graph(g: &Csdfg) -> Report {
     }
     // Redundant parallel edges: same endpoints, same delay — only the
     // largest volume can ever be the binding constraint.
-    let mut seen: HashMap<(NodeId, NodeId, u32), usize> = HashMap::new();
+    let mut seen: BTreeMap<(NodeId, NodeId, u32), usize> = BTreeMap::new();
     for e in g.deps() {
         let (u, v) = g.endpoints(e);
         *seen.entry((u, v, g.delay(e))).or_insert(0) += 1;
@@ -249,7 +249,7 @@ pub fn analyze_cross(g: &Csdfg, m: &Machine) -> Report {
 /// cleanly, the graph-level checks of [`analyze_graph`] run too.
 pub fn analyze_spec(spec: &CsdfgSpec) -> Report {
     let mut r = Report::new();
-    let mut names: HashMap<&str, usize> = HashMap::new();
+    let mut names: BTreeMap<&str, usize> = BTreeMap::new();
     for n in &spec.nodes {
         *names.entry(n.name.as_str()).or_insert(0) += 1;
         if n.time < 1 {

@@ -124,13 +124,23 @@ fn main() {
     );
 
     // --- Schedule fingerprints & lengths: full paper suite x machines.
+    // Each cell also gets its static lower bound (`ccs-bounds`) so the
+    // report carries the bound/gap trajectory alongside the lengths —
+    // `bench-report` gates gap growth the way it gates fingerprints.
     let mut lengths: BTreeMap<String, (u32, u32)> = BTreeMap::new();
     let mut prints: BTreeMap<String, String> = BTreeMap::new();
+    let mut bounds: BTreeMap<String, (u64, &'static str, u32)> = BTreeMap::new();
     for w in ccs_workloads::all_workloads() {
         let g = w.build();
         for machine in machine_suite() {
             let r = cyclo_compact(&g, &machine, CompactConfig::default()).expect("legal");
             let key = format!("{}/{}", w.name, machine.name());
+            let bs = ccs_bounds::compute_bounds(&g, &machine);
+            let (bv, bk) = match bs.best() {
+                Some(c) => (c.value, c.kind.name()),
+                None => (0, "none"),
+            };
+            bounds.insert(key.clone(), (bv, bk, r.best_length));
             lengths.insert(key.clone(), (r.initial_length, r.best_length));
             prints.insert(key, fingerprint(&r.schedule));
         }
@@ -302,6 +312,32 @@ fn main() {
                 prints
                     .iter()
                     .map(|(k, v)| (k.clone(), Value::String(v.clone())))
+                    .collect(),
+            ),
+        ),
+        (
+            "bounds".into(),
+            Value::Object(
+                bounds
+                    .iter()
+                    .map(|(k, (bv, bk, best))| {
+                        let gap = u64::from(*best).saturating_sub(*bv);
+                        let gap_pct = if *bv > 0 {
+                            gap as f64 * 100.0 / *bv as f64
+                        } else {
+                            0.0
+                        };
+                        (
+                            k.clone(),
+                            Value::Object(vec![
+                                ("bound".into(), Value::UInt(*bv)),
+                                ("kind".into(), Value::String((*bk).into())),
+                                ("best".into(), Value::UInt(u64::from(*best))),
+                                ("gap".into(), Value::UInt(gap)),
+                                ("gap_pct".into(), Value::Float(gap_pct)),
+                            ]),
+                        )
+                    })
                     .collect(),
             ),
         ),

@@ -71,9 +71,11 @@ fn main() -> ExitCode {
     print!("{}", render(&trajectory));
     if trajectory.failed() {
         eprintln!(
-            "bench-report: {} drift(s), {} regression(s) (threshold {max_regression_pct}%)",
+            "bench-report: {} drift(s), {} regression(s), {} gap growth(s) \
+             (threshold {max_regression_pct}%)",
             trajectory.drifts.len(),
-            trajectory.regressions.len()
+            trajectory.regressions.len(),
+            trajectory.gap_growths.len()
         );
         ExitCode::FAILURE
     } else {

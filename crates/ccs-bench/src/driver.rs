@@ -77,6 +77,29 @@ pub struct GridCell {
     pub initial: u32,
     /// Best compacted schedule length.
     pub best: u32,
+    /// Strongest static lower bound on the period (`ccs-bounds`); 0 for
+    /// an empty graph, where no bound applies.
+    pub bound: u64,
+    /// Name of the binding bound family (`cycle_ratio`, `resource`,
+    /// `critical_path`, `communication`), or `none`.
+    pub bound_kind: &'static str,
+}
+
+impl GridCell {
+    /// Steps between the achieved period and the proven bound.
+    pub fn gap(&self) -> u64 {
+        u64::from(self.best).saturating_sub(self.bound)
+    }
+
+    /// The gap as a percentage of the bound (0.0 when no bound
+    /// applies — an empty graph is trivially optimal).
+    pub fn gap_pct(&self) -> f64 {
+        if self.bound == 0 {
+            0.0
+        } else {
+            self.gap() as f64 * 100.0 / self.bound as f64
+        }
+    }
 }
 
 /// One cell of a [`compact_grid_metered`] sweep: the plain cell plus
@@ -113,6 +136,13 @@ impl MeteredCell {
                 Value::UInt(u64::from(self.cell.initial)),
             ),
             ("best".to_string(), Value::UInt(u64::from(self.cell.best))),
+            ("bound".to_string(), Value::UInt(self.cell.bound)),
+            (
+                "bound_kind".to_string(),
+                Value::String(self.cell.bound_kind.to_string()),
+            ),
+            ("gap".to_string(), Value::UInt(self.cell.gap())),
+            ("gap_pct".to_string(), Value::Float(self.cell.gap_pct())),
             ("counters".to_string(), self.metrics.counters_value()),
         ])
     }
@@ -139,12 +169,19 @@ fn grid_inputs<'a>(
 fn solve_cell(w: &Workload, m: &Machine, ci: usize, c: CompactConfig) -> GridCell {
     let g = w.build();
     let r = cyclo_compact(&g, m, c).expect("legal workload");
+    let bounds = ccs_bounds::compute_bounds(&g, m);
+    let (bound, bound_kind) = match bounds.best() {
+        Some(cert) => (cert.value, cert.kind.name()),
+        None => (0, "none"),
+    };
     GridCell {
         workload: w.name,
         machine: m.name().to_string(),
         config_ix: ci,
         initial: r.initial_length,
         best: r.best_length,
+        bound,
+        bound_kind,
     }
 }
 
@@ -237,11 +274,16 @@ mod tests {
             assert_eq!(p.workload, m.cell.workload);
             assert_eq!(p.machine, m.cell.machine);
             assert_eq!((p.initial, p.best), (m.cell.initial, m.cell.best));
+            assert_eq!((p.bound, p.bound_kind), (m.cell.bound, m.cell.bound_kind));
+            assert!(p.bound >= 1, "every workload has a positive bound");
+            assert!(p.bound <= u64::from(p.best), "bound must be sound");
             // The cell actually recorded scheduler work and traffic.
             assert!(m.metrics.counters["edges_swept"] > 0);
             assert!(m.metrics.counters["traffic_events"] > 0);
             let v = m.to_value();
             assert_eq!(v["workload"].as_str(), Some("fig1"));
+            assert_eq!(v["bound"].as_u64(), Some(p.bound));
+            assert!(v["gap_pct"].as_f64().is_some());
             assert!(v["counters"]["placements"].as_u64().unwrap() > 0);
             assert!(v.get("histograms").is_none(), "histograms must not leak");
         }

@@ -31,6 +31,9 @@ pub struct BenchReport {
     pub timings: BTreeMap<String, f64>,
     /// `fingerprints`: schedule key -> FNV-1a placement hash.
     pub fingerprints: BTreeMap<String, String>,
+    /// `bounds`: schedule key -> optimality gap in percent (empty for
+    /// reports predating the `bounds` section).
+    pub gaps: BTreeMap<String, f64>,
 }
 
 impl BenchReport {
@@ -63,10 +66,24 @@ impl BenchReport {
             }
             _ => return Err(format!("{label}: missing `fingerprints` object")),
         }
+        // The `bounds` section arrived later than `timings_ms` and
+        // `fingerprints`; its absence means an old report, not an
+        // error, so the trajectory can span the introduction point.
+        let mut gaps = BTreeMap::new();
+        if let Some(Value::Object(fields)) = v.get("bounds") {
+            for (k, val) in fields {
+                let pct = val
+                    .get("gap_pct")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("{label}: bounds[{k:?}] has no numeric gap_pct"))?;
+                gaps.insert(k.clone(), pct);
+            }
+        }
         Ok(BenchReport {
             label: label.to_string(),
             timings,
             fingerprints,
+            gaps,
         })
     }
 }
@@ -100,6 +117,22 @@ pub struct Regression {
     pub pct: f64,
 }
 
+/// An optimality gap (`bounds` section) that grew between two adjacent
+/// reports.  Gaps fold deterministic schedule lengths against static
+/// lower bounds, so like fingerprints they only move when scheduler
+/// semantics (or the bound engine) move — any growth is a finding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GapGrowth {
+    /// Schedule key (`workload/machine`).
+    pub key: String,
+    /// Labels of the two reports the growth happened between.
+    pub between: (String, String),
+    /// Gap percent in the earlier report.
+    pub from_pct: f64,
+    /// Gap percent in the later report.
+    pub to_pct: f64,
+}
+
 /// The analyzed trajectory over a chronological report sequence.
 #[derive(Clone, Debug, Default)]
 pub struct Trajectory {
@@ -110,12 +143,14 @@ pub struct Trajectory {
     /// Every timing regression past the threshold between adjacent
     /// reports.
     pub regressions: Vec<Regression>,
+    /// Every optimality gap that grew between adjacent reports.
+    pub gap_growths: Vec<GapGrowth>,
 }
 
 impl Trajectory {
     /// `true` when the gate should fail.
     pub fn failed(&self) -> bool {
-        !self.drifts.is_empty() || !self.regressions.is_empty()
+        !self.drifts.is_empty() || !self.regressions.is_empty() || !self.gap_growths.is_empty()
     }
 }
 
@@ -140,6 +175,18 @@ pub fn analyze(reports: Vec<BenchReport>, max_regression_pct: f64) -> Trajectory
                         between: (a.label.clone(), b.label.clone()),
                         from: fp_a.clone(),
                         to: fp_b.clone(),
+                    });
+                }
+            }
+        }
+        for (key, &g_a) in &a.gaps {
+            if let Some(&g_b) = b.gaps.get(key) {
+                if g_b > g_a + 1e-9 {
+                    t.gap_growths.push(GapGrowth {
+                        key: key.clone(),
+                        between: (a.label.clone(), b.label.clone()),
+                        from_pct: g_a,
+                        to_pct: g_b,
                     });
                 }
             }
@@ -208,6 +255,12 @@ pub fn render(t: &Trajectory) -> String {
             ));
         }
     }
+    for g in &t.gap_growths {
+        out.push_str(&format!(
+            "GAP GROWTH {}: {:.1}% -> {:.1}% vs the static bound between {} and {}\n",
+            g.key, g.from_pct, g.to_pct, g.between.0, g.between.1
+        ));
+    }
     for r in &t.regressions {
         out.push_str(&format!(
             "TIMING REGRESSION {}: {:.2} ms -> {:.2} ms (+{:.0}%) between {} and {}\n",
@@ -228,6 +281,7 @@ mod tests {
             fingerprints: [("fig1/mesh".to_string(), fp.to_string())]
                 .into_iter()
                 .collect(),
+            gaps: [("fig1/mesh".to_string(), 5.0)].into_iter().collect(),
         }
     }
 
@@ -241,7 +295,20 @@ mod tests {
         let r = BenchReport::parse("x", &v).unwrap();
         assert_eq!(r.timings["a"], 1.5);
         assert_eq!(r.fingerprints["k"], "deadbeef");
+        assert!(r.gaps.is_empty(), "old report without bounds parses");
         assert!(BenchReport::parse("x", &Value::Object(vec![])).is_err());
+    }
+
+    #[test]
+    fn parse_extracts_bounds_gaps() {
+        let v: Value = serde_json::from_str(
+            r#"{"timings_ms":{},"fingerprints":{},
+                "bounds":{"fig1/mesh":{"bound":10,"kind":"resource",
+                          "best":12,"gap":2,"gap_pct":20.0}}}"#,
+        )
+        .unwrap();
+        let r = BenchReport::parse("x", &v).unwrap();
+        assert_eq!(r.gaps["fig1/mesh"], 20.0);
     }
 
     #[test]
@@ -264,6 +331,26 @@ mod tests {
         let text = render(&t);
         assert!(text.contains("FINGERPRINT DRIFT"), "{text}");
         assert!(text.contains("TIMING REGRESSION"), "{text}");
+    }
+
+    #[test]
+    fn gap_growth_fails_the_gate_shrink_passes() {
+        let mut a = report("a", 10.0, "f");
+        let mut b = report("b", 10.0, "f");
+        b.gaps.insert("fig1/mesh".to_string(), 8.0);
+        let t = analyze(vec![a.clone(), b], 100.0);
+        assert!(t.failed());
+        assert_eq!(t.gap_growths.len(), 1);
+        assert_eq!(t.gap_growths[0].to_pct, 8.0);
+        assert!(render(&t).contains("GAP GROWTH"), "{}", render(&t));
+
+        // Shrinking (or equal) gaps are fine, as is a key missing on
+        // either side (old reports have no bounds section at all).
+        let mut c = report("c", 10.0, "f");
+        c.gaps.insert("fig1/mesh".to_string(), 2.0);
+        a.gaps.clear();
+        let t = analyze(vec![a, report("b", 10.0, "f"), c], 100.0);
+        assert!(!t.failed());
     }
 
     #[test]

@@ -1,0 +1,927 @@
+//! # ccs-bounds
+//!
+//! Static iteration-period lower bounds over `(CsdfGraph, Machine)`
+//! pairs, and the schedule optimality certifier built on top of them.
+//!
+//! Every bound here is *sound against the whole scheduler*: cyclo
+//! compaction validates its best schedule against some rotation
+//! (retiming) of the input graph, so each bound is proven for **every
+//! legal retiming** of the input, not just the graph as given.  The
+//! catalogue (see `DESIGN.md` §11):
+//!
+//! * [`BoundKind::CycleRatio`] — `ceil(max_C T(C)/D(C))`, the integer
+//!   iteration bound.  Retiming-invariant by the cycle delay-sum
+//!   invariant.  Witness: a critical cycle.
+//! * [`BoundKind::Resource`] — `ceil(W / min(P, N))` plus the
+//!   heaviest-task floor and the pigeonhole pair refinement (with more
+//!   tasks than PEs, two of the `P+1` heaviest share a PE).  Witness:
+//!   the binding term.
+//! * [`BoundKind::CriticalPath`] — the Leiserson–Saxe minimum clock
+//!   period: the shortest zero-delay computation chain achievable by
+//!   *any* legal retiming.  Witness: the binding chain at the optimum.
+//! * [`BoundKind::Communication`] — a communication-aware floor: a
+//!   schedule either keeps the whole (weakly connected) graph on few
+//!   PEs and pays the serialization term `ceil(W/p)`, or splits a
+//!   component and pays the cheapest possible crossing edge its
+//!   minimum `hops · volume` cost.  Per-edge delays are replaced by
+//!   the maximum delay any legal retiming can place on the edge, so
+//!   the floor survives rotation.  Witness: the binding PE count,
+//!   crossing edge, and hop-optimal route.
+//!
+//! [`certify`] compares a schedule's achieved period against
+//! `max(bounds)` and returns an [`OptimalityReport`] whose verdict is
+//! rendered by `ccs-analyze` as `CCS04x` diagnostics.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use ccs_model::{Csdfg, EdgeId};
+use ccs_retiming::clock_period::{critical_chain, min_clock_period};
+use ccs_retiming::{critical_cycle, Ratio};
+use ccs_schedule::Schedule;
+use ccs_topology::{Machine, Pe, RoutingTable};
+use serde::{Serialize, Value};
+
+/// Which member of the bound family a certificate proves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BoundKind {
+    /// Max cycle ratio `ceil(max_C T(C)/D(C))` (delay cycles only).
+    CycleRatio,
+    /// Compute-capacity bound `ceil(W / min(P, N))` with refinements.
+    Resource,
+    /// Minimum zero-delay critical path over all legal retimings.
+    CriticalPath,
+    /// Communication-aware serialization/crossing floor.
+    Communication,
+}
+
+impl BoundKind {
+    /// Stable machine-readable name (used in JSON reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            BoundKind::CycleRatio => "cycle_ratio",
+            BoundKind::Resource => "resource",
+            BoundKind::CriticalPath => "critical_path",
+            BoundKind::Communication => "communication",
+        }
+    }
+}
+
+impl std::fmt::Display for BoundKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The proof object attached to a certificate: the structure that
+/// *attains* (binds) the bound.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Witness {
+    /// A delay cycle attaining the maximum cycle ratio.
+    Cycle {
+        /// Cycle node names in traversal order (`[a, b]` = `a -> b -> a`).
+        nodes: Vec<String>,
+        /// Exact cycle ratio `T(C)/D(C)`.
+        ratio: Ratio,
+    },
+    /// The binding term of the resource bound.
+    Resource {
+        /// Total computation time `W` of the graph.
+        total_compute: u64,
+        /// Effective PE count `min(P, N)` the compute is divided over.
+        usable_pes: usize,
+        /// Name of the heaviest task (the `max_v t(v)` floor).
+        heaviest: String,
+        /// With more tasks than PEs: the pigeonhole pair forced to
+        /// share a PE (two smallest of the `P+1` heaviest tasks).
+        shared_pair: Option<(String, String)>,
+    },
+    /// The zero-delay chain left after the optimal retiming.
+    Chain {
+        /// Chain node names in execution order.
+        nodes: Vec<String>,
+        /// Sum of the chain's computation times (= the bound).
+        total_time: u64,
+    },
+    /// The binding split of the communication bound.
+    Cut {
+        /// The PE count minimizing `max(serialization, crossing)`.
+        pes_used: usize,
+        /// Serialization term `ceil(W / pes_used)` at that count.
+        compute_floor: u64,
+        /// Crossing term charged when a component must split.
+        comm_floor: u64,
+        /// The cheapest crossing edge `(producer, consumer)`, when the
+        /// crossing term participates.
+        edge: Option<(String, String)>,
+        /// A hop-optimal route realizing the minimum hop distance
+        /// (PE indices, 0-based), when the crossing term participates.
+        route: Vec<u32>,
+    },
+}
+
+impl Serialize for Witness {
+    fn to_value(&self) -> Value {
+        let s = |x: &str| Value::String(x.to_string());
+        match self {
+            Witness::Cycle { nodes, ratio } => Value::Object(vec![
+                ("type".into(), s("cycle")),
+                (
+                    "nodes".into(),
+                    Value::Array(nodes.iter().map(|n| s(n)).collect()),
+                ),
+                ("ratio".into(), s(&ratio.to_string())),
+            ]),
+            Witness::Resource {
+                total_compute,
+                usable_pes,
+                heaviest,
+                shared_pair,
+            } => {
+                let mut obj = vec![
+                    ("type".into(), s("resource")),
+                    ("total_compute".into(), Value::UInt(*total_compute)),
+                    ("usable_pes".into(), Value::UInt(*usable_pes as u64)),
+                    ("heaviest".into(), s(heaviest)),
+                ];
+                if let Some((a, b)) = shared_pair {
+                    obj.push(("shared_pair".into(), Value::Array(vec![s(a), s(b)])));
+                }
+                Value::Object(obj)
+            }
+            Witness::Chain { nodes, total_time } => Value::Object(vec![
+                ("type".into(), s("chain")),
+                (
+                    "nodes".into(),
+                    Value::Array(nodes.iter().map(|n| s(n)).collect()),
+                ),
+                ("total_time".into(), Value::UInt(*total_time)),
+            ]),
+            Witness::Cut {
+                pes_used,
+                compute_floor,
+                comm_floor,
+                edge,
+                route,
+            } => {
+                let mut obj = vec![
+                    ("type".into(), s("cut")),
+                    ("pes_used".into(), Value::UInt(*pes_used as u64)),
+                    ("compute_floor".into(), Value::UInt(*compute_floor)),
+                    ("comm_floor".into(), Value::UInt(*comm_floor)),
+                ];
+                if let Some((a, b)) = edge {
+                    obj.push(("edge".into(), Value::Array(vec![s(a), s(b)])));
+                }
+                if !route.is_empty() {
+                    obj.push((
+                        "route".into(),
+                        Value::Array(route.iter().map(|&p| Value::UInt(u64::from(p))).collect()),
+                    ));
+                }
+                Value::Object(obj)
+            }
+        }
+    }
+}
+
+/// One proven lower bound on the iteration period, with its witness.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Certificate {
+    /// Which bound family proved it.
+    pub kind: BoundKind,
+    /// The proven lower bound, in control steps.
+    pub value: u64,
+    /// The structure attaining the bound.
+    pub witness: Witness,
+}
+
+impl Serialize for Certificate {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("kind".into(), Value::String(self.kind.name().into())),
+            ("value".into(), Value::UInt(self.value)),
+            ("witness".into(), self.witness.to_value()),
+        ])
+    }
+}
+
+/// The full bound family computed for one `(graph, machine)` pair.
+///
+/// Certificates are stored in fixed [`BoundKind`] order; bounds that
+/// do not apply (the cycle-ratio bound of an acyclic graph, any bound
+/// of an empty graph) are simply absent.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BoundSet {
+    certs: Vec<Certificate>,
+}
+
+impl BoundSet {
+    /// Every computed certificate, in fixed [`BoundKind`] order.
+    pub fn certificates(&self) -> &[Certificate] {
+        &self.certs
+    }
+
+    /// The strongest certificate: maximum bound value, earlier kind on
+    /// ties.  `None` only for an empty graph.
+    pub fn best(&self) -> Option<&Certificate> {
+        let mut best: Option<&Certificate> = None;
+        for c in &self.certs {
+            if best.map(|b| c.value > b.value).unwrap_or(true) {
+                best = Some(c);
+            }
+        }
+        best
+    }
+
+    /// The strongest proven bound value (0 for an empty graph).
+    pub fn best_value(&self) -> u64 {
+        self.best().map(|c| c.value).unwrap_or(0)
+    }
+
+    /// Looks up one bound family's certificate.
+    pub fn get(&self, kind: BoundKind) -> Option<&Certificate> {
+        self.certs.iter().find(|c| c.kind == kind)
+    }
+}
+
+impl Serialize for BoundSet {
+    fn to_value(&self) -> Value {
+        Value::Array(self.certs.iter().map(Serialize::to_value).collect())
+    }
+}
+
+/// `ceil(a / b)` for `b >= 1`.
+fn div_ceil(a: u64, b: u64) -> u64 {
+    a.div_ceil(b)
+}
+
+/// Bound (a): the integer iteration bound with its critical cycle.
+fn cycle_ratio_bound(g: &Csdfg) -> Option<Certificate> {
+    let (ratio, cycle) = critical_cycle(g)?;
+    Some(Certificate {
+        kind: BoundKind::CycleRatio,
+        value: ratio.ceil(),
+        witness: Witness::Cycle {
+            nodes: cycle.iter().map(|&v| g.name(v).to_string()).collect(),
+            ratio,
+        },
+    })
+}
+
+/// Bound (b): compute capacity with per-PE refinements.
+fn resource_bound(g: &Csdfg, m: &Machine) -> Option<Certificate> {
+    let n = g.task_count();
+    if n == 0 {
+        return None;
+    }
+    let w: u64 = g.total_time();
+    let p = m.num_pes().max(1);
+    let usable = p.min(n);
+    let mut times: Vec<(u32, ccs_model::NodeId)> = g.tasks().map(|v| (g.time(v), v)).collect();
+    // Heaviest first; ties by node id for a deterministic witness.
+    times.sort_by_key(|&(t, v)| (std::cmp::Reverse(t), v));
+    let heaviest = times[0];
+    let mut value = div_ceil(w, usable as u64).max(u64::from(heaviest.0));
+    // Pigeonhole: with more tasks than PEs, two of the P+1 heaviest
+    // tasks share a PE, so the period holds both of them.
+    let mut shared_pair = None;
+    if n > p {
+        let pair = u64::from(times[p - 1].0) + u64::from(times[p].0);
+        if pair > value {
+            value = pair;
+        }
+        shared_pair = Some((
+            g.name(times[p - 1].1).to_string(),
+            g.name(times[p].1).to_string(),
+        ));
+    }
+    Some(Certificate {
+        kind: BoundKind::Resource,
+        value,
+        witness: Witness::Resource {
+            total_compute: w,
+            usable_pes: usable,
+            heaviest: g.name(heaviest.1).to_string(),
+            shared_pair,
+        },
+    })
+}
+
+/// Bound (c): the minimum clock period over all legal retimings, with
+/// the chain that remains at the optimum.
+fn critical_path_bound(g: &Csdfg) -> Option<Certificate> {
+    if g.task_count() == 0 {
+        return None;
+    }
+    let (period, r) = min_clock_period(g);
+    let retimed = r.apply(g);
+    let chain = critical_chain(&retimed);
+    Some(Certificate {
+        kind: BoundKind::CriticalPath,
+        value: u64::from(period),
+        witness: Witness::Chain {
+            nodes: chain.iter().map(|&v| retimed.name(v).to_string()).collect(),
+            total_time: chain.iter().map(|&v| u64::from(retimed.time(v))).sum(),
+        },
+    })
+}
+
+/// Number of weakly connected components of `g` (self-loops ignored).
+fn weak_components(g: &Csdfg) -> usize {
+    let n = g.graph().node_bound();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for e in g.deps() {
+        let (u, v) = g.endpoints(e);
+        let (ru, rv) = (find(&mut parent, u.index()), find(&mut parent, v.index()));
+        if ru != rv {
+            parent[ru.max(rv)] = ru.min(rv);
+        }
+    }
+    g.tasks()
+        .filter(|&v| find(&mut parent, v.index()) == v.index())
+        .count()
+}
+
+/// The maximum delay any *legal* retiming can place on each edge:
+/// `d(e) + min-delay-path(dst -> src)`, or `None` when the edge lies
+/// on no cycle (retiming can pipeline it arbitrarily deep).
+///
+/// Legality (`d_r(e) >= 0` everywhere) is a difference-constraint
+/// system whose optimum is the shortest path under delay weights; for
+/// an edge on a cycle this is exactly the minimum cycle delay through
+/// it, which the retiming invariant caps.
+fn max_retimed_delays(g: &Csdfg) -> Vec<Option<u64>> {
+    let graph = g.graph();
+    let n = graph.node_bound();
+    // All-pairs min-delay distances via repeated Dijkstra (delay
+    // weights are non-negative; graphs in this domain are small).
+    let mut dist = vec![vec![u64::MAX; n]; n];
+    for src in g.tasks() {
+        let d = &mut dist[src.index()];
+        d[src.index()] = 0;
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push(std::cmp::Reverse((0u64, src)));
+        while let Some(std::cmp::Reverse((du, u))) = heap.pop() {
+            if du > d[u.index()] {
+                continue;
+            }
+            for e in graph.out_edges(u) {
+                let v = graph.edge_target(e);
+                let cand = du.saturating_add(u64::from(g.delay(e)));
+                if cand < d[v.index()] {
+                    d[v.index()] = cand;
+                    heap.push(std::cmp::Reverse((cand, v)));
+                }
+            }
+        }
+    }
+    g.deps()
+        .map(|e| {
+            let (u, v) = g.endpoints(e);
+            let back = dist[v.index()][u.index()];
+            if back == u64::MAX {
+                None
+            } else {
+                Some(u64::from(g.delay(e)) + back)
+            }
+        })
+        .collect()
+}
+
+/// Bound (d): the communication-aware serialization/crossing floor.
+///
+/// A schedule occupies some number `p` of PEs.  For each feasible `p`
+/// it must pay `ceil(W/p)` (compute packing), and as soon as `p`
+/// exceeds the graph's weak component count some component is split,
+/// so some edge crosses PEs and its producer/consumer chain plus the
+/// minimum possible `hops · volume` transfer must fit — diluted by the
+/// most delays any retiming can place on that edge.  The bound is the
+/// minimum over `p` of the worst of the two terms, so it can prove
+/// "parallelism cannot pay for its communication" without ever
+/// overcharging a serial schedule.
+fn communication_bound(g: &Csdfg, m: &Machine) -> Option<Certificate> {
+    let n = g.task_count();
+    if n == 0 {
+        return None;
+    }
+    let w = g.total_time();
+    let p_max = m.num_pes().min(n).max(1);
+    let components = weak_components(g);
+
+    // Cheapest possible hop distance between two *distinct* PEs that
+    // can talk at all; `None` when no such pair exists (then any
+    // crossing is illegal and every split is infeasible).
+    let mut min_hop: Option<u64> = None;
+    for a in m.pes() {
+        for (j, &d) in m.dist_row(a).iter().enumerate() {
+            if j != a.index() && d != u32::MAX {
+                let d = u64::from(d);
+                if min_hop.map(|h| d < h).unwrap_or(true) {
+                    min_hop = Some(d);
+                }
+            }
+        }
+    }
+
+    // Cheapest crossing floor over all non-self edges, with each
+    // edge's delay maximized over legal retimings.
+    let mut cross: Option<(u64, EdgeId)> = None;
+    if let Some(hop) = min_hop {
+        let max_delay = max_retimed_delays(g);
+        for (ix, e) in g.deps().enumerate() {
+            let (u, v) = g.endpoints(e);
+            if u == v {
+                continue; // a self edge can never cross PEs
+            }
+            let span = hop * u64::from(g.volume(e)) + u64::from(g.time(u)) + u64::from(g.time(v));
+            let floor = match max_delay[ix] {
+                // ceil(span / (k_max + 1)); unbounded pipelining still
+                // leaves at least one control step.
+                Some(k) => div_ceil(span, k + 1).max(1),
+                None => 1,
+            };
+            if cross.map(|(c, _)| floor < c).unwrap_or(true) {
+                cross = Some((floor, e));
+            }
+        }
+    }
+
+    let mut best: Option<(u64, usize, u64, u64, Option<EdgeId>)> = None;
+    for p in 1..=p_max {
+        let compute = div_ceil(w, p as u64);
+        let (value, comm, edge) = if p <= components {
+            (compute, 0, None)
+        } else {
+            match cross {
+                // Splitting a component is impossible (no reachable PE
+                // pair, or no candidate edge): the branch is infeasible.
+                None => continue,
+                Some((floor, e)) => (compute.max(floor), floor, Some(e)),
+            }
+        };
+        if best.map(|(b, ..)| value < b).unwrap_or(true) {
+            best = Some((value, p, compute, comm, edge));
+        }
+    }
+    let (value, pes_used, compute_floor, comm_floor, edge) = best?;
+    let edge_names = edge.map(|e| {
+        let (u, v) = g.endpoints(e);
+        (g.name(u).to_string(), g.name(v).to_string())
+    });
+    let route = match (edge, min_hop) {
+        (Some(_), Some(_)) => {
+            // A hop-optimal route witnessing `min_hop`, via the same
+            // deterministic BFS routing table the traffic ledger uses.
+            let mut pair: Option<(Pe, Pe)> = None;
+            'outer: for a in m.pes() {
+                for (j, &d) in m.dist_row(a).iter().enumerate() {
+                    if j != a.index() && u64::from(d) == min_hop.unwrap_or(0) {
+                        pair = Some((a, Pe::from_index(j)));
+                        break 'outer;
+                    }
+                }
+            }
+            pair.map(|(a, b)| {
+                RoutingTable::new(m)
+                    .path(a, b)
+                    .iter()
+                    .map(|p| p.index() as u32)
+                    .collect()
+            })
+            .unwrap_or_default()
+        }
+        _ => Vec::new(),
+    };
+    Some(Certificate {
+        kind: BoundKind::Communication,
+        value,
+        witness: Witness::Cut {
+            pes_used,
+            compute_floor,
+            comm_floor,
+            edge: edge_names,
+            route,
+        },
+    })
+}
+
+/// Computes the full bound family for `(g, m)`.
+///
+/// # Panics
+///
+/// Panics if `g` is illegal (zero-delay cycle) — run `ccs-analyze`
+/// first; bounds of an illegal graph are undefined.
+pub fn compute_bounds(g: &Csdfg, m: &Machine) -> BoundSet {
+    assert!(
+        g.check_legal().is_ok(),
+        "bounds undefined: graph has a zero-delay cycle"
+    );
+    let mut certs = Vec::with_capacity(4);
+    certs.extend(cycle_ratio_bound(g));
+    certs.extend(resource_bound(g, m));
+    certs.extend(critical_path_bound(g));
+    certs.extend(communication_bound(g, m));
+    BoundSet { certs }
+}
+
+/// The certifier's verdict on one schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Achieved period equals the strongest proven bound.
+    Optimal,
+    /// Achieved period exceeds the strongest bound by the stored gap.
+    Gap,
+    /// Achieved period is *below* a proven bound: either the bound
+    /// proof or the schedule validator is wrong.  Always a bug.
+    BoundExceeded,
+}
+
+impl Verdict {
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Optimal => "optimal",
+            Verdict::Gap => "gap",
+            Verdict::BoundExceeded => "bound_exceeded",
+        }
+    }
+}
+
+/// The result of comparing an achieved period against the bound family.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OptimalityReport {
+    /// The schedule's achieved iteration period (its length).
+    pub period: u32,
+    /// Every bound computed for the pair.
+    pub bounds: BoundSet,
+    /// The comparison verdict.
+    pub verdict: Verdict,
+    /// `period - best_bound` (0 when optimal or exceeded).
+    pub gap: u64,
+    /// `gap / best_bound` as a percentage (0 when no bound applies).
+    pub gap_pct: f64,
+}
+
+impl OptimalityReport {
+    /// The strongest certificate the period was compared against.
+    pub fn best(&self) -> Option<&Certificate> {
+        self.bounds.best()
+    }
+
+    /// Human rendering: one line per bound, then the verdict.
+    pub fn render_human(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "optimality certificate (period {}):", self.period);
+        for c in self.bounds.certificates() {
+            let bind = if self.bounds.best().map(|b| std::ptr::eq(b, c)) == Some(true) {
+                "  <- binding"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  {:>14}: >= {}{}", c.kind.name(), c.value, bind);
+            let detail = match &c.witness {
+                Witness::Cycle { nodes, ratio } => {
+                    format!("cycle {} (T/D = {ratio})", nodes.join(" -> "))
+                }
+                Witness::Resource {
+                    total_compute,
+                    usable_pes,
+                    shared_pair,
+                    ..
+                } => match shared_pair {
+                    Some((a, b)) => {
+                        format!("W = {total_compute} over {usable_pes} PEs; {a}+{b} share a PE")
+                    }
+                    None => format!("W = {total_compute} over {usable_pes} PEs"),
+                },
+                Witness::Chain { nodes, .. } => {
+                    format!("chain {} (after optimal retiming)", nodes.join(" -> "))
+                }
+                Witness::Cut {
+                    pes_used,
+                    compute_floor,
+                    comm_floor,
+                    edge,
+                    ..
+                } => match edge {
+                    Some((a, b)) => format!(
+                        "best split uses {pes_used} PEs: compute {compute_floor}, \
+                         crossing {a} -> {b} costs {comm_floor}"
+                    ),
+                    None => format!("best split uses {pes_used} PEs: compute {compute_floor}"),
+                },
+            };
+            let _ = writeln!(out, "                  {detail}");
+        }
+        match self.verdict {
+            Verdict::Optimal => {
+                let _ = writeln!(out, "  verdict: PROVABLY OPTIMAL (gap 0)");
+            }
+            Verdict::Gap => {
+                let _ = writeln!(
+                    out,
+                    "  verdict: within {} steps of the strongest bound (gap {:.1}%)",
+                    self.gap, self.gap_pct
+                );
+            }
+            Verdict::BoundExceeded => {
+                let _ = writeln!(
+                    out,
+                    "  verdict: INTERNAL BUG — period {} beats a proven bound {}",
+                    self.period,
+                    self.bounds.best_value()
+                );
+            }
+        }
+        out
+    }
+
+    /// Pretty-printed deterministic JSON export.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).unwrap_or_else(|_| "{}".to_string())
+    }
+}
+
+impl Serialize for OptimalityReport {
+    fn to_value(&self) -> Value {
+        let best = self.bounds.best();
+        Value::Object(vec![
+            ("period".into(), Value::UInt(u64::from(self.period))),
+            ("best_bound".into(), Value::UInt(self.bounds.best_value())),
+            (
+                "best_kind".into(),
+                match best {
+                    Some(c) => Value::String(c.kind.name().into()),
+                    None => Value::Null,
+                },
+            ),
+            ("verdict".into(), Value::String(self.verdict.name().into())),
+            ("gap".into(), Value::UInt(self.gap)),
+            ("gap_pct".into(), Value::Float(self.gap_pct)),
+            ("bounds".into(), self.bounds.to_value()),
+        ])
+    }
+}
+
+/// Certifies an achieved period against the bound family of `(g, m)`.
+///
+/// `g` must be the *input* graph handed to the scheduler (bounds are
+/// proven over all of its legal retimings, so any rotation the
+/// scheduler performed is covered).
+pub fn certify_period(g: &Csdfg, m: &Machine, period: u32) -> OptimalityReport {
+    let bounds = compute_bounds(g, m);
+    let best = bounds.best_value();
+    let achieved = u64::from(period);
+    let (verdict, gap) = if achieved < best {
+        (Verdict::BoundExceeded, 0)
+    } else if achieved == best {
+        (Verdict::Optimal, 0)
+    } else {
+        (Verdict::Gap, achieved - best)
+    };
+    let gap_pct = if best > 0 {
+        gap as f64 * 100.0 / best as f64
+    } else {
+        0.0
+    };
+    OptimalityReport {
+        period,
+        bounds,
+        verdict,
+        gap,
+        gap_pct,
+    }
+}
+
+/// Certifies a schedule: its achieved period is its length.
+pub fn certify(g: &Csdfg, m: &Machine, s: &Schedule) -> OptimalityReport {
+    certify_period(g, m, s.length())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's running example (Figure 1(b) shape): A(1) -> B(2)
+    /// -> A with one delay on the back edge.
+    fn two_node_loop() -> Csdfg {
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 1).unwrap();
+        let b = g.add_task("B", 2).unwrap();
+        g.add_dep(a, b, 0, 1).unwrap();
+        g.add_dep(b, a, 1, 1).unwrap();
+        g
+    }
+
+    #[test]
+    fn cycle_ratio_certificate_on_loop() {
+        let g = two_node_loop();
+        let m = Machine::linear_array(2);
+        let set = compute_bounds(&g, &m);
+        let c = set.get(BoundKind::CycleRatio).unwrap();
+        assert_eq!(c.value, 3);
+        match &c.witness {
+            Witness::Cycle { nodes, ratio } => {
+                assert_eq!(nodes.len(), 2);
+                assert_eq!(*ratio, Ratio::new(3, 1));
+            }
+            w => panic!("wrong witness {w:?}"),
+        }
+    }
+
+    #[test]
+    fn resource_bound_counts_usable_pes() {
+        // Three independent unit tasks on 8 PEs: only 3 PEs usable.
+        let mut g = Csdfg::new();
+        for (i, t) in [4u32, 2, 2].iter().enumerate() {
+            g.add_task(format!("T{i}"), *t).unwrap();
+        }
+        let m = Machine::complete(8);
+        let c = compute_bounds(&g, &m);
+        let r = c.get(BoundKind::Resource).unwrap();
+        // ceil(8/3) = 3, but the heaviest task forces 4.
+        assert_eq!(r.value, 4);
+        match &r.witness {
+            Witness::Resource {
+                usable_pes,
+                heaviest,
+                ..
+            } => {
+                assert_eq!(*usable_pes, 3);
+                assert_eq!(heaviest, "T0");
+            }
+            w => panic!("wrong witness {w:?}"),
+        }
+    }
+
+    #[test]
+    fn resource_pigeonhole_pair_binds() {
+        // Three tasks of weight 4 on 2 PEs: two must share -> 8.
+        let mut g = Csdfg::new();
+        for i in 0..3 {
+            g.add_task(format!("T{i}"), 4).unwrap();
+        }
+        let m = Machine::linear_array(2);
+        let r = compute_bounds(&g, &m);
+        let c = r.get(BoundKind::Resource).unwrap();
+        assert_eq!(c.value, 8);
+        match &c.witness {
+            Witness::Resource { shared_pair, .. } => {
+                assert_eq!(
+                    shared_pair.clone().unwrap(),
+                    ("T1".to_string(), "T2".to_string())
+                );
+            }
+            w => panic!("wrong witness {w:?}"),
+        }
+    }
+
+    #[test]
+    fn critical_path_bound_is_retiming_aware() {
+        // Zero-delay chain A(1)->B(1)->C(1), no cycle: retiming can
+        // fully pipeline it, so the bound is 1, not 3.
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 1).unwrap();
+        let b = g.add_task("B", 1).unwrap();
+        let c = g.add_task("C", 1).unwrap();
+        g.add_dep(a, b, 0, 1).unwrap();
+        g.add_dep(b, c, 0, 1).unwrap();
+        let m = Machine::linear_array(4);
+        let set = compute_bounds(&g, &m);
+        assert_eq!(set.get(BoundKind::CriticalPath).unwrap().value, 1);
+    }
+
+    #[test]
+    fn communication_bound_never_exceeds_serialization() {
+        // Heavy traffic: the comm bound must fall back to the serial
+        // schedule's W, never above it (a 1-PE schedule avoids all
+        // communication).
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 2).unwrap();
+        let b = g.add_task("B", 2).unwrap();
+        g.add_dep(a, b, 0, 9).unwrap();
+        g.add_dep(b, a, 1, 9).unwrap();
+        let m = Machine::linear_array(4);
+        let set = compute_bounds(&g, &m);
+        let c = set.get(BoundKind::Communication).unwrap();
+        assert!(c.value <= g.total_time(), "comm bound {} > W", c.value);
+        // Here crossing costs ceil((9+4)/k+1) on every edge, far above
+        // ceil(W/2)=2, so serialization wins: bound = W = 4.
+        assert_eq!(c.value, 4);
+        match &c.witness {
+            Witness::Cut { pes_used, .. } => assert_eq!(*pes_used, 1),
+            w => panic!("wrong witness {w:?}"),
+        }
+    }
+
+    #[test]
+    fn communication_bound_charges_forced_crossing() {
+        // Four weight-2 tasks in a zero-delay diamond on 2 PEs with
+        // volume-5 edges: W=8, so 1 PE costs 8; 2 PEs cost
+        // max(ceil(8/2), crossing).  All edges are acyclic (retiming
+        // can pipeline them), so the crossing floor collapses to 1 and
+        // the compute term 4 wins the p=2 branch.
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 2).unwrap();
+        let b = g.add_task("B", 2).unwrap();
+        let c = g.add_task("C", 2).unwrap();
+        let d = g.add_task("D", 2).unwrap();
+        for (u, v) in [(a, b), (a, c), (b, d), (c, d)] {
+            g.add_dep(u, v, 0, 5).unwrap();
+        }
+        let m = Machine::linear_array(2);
+        let set = compute_bounds(&g, &m);
+        let cut = set.get(BoundKind::Communication).unwrap();
+        assert_eq!(cut.value, 4);
+    }
+
+    #[test]
+    fn communication_bound_respects_retimed_delays() {
+        // 2-node cycle with big volume: the crossing floor uses the
+        // max retimable delay (1 around the cycle), so each edge
+        // floors at ceil((1*6 + 3)/2) = 5 > ceil(W/2) = 2, and the
+        // serial branch W = 3 wins.  Bound must be 3, not 5.
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 1).unwrap();
+        let b = g.add_task("B", 2).unwrap();
+        g.add_dep(a, b, 0, 6).unwrap();
+        g.add_dep(b, a, 1, 6).unwrap();
+        let m = Machine::linear_array(2);
+        let set = compute_bounds(&g, &m);
+        let c = set.get(BoundKind::Communication).unwrap();
+        assert_eq!(c.value, 3);
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_cycle_certificate() {
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 1).unwrap();
+        let b = g.add_task("B", 1).unwrap();
+        g.add_dep(a, b, 0, 1).unwrap();
+        let set = compute_bounds(&g, &Machine::linear_array(2));
+        assert!(set.get(BoundKind::CycleRatio).is_none());
+        assert!(set.get(BoundKind::Resource).is_some());
+    }
+
+    #[test]
+    fn certify_verdicts() {
+        let g = two_node_loop();
+        let m = Machine::linear_array(2);
+        // Bound family max here is 3 (cycle ratio == W == 3).
+        let opt = certify_period(&g, &m, 3);
+        assert_eq!(opt.verdict, Verdict::Optimal);
+        assert_eq!(opt.gap, 0);
+        let gap = certify_period(&g, &m, 4);
+        assert_eq!(gap.verdict, Verdict::Gap);
+        assert_eq!(gap.gap, 1);
+        assert!((gap.gap_pct - 100.0 / 3.0).abs() < 1e-9);
+        let bug = certify_period(&g, &m, 2);
+        assert_eq!(bug.verdict, Verdict::BoundExceeded);
+    }
+
+    #[test]
+    fn report_serialization_shape() {
+        let g = two_node_loop();
+        let m = Machine::linear_array(2);
+        let rep = certify_period(&g, &m, 3);
+        let v = serde_json::to_value(&rep).unwrap();
+        assert_eq!(v["period"].as_u64(), Some(3));
+        assert_eq!(v["best_bound"].as_u64(), Some(3));
+        assert_eq!(v["verdict"].as_str(), Some("optimal"));
+        let bounds = v["bounds"].as_array().unwrap();
+        assert_eq!(bounds.len(), 4);
+        assert_eq!(bounds[0]["kind"].as_str(), Some("cycle_ratio"));
+        // Byte-stable rendering.
+        let a = serde_json::to_string_pretty(&rep).unwrap();
+        let b = serde_json::to_string_pretty(&certify_period(&g, &m, 3)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn human_rendering_names_the_binding_bound() {
+        let g = two_node_loop();
+        let m = Machine::linear_array(2);
+        let rep = certify_period(&g, &m, 3);
+        let h = rep.render_human();
+        assert!(h.contains("PROVABLY OPTIMAL"), "{h}");
+        assert!(h.contains("<- binding"), "{h}");
+    }
+
+    #[test]
+    fn empty_graph_is_trivially_optimal() {
+        let g = Csdfg::new();
+        let m = Machine::linear_array(2);
+        let rep = certify_period(&g, &m, 0);
+        assert_eq!(rep.verdict, Verdict::Optimal);
+        assert!(rep.bounds.certificates().is_empty());
+    }
+}

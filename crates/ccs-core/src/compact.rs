@@ -297,6 +297,12 @@ pub(crate) fn compact_probed<P: Probe>(
     }
 
     let best_length = best_sched.length();
+    // Bound oracle (paranoid/debug builds): the best validated
+    // schedule must never beat a statically proven lower bound of the
+    // *input* graph — the bounds are retiming-invariant, so every
+    // rotation the loop performed is covered.  A trip means the bound
+    // engine or the validator is wrong; fail loudly either way.
+    crate::oracle::verify_bounds("cyclo_compact: end", g, machine, &best_sched);
     // Authoritative final ledger: traffic attribution and per-PE loads
     // of the *best* schedule (which may predate the last accepted pass
     // under relaxation).  `ccs-profile` folds exactly this section.

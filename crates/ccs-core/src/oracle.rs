@@ -58,6 +58,39 @@ pub fn verify(stage: &str, g: &Csdfg, machine: &Machine, sched: &Schedule) {
     }
 }
 
+/// Cross-checks a *validated* schedule against the static bound
+/// engine: no legal schedule can beat a proven lower bound, so a
+/// period below `ccs_bounds::compute_bounds(g0, machine).best_value()`
+/// means either a bound proof or the schedule validator is wrong —
+/// both are internal bugs, and the oracle fails loudly naming the
+/// offending certificate.  `g0` must be the *input* graph of the
+/// compaction run (bounds are proven over all its legal retimings).
+/// Compiled to a no-op unless [`ENABLED`].
+#[inline]
+pub fn verify_bounds(stage: &str, g0: &Csdfg, machine: &Machine, sched: &Schedule) {
+    #[cfg(any(debug_assertions, feature = "paranoid"))]
+    {
+        let report = ccs_bounds::certify(g0, machine, sched);
+        if report.verdict == ccs_bounds::Verdict::BoundExceeded {
+            // INVARIANT: BoundExceeded means period < best bound, which
+            // requires at least one certificate to exist.
+            let best = report.best().expect("exceeded verdict implies a bound");
+            panic!(
+                "bound oracle tripped at `{stage}`: period {} beats the proven \
+                 `{}` lower bound {} — the bound proof or the validator is wrong\n{}",
+                sched.length(),
+                best.kind,
+                best.value,
+                report.render_human()
+            );
+        }
+    }
+    #[cfg(not(any(debug_assertions, feature = "paranoid")))]
+    {
+        let _ = (stage, g0, machine, sched);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +150,23 @@ mod tests {
         let slot = s.slot(a).unwrap();
         s.fault_force_slot(a, Slot { pe: Pe(99), ..slot });
         verify("mutation smoke test", &g, &m, &s);
+    }
+
+    #[test]
+    fn bound_oracle_accepts_valid_schedules() {
+        let (g, m, s) = setup();
+        verify_bounds("unit test", &g, &m, &s); // must not panic
+    }
+
+    /// An impossibly short schedule (here: an empty table of length 0
+    /// against a graph whose resource bound is positive) must trip the
+    /// bound oracle loudly.
+    #[test]
+    #[should_panic(expected = "bound oracle tripped")]
+    fn bound_oracle_trips_on_impossible_period() {
+        let (g, m, _) = setup();
+        let impossible = Schedule::new(m.num_pes());
+        verify_bounds("mutation smoke test", &g, &m, &impossible);
     }
 
     /// Occupancy-index corruption (a phantom cell nobody owns) is the

@@ -510,18 +510,12 @@ impl Scratch {
 }
 
 /// Projected schedule length of one loop-carried edge (Lemma 4.3):
-/// `ceil((M + CE(u) - CB(w) + 1) / k)`.
+/// `ceil((M + CE(u) - CB(w) + 1) / k)`.  The single-division fast
+/// path is shared with the schedule checker so the scheduler and the
+/// validator can never disagree on rounding.
+#[inline]
 fn psl(m: i64, ce: i64, cb: i64, k: i64) -> i64 {
-    let num = m + ce - cb + 1;
-    // k > 0, so flooring plus a product check needs one division
-    // instead of two — and delay-1 edges (the common case) skip the
-    // division entirely.
-    if k == 1 {
-        num
-    } else {
-        let q = num.div_euclid(k);
-        q + i64::from(num != q * k)
-    }
+    ccs_schedule::psl_value(m, ce, cb, k)
 }
 
 /// Finds the cheapest feasible `(control step, processor)` for the node

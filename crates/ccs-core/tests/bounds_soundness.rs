@@ -1,0 +1,81 @@
+//! Bound soundness: on random CSDFG × machine pairs, every certificate
+//! produced by the static bound engine must lower-bound the period the
+//! real scheduler actually achieves.  A single counterexample means a
+//! bound "proof" overcharges some legal schedule — exactly the bug
+//! class the paranoid oracle aborts on in production.
+//!
+//! This is deliberately a test of *every* certificate, not just the
+//! strongest one: a weaker family member with an unsound refinement
+//! would otherwise hide behind a binding stronger bound.
+
+use ccs_bounds::{certify, compute_bounds, Verdict};
+use ccs_core::{cyclo_compact, CompactConfig};
+use ccs_model::Csdfg;
+use ccs_topology::Machine;
+use proptest::prelude::*;
+
+fn arb_csdfg() -> impl Strategy<Value = Csdfg> {
+    (2usize..9).prop_flat_map(|n| {
+        let times = proptest::collection::vec(1u32..4, n);
+        let edges = proptest::collection::vec((0..n, 0..n, 0u32..3, 1u32..4), 1..n * 2);
+        (times, edges).prop_map(move |(times, edges)| {
+            let mut g = Csdfg::new();
+            let ids: Vec<_> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| g.add_task(format!("v{i}"), t).unwrap())
+                .collect();
+            for (a, b, d, c) in edges {
+                let delay = if a < b { d } else { d.max(1) };
+                g.add_dep(ids[a], ids[b], delay, c).unwrap();
+            }
+            g
+        })
+    })
+}
+
+fn arb_machine() -> impl Strategy<Value = Machine> {
+    prop_oneof![
+        (2usize..6).prop_map(Machine::linear_array),
+        (3usize..7).prop_map(Machine::ring),
+        (2usize..6).prop_map(Machine::complete),
+        Just(Machine::mesh(2, 2)),
+        Just(Machine::hypercube(2)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every computed bound is <= the period cyclo-compaction achieves.
+    #[test]
+    fn every_bound_is_sound_against_the_scheduler(g in arb_csdfg(), m in arb_machine()) {
+        let r = cyclo_compact(&g, &m, CompactConfig::default()).unwrap();
+        let bounds = compute_bounds(&g, &m);
+        for cert in bounds.certificates() {
+            prop_assert!(
+                cert.value <= u64::from(r.best_length),
+                "unsound `{}` bound {} > achieved period {} (witness {:?})",
+                cert.kind, cert.value, r.best_length, cert.witness
+            );
+        }
+        // And the certifier agrees: a real schedule never "beats" a bound.
+        let report = certify(&g, &m, &r.schedule);
+        prop_assert!(report.verdict != Verdict::BoundExceeded);
+    }
+
+    /// The startup schedule (pass 0, unrotated graph) is also covered:
+    /// bounds must hold for every validated schedule, not just the
+    /// compacted best.
+    #[test]
+    fn bounds_hold_for_startup_schedules(g in arb_csdfg(), m in arb_machine()) {
+        let s = ccs_core::startup_schedule(&g, &m, ccs_core::StartupConfig::default()).unwrap();
+        let report = certify(&g, &m, &s);
+        prop_assert!(
+            report.verdict != Verdict::BoundExceeded,
+            "startup period {} beats proven bound {}",
+            s.length(),
+            report.bounds.best_value()
+        );
+    }
+}

@@ -102,9 +102,9 @@ impl Kernel {
     /// Names referenced but never assigned — the kernel's external
     /// inputs, in first-reference order.
     pub fn inputs(&self) -> Vec<String> {
-        let defined: std::collections::HashSet<&str> =
+        let defined: std::collections::BTreeSet<&str> =
             self.assigns.iter().map(|a| a.target.as_str()).collect();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let mut out = Vec::new();
         for a in &self.assigns {
             collect_refs(&a.value, &mut |name| {

@@ -17,7 +17,7 @@
 use crate::ast::{Expr, Kernel};
 use crate::token::LangError;
 use ccs_model::{Csdfg, NodeId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Operator latencies and edge volumes used during lowering.
 #[derive(Clone, Copy, Debug)]
@@ -50,7 +50,7 @@ pub struct Lowered {
     pub graph: Csdfg,
     /// Defining task of each kernel variable (assignment targets and
     /// inputs).
-    pub vars: HashMap<String, NodeId>,
+    pub vars: BTreeMap<String, NodeId>,
 }
 
 /// A value an expression lowers to: a (possibly delayed) task output,
@@ -64,12 +64,12 @@ struct Lowerer {
     g: Csdfg,
     config: LowerConfig,
     /// Targets already lowered (bare references resolve against this).
-    lowered: HashMap<String, NodeId>,
+    lowered: BTreeMap<String, NodeId>,
     /// Root task of every assignment (delayed references resolve
     /// against this, irrespective of order).
-    roots: HashMap<String, NodeId>,
+    roots: BTreeMap<String, NodeId>,
     /// Input tasks created so far.
-    inputs: HashMap<String, NodeId>,
+    inputs: BTreeMap<String, NodeId>,
     op_counter: usize,
 }
 
@@ -186,7 +186,7 @@ fn root_is_operator(e: &Expr) -> bool {
 /// Lowers a parsed kernel into a CSDFG.
 pub fn lower(kernel: &Kernel, config: LowerConfig) -> Result<Lowered, LangError> {
     // Single-assignment check.
-    let mut seen = HashMap::new();
+    let mut seen = BTreeMap::new();
     for a in &kernel.assigns {
         if seen.insert(a.target.clone(), a.line).is_some() {
             return Err(LangError::new(
@@ -203,9 +203,9 @@ pub fn lower(kernel: &Kernel, config: LowerConfig) -> Result<Lowered, LangError>
     let mut lw = Lowerer {
         g: Csdfg::new(),
         config,
-        lowered: HashMap::new(),
-        roots: HashMap::new(),
-        inputs: HashMap::new(),
+        lowered: BTreeMap::new(),
+        roots: BTreeMap::new(),
+        inputs: BTreeMap::new(),
         op_counter: 0,
     };
 

@@ -79,6 +79,8 @@ impl std::error::Error for ModelError {}
 #[derive(Clone, Debug)]
 pub struct Csdfg {
     graph: DiGraph<Task, Dep>,
+    // ORDERED: name -> id lookup index on the add_task/task_by_name
+    // path; never iterated, so its order cannot reach any output.
     by_name: HashMap<String, NodeId>,
 }
 
@@ -93,7 +95,7 @@ impl Csdfg {
     pub fn new() -> Self {
         Csdfg {
             graph: DiGraph::new(),
-            by_name: HashMap::new(),
+            by_name: HashMap::new(), // ORDERED: see field note
         }
     }
 

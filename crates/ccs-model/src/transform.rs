@@ -9,7 +9,7 @@
 
 use crate::csdfg::Csdfg;
 use ccs_graph::NodeId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Returns a copy of `g` with every delay multiplied by `factor`
 /// (slow-down transformation).  `factor == 0` is rejected because it
@@ -21,7 +21,7 @@ use std::collections::HashMap;
 pub fn slowdown(g: &Csdfg, factor: u32) -> Csdfg {
     assert!(factor >= 1, "slow-down factor must be >= 1");
     let mut out = Csdfg::new();
-    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut map: BTreeMap<NodeId, NodeId> = BTreeMap::new();
     for v in g.tasks() {
         let nv = out
             .add_task(g.name(v).to_owned(), g.time(v))
@@ -51,7 +51,7 @@ pub fn slowdown(g: &Csdfg, factor: u32) -> Csdfg {
 pub fn unfold(g: &Csdfg, f: u32) -> Csdfg {
     assert!(f >= 1, "unfolding factor must be >= 1");
     let mut out = Csdfg::new();
-    let mut map: HashMap<(NodeId, u32), NodeId> = HashMap::new();
+    let mut map: BTreeMap<(NodeId, u32), NodeId> = BTreeMap::new();
     for v in g.tasks() {
         for i in 0..f {
             let nv = out
@@ -106,7 +106,7 @@ pub fn prune_to(g: &Csdfg, keep: &[NodeId]) -> Csdfg {
         }
     }
     let mut out = Csdfg::new();
-    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut map: BTreeMap<NodeId, NodeId> = BTreeMap::new();
     for v in g.tasks().filter(|v| needed[v.index()]) {
         let nv = out
             .add_task(g.name(v).to_owned(), g.time(v))

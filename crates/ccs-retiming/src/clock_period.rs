@@ -38,6 +38,47 @@ fn deltas(g: &Csdfg) -> Vec<u32> {
     delta
 }
 
+/// A longest zero-delay chain of `g` (the chain attaining
+/// [`clock_period`]), as a node sequence in execution order.  Empty
+/// for an empty graph.
+///
+/// Deterministic: among equally long chains, the one ending at the
+/// smallest node id is returned, extended backwards through the
+/// smallest-id predecessor at each step.  Used by the bound engine as
+/// the witness of a critical-path certificate.
+///
+/// # Panics
+///
+/// Panics if the zero-delay sub-graph is cyclic (illegal CSDFG).
+pub fn critical_chain(g: &Csdfg) -> Vec<NodeId> {
+    let delta = deltas(g);
+    let Some(end) = g.tasks().min_by_key(|v| {
+        // max Δ first, then smallest id (tasks() yields ascending ids,
+        // min_by_key keeps the first maximum).
+        std::cmp::Reverse(delta[v.index()])
+    }) else {
+        return Vec::new();
+    };
+    let mut chain = vec![end];
+    let mut v = end;
+    loop {
+        let need = delta[v.index()] - g.time(v);
+        if need == 0 {
+            break;
+        }
+        let pred = g
+            .intra_iter_in_deps(v)
+            .map(|e| g.endpoints(e).0)
+            .filter(|u| delta[u.index()] == need)
+            .min()
+            .expect("Δ accounting guarantees a binding predecessor");
+        chain.push(pred);
+        v = pred;
+    }
+    chain.reverse();
+    chain
+}
+
 /// Tests whether clock period `c` is achievable by some legal retiming
 /// (the `FEAS` algorithm).  On success returns the witness retiming in
 /// the *paper's* sign convention, normalized to non-negative values.
@@ -223,6 +264,25 @@ mod tests {
         assert_eq!(clock_period(&retimed), c);
         // Cycle delay sum invariant.
         assert_eq!(retimed.total_delay(), g.total_delay());
+    }
+
+    #[test]
+    fn critical_chain_matches_clock_period() {
+        let (g, [a, b, c]) = loop3();
+        // Zero-delay chain A -> B -> C carries the whole period.
+        assert_eq!(critical_chain(&g), vec![a, b, c]);
+        let total: u32 = critical_chain(&g).iter().map(|&v| g.time(v)).sum();
+        assert_eq!(total, clock_period(&g));
+    }
+
+    #[test]
+    fn critical_chain_single_node_when_fully_pipelined() {
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 2).unwrap();
+        let b = g.add_task("B", 5).unwrap();
+        g.add_dep(a, b, 1, 1).unwrap();
+        // No zero-delay edges: the chain is the heaviest single node.
+        assert_eq!(critical_chain(&g), vec![b]);
     }
 
     #[test]

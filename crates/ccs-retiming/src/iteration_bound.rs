@@ -164,6 +164,36 @@ pub fn iteration_bound(g: &Csdfg) -> Option<Ratio> {
     })
 }
 
+/// The iteration bound together with a *witness*: one critical cycle
+/// `C` (as a node sequence, `[a, b, c]` meaning `a -> b -> c -> a`)
+/// attaining `T(C)/D(C) = B`.
+///
+/// Returns `None` for acyclic graphs.  Deterministic: the tight-edge
+/// sub-graph is scanned in node/edge id order, so the same graph
+/// always yields the same witness.
+///
+/// # Panics
+///
+/// Panics if `g` has a zero-delay cycle (illegal CSDFG).
+pub fn critical_cycle(g: &Csdfg) -> Option<(Ratio, Vec<ccs_graph::NodeId>)> {
+    let r = iteration_bound(g)?;
+    // Potentials for the exact bound exist (the bound is feasible);
+    // tight edges (pot[v] == pot[u] + w) form a sub-graph whose every
+    // cycle is zero-weight, i.e. attains exactly ratio r.
+    let pot = feasible_potentials(g.graph(), |e| {
+        let (u, _) = g.endpoints(e);
+        r.num as f64 * f64::from(g.delay(e)) - r.den as f64 * f64::from(g.time(u))
+    })
+    .ok()?;
+    let graph = g.graph();
+    let cycle = ccs_graph::algo::cycles::find_cycle_filtered(graph, |e| {
+        let (u, v) = graph.edge_endpoints(e);
+        let w = r.num as f64 * f64::from(g.delay(e)) - r.den as f64 * f64::from(g.time(u));
+        (pot[v.index()] - pot[u.index()] - w).abs() < 1e-6
+    })?;
+    Some((r, cycle))
+}
+
 /// `true` iff some cycle attains ratio exactly `r` (there is a
 /// zero-weight cycle under weights `r.num·d - r.den·t`).
 fn is_tight(g: &Csdfg, r: Ratio) -> bool {
@@ -323,6 +353,34 @@ mod tests {
         let g3 = ccs_model::transform::slowdown(&g, 3);
         let b3 = iteration_bound(&g3).unwrap();
         assert_eq!(b3, Ratio::new(1, 1));
+    }
+
+    #[test]
+    fn critical_cycle_witnesses_the_bound() {
+        // Cycle 1: A->B->A, T=3, D=3 => 1. Cycle 2: C self loop, 5/2.
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 1).unwrap();
+        let b = g.add_task("B", 2).unwrap();
+        let c = g.add_task("C", 5).unwrap();
+        g.add_dep(a, b, 0, 1).unwrap();
+        g.add_dep(b, a, 3, 1).unwrap();
+        g.add_dep(c, c, 2, 1).unwrap();
+        g.add_dep(a, c, 0, 1).unwrap();
+        let (r, cycle) = critical_cycle(&g).unwrap();
+        assert_eq!(r, Ratio::new(5, 2));
+        assert_eq!(cycle, vec![c]);
+        // The witness attains the bound exactly.
+        let t: u64 = cycle.iter().map(|&v| u64::from(g.time(v))).sum();
+        assert_eq!(Ratio::new(t, 2), r);
+    }
+
+    #[test]
+    fn critical_cycle_none_for_acyclic() {
+        let mut g = Csdfg::new();
+        let a = g.add_task("A", 1).unwrap();
+        let b = g.add_task("B", 1).unwrap();
+        g.add_dep(a, b, 0, 1).unwrap();
+        assert!(critical_cycle(&g).is_none());
     }
 
     #[test]

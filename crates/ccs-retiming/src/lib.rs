@@ -24,8 +24,9 @@ pub mod iteration_bound;
 mod retiming;
 pub mod wd;
 
+pub use clock_period::{critical_chain, min_clock_period};
 pub use howard::max_cycle_ratio_howard;
-pub use iteration_bound::{iteration_bound, Ratio};
+pub use iteration_bound::{critical_cycle, iteration_bound, Ratio};
 pub use retiming::{epilogue, prologue, rotate, rotate_in_place, unrotate_in_place, Retiming};
 pub use wd::{min_clock_period_wd, WdMatrices};
 

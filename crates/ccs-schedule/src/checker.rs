@@ -165,6 +165,26 @@ pub fn edge_comm_cost(g: &Csdfg, m: &Machine, s: &Schedule, e: EdgeId) -> u32 {
     }
 }
 
+/// The PSL core arithmetic of Lemma 4.3: `ceil((m + ce - cb + 1) / k)`
+/// for a possibly negative numerator and `k >= 1`.
+///
+/// This is the single shared implementation of the single-division
+/// fast path (delay-1 edges skip the division entirely; larger delays
+/// use one `div_euclid` plus a product check instead of two
+/// divisions).  Both the schedule checker ([`psl`]) and the remapping
+/// hot loop in `ccs-core` call it, so the checker and the scheduler
+/// can never disagree on rounding.
+#[inline]
+pub fn psl_value(m: i64, ce: i64, cb: i64, k: i64) -> i64 {
+    let num = m + ce - cb + 1;
+    if k == 1 {
+        num
+    } else {
+        let d = num.div_euclid(k);
+        d + i64::from(num != d * k)
+    }
+}
+
 /// Projected schedule length of a loop-carried edge (`d(e) >= 1`):
 /// the minimum static schedule length that satisfies it.
 ///
@@ -180,17 +200,7 @@ pub fn psl(g: &Csdfg, m: &Machine, s: &Schedule, e: EdgeId) -> Option<u32> {
     let ce_u = i64::from(s.ce(u)?);
     let cb_v = i64::from(s.cb(v)?);
     let mm = i64::from(m.try_comm_cost(s.pe(u)?, s.pe(v)?, g.volume(e))?);
-    let num = mm + ce_u - cb_v + 1;
-    let k = i64::from(k);
-    // ceil(num / k) for possibly negative num; k > 0, so a floor plus
-    // a product check needs one division instead of two — and delay-1
-    // edges (the common case) skip the division entirely.
-    let q = if k == 1 {
-        num
-    } else {
-        let d = num.div_euclid(k);
-        d + i64::from(num != d * k)
-    };
+    let q = psl_value(mm, ce_u, cb_v, i64::from(k));
     // INVARIANT: q is clamped to >= 0 and bounded by M + CE(u) + 1,
     // both of which are sums/products of u32 values well below 2^33,
     // so the conversion cannot truncate.
@@ -337,6 +347,43 @@ mod tests {
     use super::*;
     use crate::table::Slot;
     use ccs_topology::Pe;
+
+    /// The shared PSL fast path (used by both this checker and the
+    /// `ccs-core` remap hot loop) agrees with the naive two-division
+    /// ceiling on every sign/divisibility combination.
+    #[test]
+    fn psl_value_matches_naive_ceil() {
+        fn naive(m: i64, ce: i64, cb: i64, k: i64) -> i64 {
+            let num = m + ce - cb + 1;
+            // ceil for possibly negative numerators.
+            if num >= 0 {
+                (num + k - 1) / k
+            } else {
+                -((-num) / k)
+            }
+        }
+        for m in 0..6i64 {
+            for ce in 0..8i64 {
+                for cb in 0..8i64 {
+                    for k in 1..5i64 {
+                        assert_eq!(
+                            psl_value(m, ce, cb, k),
+                            naive(m, ce, cb, k),
+                            "m={m} ce={ce} cb={cb} k={k}"
+                        );
+                    }
+                }
+            }
+        }
+        // The delay-1 fast path is the raw numerator.
+        assert_eq!(psl_value(3, 4, 2, 1), 6);
+        // Exact division must not round up.
+        assert_eq!(psl_value(0, 5, 0, 3), 2);
+        assert_eq!(psl_value(0, 5, 0, 2), 3);
+        // Negative numerators round toward zero (ceil), not -inf.
+        assert_eq!(psl_value(0, 0, 6, 2), -2);
+        assert_eq!(psl_value(0, 0, 5, 2), -2);
+    }
 
     /// Two tasks on a 2-PE linear array.
     fn setup() -> (Csdfg, Machine) {

@@ -17,7 +17,7 @@ use ccs_schedule::Schedule;
 use ccs_topology::Machine;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Jitter model: each task instance executes for
 /// `t(v) + uniform(0..=max_jitter)` cycles.
@@ -47,7 +47,7 @@ pub fn run_jittered(
     let mut order: Vec<NodeId> = g.tasks().collect();
     order.sort_by_key(|&v| (sched.cb(v).expect("task placed"), v.index()));
 
-    let mut finish: HashMap<(usize, u32), u64> = HashMap::new();
+    let mut finish: BTreeMap<(usize, u32), u64> = BTreeMap::new();
     let mut pe_free = vec![0u64; machine.num_pes()];
     let mut messages = 0u64;
     let mut traffic = 0u64;

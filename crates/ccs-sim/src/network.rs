@@ -18,13 +18,13 @@ use crate::report::SelfTimedReport;
 use ccs_model::{Csdfg, NodeId};
 use ccs_schedule::Schedule;
 use ccs_topology::{Machine, RoutingTable};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-link statistics from a contended run.
 #[derive(Clone, Debug, Default)]
 pub struct LinkStats {
     /// Busy cycles per undirected link, keyed `(min, max)` PE indices.
-    pub busy: HashMap<(usize, usize), u64>,
+    pub busy: BTreeMap<(usize, usize), u64>,
 }
 
 impl LinkStats {
@@ -76,11 +76,11 @@ pub fn run_contended(
     let mut order: Vec<NodeId> = g.tasks().collect();
     order.sort_by_key(|&v| (sched.cb(v).expect("task placed"), v.index()));
 
-    let mut finish: HashMap<(usize, u32), u64> = HashMap::new();
+    let mut finish: BTreeMap<(usize, u32), u64> = BTreeMap::new();
     // Delivery time of edge e's data for consumer iteration i.
-    let mut delivered: HashMap<(usize, u32), u64> = HashMap::new();
+    let mut delivered: BTreeMap<(usize, u32), u64> = BTreeMap::new();
     let mut pe_free = vec![0u64; machine.num_pes()];
-    let mut link_free: HashMap<(usize, usize), u64> = HashMap::new();
+    let mut link_free: BTreeMap<(usize, usize), u64> = BTreeMap::new();
     let mut links = LinkStats::default();
     let mut messages = 0u64;
     let mut traffic = 0u64;

@@ -14,7 +14,7 @@ use crate::report::SelfTimedReport;
 use ccs_model::{Csdfg, NodeId};
 use ccs_schedule::Schedule;
 use ccs_topology::Machine;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Executes `iterations` iterations of `g` self-timed, following the
 /// processor assignment and per-PE order of `sched`.
@@ -37,7 +37,7 @@ pub fn run_self_timed(
     order.sort_by_key(|&v| (sched.cb(v).expect("task placed"), v.index()));
 
     // finish[(node, iteration)] global cycle at which the instance ends.
-    let mut finish: HashMap<(usize, u32), u64> = HashMap::new();
+    let mut finish: BTreeMap<(usize, u32), u64> = BTreeMap::new();
     let mut pe_free = vec![0u64; machine.num_pes()];
     let mut messages = 0u64;
     let mut traffic = 0u64;

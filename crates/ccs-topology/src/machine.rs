@@ -53,8 +53,8 @@ impl Machine {
         // emit O(n^2) links, so a linear `contains` scan here made
         // construction quadratic in the link count.  `norm` still
         // records first-seen order for a stable public link list.
-        let mut seen: std::collections::HashSet<(usize, usize)> =
-            std::collections::HashSet::with_capacity(links.len());
+        let mut seen: std::collections::BTreeSet<(usize, usize)> =
+            std::collections::BTreeSet::new();
         for &(a, b) in links {
             assert!(a < n && b < n, "link ({a},{b}) out of range for {n} PEs");
             if a == b {

@@ -30,7 +30,14 @@
 //!   in `ccs-schedule/src/table.rs`, `Machine::distance` in
 //!   `ccs-topology/src/machine.rs`): release builds must stay
 //!   branch-free there.  `debug_assert!` (which compiles away) is the
-//!   sanctioned alternative.
+//!   sanctioned alternative;
+//! * `no-unordered-iteration` — no `HashMap` / `HashSet` in non-test
+//!   library code (same scope as `no-println-in-libs`): their
+//!   iteration order is nondeterministic, and most library output here
+//!   ends up serialized, fingerprinted, or diffed byte-for-byte.  Use
+//!   `BTreeMap` / `BTreeSet` (or collect-and-sort), or justify a
+//!   lookup-only map with a nearby `// ORDERED:` comment explaining
+//!   why its order never escapes.
 
 /// One lint hit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,6 +74,11 @@ pub const RULE_PRINT: &str = "no-println-in-libs";
 pub const RULE_PROBE: &str = "probe-emit-guarded";
 /// Rule identifier for panicking macros in hot-path functions.
 pub const RULE_HOT_ASSERT: &str = "hot-path-no-assert";
+/// Rule identifier for unordered hash containers in library code.
+pub const RULE_UNORDERED: &str = "no-unordered-iteration";
+
+/// Containers whose iteration order is nondeterministic.
+const UNORDERED_TYPES: [&str; 2] = ["HashMap", "HashSet"];
 
 /// The innermost-loop functions that must stay panic-free in release
 /// builds, as `(file, function)` pairs.
@@ -115,6 +127,10 @@ pub fn lint_source(rel: &str, text: &str) -> Vec<Finding> {
     let hygiene = PANIC_HYGIENE_ROOTS.iter().any(|p| rel.starts_with(p));
     let cast = rel == CAST_FILE;
     let print = print_rule_applies(rel);
+    // Unordered-container hygiene shares the library-code scope of the
+    // print rule: the same files feed serialized or fingerprinted
+    // output, where hash iteration order would break byte-stability.
+    let unordered = print;
     let probe = rel.starts_with(PROBE_ROOT);
     let hot_fns: Vec<&str> = HOT_PATH_FNS
         .iter()
@@ -179,6 +195,27 @@ pub fn lint_source(rel: &str, text: &str) -> Vec<Finding> {
                         mac.trim_end_matches('(')
                     ),
                 });
+            }
+        }
+        if unordered && !code.trim_start().starts_with("use ") {
+            if let Some(ty) = UNORDERED_TYPES.iter().find(|t| contains_type(code, t)) {
+                let lo = i.saturating_sub(JUSTIFICATION_WINDOW);
+                let justified = lines[lo..=i].iter().any(|l| l.contains("ORDERED:"));
+                if !justified {
+                    out.push(Finding {
+                        file: rel.to_string(),
+                        line: i + 1,
+                        rule: RULE_UNORDERED,
+                        message: format!(
+                            "`{ty}` in library code: its iteration order is \
+                             nondeterministic and this codebase's output is \
+                             byte-stable — use `BTree{}` (or collect-and-sort), \
+                             or add an `// ORDERED:` comment explaining why the \
+                             order never escapes",
+                            &ty[4..]
+                        ),
+                    });
+                }
             }
         }
         if hot_mask[i] {
@@ -287,6 +324,29 @@ fn contains_token(code: &str, pat: &str) -> bool {
             .next_back()
             .is_none_or(|c| !c.is_alphanumeric() && c != '_');
         if boundary {
+            return true;
+        }
+        start = abs + pat.len();
+    }
+    false
+}
+
+/// `true` when `code` mentions the type name `pat` as a whole token:
+/// bounded on both sides by non-identifier characters, so `HashMap`
+/// does not match inside `MyHashMapExt`.
+fn contains_type(code: &str, pat: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(pat) {
+        let abs = start + pos;
+        let before = code[..abs]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        let after = code[abs + pat.len()..]
+            .chars()
+            .next()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        if before && after {
             return true;
         }
         start = abs + pat.len();
@@ -641,6 +701,49 @@ mod tests {
                    fn other(&self) {\n    assert!(self.ok());\n}\n";
         let f = lint_source("crates/ccs-schedule/src/table.rs", src);
         assert!(f.iter().all(|f| f.rule != RULE_HOT_ASSERT), "{f:?}");
+    }
+
+    #[test]
+    fn unordered_containers_in_library_code_are_flagged() {
+        let src = "fn f() {\n    let mut m: std::collections::HashMap<u32, u32> = \
+                   std::collections::HashMap::new();\n    m.insert(1, 2);\n}\n";
+        let f = lint_source("crates/ccs-workloads/src/demo.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RULE_UNORDERED);
+        assert_eq!(f[0].line, 2);
+        assert!(f[0].message.contains("BTreeMap"), "{}", f[0].message);
+        let src =
+            "fn f() {\n    let s = std::collections::HashSet::<u32>::new();\n    drop(s);\n}\n";
+        let f = lint_source("src/cli.rs", src);
+        assert!(f.iter().any(|f| f.rule == RULE_UNORDERED), "{f:?}");
+    }
+
+    #[test]
+    fn ordered_comment_justifies_hash_containers() {
+        let above = "fn f() {\n    \
+                     // ORDERED: lookup-only; never iterated, order cannot escape.\n    \
+                     let m = std::collections::HashMap::<u32, u32>::new();\n    drop(m);\n}\n";
+        assert!(lint_source("crates/ccs-workloads/src/demo.rs", above).is_empty());
+        let same_line =
+            "fn f() {\n    let m = HashMap::<u32, u32>::new(); // ORDERED: lookup-only\n    drop(m);\n}\n";
+        assert!(lint_source("crates/ccs-workloads/src/demo.rs", same_line).is_empty());
+    }
+
+    #[test]
+    fn unordered_rule_skips_imports_tests_binaries_and_btrees() {
+        let import = "use std::collections::HashMap;\n\nfn f() {}\n";
+        assert!(lint_source("crates/ccs-workloads/src/demo.rs", import).is_empty());
+        let src = "fn f() {\n    let m = std::collections::HashMap::<u32, u32>::new();\n    drop(m);\n}\n";
+        assert!(lint_source("crates/ccs-bench/src/bin/bench_hotpath.rs", src).is_empty());
+        assert!(lint_source("src/main.rs", src).is_empty());
+        let in_test = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    \
+                       fn t() { let _ = std::collections::HashMap::<u32, u32>::new(); }\n}\n";
+        assert!(lint_source("crates/ccs-workloads/src/demo.rs", in_test).is_empty());
+        let btree = "fn f() {\n    let m = std::collections::BTreeMap::<u32, u32>::new();\n    drop(m);\n}\n";
+        assert!(lint_source("crates/ccs-workloads/src/demo.rs", btree).is_empty());
+        // A type that merely contains the name is not a hit.
+        let ext = "struct MyHashMapExt;\nfn f(_: MyHashMapExt) {}\n";
+        assert!(lint_source("crates/ccs-workloads/src/demo.rs", ext).is_empty());
     }
 
     #[test]

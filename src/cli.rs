@@ -70,6 +70,12 @@ pub struct ScheduleArgs {
     pub profile: Option<String>,
     /// Print the ASCII link-load heatmap of the profile.
     pub heatmap: bool,
+    /// Certify the final period against the static lower bounds and
+    /// print the optimality report.
+    pub certify: bool,
+    /// Write the optimality report as JSON to this path (implies the
+    /// certification run).
+    pub certify_json: Option<String>,
 }
 
 /// Timestamp domain for `--trace` output.
@@ -154,6 +160,7 @@ USAGE:
                       [--gantt N] [--svg FILE]
                       [--trace FILE [--trace-clock logical|wall]] [--explain]
                       [--profile FILE] [--heatmap]
+                      [--certify] [--certify-json FILE]
   cyclosched compile  <kernel.loop|-> [--add N] [--mul N] [--volume N]
   cyclosched bound    <graph.csdfg|->
   cyclosched simulate <graph.csdfg|-> --machine SPEC [--iterations N] [--contended]
@@ -178,6 +185,11 @@ OBSERVABILITY:
                  deterministic JSON; validate with `profile-check`
   --heatmap      print the ASCII PE-to-PE traffic matrix and per-link
                  load bars of the communication profile
+  --certify      compute the static lower bounds (cycle ratio, resource,
+                 critical path, communication) and print an optimality
+                 certificate for the achieved period, with witnesses
+  --certify-json FILE
+                 write the optimality certificate as deterministic JSON
 ";
 
 /// Parses raw arguments (without the program name).
@@ -252,6 +264,8 @@ fn parse_schedule(mut args: VecDeque<String>) -> Result<Command, CliError> {
         explain: false,
         profile: None,
         heatmap: false,
+        certify: false,
+        certify_json: None,
     };
     while let Some(flag) = args.pop_front() {
         match flag.as_str() {
@@ -263,6 +277,11 @@ fn parse_schedule(mut args: VecDeque<String>) -> Result<Command, CliError> {
             "--trace" => out.trace = Some(take_value(&mut args, "--trace")?),
             "--profile" => out.profile = Some(take_value(&mut args, "--profile")?),
             "--heatmap" => out.heatmap = true,
+            "--certify" => out.certify = true,
+            "--certify-json" => {
+                out.certify_json = Some(take_value(&mut args, "--certify-json")?);
+                out.certify = true;
+            }
             "--trace-clock" => {
                 out.trace_clock = match take_value(&mut args, "--trace-clock")?.as_str() {
                     "logical" => TraceClock::Logical,
@@ -409,6 +428,24 @@ mod tests {
         assert_eq!(a.profile, None);
         assert!(a.heatmap);
         assert!(parse("schedule g --machine m --profile").is_err());
+    }
+
+    #[test]
+    fn schedule_certify_flags() {
+        let Command::Schedule(a) = parse("schedule g --machine ring:4 --certify").unwrap() else {
+            panic!()
+        };
+        assert!(a.certify);
+        assert_eq!(a.certify_json, None);
+
+        let Command::Schedule(a) =
+            parse("schedule g --machine ring:4 --certify-json cert.json").unwrap()
+        else {
+            panic!()
+        };
+        assert!(a.certify, "--certify-json implies the certification run");
+        assert_eq!(a.certify_json.as_deref(), Some("cert.json"));
+        assert!(parse("schedule g --machine m --certify-json").is_err());
     }
 
     #[test]

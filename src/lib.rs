@@ -59,6 +59,7 @@
 pub mod cli;
 
 pub use ccs_analyze as analyze;
+pub use ccs_bounds as bounds;
 pub use ccs_core as core;
 pub use ccs_graph as graph;
 pub use ccs_lang as lang;

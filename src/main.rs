@@ -289,6 +289,22 @@ fn run_schedule(args: ScheduleArgs) -> Result<(), String> {
             print!("{}", cyclosched::profile::render::heatmap(&profile));
         }
     }
+    if args.certify {
+        // Bounds are proven over the *input* graph and all its legal
+        // retimings, so the certificate is stated against `g`, not the
+        // rotated `result.graph` the schedule was validated with.
+        let report = cyclosched::bounds::certify_period(&g, &machine, result.best_length);
+        print!("{}", report.render_human());
+        for d in cyclosched::analyze::certify_report(&report).diagnostics() {
+            eprintln!("{}: {d}", machine.name());
+        }
+        if let Some(path) = &args.certify_json {
+            let mut json = report.to_json_pretty();
+            json.push('\n');
+            std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {path} (optimality certificate)");
+        }
+    }
     Ok(())
 }
 
