@@ -23,7 +23,14 @@
 //! The profile is a pure function of the (deterministic) event stream,
 //! so its JSON export is byte-identical across runs and thread counts
 //! — CI byte-compares it.  Renderers live in [`render`] (ASCII link
-//! heatmap for `cyclosched schedule --profile out.json --heatmap`).
+//! heatmap for `cyclosched schedule --profile out.json --heatmap`, and
+//! the SVG heatmap embedded by `ccs-report` / `--heatmap-svg`).
+//!
+//! Beyond the final ledger, the builder retains the full edge snapshot
+//! of every *accepted* phase ([`PassLedger`]); [`diff_ledgers`] turns
+//! two snapshots into a ranked list of [`LedgerDelta`] rows ("which
+//! edges' hop·volume moved, where, and by how much") consumed by the
+//! HTML report and the `--explain` narrative.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -101,6 +108,87 @@ impl LinkLoad {
             ("messages".to_string(), Value::UInt(self.messages)),
         ])
     }
+}
+
+/// The complete edge snapshot of one accepted phase: the start-up
+/// schedule (`pass` 0) or one accepted rotate-remap pass.
+///
+/// Reverted passes emit no snapshot, so they never appear here.  The
+/// ledgers feed the per-pass heatmaps and ledger diffs of the HTML
+/// report; they are deliberately *not* part of the profile's JSON
+/// export (the `version: 1` schema is pinned by golden tests and
+/// `profile-check`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PassLedger {
+    /// Phase number: 0 = start-up, `k` = rotate-remap pass `k`.
+    pub pass: u32,
+    /// Schedule length after the phase.
+    pub length: u32,
+    /// The full per-edge snapshot, in the graph's edge order.
+    pub edges: Vec<EdgeTraffic>,
+}
+
+/// One changed row between two edge ledgers: the same dependence edge
+/// before and after a pass moved its endpoints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LedgerDelta {
+    /// The edge before the pass.
+    pub before: EdgeTraffic,
+    /// The edge after the pass.
+    pub after: EdgeTraffic,
+}
+
+impl LedgerDelta {
+    /// Signed change of the edge's hop-weighted cost.
+    pub fn delta(&self) -> i64 {
+        let b = i64::try_from(self.before.cost()).unwrap_or(i64::MAX);
+        let a = i64::try_from(self.after.cost()).unwrap_or(i64::MAX);
+        a.saturating_sub(b)
+    }
+}
+
+/// Diffs two edge ledgers (snapshots of the same graph), returning the
+/// rows whose placement or cost changed, ranked by `|Δcost|` descending
+/// and then by edge index — the order a human wants to read them in.
+pub fn diff_ledgers(before: &[EdgeTraffic], after: &[EdgeTraffic]) -> Vec<LedgerDelta> {
+    let mut out: Vec<LedgerDelta> = Vec::new();
+    for a in after {
+        let Some(b) = before.iter().find(|b| b.edge == a.edge) else {
+            continue;
+        };
+        if b.src_pe != a.src_pe || b.dst_pe != a.dst_pe || b.cost() != a.cost() {
+            out.push(LedgerDelta {
+                before: *b,
+                after: *a,
+            });
+        }
+    }
+    out.sort_by_key(|d| (std::cmp::Reverse(d.delta().unsigned_abs()), d.after.edge));
+    out
+}
+
+/// Renders the hop route one ledger row pays, 1-based to match the
+/// paper's `PE1..PEm` convention: `"local@PE2"` for co-located
+/// endpoints, otherwise the deterministic BFS path (`"PE1>PE2>PE4"`),
+/// falling back to `"PE1..PE4 (h hops)"` when no route table applies.
+pub fn route_label(routes: Option<&RoutingTable>, e: &EdgeTraffic) -> String {
+    if !e.crossing() {
+        return format!("local@PE{}", e.src_pe + 1);
+    }
+    if let Some(rt) = routes {
+        let path = rt.path(
+            Pe::from_index(e.src_pe as usize),
+            Pe::from_index(e.dst_pe as usize),
+        );
+        if path.len() >= 2 {
+            let hops: Vec<String> = path
+                .iter()
+                .map(|p| format!("PE{}", p.index() + 1))
+                .collect();
+            return hops.join(">");
+        }
+    }
+    format!("PE{}..PE{} ({} hops)", e.src_pe + 1, e.dst_pe + 1, e.hops)
 }
 
 /// One PE's row of the profile: load and traffic totals of the final
@@ -201,6 +289,9 @@ pub struct CommProfile {
     pub pe_rows: Vec<PeProfile>,
     /// Comm/compute balance per phase (`pass` 0 = start-up).
     pub passes: Vec<PassProfile>,
+    /// Full edge snapshots of the accepted phases, in pass order.
+    /// Not part of the JSON export — see [`PassLedger`].
+    pub pass_ledgers: Vec<PassLedger>,
 }
 
 fn fold(edges: &[EdgeTraffic]) -> (u64, u32, u32) {
@@ -282,8 +373,59 @@ pub struct ProfileBuilder {
     cur_edges: Vec<EdgeTraffic>,
     pe_loads: Vec<(u32, u32, u32)>,
     passes: Vec<PassProfile>,
+    pass_ledgers: Vec<PassLedger>,
     initial_length: u32,
     best_length: u32,
+}
+
+/// Hop-weighted link loads of one edge ledger on `machine`: each
+/// crossing edge charges its volume to every link on the deterministic
+/// BFS route between its PEs.  Σ over links of one edge's volume =
+/// hops · volume = the edge's cost, so link loads and the ledger agree
+/// (the conservation invariant `report-check` verifies).  Machines
+/// without meaningful routes (no links, or disconnected) load nothing.
+pub fn link_loads(machine: &Machine, edges: &[EdgeTraffic]) -> Vec<LinkLoad> {
+    let mut links: Vec<LinkLoad> = machine
+        .links()
+        .iter()
+        .map(|&(a, b)| LinkLoad {
+            a: u32::try_from(a).unwrap_or(u32::MAX),
+            b: u32::try_from(b).unwrap_or(u32::MAX),
+            ..LinkLoad::default()
+        })
+        .collect();
+    if !routable(machine) {
+        return links;
+    }
+    let routes = RoutingTable::new(machine);
+    let index_of = |a: usize, b: usize| {
+        machine
+            .links()
+            .iter()
+            .position(|&l| l == (a.min(b), a.max(b)))
+    };
+    for e in edges {
+        if !e.crossing() || e.hops == 0 || e.hops == u32::MAX {
+            continue;
+        }
+        let (sp, dp) = (
+            Pe::from_index(e.src_pe as usize),
+            Pe::from_index(e.dst_pe as usize),
+        );
+        for (a, b) in routes.links_on_path(sp, dp) {
+            if let Some(ix) = index_of(a, b) {
+                links[ix].volume = links[ix].volume.saturating_add(u64::from(e.volume));
+                links[ix].messages += 1;
+            }
+        }
+    }
+    links
+}
+
+/// `true` when link loads on `machine` are meaningful (it has physical
+/// links and every pair of PEs is reachable over them).
+pub fn routable(machine: &Machine) -> bool {
+    machine.is_connected() && !machine.links().is_empty()
 }
 
 impl ProfileBuilder {
@@ -297,45 +439,7 @@ impl ProfileBuilder {
     pub fn finish(self, machine: &Machine) -> CommProfile {
         let edges = self.cur_edges;
         let (total_comm, crossing_edges, local_edges) = fold(&edges);
-
-        // Hop-weighted link loads: each crossing edge charges its
-        // volume to every link on the deterministic BFS route between
-        // its PEs.  Σ over links of one edge's volume = hops · volume =
-        // the edge's cost, so link loads and the ledger agree.
-        let mut links: Vec<LinkLoad> = machine
-            .links()
-            .iter()
-            .map(|&(a, b)| LinkLoad {
-                a: u32::try_from(a).unwrap_or(u32::MAX),
-                b: u32::try_from(b).unwrap_or(u32::MAX),
-                ..LinkLoad::default()
-            })
-            .collect();
-        let routable = machine.is_connected() && !machine.links().is_empty();
-        if routable {
-            let routes = RoutingTable::new(machine);
-            let index_of = |a: usize, b: usize| {
-                machine
-                    .links()
-                    .iter()
-                    .position(|&l| l == (a.min(b), a.max(b)))
-            };
-            for e in &edges {
-                if !e.crossing() || e.hops == 0 || e.hops == u32::MAX {
-                    continue;
-                }
-                let (sp, dp) = (
-                    Pe::from_index(e.src_pe as usize),
-                    Pe::from_index(e.dst_pe as usize),
-                );
-                for (a, b) in routes.links_on_path(sp, dp) {
-                    if let Some(ix) = index_of(a, b) {
-                        links[ix].volume = links[ix].volume.saturating_add(u64::from(e.volume));
-                        links[ix].messages += 1;
-                    }
-                }
-            }
-        }
+        let links = link_loads(machine, &edges);
 
         // Per-PE rows: loads from the traffic.pe events, send/recv
         // from the ledger.
@@ -377,6 +481,7 @@ impl ProfileBuilder {
             links,
             pe_rows,
             passes: self.passes,
+            pass_ledgers: self.pass_ledgers,
         }
     }
 }
@@ -414,7 +519,11 @@ impl Sink for ProfileBuilder {
                     crossing,
                     local,
                 });
-                self.cur_edges.clear();
+                self.pass_ledgers.push(PassLedger {
+                    pass: 0,
+                    length,
+                    edges: std::mem::take(&mut self.cur_edges),
+                });
             }
             Event::PassEnd {
                 pass,
@@ -430,7 +539,15 @@ impl Sink for ProfileBuilder {
                     crossing,
                     local,
                 });
-                self.cur_edges.clear();
+                if accepted {
+                    self.pass_ledgers.push(PassLedger {
+                        pass,
+                        length,
+                        edges: std::mem::take(&mut self.cur_edges),
+                    });
+                } else {
+                    self.cur_edges.clear();
+                }
             }
             Event::PeLoad { pe, tasks, busy } => self.pe_loads.push((pe, tasks, busy)),
             Event::CompactEnd { initial, best, .. } => {
@@ -451,6 +568,63 @@ pub fn build(events: &[TimedEvent], machine: &Machine) -> CommProfile {
         b.event(te.event.clone());
     }
     b.finish(machine)
+}
+
+/// Prose ledger-diff notes for the `--explain` narrative: for every
+/// accepted rotate-remap pass, the top-`k` edges whose communication
+/// cost or placement changed relative to the previous accepted phase,
+/// with before→after hop routes.  Returns `(pass, note)` pairs; the
+/// note is pre-indented to sit under the explainer's `pass N accepted`
+/// line.  Shares [`diff_ledgers`] with the HTML report, so the two
+/// always tell the same story.
+pub fn pass_diff_notes(
+    p: &CommProfile,
+    machine: &Machine,
+    k: usize,
+    mut name: impl FnMut(u32) -> String,
+) -> Vec<(u32, String)> {
+    use std::fmt::Write as _;
+    let routes = routable(machine).then(|| RoutingTable::new(machine));
+    let mut notes = Vec::new();
+    for pair in p.pass_ledgers.windows(2) {
+        let (prev, cur) = (&pair[0], &pair[1]);
+        let deltas = diff_ledgers(&prev.edges, &cur.edges);
+        let (prev_comm, _, _) = fold(&prev.edges);
+        let (cur_comm, _, _) = fold(&cur.edges);
+        let mut note = String::new();
+        let shift = i64::try_from(cur_comm).unwrap_or(i64::MAX)
+            - i64::try_from(prev_comm).unwrap_or(i64::MAX);
+        let _ = writeln!(
+            note,
+            "  ledger diff vs pass {}: comm {prev_comm} -> {cur_comm} ({shift:+}), {} of {} edge(s) moved",
+            prev.pass,
+            deltas.len(),
+            cur.edges.len()
+        );
+        for d in deltas.iter().take(k) {
+            let _ = writeln!(
+                note,
+                "    e{} {}->{}: cost {} -> {} ({:+}), {} -> {}",
+                d.after.edge,
+                name(d.after.src),
+                name(d.after.dst),
+                d.before.cost(),
+                d.after.cost(),
+                d.delta(),
+                route_label(routes.as_ref(), &d.before),
+                route_label(routes.as_ref(), &d.after),
+            );
+        }
+        if deltas.len() > k {
+            let _ = writeln!(
+                note,
+                "    ({} more changed edge(s) not shown)",
+                deltas.len() - k
+            );
+        }
+        notes.push((cur.pass, note));
+    }
+    notes
 }
 
 #[cfg(test)]
@@ -562,6 +736,166 @@ mod tests {
         assert_eq!(p.passes.len(), 1);
         assert!(!p.passes[0].accepted);
         assert_eq!(p.passes[0].comm, 0);
+        assert!(
+            p.pass_ledgers.is_empty(),
+            "reverted passes keep no ledger snapshot"
+        );
+    }
+
+    #[test]
+    fn accepted_phases_keep_their_ledgers() {
+        let m = Machine::linear_array(3);
+        let events = vec![
+            te(Event::StartupBegin { tasks: 2, pes: 3 }),
+            te(traffic(0, 0, 2, 2, 3)),
+            te(Event::StartupEnd { length: 6 }),
+            te(Event::PassBegin {
+                pass: 1,
+                prev_len: 6,
+                rows: 1,
+            }),
+            te(traffic(0, 0, 1, 1, 3)),
+            te(Event::PassEnd {
+                pass: 1,
+                accepted: true,
+                length: 5,
+            }),
+            te(Event::PassBegin {
+                pass: 2,
+                prev_len: 5,
+                rows: 1,
+            }),
+            te(Event::PassEnd {
+                pass: 2,
+                accepted: false,
+                length: 5,
+            }),
+            te(traffic(0, 0, 1, 1, 3)),
+            te(Event::CompactEnd {
+                initial: 6,
+                best: 5,
+                passes: 2,
+            }),
+        ];
+        let p = build(&events, &m);
+        assert_eq!(p.pass_ledgers.len(), 2, "start-up + one accepted pass");
+        assert_eq!(p.pass_ledgers[0].pass, 0);
+        assert_eq!(p.pass_ledgers[0].length, 6);
+        assert_eq!(p.pass_ledgers[0].edges[0].dst_pe, 2);
+        assert_eq!(p.pass_ledgers[1].pass, 1);
+        assert_eq!(p.pass_ledgers[1].edges[0].dst_pe, 1);
+        // The final snapshot is still the authoritative ledger.
+        assert_eq!(p.edges.len(), 1);
+        // JSON schema unchanged: ledgers never serialize.
+        assert!(!p.to_json_pretty().contains("pass_ledgers"));
+    }
+
+    #[test]
+    fn diff_ledgers_ranks_by_cost_shift() {
+        let before = vec![
+            EdgeTraffic {
+                edge: 0,
+                src: 0,
+                dst: 1,
+                src_pe: 0,
+                dst_pe: 2,
+                hops: 2,
+                volume: 3,
+            },
+            EdgeTraffic {
+                edge: 1,
+                src: 1,
+                dst: 2,
+                src_pe: 1,
+                dst_pe: 2,
+                hops: 1,
+                volume: 1,
+            },
+            EdgeTraffic {
+                edge: 2,
+                src: 2,
+                dst: 0,
+                src_pe: 2,
+                dst_pe: 2,
+                hops: 0,
+                volume: 5,
+            },
+        ];
+        let mut after = before.clone();
+        after[0].dst_pe = 0; // 6 -> 0: biggest shift
+        after[0].hops = 0;
+        after[1].dst_pe = 0; // 1 -> 2: smaller shift
+        after[1].hops = 2;
+        let deltas = diff_ledgers(&before, &after);
+        assert_eq!(deltas.len(), 2, "unchanged edge 2 is not reported");
+        assert_eq!(deltas[0].after.edge, 0);
+        assert_eq!(deltas[0].delta(), -6);
+        assert_eq!(deltas[1].after.edge, 1);
+        assert_eq!(deltas[1].delta(), 1);
+    }
+
+    #[test]
+    fn route_labels_name_hops() {
+        let m = Machine::linear_array(4);
+        let routes = RoutingTable::new(&m);
+        let crossing = EdgeTraffic {
+            edge: 0,
+            src: 0,
+            dst: 1,
+            src_pe: 0,
+            dst_pe: 3,
+            hops: 3,
+            volume: 1,
+        };
+        assert_eq!(route_label(Some(&routes), &crossing), "PE1>PE2>PE3>PE4");
+        let local = EdgeTraffic {
+            src_pe: 1,
+            dst_pe: 1,
+            hops: 0,
+            ..crossing
+        };
+        assert_eq!(route_label(Some(&routes), &local), "local@PE2");
+        assert_eq!(route_label(None, &crossing), "PE1..PE4 (3 hops)");
+    }
+
+    #[test]
+    fn pass_diff_notes_name_the_moved_edges() {
+        let m = Machine::linear_array(3);
+        let events = vec![
+            te(Event::StartupBegin { tasks: 2, pes: 3 }),
+            te(traffic(0, 0, 2, 2, 3)),
+            te(Event::StartupEnd { length: 6 }),
+            te(Event::PassBegin {
+                pass: 1,
+                prev_len: 6,
+                rows: 1,
+            }),
+            te(traffic(0, 0, 1, 1, 3)),
+            te(Event::PassEnd {
+                pass: 1,
+                accepted: true,
+                length: 5,
+            }),
+            te(traffic(0, 0, 1, 1, 3)),
+            te(Event::CompactEnd {
+                initial: 6,
+                best: 5,
+                passes: 1,
+            }),
+        ];
+        let p = build(&events, &m);
+        let notes = pass_diff_notes(&p, &m, 5, |n| format!("n{n}"));
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].0, 1);
+        let note = &notes[0].1;
+        assert!(
+            note.contains("ledger diff vs pass 0: comm 6 -> 3 (-3), 1 of 1 edge(s) moved"),
+            "{note}"
+        );
+        assert!(
+            note.contains("e0 n0->n1: cost 6 -> 3 (-3), PE1>PE2>PE3 -> PE1>PE2"),
+            "{note}"
+        );
     }
 
     #[test]

@@ -1,11 +1,21 @@
-//! ASCII renderers for a [`CommProfile`](crate::CommProfile).
+//! Renderers for a [`CommProfile`](crate::CommProfile).
 //!
 //! [`heatmap`] draws the PE-to-PE hop-weighted traffic matrix plus a
 //! per-link load bar chart — a terminal-native view of which parts of
-//! the fabric the schedule actually stresses.  Pure functions of the
-//! profile, so the output is as deterministic as the profile itself.
+//! the fabric the schedule actually stresses.  [`heatmap_svg`] is the
+//! rich equivalent: a self-contained SVG of the same matrix and link
+//! bars, written by `cyclosched schedule --heatmap-svg` and embedded
+//! per accepted pass by the `ccs-report` HTML report.  Pure functions
+//! of the profile, so the output is as deterministic as the profile
+//! itself.
+//!
+//! Everything interpolated into SVG/HTML text content goes through
+//! [`esc`] — the one audited escape helper (the `escaped-html-output`
+//! repo lint enforces this for every markup renderer in the workspace's
+//! report path).
 
 use crate::CommProfile;
+use crate::{EdgeTraffic, LinkLoad};
 use std::fmt::Write as _;
 
 /// Intensity ramp for the matrix cells, dimmest to brightest.
@@ -101,10 +111,217 @@ pub fn heatmap(p: &CommProfile) -> String {
     out
 }
 
+/// Escapes `s` for HTML/SVG text and attribute contexts: the five
+/// XML-special characters become entities.  This is the single audited
+/// escape helper of the reporting path — `ccs-report` re-exports it,
+/// and the `escaped-html-output` repo lint keeps every markup
+/// interpolation routed through it.
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Sequential heat ramp (OrRd-style), dimmest to hottest; index 0 is
+/// the zero-traffic cell.  Mirrors the ASCII [`RAMP`].
+const HEAT: [&str; 10] = [
+    "#ffffff", "#fef0d9", "#fdd49e", "#fdbb84", "#fc8d59", "#ef6548", "#d7301f", "#b30000",
+    "#7f0000", "#4c0000",
+];
+
+fn heat_color(x: u64, max: u64) -> &'static str {
+    if x == 0 || max == 0 {
+        return HEAT[0];
+    }
+    let steps = (HEAT.len() - 1) as u64;
+    let ix = 1 + (x.saturating_mul(steps - 1)) / max;
+    HEAT[ix as usize]
+}
+
+/// Geometry constants of the SVG heatmap.
+const CELL: u32 = 18;
+const LEFT: u32 = 48;
+const TOP: u32 = 40;
+const BAR_W: u32 = 240;
+const ROW_H: u32 = 16;
+
+/// Renders one edge ledger and its link loads as an SVG heatmap: the
+/// PE-to-PE hop-weighted crossing-cost matrix (rows = source PE,
+/// columns = destination PE) plus one load bar per physical link.
+///
+/// The `<svg>` element carries machine-readable conservation data:
+/// `data-ledger-total` (Σ hop·volume over crossing ledger rows) and
+/// `data-link-total` (Σ volume charged to links).  When `routable` is
+/// `true` the two are equal by construction — `report-check` verifies
+/// exactly that invariant on every embedded heatmap.  `standalone`
+/// adds the `xmlns` attribute so the file opens outside an HTML page.
+pub fn heatmap_svg_panel(
+    caption: &str,
+    pes: u32,
+    edges: &[EdgeTraffic],
+    links: &[LinkLoad],
+    routable: bool,
+    standalone: bool,
+) -> String {
+    let n = pes as usize;
+    let ledger_total: u64 = edges
+        .iter()
+        .filter(|e| e.crossing())
+        .map(|e| e.cost())
+        .fold(0u64, u64::saturating_add);
+    let link_total: u64 = links
+        .iter()
+        .map(|l| l.volume)
+        .fold(0u64, u64::saturating_add);
+
+    // Matrix cells: hop-weighted crossing cost per (src PE, dst PE).
+    let mut cells = vec![0u64; n * n];
+    for e in edges {
+        let (s, d) = (e.src_pe as usize, e.dst_pe as usize);
+        if s < n && d < n && e.crossing() {
+            cells[s * n + d] = cells[s * n + d].saturating_add(e.cost());
+        }
+    }
+    let cell_max = cells.iter().copied().max().unwrap_or(0);
+    let link_max = links.iter().map(|l| l.volume).max().unwrap_or(0);
+
+    let matrix_h = u32::try_from(n).unwrap_or(0) * CELL;
+    let links_h = u32::try_from(links.len()).unwrap_or(0) * ROW_H;
+    let links_top = TOP + matrix_h + 24;
+    let width = (LEFT + u32::try_from(n).unwrap_or(0) * CELL + 24)
+        .max(LEFT + 64 + BAR_W + 72)
+        .max(360);
+    let height = links_top + links_h + 16;
+
+    let mut out = String::new();
+    let xmlns = if standalone {
+        r#" xmlns="http://www.w3.org/2000/svg""#
+    } else {
+        ""
+    };
+    let _ = writeln!(
+        out,
+        r#"<svg{xmlns} class="heatmap" width="{width}" height="{height}" viewBox="0 0 {width} {height}" data-pes="{pes}" data-routable="{routable}" data-ledger-total="{ledger_total}" data-link-total="{link_total}" role="img">"#
+    );
+    let _ = writeln!(
+        out,
+        r#"  <style>.hm-t{{font:12px monospace;fill:#222}}.hm-s{{font:10px monospace;fill:#555}}.hm-c{{stroke:#ccc;stroke-width:0.5}}</style>"#
+    );
+    let _ = writeln!(
+        out,
+        r#"  <text class="hm-t" x="4" y="15">{}</text>"#,
+        esc(caption)
+    );
+
+    // Matrix: column labels, row labels, one rect per cell with a
+    // hover title naming the (src, dst) pair and its cost.
+    for d in 0..n {
+        let x = LEFT + u32::try_from(d).unwrap_or(0) * CELL + CELL / 2;
+        let _ = writeln!(
+            out,
+            r#"  <text class="hm-s" x="{x}" y="{y}" text-anchor="middle">{}</text>"#,
+            esc(&format!("{}", d + 1)),
+            y = TOP - 4
+        );
+    }
+    for s in 0..n {
+        let y = TOP + u32::try_from(s).unwrap_or(0) * CELL + CELL / 2 + 4;
+        let _ = writeln!(
+            out,
+            r#"  <text class="hm-s" x="{x}" y="{y}" text-anchor="end">{}</text>"#,
+            esc(&format!("PE{}", s + 1)),
+            x = LEFT - 4
+        );
+        for d in 0..n {
+            let v = cells[s * n + d];
+            let x = LEFT + u32::try_from(d).unwrap_or(0) * CELL;
+            let yy = TOP + u32::try_from(s).unwrap_or(0) * CELL;
+            let _ = writeln!(
+                out,
+                r#"  <rect class="hm-c" x="{x}" y="{yy}" width="{CELL}" height="{CELL}" fill="{fill}"><title>{}</title></rect>"#,
+                esc(&format!("PE{} -> PE{}: cost {v}", s + 1, d + 1)),
+                fill = heat_color(v, cell_max)
+            );
+        }
+    }
+    if cell_max > 0 {
+        let y = TOP + matrix_h + 14;
+        let _ = writeln!(
+            out,
+            r#"  <text class="hm-s" x="{LEFT}" y="{y}">{}</text>"#,
+            esc(&format!("matrix scale: 0 .. {cell_max}"))
+        );
+    }
+
+    // Per-link load bars, scaled to the hottest link.
+    for (i, l) in links.iter().enumerate() {
+        let y = links_top + u32::try_from(i).unwrap_or(0) * ROW_H;
+        let filled = if link_max == 0 || l.volume == 0 {
+            0
+        } else {
+            let w = l.volume.saturating_mul(u64::from(BAR_W)) / link_max;
+            u32::try_from(w).unwrap_or(BAR_W).clamp(2, BAR_W)
+        };
+        let _ = writeln!(
+            out,
+            r#"  <text class="hm-s" x="{LEFT}" y="{ty}" text-anchor="end">{}</text>"#,
+            esc(&format!("PE{}-PE{}", l.a + 1, l.b + 1)),
+            ty = y + 11
+        );
+        let _ = writeln!(
+            out,
+            r#"  <rect x="{bx}" y="{ry}" width="{bw}" height="10" fill="{fill}"><title>{}</title></rect>"#,
+            esc(&format!(
+                "link PE{}-PE{}: volume {}, {} message(s)",
+                l.a + 1,
+                l.b + 1,
+                l.volume,
+                l.messages
+            )),
+            bx = LEFT + 8,
+            ry = y + 3,
+            bw = filled.max(1),
+            fill = if l.volume == 0 {
+                "#eee"
+            } else {
+                heat_color(l.volume, link_max)
+            }
+        );
+        let _ = writeln!(
+            out,
+            r#"  <text class="hm-s" x="{tx}" y="{ty}">{}</text>"#,
+            esc(&format!("{}", l.volume)),
+            tx = LEFT + 8 + BAR_W + 8,
+            ty = y + 11
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// The profile's final best-schedule heatmap as a standalone SVG
+/// document (`cyclosched schedule --heatmap-svg FILE`).  `routable`
+/// comes from [`crate::routable`] on the machine the run targeted.
+pub fn heatmap_svg(p: &CommProfile, routable: bool) -> String {
+    let caption = format!(
+        "{} — final best schedule: comm {} / compute {}, length {} -> {}",
+        p.machine, p.total_comm, p.compute, p.initial_length, p.best_length
+    );
+    heatmap_svg_panel(&caption, p.pes, &p.edges, &p.links, routable, true)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{EdgeTraffic, LinkLoad};
 
     fn profile() -> CommProfile {
         CommProfile {
@@ -152,6 +369,7 @@ mod tests {
             ],
             pe_rows: Vec::new(),
             passes: Vec::new(),
+            pass_ledgers: Vec::new(),
         }
     }
 
@@ -175,5 +393,58 @@ mod tests {
         assert_eq!(intensity(10, 10), '@');
         assert_eq!(bar(0, 10, 8), "");
         assert_eq!(bar(10, 10, 8), "########");
+    }
+
+    #[test]
+    fn esc_covers_all_specials_and_passes_plain_text() {
+        assert_eq!(esc("a<b>&\"c'"), "a&lt;b&gt;&amp;&quot;c&#39;");
+        assert_eq!(esc("Mesh 2x2"), "Mesh 2x2");
+        assert_eq!(esc(""), "");
+    }
+
+    #[test]
+    fn heatmap_svg_is_deterministic_and_carries_conservation_data() {
+        let p = profile();
+        let a = heatmap_svg(&p, true);
+        assert_eq!(a, heatmap_svg(&p, true));
+        assert!(a.starts_with("<svg"), "{a}");
+        assert!(a.trim_end().ends_with("</svg>"), "{a}");
+        assert!(a.contains(r#"xmlns="http://www.w3.org/2000/svg""#));
+        // Ledger: one crossing edge of cost 6; links charge 3+3 volume.
+        assert!(a.contains(r#"data-ledger-total="6""#), "{a}");
+        assert!(a.contains(r#"data-link-total="6""#), "{a}");
+        assert!(a.contains(r#"data-routable="true""#), "{a}");
+        assert!(a.contains("Linear Array 3"), "{a}");
+        assert!(a.contains("PE1-PE2"), "{a}");
+    }
+
+    #[test]
+    fn heatmap_svg_escapes_hostile_captions() {
+        let mut p = profile();
+        p.machine = "<script>alert('x')&\"".to_string();
+        let svg = heatmap_svg(&p, true);
+        assert!(!svg.contains("<script"), "{svg}");
+        assert!(svg.contains("&lt;script&gt;"), "{svg}");
+    }
+
+    #[test]
+    fn heatmap_svg_panel_embeds_without_xmlns() {
+        let p = profile();
+        let svg = heatmap_svg_panel("pass 1", p.pes, &p.edges, &p.links, false, false);
+        assert!(svg.starts_with("<svg class="), "{svg}");
+        assert!(!svg.contains("xmlns"), "{svg}");
+        assert!(svg.contains(r#"data-routable="false""#), "{svg}");
+    }
+
+    #[test]
+    fn heatmap_svg_viewbox_matches_dimensions() {
+        let p = profile();
+        let svg = heatmap_svg(&p, true);
+        let wh = svg
+            .split_once(r#"width=""#)
+            .and_then(|(_, r)| r.split_once('"'))
+            .map(|(w, _)| w.to_string())
+            .unwrap_or_default();
+        assert!(svg.contains(&format!(r#"viewBox="0 0 {wh} "#)), "{svg}");
     }
 }

@@ -1,0 +1,50 @@
+//! `report-check` — validates an HTML report produced by
+//! `cyclosched schedule --report`.
+//!
+//! ```text
+//! report-check report.html
+//! ```
+//!
+//! Re-verifies the renderer's output contract on the artifact itself
+//! (see [`ccs_report::check`]): document shell, escaping discipline
+//! (every `<` opens a whitelisted tag, every `&` a known entity, no
+//! `<script>`), SVG viewBox sanity, and ledger/link conservation on
+//! every routable heatmap.  Exit codes: `0` valid, `1` invalid,
+//! `2` usage/IO error.  CI runs this on the artifact uploaded by the
+//! report job.
+
+use ccs_report::check::check_html;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let path = match (args.next(), args.next()) {
+        (Some(p), None) if p != "--help" && p != "-h" => p,
+        _ => {
+            eprintln!("usage: report-check <report.html>");
+            return ExitCode::from(2);
+        }
+    };
+    let html = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("report-check: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match check_html(&html) {
+        Ok(facts) => {
+            println!(
+                "{path}: OK — {} section(s), {} svg(s), {} conservation check(s)",
+                facts.sections, facts.svgs, facts.conserved
+            );
+            ExitCode::SUCCESS
+        }
+        Err(errors) => {
+            for e in &errors {
+                eprintln!("{path}: INVALID — {e}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

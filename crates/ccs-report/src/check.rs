@@ -1,0 +1,228 @@
+//! Structural validator for rendered reports, shared by the
+//! `report-check` binary and the crate's own tests.
+//!
+//! The checks are deliberately mechanical — they re-verify the
+//! renderer's output contract on the artifact itself, independent of
+//! the code that produced it:
+//!
+//! * document shell: starts with the doctype, ends with `</html>`, and
+//!   contains no `<script`;
+//! * markup discipline: every `<` opens a whitelisted tag (so any
+//!   dynamic text must have gone through the escape helper), and every
+//!   `&` starts a known entity;
+//! * SVG sanity: each `<svg>` carries `width`/`height` matching its
+//!   `viewBox="0 0 W H"` within sane limits;
+//! * conservation: on every heatmap marked `data-routable="true"`, the
+//!   embedded per-pass ledger total equals the link-load total — the
+//!   hop·volume charged to edges is exactly the volume charged to
+//!   links.
+
+/// Tags the renderer is allowed to emit.  Anything else means raw text
+/// leaked around the escape helper.
+const TAGS: &[&str] = &[
+    "html", "head", "meta", "title", "style", "body", "h1", "h2", "h3", "p", "span", "section",
+    "table", "thead", "tbody", "tr", "th", "td", "details", "summary", "pre", "svg", "g", "rect",
+    "text", "line",
+];
+
+/// Entities the escape helper produces.
+const ENTITIES: &[&str] = &["amp;", "lt;", "gt;", "quot;", "#39;"];
+
+/// Maximum sane SVG dimension, in px.
+const MAX_DIM: u64 = 100_000;
+
+/// What a successful validation saw, for the binary's summary line.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReportFacts {
+    /// `<svg>` elements validated.
+    pub svgs: usize,
+    /// Heatmaps whose ledger/link conservation was checked.
+    pub conserved: usize,
+    /// `<section>` elements seen.
+    pub sections: usize,
+}
+
+fn attr<'a>(tag: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("{key}=\"");
+    let start = tag.find(&pat)? + pat.len();
+    let end = tag[start..].find('"')?;
+    Some(&tag[start..start + end])
+}
+
+fn check_svg_tag(tag: &str, errors: &mut Vec<String>, facts: &mut ReportFacts) {
+    facts.svgs += 1;
+    let n = facts.svgs;
+    let (Some(w), Some(h), Some(vb)) = (
+        attr(tag, "width"),
+        attr(tag, "height"),
+        attr(tag, "viewBox"),
+    ) else {
+        errors.push(format!("svg #{n}: missing width/height/viewBox"));
+        return;
+    };
+    let (Ok(wn), Ok(hn)) = (w.parse::<u64>(), h.parse::<u64>()) else {
+        errors.push(format!("svg #{n}: non-numeric dimensions {w}x{h}"));
+        return;
+    };
+    if !(1..=MAX_DIM).contains(&wn) || !(1..=MAX_DIM).contains(&hn) {
+        errors.push(format!("svg #{n}: insane dimensions {wn}x{hn}"));
+    }
+    if vb != format!("0 0 {w} {h}") {
+        errors.push(format!(
+            "svg #{n}: viewBox \"{vb}\" disagrees with width/height {w}x{h}"
+        ));
+    }
+    if attr(tag, "data-routable") == Some("true") {
+        match (attr(tag, "data-ledger-total"), attr(tag, "data-link-total")) {
+            (Some(ledger), Some(link)) => {
+                if ledger != link {
+                    errors.push(format!(
+                        "svg #{n}: conservation violated — ledger total {ledger} != link total {link}"
+                    ));
+                } else {
+                    facts.conserved += 1;
+                }
+            }
+            _ => errors.push(format!(
+                "svg #{n}: routable heatmap without conservation totals"
+            )),
+        }
+    }
+}
+
+fn scan_markup(html: &str, errors: &mut Vec<String>, facts: &mut ReportFacts) {
+    let bytes = html.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'<' => {
+                let rest = &html[i + 1..];
+                let name: String = rest
+                    .trim_start_matches('/')
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric())
+                    .collect();
+                if rest.starts_with("!DOCTYPE") || rest.starts_with("!--") {
+                    // the shell's doctype (comments never emitted, but legal)
+                } else if name.is_empty() || !TAGS.contains(&name.to_ascii_lowercase().as_str()) {
+                    errors.push(format!(
+                        "offset {i}: '<' does not open a whitelisted tag (saw {:?})",
+                        &rest.chars().take(12).collect::<String>()
+                    ));
+                } else if name == "svg" && !rest.starts_with('/') {
+                    let end = rest.find('>').unwrap_or(rest.len());
+                    check_svg_tag(&rest[..end], errors, facts);
+                } else if name == "section" && !rest.starts_with('/') {
+                    facts.sections += 1;
+                }
+                i += 1;
+            }
+            b'&' => {
+                let rest = &html[i + 1..];
+                if !ENTITIES.iter().any(|e| rest.starts_with(e)) {
+                    errors.push(format!(
+                        "offset {i}: '&' does not start a known entity (saw {:?})",
+                        &rest.chars().take(8).collect::<String>()
+                    ));
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Validates one rendered report.  Returns the facts on success, or
+/// every violation found (never just the first) on failure.
+pub fn check_html(html: &str) -> Result<ReportFacts, Vec<String>> {
+    let mut errors = Vec::new();
+    let mut facts = ReportFacts::default();
+    if !html.starts_with("<!DOCTYPE html>") {
+        errors.push("document does not start with <!DOCTYPE html>".to_string());
+    }
+    if !html.trim_end().ends_with("</html>") {
+        errors.push("document does not end with </html>".to_string());
+    }
+    if html.to_ascii_lowercase().contains("<script") {
+        errors.push("document contains a <script> tag".to_string());
+    }
+    scan_markup(html, &mut errors, &mut facts);
+    if errors.is_empty() {
+        Ok(facts)
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shell(body: &str) -> String {
+        format!("<!DOCTYPE html>\n<html lang=\"en\"><body>{body}</body></html>\n")
+    }
+
+    #[test]
+    fn a_clean_document_passes() {
+        let facts = check_html(&shell(
+            "<section id=\"a\"><p>2 &lt; 3 &amp; 4 &gt; 1 &quot;x&quot; &#39;y&#39;</p></section>",
+        ))
+        .expect("valid");
+        assert_eq!(facts.sections, 1);
+        assert_eq!(facts.svgs, 0);
+    }
+
+    #[test]
+    fn unescaped_angle_bracket_is_caught() {
+        let errs = check_html(&shell("<p>a <bogus> b</p>")).expect_err("invalid");
+        assert!(errs.iter().any(|e| e.contains("whitelisted")), "{errs:?}");
+    }
+
+    #[test]
+    fn bare_ampersand_is_caught() {
+        let errs = check_html(&shell("<p>hops &amp volume</p>")).expect_err("invalid");
+        assert!(errs.iter().any(|e| e.contains("entity")), "{errs:?}");
+    }
+
+    #[test]
+    fn script_tags_are_banned() {
+        let errs = check_html(&shell("<p>x</p><SCRIPT>alert(1)</SCRIPT>")).expect_err("invalid");
+        assert!(errs.iter().any(|e| e.contains("script")), "{errs:?}");
+    }
+
+    #[test]
+    fn svg_viewbox_mismatch_is_caught() {
+        let errs = check_html(&shell(
+            "<svg width=\"10\" height=\"10\" viewBox=\"0 0 10 11\"></svg>",
+        ))
+        .expect_err("invalid");
+        assert!(errs.iter().any(|e| e.contains("viewBox")), "{errs:?}");
+    }
+
+    #[test]
+    fn conservation_mismatch_is_caught() {
+        let bad = "<svg width=\"10\" height=\"10\" viewBox=\"0 0 10 10\" \
+                   data-routable=\"true\" data-ledger-total=\"6\" data-link-total=\"5\"></svg>";
+        let errs = check_html(&shell(bad)).expect_err("invalid");
+        assert!(errs.iter().any(|e| e.contains("conservation")), "{errs:?}");
+        let good = bad.replace("data-link-total=\"5\"", "data-link-total=\"6\"");
+        let facts = check_html(&shell(&good)).expect("valid");
+        assert_eq!(facts.conserved, 1);
+    }
+
+    #[test]
+    fn missing_doctype_and_tail_are_caught() {
+        let errs = check_html("<html><body></body>").expect_err("invalid");
+        assert!(errs.iter().any(|e| e.contains("DOCTYPE")));
+        assert!(errs.iter().any(|e| e.contains("</html>")));
+    }
+
+    #[test]
+    fn insane_svg_dimensions_are_caught() {
+        let errs = check_html(&shell(
+            "<svg width=\"200000\" height=\"10\" viewBox=\"0 0 200000 10\"></svg>",
+        ))
+        .expect_err("invalid");
+        assert!(errs.iter().any(|e| e.contains("insane")), "{errs:?}");
+    }
+}

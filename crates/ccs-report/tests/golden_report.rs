@@ -1,0 +1,79 @@
+//! Golden HTML report for the paper's running example on the 2x2
+//! mesh.  The report is a pure function of the (deterministic) event
+//! stream, the machine, and the certificate — independent of build
+//! profile and thread count — so the exact bytes are pinned.
+//!
+//! To regenerate after an intentional renderer or scheduler change:
+//!
+//! ```text
+//! UPDATE_REPORT_GOLDEN=1 cargo test -p ccs-report --test golden_report
+//! ```
+
+use ccs_core::compact::{cyclo_compact, CompactConfig};
+use ccs_report::{check::check_html, render_report, ReportInput};
+use ccs_topology::Machine;
+use std::path::PathBuf;
+
+fn fig1_report(machine: &Machine) -> String {
+    let g = ccs_workloads::paper::fig1_example();
+    let (outcome, events) =
+        ccs_trace::record(|| cyclo_compact(&g, machine, CompactConfig::default()));
+    let result = outcome.expect("legal");
+    let profile = ccs_profile::build(&events, machine);
+    let certificate = ccs_bounds::certify_period(&g, machine, result.best_length);
+    render_report(
+        &ReportInput {
+            title: &format!("fig1 on {}", machine.name()),
+            events: &events,
+            machine,
+            profile: &profile,
+            certificate: Some(&certificate),
+        },
+        |n| {
+            g.name(ccs_graph::NodeId::from_index(n as usize))
+                .to_string()
+        },
+    )
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.html"))
+}
+
+#[test]
+fn fig1_report_on_mesh_is_pinned_and_valid() {
+    let machine = Machine::mesh(2, 2);
+    let actual = fig1_report(&machine);
+
+    let facts = check_html(&actual).unwrap_or_else(|e| panic!("report fails report-check: {e:?}"));
+    assert_eq!(facts.sections, 4, "the four panels");
+    assert!(facts.svgs >= 2, "at least a Gantt and one heatmap");
+    assert!(
+        facts.conserved >= 1,
+        "mesh heatmaps carry conservation totals"
+    );
+
+    let path = golden_path("fig1_mesh2x2");
+    if std::env::var_os("UPDATE_REPORT_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir");
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert_eq!(
+        actual, expected,
+        "report drifted for fig1_mesh2x2; if intentional, regenerate with \
+         UPDATE_REPORT_GOLDEN=1 cargo test -p ccs-report --test golden_report"
+    );
+}
+
+#[test]
+fn report_is_independent_of_recording_context() {
+    // Rendering twice from independently recorded runs must agree
+    // byte-for-byte: no wall-clock content, no iteration-order leaks.
+    let machine = Machine::ring(4);
+    assert_eq!(fig1_report(&machine), fig1_report(&machine));
+}

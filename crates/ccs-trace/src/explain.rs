@@ -30,7 +30,23 @@ struct Scan {
 /// `|n| format!("n{n}")` when no graph is at hand).  PEs are shown
 /// 1-based to match the paper's `PE1..PEm` convention; control steps
 /// are 0-based table rows.
-pub fn explain(events: &[TimedEvent], mut name: impl FnMut(u32) -> String) -> String {
+pub fn explain(events: &[TimedEvent], name: impl FnMut(u32) -> String) -> String {
+    explain_with(events, name, |_| None)
+}
+
+/// [`explain`] with a per-pass annotation hook: after every *accepted*
+/// pass line, `annotate(pass)` may contribute extra narrative — the
+/// CLI splices in the per-pass ledger diffs computed by `ccs-profile`
+/// here ("which edges' hop·volume moved, where, and by how much"),
+/// keeping this crate free of any topology dependency.
+///
+/// The annotation is appended verbatim, so it should be pre-indented
+/// and newline-terminated to match the surrounding narrative.
+pub fn explain_with(
+    events: &[TimedEvent],
+    mut name: impl FnMut(u32) -> String,
+    mut annotate: impl FnMut(u32) -> Option<String>,
+) -> String {
     let mut out = String::new();
     // Candidate events for the attempt currently being scanned.  A
     // `Placed`/`NoSlot` event closes the attempt; `Placed` flushes the
@@ -226,6 +242,11 @@ pub fn explain(events: &[TimedEvent], mut name: impl FnMut(u32) -> String) -> St
                 in_pass = false;
                 let verdict = if *accepted { "accepted" } else { "reverted" };
                 let _ = writeln!(out, "pass {pass} {verdict}: length {length}");
+                if *accepted {
+                    if let Some(note) = annotate(*pass) {
+                        out.push_str(&note);
+                    }
+                }
             }
             Event::BestSnapshot { pass, length } => {
                 let _ = writeln!(out, "  new best: length {length} (pass {pass})");
@@ -364,6 +385,45 @@ mod tests {
     #[test]
     fn empty_stream_renders_empty() {
         assert!(explain(&[], |n| format!("n{n}")).is_empty());
+    }
+
+    #[test]
+    fn annotations_splice_under_accepted_passes_only() {
+        let events = timed(vec![
+            Event::PassEnd {
+                pass: 1,
+                accepted: true,
+                length: 6,
+            },
+            Event::PassEnd {
+                pass: 2,
+                accepted: false,
+                length: 6,
+            },
+            Event::PassEnd {
+                pass: 3,
+                accepted: true,
+                length: 5,
+            },
+        ]);
+        let mut asked = Vec::new();
+        let text = explain_with(
+            &events,
+            |n| format!("n{n}"),
+            |pass| {
+                asked.push(pass);
+                (pass == 3).then(|| "  ledger diff: e0 moved\n".to_string())
+            },
+        );
+        assert_eq!(asked, vec![1, 3], "reverted passes are never annotated");
+        assert!(
+            text.contains("pass 3 accepted: length 5\n  ledger diff: e0 moved\n"),
+            "{text}"
+        );
+        assert!(
+            !text.contains("pass 1 accepted: length 6\n  ledger"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -37,7 +37,13 @@
 //!   ends up serialized, fingerprinted, or diffed byte-for-byte.  Use
 //!   `BTreeMap` / `BTreeSet` (or collect-and-sort), or justify a
 //!   lookup-only map with a nearby `// ORDERED:` comment explaining
-//!   why its order never escapes.
+//!   why its order never escapes;
+//! * `escaped-html-output` — string formatting into HTML/SVG content
+//!   position (a `>{` interpolation in a literal) inside the report
+//!   renderers (`ccs-report/src/**`, `ccs-profile/src/render.rs`) must
+//!   route the value through the one audited `esc(..)` helper on or
+//!   near the same statement; `report-check` re-verifies the artifact,
+//!   this rule catches the source-side slip before it ships.
 
 /// One lint hit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,6 +82,12 @@ pub const RULE_PROBE: &str = "probe-emit-guarded";
 pub const RULE_HOT_ASSERT: &str = "hot-path-no-assert";
 /// Rule identifier for unordered hash containers in library code.
 pub const RULE_UNORDERED: &str = "no-unordered-iteration";
+/// Rule identifier for unescaped interpolation into HTML/SVG output.
+pub const RULE_ESCAPED: &str = "escaped-html-output";
+
+/// Sources whose string formatting lands in HTML/SVG artifacts and
+/// falls under [`RULE_ESCAPED`].
+const HTML_OUTPUT_ROOTS: [&str; 2] = ["crates/ccs-report/src", "crates/ccs-profile/src/render.rs"];
 
 /// Containers whose iteration order is nondeterministic.
 const UNORDERED_TYPES: [&str; 2] = ["HashMap", "HashSet"];
@@ -132,12 +144,13 @@ pub fn lint_source(rel: &str, text: &str) -> Vec<Finding> {
     // output, where hash iteration order would break byte-stability.
     let unordered = print;
     let probe = rel.starts_with(PROBE_ROOT);
+    let html_out = HTML_OUTPUT_ROOTS.iter().any(|p| rel.starts_with(p));
     let hot_fns: Vec<&str> = HOT_PATH_FNS
         .iter()
         .filter(|(file, _)| *file == rel)
         .map(|&(_, name)| name)
         .collect();
-    if !hygiene && !cast && !print && !probe && hot_fns.is_empty() {
+    if !hygiene && !cast && !print && !probe && !html_out && hot_fns.is_empty() {
         return out;
     }
 
@@ -216,6 +229,24 @@ pub fn lint_source(rel: &str, text: &str) -> Vec<Finding> {
                         ),
                     });
                 }
+            }
+        }
+        if html_out && code.contains(">{") {
+            let lo = i.saturating_sub(JUSTIFICATION_WINDOW);
+            let hi = (i + JUSTIFICATION_WINDOW).min(lines.len() - 1);
+            let escaped = lines[lo..=hi]
+                .iter()
+                .any(|l| l.contains("esc(") || l.contains("ESCAPED:"));
+            if !escaped {
+                out.push(Finding {
+                    file: rel.to_string(),
+                    line: i + 1,
+                    rule: RULE_ESCAPED,
+                    message: "interpolation into HTML/SVG content position without the \
+                              audited `esc(..)` helper nearby; route the value through \
+                              `ccs_profile::render::esc` (or justify with `// ESCAPED:`)"
+                        .to_string(),
+                });
             }
         }
         if hot_mask[i] {
@@ -744,6 +775,60 @@ mod tests {
         // A type that merely contains the name is not a hit.
         let ext = "struct MyHashMapExt;\nfn f(_: MyHashMapExt) {}\n";
         assert!(lint_source("crates/ccs-workloads/src/demo.rs", ext).is_empty());
+    }
+
+    #[test]
+    fn unescaped_html_interpolation_is_flagged() {
+        let src = "fn f(out: &mut String, v: &str) {\n    \
+                   let _ = write!(out, \"<td>{v}</td>\");\n}\n";
+        let f = lint_source("crates/ccs-report/src/lib.rs", src);
+        assert!(
+            f.iter().any(|f| f.rule == RULE_ESCAPED && f.line == 2),
+            "{f:?}"
+        );
+        // The profile's SVG renderer is in scope too.
+        let f = lint_source("crates/ccs-profile/src/render.rs", src);
+        assert!(f.iter().any(|f| f.rule == RULE_ESCAPED), "{f:?}");
+    }
+
+    #[test]
+    fn esc_on_or_near_the_statement_satisfies_the_rule() {
+        let same = "fn f(out: &mut String, v: &str) {\n    \
+                    let _ = write!(out, \"<td>{}</td>\", esc(v));\n}\n";
+        assert!(lint_source("crates/ccs-report/src/lib.rs", same)
+            .iter()
+            .all(|f| f.rule != RULE_ESCAPED));
+        // Multi-line write!: the literal and the esc() call are on
+        // different lines, inside the justification window.
+        let near = "fn f(out: &mut String, v: &str) {\n    \
+                    let _ = write!(\n        out,\n        \
+                    \"<td>{}</td>\",\n        esc(v)\n    );\n}\n";
+        assert!(lint_source("crates/ccs-report/src/lib.rs", near)
+            .iter()
+            .all(|f| f.rule != RULE_ESCAPED));
+        let justified = "fn f(out: &mut String, n: u32) {\n    \
+                         // ESCAPED: n is a number, no markup characters possible\n    \
+                         let _ = write!(out, \"<td>{n}</td>\");\n}\n";
+        assert!(lint_source("crates/ccs-report/src/lib.rs", justified)
+            .iter()
+            .all(|f| f.rule != RULE_ESCAPED));
+    }
+
+    #[test]
+    fn escape_rule_scope_excludes_other_crates_and_tests() {
+        let src = "fn f(out: &mut String, v: &str) {\n    \
+                   let _ = write!(out, \"<td>{v}</td>\");\n}\n";
+        assert!(lint_source("crates/ccs-profile/src/lib.rs", src)
+            .iter()
+            .all(|f| f.rule != RULE_ESCAPED));
+        assert!(lint_source("src/cli.rs", src)
+            .iter()
+            .all(|f| f.rule != RULE_ESCAPED));
+        let in_test = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    \
+                       fn t() { let _ = format!(\"<td>{}</td>\", 1); }\n}\n";
+        assert!(lint_source("crates/ccs-report/src/lib.rs", in_test)
+            .iter()
+            .all(|f| f.rule != RULE_ESCAPED));
     }
 
     #[test]

@@ -76,6 +76,11 @@ pub struct ScheduleArgs {
     /// Write the optimality report as JSON to this path (implies the
     /// certification run).
     pub certify_json: Option<String>,
+    /// Write the self-contained HTML flight-recorder report to this
+    /// path.
+    pub report: Option<String>,
+    /// Write the standalone SVG link-load heatmap to this path.
+    pub heatmap_svg: Option<String>,
 }
 
 /// Timestamp domain for `--trace` output.
@@ -159,8 +164,8 @@ USAGE:
                       [--strict] [--rows N] [--refine] [--csv]
                       [--gantt N] [--svg FILE]
                       [--trace FILE [--trace-clock logical|wall]] [--explain]
-                      [--profile FILE] [--heatmap]
-                      [--certify] [--certify-json FILE]
+                      [--profile FILE] [--heatmap] [--heatmap-svg FILE]
+                      [--certify] [--certify-json FILE] [--report FILE]
   cyclosched compile  <kernel.loop|-> [--add N] [--mul N] [--volume N]
   cyclosched bound    <graph.csdfg|->
   cyclosched simulate <graph.csdfg|-> --machine SPEC [--iterations N] [--contended]
@@ -185,11 +190,18 @@ OBSERVABILITY:
                  deterministic JSON; validate with `profile-check`
   --heatmap      print the ASCII PE-to-PE traffic matrix and per-link
                  load bars of the communication profile
+  --heatmap-svg FILE
+                 write the same heatmap as a standalone SVG file
   --certify      compute the static lower bounds (cycle ratio, resource,
                  critical path, communication) and print an optimality
                  certificate for the achieved period, with witnesses
   --certify-json FILE
                  write the optimality certificate as deterministic JSON
+  --report FILE  write a self-contained deterministic HTML report: the
+                 start-up Gantt and per-pass placement strips with
+                 AN-window hover verdicts, per-pass link-load heatmaps,
+                 the pass trajectory with ledger diffs, and the
+                 optimality certificate; validate with `report-check`
 ";
 
 /// Parses raw arguments (without the program name).
@@ -266,6 +278,8 @@ fn parse_schedule(mut args: VecDeque<String>) -> Result<Command, CliError> {
         heatmap: false,
         certify: false,
         certify_json: None,
+        report: None,
+        heatmap_svg: None,
     };
     while let Some(flag) = args.pop_front() {
         match flag.as_str() {
@@ -277,6 +291,8 @@ fn parse_schedule(mut args: VecDeque<String>) -> Result<Command, CliError> {
             "--trace" => out.trace = Some(take_value(&mut args, "--trace")?),
             "--profile" => out.profile = Some(take_value(&mut args, "--profile")?),
             "--heatmap" => out.heatmap = true,
+            "--heatmap-svg" => out.heatmap_svg = Some(take_value(&mut args, "--heatmap-svg")?),
+            "--report" => out.report = Some(take_value(&mut args, "--report")?),
             "--certify" => out.certify = true,
             "--certify-json" => {
                 out.certify_json = Some(take_value(&mut args, "--certify-json")?);
@@ -446,6 +462,20 @@ mod tests {
         assert!(a.certify, "--certify-json implies the certification run");
         assert_eq!(a.certify_json.as_deref(), Some("cert.json"));
         assert!(parse("schedule g --machine m --certify-json").is_err());
+    }
+
+    #[test]
+    fn schedule_report_flags() {
+        let Command::Schedule(a) =
+            parse("schedule g --machine mesh:2x2 --report out.html --heatmap-svg hm.svg").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.report.as_deref(), Some("out.html"));
+        assert_eq!(a.heatmap_svg.as_deref(), Some("hm.svg"));
+        assert!(!a.heatmap, "--heatmap-svg does not imply the ASCII heatmap");
+        assert!(parse("schedule g --machine m --report").is_err());
+        assert!(parse("schedule g --machine m --heatmap-svg").is_err());
     }
 
     #[test]

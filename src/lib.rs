@@ -65,6 +65,7 @@ pub use ccs_graph as graph;
 pub use ccs_lang as lang;
 pub use ccs_model as model;
 pub use ccs_profile as profile;
+pub use ccs_report as report;
 pub use ccs_retiming as retiming;
 pub use ccs_schedule as schedule;
 pub use ccs_sim as sim;

@@ -175,7 +175,12 @@ fn run_schedule(args: ScheduleArgs) -> Result<(), String> {
     let machine = load_machine(&args.machine, &g)?;
     // Record the decision stream only when a consumer asked for it;
     // otherwise the scheduler runs the exact uninstrumented path.
-    let traced = args.trace.is_some() || args.explain || args.profile.is_some() || args.heatmap;
+    let traced = args.trace.is_some()
+        || args.explain
+        || args.profile.is_some()
+        || args.heatmap
+        || args.heatmap_svg.is_some()
+        || args.report.is_some();
     let (outcome, events) = if traced {
         cyclosched::trace::record(|| cyclo_compact(&g, &machine, args.compact_config()))
     } else {
@@ -251,14 +256,33 @@ fn run_schedule(args: ScheduleArgs) -> Result<(), String> {
                 .to_string())
         );
     }
+    // Build the profile once for every consumer that reads it: the
+    // JSON export, the heatmaps, the explainer's ledger diffs, and the
+    // HTML report.  It describes the scheduler's own placement, so it
+    // is built from the recorded stream (pre-refinement): the trace,
+    // the profile, and the report always agree with each other.
+    let needs_profile = args.profile.is_some()
+        || args.heatmap
+        || args.heatmap_svg.is_some()
+        || args.report.is_some()
+        || args.explain;
+    let profile = needs_profile.then(|| cyclosched::profile::build(&events, &machine));
+    let name = |n: u32| {
+        result
+            .graph
+            .name(NodeId::from_index(n as usize))
+            .to_string()
+    };
     if args.explain {
+        let p = profile.as_ref().expect("explain builds the profile");
+        let notes = cyclosched::profile::pass_diff_notes(p, &machine, 5, name);
         print!(
             "{}",
-            cyclosched::trace::explain::explain(&events, |n| {
-                result
-                    .graph
-                    .name(NodeId::from_index(n as usize))
-                    .to_string()
+            cyclosched::trace::explain::explain_with(&events, name, |pass| {
+                notes
+                    .iter()
+                    .find(|(p, _)| *p == pass)
+                    .map(|(_, note)| note.clone())
             })
         );
     }
@@ -271,11 +295,7 @@ fn run_schedule(args: ScheduleArgs) -> Result<(), String> {
         std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
         eprintln!("wrote {path} ({} trace events)", events.len());
     }
-    if args.profile.is_some() || args.heatmap {
-        // The profile describes the scheduler's own placement, so it is
-        // built from the recorded stream (pre-refinement): the trace and
-        // the profile always agree with each other.
-        let profile = cyclosched::profile::build(&events, &machine);
+    if let Some(profile) = &profile {
         if let Some(path) = &args.profile {
             let mut json = profile.to_json_pretty();
             json.push('\n');
@@ -286,16 +306,25 @@ fn run_schedule(args: ScheduleArgs) -> Result<(), String> {
             );
         }
         if args.heatmap {
-            print!("{}", cyclosched::profile::render::heatmap(&profile));
+            print!("{}", cyclosched::profile::render::heatmap(profile));
+        }
+        if let Some(path) = &args.heatmap_svg {
+            let can_route = cyclosched::profile::routable(&machine);
+            let svg = cyclosched::profile::render::heatmap_svg(profile, can_route);
+            std::fs::write(path, svg).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {path} (link-load heatmap SVG)");
         }
     }
+    // Bounds are proven over the *input* graph and all its legal
+    // retimings, so the certificate is stated against `g`, not the
+    // rotated `result.graph` the schedule was validated with.  The
+    // report always grades the schedule, even without `--certify`.
+    let certificate = (args.certify || args.report.is_some())
+        .then(|| cyclosched::bounds::certify_period(&g, &machine, result.best_length));
     if args.certify {
-        // Bounds are proven over the *input* graph and all its legal
-        // retimings, so the certificate is stated against `g`, not the
-        // rotated `result.graph` the schedule was validated with.
-        let report = cyclosched::bounds::certify_period(&g, &machine, result.best_length);
+        let report = certificate.as_ref().expect("certify builds the report");
         print!("{}", report.render_human());
-        for d in cyclosched::analyze::certify_report(&report).diagnostics() {
+        for d in cyclosched::analyze::certify_report(report).diagnostics() {
             eprintln!("{}: {d}", machine.name());
         }
         if let Some(path) = &args.certify_json {
@@ -304,6 +333,21 @@ fn run_schedule(args: ScheduleArgs) -> Result<(), String> {
             std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
             eprintln!("wrote {path} (optimality certificate)");
         }
+    }
+    if let Some(path) = &args.report {
+        let p = profile.as_ref().expect("the report builds the profile");
+        let html = cyclosched::report::render_report(
+            &cyclosched::report::ReportInput {
+                title: &format!("{} on {}", args.input, machine.name()),
+                events: &events,
+                machine: &machine,
+                profile: p,
+                certificate: certificate.as_ref(),
+            },
+            name,
+        );
+        std::fs::write(path, html).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote {path} (HTML report; validate with report-check)");
     }
     Ok(())
 }

@@ -280,6 +280,101 @@ fn explain_names_choice_and_runner_up() {
 }
 
 #[test]
+fn explain_narrates_ledger_diffs_under_accepted_passes() {
+    let graph = stdout_of(&bin().args(["workloads", "fig1"]).output().unwrap());
+    let out = run_with_stdin(
+        &["schedule", "-", "--machine", "mesh:2x2", "--explain"],
+        &graph,
+    );
+    let text = stdout_of(&out);
+    // Satellite of the report PR: accepted passes are annotated with
+    // the edges whose hop-weighted comm cost moved, and where to.
+    assert!(text.contains("ledger diff vs pass"), "{text}");
+    assert!(text.contains("edge(s) moved"), "{text}");
+    assert!(text.contains("cost "), "{text}");
+}
+
+/// Spawns `schedule fig1 --machine mesh:2x2 --report <path>` with a
+/// pinned `RAYON_NUM_THREADS`, returning the written report text.
+fn report_with_threads(threads: &str, path: &std::path::Path) -> String {
+    let graph = stdout_of(&bin().args(["workloads", "fig1"]).output().unwrap());
+    let mut child = bin()
+        .args([
+            "schedule",
+            "-",
+            "--machine",
+            "mesh:2x2",
+            "--report",
+            path.to_str().unwrap(),
+        ])
+        .env("RAYON_NUM_THREADS", threads)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn cyclosched");
+    let _ = child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(graph.as_bytes());
+    let out = child.wait_with_output().expect("wait for cyclosched");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::read_to_string(path).expect("read report")
+}
+
+#[test]
+fn report_export_is_valid_and_thread_count_invariant() {
+    let dir = std::env::temp_dir().join(format!("ccs_report_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let r1 = report_with_threads("1", &dir.join("r1.html"));
+    let r8 = report_with_threads("8", &dir.join("r8.html"));
+    // Determinism contract: the report is byte-identical regardless of
+    // how many worker threads the process uses.
+    assert_eq!(r1, r8, "report must not depend on RAYON_NUM_THREADS");
+    let facts = cyclosched::report::check::check_html(&r1).expect("report passes report-check");
+    assert_eq!(facts.sections, 4, "all four panels present");
+    assert!(facts.conserved >= 1, "heatmaps carry conservation totals");
+    for id in ["schedule", "heatmaps", "trajectory", "certificate"] {
+        assert!(r1.contains(&format!("<section id=\"{id}\">")), "{id}");
+    }
+    assert!(r1.contains("optimality certificate"), "{r1:.300}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn heatmap_svg_export_writes_a_standalone_svg() {
+    let dir = std::env::temp_dir().join(format!("ccs_hmsvg_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("heat.svg");
+    let graph = stdout_of(&bin().args(["workloads", "fig1"]).output().unwrap());
+    let out = run_with_stdin(
+        &[
+            "schedule",
+            "-",
+            "--machine",
+            "mesh:2x2",
+            "--heatmap-svg",
+            path.to_str().unwrap(),
+        ],
+        &graph,
+    );
+    assert!(out.status.success());
+    let svg = std::fs::read_to_string(&path).unwrap();
+    assert!(svg.starts_with("<svg"), "{svg:.80}");
+    assert!(
+        svg.contains("xmlns=\"http://www.w3.org/2000/svg\""),
+        "standalone SVG needs the namespace"
+    );
+    assert!(svg.contains("data-routable=\"true\""));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn trace_clock_flag_is_validated() {
     let out = run_with_stdin(
         &[
