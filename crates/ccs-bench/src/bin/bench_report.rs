@@ -2,21 +2,31 @@
 //! JSON reports into a perf / fingerprint trajectory.
 //!
 //! ```text
-//! bench_report [--max-regression PCT] BENCH_pr1.json BENCH_pr3.json ...
+//! bench_report [--max-regression PCT] [--html OUT.html] BENCH_pr1.json BENCH_pr3.json ...
 //! ```
 //!
 //! Prints the timing table (one column per report, first→last speedup)
-//! and every finding.  Exit codes: `0` clean, `1` fingerprint drift or
-//! a timing regression worse than `PCT` percent between adjacent
-//! reports (default 100, i.e. 2x — timings are machine-dependent, so
-//! the default only catches catastrophic slowdowns; CI can tighten
-//! it), `2` usage/IO error.
+//! and every finding, then a summary line naming exactly the report
+//! files the gate ran over — so a CI log shows *what* was gated, not
+//! just whether it passed.  `--html` additionally renders the
+//! trajectory as a self-contained sparkline page (validated by
+//! `report-check`).  Exit codes: `0` clean, `1` fingerprint drift or a
+//! timing regression worse than `PCT` percent between adjacent reports
+//! (default 100, i.e. 2x — timings are machine-dependent, so the
+//! default only catches catastrophic slowdowns; CI can tighten it),
+//! `2` usage/IO error — including an empty or single-file sequence,
+//! which has no adjacent pairs and therefore gates nothing.
 
+use ccs_bench::report::trajectory_html;
 use ccs_bench::report_diff::{analyze, render, BenchReport};
 use std::process::ExitCode;
 
+const USAGE: &str =
+    "usage: bench_report [--max-regression PCT] [--html OUT.html] <report.json>... (need >= 2)";
+
 fn main() -> ExitCode {
     let mut max_regression_pct = 100.0f64;
+    let mut html_out: Option<String> = None;
     let mut paths = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -30,15 +40,28 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--html" => {
+                html_out = match args.next() {
+                    Some(p) => Some(p),
+                    None => {
+                        eprintln!("--html needs an output path");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
-                eprintln!("usage: bench_report [--max-regression PCT] <report.json>...");
+                eprintln!("{USAGE}");
                 return ExitCode::from(2);
             }
             _ => paths.push(a),
         }
     }
     if paths.len() < 2 {
-        eprintln!("usage: bench_report [--max-regression PCT] <report.json>... (need >= 2)");
+        eprintln!(
+            "bench-report: {} report(s) given, nothing to gate",
+            paths.len()
+        );
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     }
 
@@ -69,16 +92,26 @@ fn main() -> ExitCode {
 
     let trajectory = analyze(reports, max_regression_pct);
     print!("{}", render(&trajectory));
+    if let Some(out) = &html_out {
+        let html = trajectory_html(&trajectory);
+        if let Err(e) = std::fs::write(out, &html) {
+            eprintln!("bench-report: cannot write {out}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("html trajectory written to {out}");
+    }
+    let gated = paths.join(", ");
     if trajectory.failed() {
         eprintln!(
-            "bench-report: {} drift(s), {} regression(s), {} gap growth(s) \
-             (threshold {max_regression_pct}%)",
+            "bench-report: FAILED over [{gated}] — {} drift(s), {} regression(s), \
+             {} gap growth(s) (threshold {max_regression_pct}%)",
             trajectory.drifts.len(),
             trajectory.regressions.len(),
             trajectory.gap_growths.len()
         );
         ExitCode::FAILURE
     } else {
+        println!("bench-report: OK over [{gated}] (threshold {max_regression_pct}%)");
         ExitCode::SUCCESS
     }
 }

@@ -4,17 +4,46 @@
 //! every workload on every machine (the architecture comparison the
 //! statistics exist to explain).
 //!
+//! `--report FILE` additionally runs the sweep profiled
+//! (`compact_grid_profiled`) and writes the grid dashboard page: one
+//! tile per workload × machine cell with a mini link-load heatmap,
+//! gap-colored badge, and the cell's trace counters in the hover title.
+//!
 //! The stats rows and the workload × machine grid both run through the
 //! deterministic parallel sweep driver (`ccs_bench::run_many` /
-//! `ccs_bench::compact_grid`), so output is identical at any
-//! `RAYON_NUM_THREADS`.
+//! `ccs_bench::compact_grid`), so output — including the dashboard —
+//! is identical at any `RAYON_NUM_THREADS`.
 
-use ccs_bench::{compact_grid, run_many, TextTable};
+use ccs_bench::report::grid_html;
+use ccs_bench::{compact_grid_profiled, run_many, TextTable};
 use ccs_core::CompactConfig;
 use ccs_topology::Machine;
+use std::process::ExitCode;
 
-fn main() {
-    let dot = std::env::args().any(|a| a == "--dot");
+fn main() -> ExitCode {
+    let mut dot = false;
+    let mut report_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--dot" => dot = true,
+            "--report" => {
+                report_out = match args.next() {
+                    Some(p) => Some(p),
+                    None => {
+                        eprintln!("--report needs an output path");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: exp_architectures [--dot] [--report FILE]"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
     let machines = vec![
         Machine::linear_array(8),
         Machine::ring(8),
@@ -65,20 +94,38 @@ fn main() {
     }
 
     // Compacted schedule length of every workload on every machine —
-    // how the structural numbers above translate into schedules.
+    // how the structural numbers above translate into schedules.  The
+    // profiled sweep carries the same cells (same run, tee'd sinks),
+    // so the text table and the dashboard always agree.
     let workloads = ccs_workloads::all_workloads();
-    let grid = compact_grid(&workloads, &machines, &[CompactConfig::default()]);
+    let profiled = compact_grid_profiled(&workloads, &machines, &[CompactConfig::default()]);
     let mut header = vec!["workload".to_string()];
     header.extend(machines.iter().map(|m| m.name().to_string()));
     let mut compacted = TextTable::new(header);
     for (wi, w) in workloads.iter().enumerate() {
         let mut row = vec![w.name.to_string()];
         for mi in 0..machines.len() {
-            let cell = &grid[wi * machines.len() + mi];
+            let cell = &profiled[wi * machines.len() + mi].cell;
             row.push(format!("{}->{}", cell.initial, cell.best));
         }
         compacted.row(row);
     }
     println!("\n=== compacted lengths (startup -> best) per architecture ===\n");
     println!("{}", compacted.render());
+
+    if let Some(out) = &report_out {
+        let html = grid_html(
+            "architecture sweep: every workload on every machine",
+            &profiled,
+        );
+        if let Err(e) = std::fs::write(out, &html) {
+            eprintln!("exp_architectures: cannot write {out}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "grid dashboard ({} cell(s)) written to {out}",
+            profiled.len()
+        );
+    }
+    ExitCode::SUCCESS
 }

@@ -21,8 +21,10 @@
 //! scheduler path.
 
 use ccs_core::{cyclo_compact, CompactConfig};
+use ccs_profile::{CommProfile, ProfileBuilder};
 use ccs_topology::Machine;
 use ccs_trace::metrics::{Metrics, MetricsSink};
+use ccs_trace::{Event, Sink};
 use ccs_workloads::Workload;
 use rayon::prelude::*;
 use serde::Value;
@@ -222,6 +224,65 @@ pub fn compact_grid_metered(
     .collect()
 }
 
+/// Fans one event stream out to two sinks, in order.  Lets a grid cell
+/// collect its counter registry *and* its communication profile from a
+/// single instrumented run.
+pub struct Tee<A: Sink, B: Sink>(pub A, pub B);
+
+impl<A: Sink, B: Sink> Sink for Tee<A, B> {
+    fn event(&mut self, ev: Event) {
+        self.0.event(ev.clone());
+        self.1.event(ev);
+    }
+}
+
+/// One cell of a [`compact_grid_profiled`] sweep: the metered cell
+/// plus the communication profile of its final best schedule — the
+/// input the sweep grid dashboard renders one heatmap tile from.
+#[derive(Clone, Debug)]
+pub struct ProfiledCell {
+    /// The schedule-length outcome, as in [`compact_grid`].
+    pub cell: GridCell,
+    /// Hot-path counters recorded while solving this cell.
+    pub metrics: Metrics,
+    /// Per-edge traffic attribution and link loads of the best
+    /// schedule, folded from the same event stream as the counters.
+    pub profile: CommProfile,
+    /// Whether the machine routes (`ccs_profile::routable`): on
+    /// routable cells the dashboard's heatmaps carry conservation
+    /// totals that `report-check` re-verifies.
+    pub routable: bool,
+}
+
+/// [`compact_grid_metered`] plus a per-cell [`CommProfile`]: each cell
+/// runs once under a [`Tee`] of the metrics and profile sinks, so the
+/// dashboard's heatmaps and the BENCH counters describe the *same*
+/// run.  Profiles fold the deterministic event stream, so the sweep
+/// stays byte-identical across thread counts.
+pub fn compact_grid_profiled(
+    workloads: &[Workload],
+    machines: &[Machine],
+    configs: &[CompactConfig],
+) -> Vec<ProfiledCell> {
+    preflight(workloads, machines);
+    run_many(
+        grid_inputs(workloads, machines, configs),
+        |(w, m, ci, c)| {
+            let (cell, tee) =
+                ccs_trace::with_sink(Tee(MetricsSink::new(), ProfileBuilder::new()), || {
+                    solve_cell(w, m, ci, c)
+                });
+            let Tee(metrics, builder) = tee;
+            ProfiledCell {
+                cell,
+                metrics: metrics.into_metrics(),
+                profile: builder.finish(m),
+                routable: ccs_profile::routable(m),
+            }
+        },
+    )
+}
+
 /// Pass A preflight: every workload x machine pair must be free of
 /// analyzer *errors* before the sweep burns CPU on it.  Runs once per
 /// grid, sequentially, outside every timed region — experiment
@@ -288,6 +349,30 @@ mod tests {
             assert!(v.get("histograms").is_none(), "histograms must not leak");
         }
         // Metering must not leak a sink past the sweep.
+        assert!(!ccs_trace::installed());
+    }
+
+    #[test]
+    fn profiled_grid_carries_matching_metrics_and_profiles() {
+        let workloads: Vec<Workload> = ccs_workloads::all_workloads()
+            .into_iter()
+            .filter(|w| w.name == "fig1")
+            .collect();
+        let machines = vec![Machine::mesh(2, 2)];
+        let configs = vec![CompactConfig::default()];
+        let metered = compact_grid_metered(&workloads, &machines, &configs);
+        let profiled = compact_grid_profiled(&workloads, &machines, &configs);
+        assert_eq!(metered.len(), profiled.len());
+        for (m, p) in metered.iter().zip(&profiled) {
+            // The tee'd run is the same run: identical outcome and
+            // identical counters as the metrics-only sweep.
+            assert_eq!((m.cell.initial, m.cell.best), (p.cell.initial, p.cell.best));
+            assert_eq!(m.metrics.counters, p.metrics.counters);
+            // And the profile describes that run's best schedule.
+            assert_eq!(p.profile.best_length, p.cell.best);
+            assert_eq!(p.profile.initial_length, p.cell.initial);
+            assert!(!p.profile.edges.is_empty(), "fig1 has edges");
+        }
         assert!(!ccs_trace::installed());
     }
 

@@ -28,7 +28,8 @@ pub mod report_diff;
 pub mod table;
 
 pub use driver::{
-    compact_grid, compact_grid_metered, run_many, run_many_metered, GridCell, MeteredCell,
+    compact_grid, compact_grid_metered, compact_grid_profiled, run_many, run_many_metered,
+    GridCell, MeteredCell, ProfiledCell, Tee,
 };
 pub use experiments::*;
 pub use table::TextTable;

@@ -167,6 +167,26 @@ pub fn diff_ledgers(before: &[EdgeTraffic], after: &[EdgeTraffic]) -> Vec<Ledger
     out
 }
 
+/// Edges [`diff_ledgers`] skips because only one ledger has them —
+/// the comparison report lists these separately rather than inventing
+/// a zero-cost phantom partner.  Returns `(only_in_before,
+/// only_in_after)`, each in edge-index order.
+pub fn one_sided_edges(
+    before: &[EdgeTraffic],
+    after: &[EdgeTraffic],
+) -> (Vec<EdgeTraffic>, Vec<EdgeTraffic>) {
+    let lone = |xs: &[EdgeTraffic], ys: &[EdgeTraffic]| {
+        let mut out: Vec<EdgeTraffic> = xs
+            .iter()
+            .filter(|x| !ys.iter().any(|y| y.edge == x.edge))
+            .copied()
+            .collect();
+        out.sort_by_key(|e| e.edge);
+        out
+    };
+    (lone(before, after), lone(after, before))
+}
+
 /// Renders the hop route one ledger row pays, 1-based to match the
 /// paper's `PE1..PEm` convention: `"local@PE2"` for co-located
 /// endpoints, otherwise the deterministic BFS path (`"PE1>PE2>PE4"`),
@@ -832,6 +852,79 @@ mod tests {
         assert_eq!(deltas[0].delta(), -6);
         assert_eq!(deltas[1].after.edge, 1);
         assert_eq!(deltas[1].delta(), 1);
+    }
+
+    #[test]
+    fn diff_ledgers_skips_one_sided_edges_and_the_helper_reports_them() {
+        let e = |edge: u32| EdgeTraffic {
+            edge,
+            src: edge,
+            dst: edge + 1,
+            src_pe: 0,
+            dst_pe: 1,
+            hops: 1,
+            volume: 2,
+        };
+        let before = vec![e(0), e(2), e(5)];
+        let mut moved = e(0);
+        moved.dst_pe = 2;
+        moved.hops = 2;
+        let after = vec![moved, e(3), e(4)];
+        let deltas = diff_ledgers(&before, &after);
+        assert_eq!(deltas.len(), 1, "only the shared edge 0 is diffed");
+        assert_eq!(deltas[0].after.edge, 0);
+        let (only_a, only_b) = one_sided_edges(&before, &after);
+        assert_eq!(
+            only_a.iter().map(|e| e.edge).collect::<Vec<_>>(),
+            vec![2, 5]
+        );
+        assert_eq!(
+            only_b.iter().map(|e| e.edge).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+    }
+
+    #[test]
+    fn diff_ledgers_of_identical_ledgers_is_empty() {
+        let ledger = vec![EdgeTraffic {
+            edge: 0,
+            src: 0,
+            dst: 1,
+            src_pe: 0,
+            dst_pe: 2,
+            hops: 2,
+            volume: 3,
+        }];
+        assert!(diff_ledgers(&ledger, &ledger).is_empty());
+        let (a, b) = one_sided_edges(&ledger, &ledger);
+        assert!(a.is_empty() && b.is_empty());
+    }
+
+    #[test]
+    fn route_label_handles_zero_cost_routes() {
+        // A crossing edge with zero charged hops (ideal machine: every
+        // pair adjacent at distance 0) must not claim a local route.
+        let zero = EdgeTraffic {
+            edge: 0,
+            src: 0,
+            dst: 1,
+            src_pe: 0,
+            dst_pe: 2,
+            hops: 0,
+            volume: 4,
+        };
+        assert_eq!(route_label(None, &zero), "PE1..PE3 (0 hops)");
+        // Zero volume still routes: the label names the path, the cost
+        // model charges nothing.
+        let m = Machine::linear_array(3);
+        let routes = RoutingTable::new(&m);
+        let free = EdgeTraffic {
+            hops: 2,
+            volume: 0,
+            ..zero
+        };
+        assert_eq!(route_label(Some(&routes), &free), "PE1>PE2>PE3");
+        assert_eq!(free.cost(), 0);
     }
 
     #[test]

@@ -154,6 +154,61 @@ const TOP: u32 = 40;
 const BAR_W: u32 = 240;
 const ROW_H: u32 = 16;
 
+/// Rendering options of [`heatmap_panel`], the generic heatmap
+/// renderer behind the embedded, standalone, diff-side, and sweep-grid
+/// panels.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PanelOptions<'a> {
+    /// Whether link loads are meaningful on the profiled machine
+    /// (see [`crate::routable`]); drives the conservation marker.
+    pub routable: bool,
+    /// Adds the `xmlns` attribute so the SVG opens outside HTML.
+    pub standalone: bool,
+    /// Marks the panel as one side of a multi-run diff page
+    /// (`data-side="a"` / `data-side="b"`); `report-check` requires
+    /// conserved traffic on *both* sides when either marker appears.
+    pub side: Option<&'a str>,
+    /// Marks the panel as one sweep-grid cell (`data-cell="<id>"`);
+    /// `report-check` counts these against the grid's declared total.
+    pub cell: Option<&'a str>,
+    /// Compact geometry for grid tiles (smaller cells, shorter bars).
+    pub mini: bool,
+}
+
+/// Geometry of one panel, full-size or mini.
+struct PanelGeometry {
+    cell: u32,
+    left: u32,
+    top: u32,
+    bar_w: u32,
+    row_h: u32,
+    min_w: u32,
+}
+
+impl PanelGeometry {
+    fn of(mini: bool) -> Self {
+        if mini {
+            PanelGeometry {
+                cell: 10,
+                left: 34,
+                top: 28,
+                bar_w: 110,
+                row_h: 12,
+                min_w: 220,
+            }
+        } else {
+            PanelGeometry {
+                cell: CELL,
+                left: LEFT,
+                top: TOP,
+                bar_w: BAR_W,
+                row_h: ROW_H,
+                min_w: 360,
+            }
+        }
+    }
+}
+
 /// Renders one edge ledger and its link loads as an SVG heatmap: the
 /// PE-to-PE hop-weighted crossing-cost matrix (rows = source PE,
 /// columns = destination PE) plus one load bar per physical link.
@@ -172,6 +227,36 @@ pub fn heatmap_svg_panel(
     routable: bool,
     standalone: bool,
 ) -> String {
+    heatmap_panel(
+        caption,
+        pes,
+        edges,
+        links,
+        PanelOptions {
+            routable,
+            standalone,
+            ..PanelOptions::default()
+        },
+    )
+}
+
+/// [`heatmap_svg_panel`] with full [`PanelOptions`]: diff-side and
+/// grid-cell markers, mini geometry.
+pub fn heatmap_panel(
+    caption: &str,
+    pes: u32,
+    edges: &[EdgeTraffic],
+    links: &[LinkLoad],
+    opts: PanelOptions<'_>,
+) -> String {
+    let PanelOptions {
+        routable,
+        standalone,
+        side,
+        cell,
+        mini,
+    } = opts;
+    let geo = PanelGeometry::of(mini);
     let n = pes as usize;
     let ledger_total: u64 = edges
         .iter()
@@ -194,12 +279,13 @@ pub fn heatmap_svg_panel(
     let cell_max = cells.iter().copied().max().unwrap_or(0);
     let link_max = links.iter().map(|l| l.volume).max().unwrap_or(0);
 
-    let matrix_h = u32::try_from(n).unwrap_or(0) * CELL;
-    let links_h = u32::try_from(links.len()).unwrap_or(0) * ROW_H;
-    let links_top = TOP + matrix_h + 24;
-    let width = (LEFT + u32::try_from(n).unwrap_or(0) * CELL + 24)
-        .max(LEFT + 64 + BAR_W + 72)
-        .max(360);
+    let (gc, gl, gt, gb, gr) = (geo.cell, geo.left, geo.top, geo.bar_w, geo.row_h);
+    let matrix_h = u32::try_from(n).unwrap_or(0) * gc;
+    let links_h = u32::try_from(links.len()).unwrap_or(0) * gr;
+    let links_top = gt + matrix_h + 24;
+    let width = (gl + u32::try_from(n).unwrap_or(0) * gc + 24)
+        .max(gl + 64 + gb + 72)
+        .max(geo.min_w);
     let height = links_top + links_h + 16;
 
     let mut out = String::new();
@@ -208,9 +294,226 @@ pub fn heatmap_svg_panel(
     } else {
         ""
     };
+    let class = if mini { "heatmap mini" } else { "heatmap" };
+    let mut marks = String::new();
+    if let Some(s) = side {
+        let _ = write!(marks, r#" data-side="{}""#, esc(s));
+    }
+    if let Some(c) = cell {
+        let _ = write!(marks, r#" data-cell="{}""#, esc(c));
+    }
     let _ = writeln!(
         out,
-        r#"<svg{xmlns} class="heatmap" width="{width}" height="{height}" viewBox="0 0 {width} {height}" data-pes="{pes}" data-routable="{routable}" data-ledger-total="{ledger_total}" data-link-total="{link_total}" role="img">"#
+        r#"<svg{xmlns} class="{class}" width="{width}" height="{height}" viewBox="0 0 {width} {height}" data-pes="{pes}"{marks} data-routable="{routable}" data-ledger-total="{ledger_total}" data-link-total="{link_total}" role="img">"#
+    );
+    let (tf, sf) = if mini { (10, 8) } else { (12, 10) };
+    let _ = writeln!(
+        out,
+        r#"  <style>.hm-t{{font:{tf}px monospace;fill:#222}}.hm-s{{font:{sf}px monospace;fill:#555}}.hm-c{{stroke:#ccc;stroke-width:0.5}}</style>"#
+    );
+    let _ = writeln!(
+        out,
+        r#"  <text class="hm-t" x="4" y="15">{}</text>"#,
+        esc(caption)
+    );
+
+    // Matrix: column labels, row labels, one rect per cell with a
+    // hover title naming the (src, dst) pair and its cost.
+    for d in 0..n {
+        let x = gl + u32::try_from(d).unwrap_or(0) * gc + gc / 2;
+        let _ = writeln!(
+            out,
+            r#"  <text class="hm-s" x="{x}" y="{y}" text-anchor="middle">{}</text>"#,
+            esc(&format!("{}", d + 1)),
+            y = gt - 4
+        );
+    }
+    for s in 0..n {
+        let y = gt + u32::try_from(s).unwrap_or(0) * gc + gc / 2 + 4;
+        let _ = writeln!(
+            out,
+            r#"  <text class="hm-s" x="{x}" y="{y}" text-anchor="end">{}</text>"#,
+            esc(&format!("PE{}", s + 1)),
+            x = gl - 4
+        );
+        for d in 0..n {
+            let v = cells[s * n + d];
+            let x = gl + u32::try_from(d).unwrap_or(0) * gc;
+            let yy = gt + u32::try_from(s).unwrap_or(0) * gc;
+            let _ = writeln!(
+                out,
+                r#"  <rect class="hm-c" x="{x}" y="{yy}" width="{gc}" height="{gc}" fill="{fill}"><title>{}</title></rect>"#,
+                esc(&format!("PE{} -> PE{}: cost {v}", s + 1, d + 1)),
+                fill = heat_color(v, cell_max)
+            );
+        }
+    }
+    if cell_max > 0 {
+        let y = gt + matrix_h + 14;
+        let _ = writeln!(
+            out,
+            r#"  <text class="hm-s" x="{gl}" y="{y}">{}</text>"#,
+            esc(&format!("matrix scale: 0 .. {cell_max}"))
+        );
+    }
+
+    // Per-link load bars, scaled to the hottest link.
+    for (i, l) in links.iter().enumerate() {
+        let y = links_top + u32::try_from(i).unwrap_or(0) * gr;
+        let filled = if link_max == 0 || l.volume == 0 {
+            0
+        } else {
+            let w = l.volume.saturating_mul(u64::from(gb)) / link_max;
+            u32::try_from(w).unwrap_or(gb).clamp(2, gb)
+        };
+        let _ = writeln!(
+            out,
+            r#"  <text class="hm-s" x="{gl}" y="{ty}" text-anchor="end">{}</text>"#,
+            esc(&format!("PE{}-PE{}", l.a + 1, l.b + 1)),
+            ty = y + 11
+        );
+        let _ = writeln!(
+            out,
+            r#"  <rect x="{bx}" y="{ry}" width="{bw}" height="{bh}" fill="{fill}"><title>{}</title></rect>"#,
+            esc(&format!(
+                "link PE{}-PE{}: volume {}, {} message(s)",
+                l.a + 1,
+                l.b + 1,
+                l.volume,
+                l.messages
+            )),
+            bx = gl + 8,
+            ry = y + 3,
+            bw = filled.max(1),
+            bh = gr.saturating_sub(6).max(4),
+            fill = if l.volume == 0 {
+                "#eee"
+            } else {
+                heat_color(l.volume, link_max)
+            }
+        );
+        let _ = writeln!(
+            out,
+            r#"  <text class="hm-s" x="{tx}" y="{ty}">{}</text>"#,
+            esc(&format!("{}", l.volume)),
+            tx = gl + 8 + gb + 8,
+            ty = y + 11
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Diverging ramp for signed deltas: index 0 is zero, higher indices
+/// hotter.  Blues for removed traffic, reds for added.
+const DIV_NEG: [&str; 5] = ["#ffffff", "#c6dbef", "#9ecae1", "#4292c6", "#084594"];
+const DIV_POS: [&str; 5] = ["#ffffff", "#fdd49e", "#fc8d59", "#d7301f", "#7f0000"];
+
+fn div_color(v: i64, max: u64) -> &'static str {
+    if v == 0 || max == 0 {
+        return DIV_NEG[0];
+    }
+    let steps = (DIV_NEG.len() - 1) as u64;
+    let ix = (1 + (v.unsigned_abs().saturating_mul(steps - 1)) / max) as usize;
+    if v < 0 {
+        DIV_NEG[ix]
+    } else {
+        DIV_POS[ix]
+    }
+}
+
+/// One row of the per-link delta chart: a link present on either side,
+/// with the signed volume shift `after - before` (a link only one side
+/// has charges its full volume with sign).
+struct LinkDelta {
+    a: u32,
+    b: u32,
+    delta: i64,
+    tag: &'static str,
+}
+
+fn link_deltas(before: &[LinkLoad], after: &[LinkLoad]) -> Vec<LinkDelta> {
+    let signed = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
+    let mut rows: Vec<LinkDelta> = before
+        .iter()
+        .map(|l| match after.iter().find(|r| (r.a, r.b) == (l.a, l.b)) {
+            Some(r) => LinkDelta {
+                a: l.a,
+                b: l.b,
+                delta: signed(r.volume).saturating_sub(signed(l.volume)),
+                tag: "both",
+            },
+            None => LinkDelta {
+                a: l.a,
+                b: l.b,
+                delta: signed(l.volume).saturating_neg(),
+                tag: "A only",
+            },
+        })
+        .collect();
+    rows.extend(
+        after
+            .iter()
+            .filter(|r| !before.iter().any(|l| (l.a, l.b) == (r.a, r.b)))
+            .map(|r| LinkDelta {
+                a: r.a,
+                b: r.b,
+                delta: signed(r.volume),
+                tag: "B only",
+            }),
+    );
+    rows
+}
+
+/// Renders the signed traffic shift between two edge ledgers as an SVG:
+/// a PE-to-PE matrix of `Δcost = cost_B - cost_A` on a diverging ramp
+/// (blues = traffic removed, reds = added), plus one signed bar per
+/// physical link of either machine (links only one side has charge
+/// their full volume with sign).  `pes` spans both runs; the panel is
+/// marked `data-side="delta"` and carries no conservation totals (a
+/// signed difference conserves nothing).
+pub fn delta_heatmap_svg(
+    caption: &str,
+    pes: u32,
+    before: &[EdgeTraffic],
+    after: &[EdgeTraffic],
+    before_links: &[LinkLoad],
+    after_links: &[LinkLoad],
+) -> String {
+    let n = pes as usize;
+    let mut cells = vec![0i64; n * n];
+    let charge = |cells: &mut Vec<i64>, edges: &[EdgeTraffic], sign: i64| {
+        for e in edges {
+            let (s, d) = (e.src_pe as usize, e.dst_pe as usize);
+            if s < n && d < n && e.crossing() {
+                let cost = i64::try_from(e.cost()).unwrap_or(i64::MAX);
+                cells[s * n + d] = cells[s * n + d].saturating_add(sign.saturating_mul(cost));
+            }
+        }
+    };
+    charge(&mut cells, before, -1);
+    charge(&mut cells, after, 1);
+    let cell_max = cells.iter().map(|v| v.unsigned_abs()).max().unwrap_or(0);
+
+    let rows = link_deltas(before_links, after_links);
+    let link_max = rows
+        .iter()
+        .map(|r| r.delta.unsigned_abs())
+        .max()
+        .unwrap_or(0);
+
+    let matrix_h = u32::try_from(n).unwrap_or(0) * CELL;
+    let links_h = u32::try_from(rows.len()).unwrap_or(0) * ROW_H;
+    let links_top = TOP + matrix_h + 24;
+    let width = (LEFT + u32::try_from(n).unwrap_or(0) * CELL + 24)
+        .max(LEFT + 64 + BAR_W + 104)
+        .max(360);
+    let height = links_top + links_h + 16;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg class="heatmap delta" width="{width}" height="{height}" viewBox="0 0 {width} {height}" data-pes="{pes}" data-side="delta" data-routable="false" role="img">"#
     );
     let _ = writeln!(
         out,
@@ -221,9 +524,6 @@ pub fn heatmap_svg_panel(
         r#"  <text class="hm-t" x="4" y="15">{}</text>"#,
         esc(caption)
     );
-
-    // Matrix: column labels, row labels, one rect per cell with a
-    // hover title naming the (src, dst) pair and its cost.
     for d in 0..n {
         let x = LEFT + u32::try_from(d).unwrap_or(0) * CELL + CELL / 2;
         let _ = writeln!(
@@ -248,8 +548,8 @@ pub fn heatmap_svg_panel(
             let _ = writeln!(
                 out,
                 r#"  <rect class="hm-c" x="{x}" y="{yy}" width="{CELL}" height="{CELL}" fill="{fill}"><title>{}</title></rect>"#,
-                esc(&format!("PE{} -> PE{}: cost {v}", s + 1, d + 1)),
-                fill = heat_color(v, cell_max)
+                esc(&format!("PE{} -> PE{}: delta {v:+}", s + 1, d + 1)),
+                fill = div_color(v, cell_max)
             );
         }
     }
@@ -258,48 +558,46 @@ pub fn heatmap_svg_panel(
         let _ = writeln!(
             out,
             r#"  <text class="hm-s" x="{LEFT}" y="{y}">{}</text>"#,
-            esc(&format!("matrix scale: 0 .. {cell_max}"))
+            esc(&format!("delta scale: -{cell_max} .. +{cell_max}"))
         );
     }
-
-    // Per-link load bars, scaled to the hottest link.
-    for (i, l) in links.iter().enumerate() {
+    for (i, r) in rows.iter().enumerate() {
         let y = links_top + u32::try_from(i).unwrap_or(0) * ROW_H;
-        let filled = if link_max == 0 || l.volume == 0 {
+        let filled = if link_max == 0 || r.delta == 0 {
             0
         } else {
-            let w = l.volume.saturating_mul(u64::from(BAR_W)) / link_max;
+            let w = r.delta.unsigned_abs().saturating_mul(u64::from(BAR_W)) / link_max;
             u32::try_from(w).unwrap_or(BAR_W).clamp(2, BAR_W)
         };
         let _ = writeln!(
             out,
             r#"  <text class="hm-s" x="{LEFT}" y="{ty}" text-anchor="end">{}</text>"#,
-            esc(&format!("PE{}-PE{}", l.a + 1, l.b + 1)),
+            esc(&format!("PE{}-PE{}", r.a + 1, r.b + 1)),
             ty = y + 11
         );
         let _ = writeln!(
             out,
             r#"  <rect x="{bx}" y="{ry}" width="{bw}" height="10" fill="{fill}"><title>{}</title></rect>"#,
             esc(&format!(
-                "link PE{}-PE{}: volume {}, {} message(s)",
-                l.a + 1,
-                l.b + 1,
-                l.volume,
-                l.messages
+                "link PE{}-PE{} ({}): volume delta {:+}",
+                r.a + 1,
+                r.b + 1,
+                r.tag,
+                r.delta
             )),
             bx = LEFT + 8,
             ry = y + 3,
             bw = filled.max(1),
-            fill = if l.volume == 0 {
+            fill = if r.delta == 0 {
                 "#eee"
             } else {
-                heat_color(l.volume, link_max)
+                div_color(r.delta, link_max)
             }
         );
         let _ = writeln!(
             out,
             r#"  <text class="hm-s" x="{tx}" y="{ty}">{}</text>"#,
-            esc(&format!("{}", l.volume)),
+            esc(&format!("{:+} ({})", r.delta, r.tag)),
             tx = LEFT + 8 + BAR_W + 8,
             ty = y + 11
         );
@@ -446,5 +744,119 @@ mod tests {
             .map(|(w, _)| w.to_string())
             .unwrap_or_default();
         assert!(svg.contains(&format!(r#"viewBox="0 0 {wh} "#)), "{svg}");
+    }
+
+    #[test]
+    fn panel_options_tag_side_and_cell_escaped() {
+        let p = profile();
+        let svg = heatmap_panel(
+            "cap",
+            p.pes,
+            &p.edges,
+            &p.links,
+            PanelOptions {
+                routable: true,
+                side: Some("a"),
+                cell: Some("fig1/mesh<2>"),
+                ..PanelOptions::default()
+            },
+        );
+        assert!(svg.contains(r#" data-side="a""#), "{svg}");
+        assert!(svg.contains(r#" data-cell="fig1/mesh&lt;2&gt;""#), "{svg}");
+        assert!(!svg.contains("mesh<2>"), "{svg}");
+    }
+
+    #[test]
+    fn mini_panel_is_smaller_than_full_panel() {
+        let p = profile();
+        let full = heatmap_panel("cap", p.pes, &p.edges, &p.links, PanelOptions::default());
+        let mini = heatmap_panel(
+            "cap",
+            p.pes,
+            &p.edges,
+            &p.links,
+            PanelOptions {
+                mini: true,
+                ..PanelOptions::default()
+            },
+        );
+        let width = |svg: &str| -> u32 {
+            svg.split_once(r#"width=""#)
+                .and_then(|(_, r)| r.split_once('"'))
+                .and_then(|(w, _)| w.parse().ok())
+                .unwrap_or(0)
+        };
+        assert!(width(&mini) < width(&full), "{mini}\n{full}");
+        assert!(mini.contains(r#"class="heatmap mini""#), "{mini}");
+        assert_eq!(mini, {
+            let p = profile();
+            heatmap_panel(
+                "cap",
+                p.pes,
+                &p.edges,
+                &p.links,
+                PanelOptions {
+                    mini: true,
+                    ..PanelOptions::default()
+                },
+            )
+        });
+    }
+
+    #[test]
+    fn delta_heatmap_charges_signed_shifts_and_one_sided_links() {
+        let p = profile();
+        let mut after = p.edges.clone();
+        // The crossing edge now lands one hop closer: cost 6 -> 3.
+        after[0].dst_pe = 1;
+        after[0].hops = 1;
+        let after_links = vec![LinkLoad {
+            a: 0,
+            b: 1,
+            volume: 3,
+            messages: 1,
+        }];
+        let svg = delta_heatmap_svg("A vs B", p.pes, &p.edges, &after, &p.links, &after_links);
+        assert!(svg.starts_with("<svg class=\"heatmap delta\""), "{svg}");
+        assert!(svg.contains(r#"data-side="delta""#), "{svg}");
+        assert!(svg.contains(r#"data-routable="false""#), "{svg}");
+        // PE1->PE3 loses its 6, PE1->PE2 gains 3.
+        assert!(svg.contains("PE1 -&gt; PE3: delta -6"), "{svg}");
+        assert!(svg.contains("PE1 -&gt; PE2: delta +3"), "{svg}");
+        // Link PE2-PE3 exists only on side A: charged -3, tagged.
+        assert!(
+            svg.contains("link PE2-PE3 (A only): volume delta -3"),
+            "{svg}"
+        );
+        assert!(
+            svg.contains("link PE1-PE2 (both): volume delta +0"),
+            "{svg}"
+        );
+        let wh = svg
+            .split_once(r#"width=""#)
+            .and_then(|(_, r)| r.split_once('"'))
+            .map(|(w, _)| w.to_string())
+            .unwrap_or_default();
+        assert!(svg.contains(&format!(r#"viewBox="0 0 {wh} "#)), "{svg}");
+        assert_eq!(
+            svg,
+            delta_heatmap_svg("A vs B", p.pes, &p.edges, &after, &p.links, &after_links)
+        );
+    }
+
+    #[test]
+    fn delta_heatmap_of_identical_sides_is_all_zero() {
+        let p = profile();
+        let svg = delta_heatmap_svg("same", p.pes, &p.edges, &p.edges, &p.links, &p.links);
+        assert!(!svg.contains("delta scale"), "{svg}");
+        assert!(svg.contains("delta +0"), "{svg}");
+    }
+
+    #[test]
+    fn div_color_endpoints() {
+        assert_eq!(div_color(0, 10), "#ffffff");
+        assert_eq!(div_color(10, 10), DIV_POS[4]);
+        assert_eq!(div_color(-10, 10), DIV_NEG[4]);
+        assert_eq!(div_color(5, 0), "#ffffff");
     }
 }

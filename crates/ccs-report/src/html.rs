@@ -34,6 +34,13 @@ span.reverted{color:#b30000;font-weight:600}
 pre{background:#f7f7f7;padding:8px;overflow-x:auto;font-size:12px}
 details{margin:8px 0}
 summary{cursor:pointer;color:#444}
+div.cols{display:flex;gap:24px;flex-wrap:wrap;align-items:flex-start}
+div.cols div.col{flex:1 1 420px;min-width:0}
+tr.diverge td{background:#ffe3e3}
+div.grid{display:flex;gap:16px;flex-wrap:wrap;align-items:flex-start}
+div.tile{border:1px solid #ccc;border-radius:4px;padding:8px;background:#fafafa}
+div.tile p.tile-head{margin:0 0 4px;font:600 12px monospace}
+div.tile p.tile-gap{margin:0;font:11px monospace;color:#333;padding:1px 4px}
 ";
 
 /// Wraps the four panel bodies in the self-contained document shell.

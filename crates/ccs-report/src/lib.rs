@@ -27,7 +27,9 @@
 #![forbid(unsafe_code)]
 
 pub mod check;
+pub mod diff;
 pub mod fold;
+pub mod grid;
 pub mod html;
 
 use ccs_bounds::{OptimalityReport, Verdict as BoundsVerdict, Witness};

@@ -10,6 +10,7 @@
 //! ```
 
 use ccs_core::compact::{cyclo_compact, CompactConfig};
+use ccs_report::diff::{render_diff_report, DiffInput, DiffSide};
 use ccs_report::{check::check_html, render_report, ReportInput};
 use ccs_topology::Machine;
 use std::path::PathBuf;
@@ -68,6 +69,77 @@ fn fig1_report_on_mesh_is_pinned_and_valid() {
         "report drifted for fig1_mesh2x2; if intentional, regenerate with \
          UPDATE_REPORT_GOLDEN=1 cargo test -p ccs-report --test golden_report"
     );
+}
+
+fn fig1_diff_report(ma: &Machine, mb: &Machine) -> String {
+    let g = ccs_workloads::paper::fig1_example();
+    let cfg = CompactConfig::default();
+    let ((ra, ea), (rb, eb)) =
+        ccs_trace::record_pair(|| cyclo_compact(&g, ma, cfg), || cyclo_compact(&g, mb, cfg));
+    let (ra, rb) = (ra.expect("legal"), rb.expect("legal"));
+    let pa = ccs_profile::build(&ea, ma);
+    let pb = ccs_profile::build(&eb, mb);
+    let ca = ccs_bounds::certify_period(&g, ma, ra.best_length);
+    let cb = ccs_bounds::certify_period(&g, mb, rb.best_length);
+    render_diff_report(
+        &DiffInput {
+            title: &format!("fig1: {} vs {}", ma.name(), mb.name()),
+            a: DiffSide {
+                label: ma.name(),
+                events: &ea,
+                machine: ma,
+                profile: &pa,
+                certificate: Some(&ca),
+            },
+            b: DiffSide {
+                label: mb.name(),
+                events: &eb,
+                machine: mb,
+                profile: &pb,
+                certificate: Some(&cb),
+            },
+        },
+        |n| {
+            g.name(ccs_graph::NodeId::from_index(n as usize))
+                .to_string()
+        },
+    )
+}
+
+#[test]
+fn fig1_mesh_vs_complete_diff_is_pinned_and_valid() {
+    let (ma, mb) = (Machine::mesh(2, 2), Machine::complete(4));
+    let actual = fig1_diff_report(&ma, &mb);
+
+    let facts = check_html(&actual).unwrap_or_else(|e| panic!("diff fails report-check: {e:?}"));
+    assert_eq!(facts.sections, 4, "the four diff panels");
+    assert!(
+        facts.conserved >= 2,
+        "both sides' final heatmaps conserve traffic"
+    );
+    assert!(actual.contains("data-side=\"a\""));
+    assert!(actual.contains("data-side=\"b\""));
+    assert!(actual.contains("data-side=\"delta\""));
+
+    let path = golden_path("fig1_mesh_vs_complete");
+    if std::env::var_os("UPDATE_REPORT_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir");
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert_eq!(
+        actual, expected,
+        "diff report drifted for fig1_mesh_vs_complete; if intentional, regenerate with \
+         UPDATE_REPORT_GOLDEN=1 cargo test -p ccs-report --test golden_report"
+    );
+}
+
+#[test]
+fn diff_report_is_independent_of_recording_context() {
+    let (ma, mb) = (Machine::ring(4), Machine::linear_array(4));
+    assert_eq!(fig1_diff_report(&ma, &mb), fig1_diff_report(&ma, &mb));
 }
 
 #[test]

@@ -185,6 +185,21 @@ pub fn record<T>(f: impl FnOnce() -> T) -> (T, Vec<TimedEvent>) {
     (out, rec.events)
 }
 
+/// Records two runs back to back, each under its own fresh [`Recorder`]
+/// — the dual-capture entry point of the multi-run diff report.
+///
+/// The first closure runs to completion (its recorder uninstalled)
+/// before the second starts, so the two streams can never interleave
+/// and each stays exactly what a standalone [`record`] would have
+/// captured.  Timestamps restart from zero for each run; the events
+/// themselves are deterministic either way.
+pub fn record_pair<A, B>(
+    f: impl FnOnce() -> A,
+    g: impl FnOnce() -> B,
+) -> ((A, Vec<TimedEvent>), (B, Vec<TimedEvent>)) {
+    (record(f), record(g))
+}
+
 /// Compile-time-selectable emission point.  Instrumented code writes
 ///
 /// ```ignore
@@ -268,6 +283,31 @@ mod tests {
             })
             .collect();
         assert_eq!(lengths, vec![1, 3]);
+    }
+
+    #[test]
+    fn record_pair_keeps_the_streams_separate() {
+        let ((a, ev_a), (b, ev_b)) = record_pair(
+            || {
+                emit(Event::StartupEnd { length: 1 });
+                "a"
+            },
+            || {
+                emit(Event::StartupEnd { length: 2 });
+                emit(Event::CompactEnd {
+                    initial: 2,
+                    best: 2,
+                    passes: 0,
+                });
+                "b"
+            },
+        );
+        assert_eq!((a, b), ("a", "b"));
+        assert_eq!(ev_a.len(), 1);
+        assert_eq!(ev_a[0].event, Event::StartupEnd { length: 1 });
+        assert_eq!(ev_b.len(), 2);
+        assert_eq!(ev_b[0].event, Event::StartupEnd { length: 2 });
+        assert!(!installed(), "both recorders uninstalled afterwards");
     }
 
     #[test]

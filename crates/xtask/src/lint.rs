@@ -86,8 +86,14 @@ pub const RULE_UNORDERED: &str = "no-unordered-iteration";
 pub const RULE_ESCAPED: &str = "escaped-html-output";
 
 /// Sources whose string formatting lands in HTML/SVG artifacts and
-/// falls under [`RULE_ESCAPED`].
-const HTML_OUTPUT_ROOTS: [&str; 2] = ["crates/ccs-report/src", "crates/ccs-profile/src/render.rs"];
+/// falls under [`RULE_ESCAPED`]: the report crate (single-run, diff
+/// and grid pages), the profile renderer, and the bench crate's grid
+/// dashboard / trajectory sparkline module.
+const HTML_OUTPUT_ROOTS: [&str; 3] = [
+    "crates/ccs-report/src",
+    "crates/ccs-profile/src/render.rs",
+    "crates/ccs-bench/src/report.rs",
+];
 
 /// Containers whose iteration order is nondeterministic.
 const UNORDERED_TYPES: [&str; 2] = ["HashMap", "HashSet"];

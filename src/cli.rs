@@ -4,7 +4,7 @@
 //! parses its flags into a typed request struct here, where the logic
 //! is unit-testable; `src/main.rs` only does I/O.
 
-use crate::core::{CompactConfig, RemapConfig, RemapMode};
+use crate::core::{CompactConfig, RemapConfig, RemapMode, ScanPolicy};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -12,7 +12,8 @@ use std::fmt;
 #[derive(Clone, Debug, PartialEq)]
 pub enum Command {
     /// `cyclosched schedule <graph> --machine SPEC [...]`
-    Schedule(ScheduleArgs),
+    /// (boxed: the schedule request is by far the largest variant).
+    Schedule(Box<ScheduleArgs>),
     /// `cyclosched compile <kernel> [...]`
     Compile(CompileArgs),
     /// `cyclosched bound <graph>`
@@ -81,6 +82,36 @@ pub struct ScheduleArgs {
     pub report: Option<String>,
     /// Write the standalone SVG link-load heatmap to this path.
     pub heatmap_svg: Option<String>,
+    /// Write the two-run HTML diff report to this path (requires
+    /// `--diff-machine` and/or `--diff-policy` to define side B).
+    pub report_diff: Option<String>,
+    /// Machine spec of the comparison run (side B of the diff report).
+    pub diff_machine: Option<String>,
+    /// Scheduler policy of the comparison run (side B).
+    pub diff_policy: Option<DiffPolicy>,
+}
+
+/// Scheduler policy for the `--report-diff` comparison run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiffPolicy {
+    /// Remap without relaxation (`RemapMode::WithoutRelaxation`).
+    Strict,
+    /// Remap with relaxation (the default scheduler behavior).
+    Relaxed,
+    /// The reference candidate scan (`ScanPolicy::Reference`) — the
+    /// unpruned sequential oracle.
+    Reference,
+}
+
+impl DiffPolicy {
+    /// The CLI spelling, used in report labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiffPolicy::Strict => "strict",
+            DiffPolicy::Relaxed => "relaxed",
+            DiffPolicy::Reference => "reference",
+        }
+    }
 }
 
 /// Timestamp domain for `--trace` output.
@@ -110,6 +141,21 @@ impl ScheduleArgs {
             },
             ..Default::default()
         }
+    }
+
+    /// The configuration of the `--report-diff` comparison run: the
+    /// same passes/rows as side A, with `--diff-policy` applied on
+    /// top.  Without a policy override, side B reuses side A's config
+    /// (a pure machine comparison).
+    pub fn diff_config(&self) -> CompactConfig {
+        let mut cfg = self.compact_config();
+        match self.diff_policy {
+            None => {}
+            Some(DiffPolicy::Strict) => cfg.remap.mode = RemapMode::WithoutRelaxation,
+            Some(DiffPolicy::Relaxed) => cfg.remap.mode = RemapMode::WithRelaxation,
+            Some(DiffPolicy::Reference) => cfg.remap.scan = ScanPolicy::Reference,
+        }
+        cfg
     }
 }
 
@@ -166,6 +212,7 @@ USAGE:
                       [--trace FILE [--trace-clock logical|wall]] [--explain]
                       [--profile FILE] [--heatmap] [--heatmap-svg FILE]
                       [--certify] [--certify-json FILE] [--report FILE]
+                      [--report-diff FILE (--diff-machine SPEC | --diff-policy P)]
   cyclosched compile  <kernel.loop|-> [--add N] [--mul N] [--volume N]
   cyclosched bound    <graph.csdfg|->
   cyclosched simulate <graph.csdfg|-> --machine SPEC [--iterations N] [--contended]
@@ -202,6 +249,15 @@ OBSERVABILITY:
                  AN-window hover verdicts, per-pass link-load heatmaps,
                  the pass trajectory with ledger diffs, and the
                  optimality certificate; validate with `report-check`
+  --report-diff FILE
+                 schedule the same graph twice — side A as configured
+                 above, side B on `--diff-machine SPEC` and/or with
+                 `--diff-policy strict|relaxed|reference` — and write a
+                 comparison page: side-by-side start-up Gantts with the
+                 first diverging rotation pass highlighted, the
+                 edge-ledger delta table, paired link-load heatmaps
+                 with a signed delta heatmap, and both optimality
+                 certificates; validate with `report-check`
 ";
 
 /// Parses raw arguments (without the program name).
@@ -280,6 +336,9 @@ fn parse_schedule(mut args: VecDeque<String>) -> Result<Command, CliError> {
         certify_json: None,
         report: None,
         heatmap_svg: None,
+        report_diff: None,
+        diff_machine: None,
+        diff_policy: None,
     };
     while let Some(flag) = args.pop_front() {
         match flag.as_str() {
@@ -293,6 +352,21 @@ fn parse_schedule(mut args: VecDeque<String>) -> Result<Command, CliError> {
             "--heatmap" => out.heatmap = true,
             "--heatmap-svg" => out.heatmap_svg = Some(take_value(&mut args, "--heatmap-svg")?),
             "--report" => out.report = Some(take_value(&mut args, "--report")?),
+            "--report-diff" => out.report_diff = Some(take_value(&mut args, "--report-diff")?),
+            "--diff-machine" => out.diff_machine = Some(take_value(&mut args, "--diff-machine")?),
+            "--diff-policy" => {
+                out.diff_policy = Some(match take_value(&mut args, "--diff-policy")?.as_str() {
+                    "strict" => DiffPolicy::Strict,
+                    "relaxed" => DiffPolicy::Relaxed,
+                    "reference" => DiffPolicy::Reference,
+                    other => {
+                        return Err(fail(format!(
+                            "--diff-policy: expected `strict`, `relaxed` or `reference`, \
+                             got {other:?}"
+                        )))
+                    }
+                })
+            }
             "--certify" => out.certify = true,
             "--certify-json" => {
                 out.certify_json = Some(take_value(&mut args, "--certify-json")?);
@@ -319,7 +393,19 @@ fn parse_schedule(mut args: VecDeque<String>) -> Result<Command, CliError> {
     if out.machine.is_empty() {
         return Err(fail("schedule: --machine SPEC is required"));
     }
-    Ok(Command::Schedule(out))
+    let defines_side_b = out.diff_machine.is_some() || out.diff_policy.is_some();
+    if out.report_diff.is_some() && !defines_side_b {
+        return Err(fail(
+            "schedule: --report-diff needs --diff-machine SPEC and/or --diff-policy POLICY \
+             to define the comparison run",
+        ));
+    }
+    if out.report_diff.is_none() && defines_side_b {
+        return Err(fail(
+            "schedule: --diff-machine/--diff-policy only make sense with --report-diff FILE",
+        ));
+    }
+    Ok(Command::Schedule(Box::new(out)))
 }
 
 fn parse_compile(mut args: VecDeque<String>) -> Result<Command, CliError> {
@@ -476,6 +562,64 @@ mod tests {
         assert!(!a.heatmap, "--heatmap-svg does not imply the ASCII heatmap");
         assert!(parse("schedule g --machine m --report").is_err());
         assert!(parse("schedule g --machine m --heatmap-svg").is_err());
+    }
+
+    #[test]
+    fn schedule_diff_flags() {
+        let Command::Schedule(a) =
+            parse("schedule g --machine mesh:2x2 --report-diff d.html --diff-machine complete:4")
+                .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.report_diff.as_deref(), Some("d.html"));
+        assert_eq!(a.diff_machine.as_deref(), Some("complete:4"));
+        assert_eq!(a.diff_policy, None);
+        let (da, db) = (a.compact_config(), a.diff_config());
+        assert_eq!(
+            db.remap.mode, da.remap.mode,
+            "machine-only diff keeps the config"
+        );
+        assert_eq!(db.remap.scan, da.remap.scan);
+        assert_eq!(db.passes, da.passes);
+
+        let Command::Schedule(a) =
+            parse("schedule g --machine ring:4 --report-diff d.html --diff-policy reference")
+                .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.diff_policy, Some(DiffPolicy::Reference));
+        assert_eq!(a.diff_config().remap.scan, ScanPolicy::Reference);
+
+        let Command::Schedule(a) = parse(
+            "schedule g --machine ring:4 --strict --report-diff d.html --diff-policy relaxed",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.compact_config().remap.mode, RemapMode::WithoutRelaxation);
+        assert_eq!(a.diff_config().remap.mode, RemapMode::WithRelaxation);
+
+        let Command::Schedule(a) =
+            parse("schedule g --machine ring:4 --report-diff d.html --diff-policy strict").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.diff_config().remap.mode, RemapMode::WithoutRelaxation);
+    }
+
+    #[test]
+    fn schedule_diff_flag_validation() {
+        // --report-diff without a side-B definition.
+        assert!(parse("schedule g --machine m --report-diff d.html").is_err());
+        // side-B definitions without --report-diff.
+        assert!(parse("schedule g --machine m --diff-machine ring:4").is_err());
+        assert!(parse("schedule g --machine m --diff-policy strict").is_err());
+        // bad policy spelling and missing values.
+        assert!(parse("schedule g --machine m --report-diff d --diff-policy greedy").is_err());
+        assert!(parse("schedule g --machine m --report-diff").is_err());
+        assert!(parse("schedule g --machine m --report-diff d --diff-machine").is_err());
     }
 
     #[test]

@@ -152,7 +152,7 @@ fn run(cmd: Command) -> Result<(), String> {
             Ok(())
         }
         Command::Compile(args) => run_compile(args),
-        Command::Schedule(args) => run_schedule(args),
+        Command::Schedule(args) => run_schedule(*args),
         Command::Simulate(args) => run_simulate(args),
     }
 }
@@ -175,13 +175,31 @@ fn run_schedule(args: ScheduleArgs) -> Result<(), String> {
     let machine = load_machine(&args.machine, &g)?;
     // Record the decision stream only when a consumer asked for it;
     // otherwise the scheduler runs the exact uninstrumented path.
+    let diffing = args.report_diff.is_some();
     let traced = args.trace.is_some()
         || args.explain
         || args.profile.is_some()
         || args.heatmap
         || args.heatmap_svg.is_some()
-        || args.report.is_some();
-    let (outcome, events) = if traced {
+        || args.report.is_some()
+        || diffing;
+    // The `--report-diff` comparison run (side B): same graph on the
+    // `--diff-machine` spec (or side A's machine) under the
+    // `--diff-policy` configuration.  Recorded back-to-back with side
+    // A via `record_pair`, so the two streams never interleave.
+    let mut side_b = None;
+    let (outcome, events) = if diffing {
+        let machine_b = match &args.diff_machine {
+            Some(spec) => load_machine(spec, &g)?,
+            None => machine.clone(),
+        };
+        let (run_a, (outcome_b, events_b)) = cyclosched::trace::record_pair(
+            || cyclo_compact(&g, &machine, args.compact_config()),
+            || cyclo_compact(&g, &machine_b, args.diff_config()),
+        );
+        side_b = Some((outcome_b, events_b, machine_b));
+        run_a
+    } else if traced {
         cyclosched::trace::record(|| cyclo_compact(&g, &machine, args.compact_config()))
     } else {
         (
@@ -265,7 +283,8 @@ fn run_schedule(args: ScheduleArgs) -> Result<(), String> {
         || args.heatmap
         || args.heatmap_svg.is_some()
         || args.report.is_some()
-        || args.explain;
+        || args.explain
+        || diffing;
     let profile = needs_profile.then(|| cyclosched::profile::build(&events, &machine));
     let name = |n: u32| {
         result
@@ -319,7 +338,7 @@ fn run_schedule(args: ScheduleArgs) -> Result<(), String> {
     // retimings, so the certificate is stated against `g`, not the
     // rotated `result.graph` the schedule was validated with.  The
     // report always grades the schedule, even without `--certify`.
-    let certificate = (args.certify || args.report.is_some())
+    let certificate = (args.certify || args.report.is_some() || diffing)
         .then(|| cyclosched::bounds::certify_period(&g, &machine, result.best_length));
     if args.certify {
         let report = certificate.as_ref().expect("certify builds the report");
@@ -348,6 +367,45 @@ fn run_schedule(args: ScheduleArgs) -> Result<(), String> {
         );
         std::fs::write(path, html).map_err(|e| format!("{path}: {e}"))?;
         eprintln!("wrote {path} (HTML report; validate with report-check)");
+    }
+    if let Some(path) = &args.report_diff {
+        let (outcome_b, events_b, machine_b) = side_b.expect("diffing recorded side B");
+        let result_b = outcome_b.map_err(|e| format!("scheduling (diff side B) failed: {e}"))?;
+        validate(&result_b.graph, &machine_b, &result_b.schedule)
+            .map_err(|v| format!("internal error: invalid side-B schedule: {v:?}"))?;
+        let profile_b = cyclosched::profile::build(&events_b, &machine_b);
+        let certificate_b =
+            cyclosched::bounds::certify_period(&g, &machine_b, result_b.best_length);
+        let label_a = machine.name().to_string();
+        let label_b = match args.diff_policy {
+            Some(p) => format!("{} ({} policy)", machine_b.name(), p.name()),
+            None => machine_b.name().to_string(),
+        };
+        let html = cyclosched::report::diff::render_diff_report(
+            &cyclosched::report::diff::DiffInput {
+                title: &format!("{}: {} vs {}", args.input, label_a, label_b),
+                a: cyclosched::report::diff::DiffSide {
+                    label: &label_a,
+                    events: &events,
+                    machine: &machine,
+                    profile: profile.as_ref().expect("diffing builds the profile"),
+                    certificate: certificate.as_ref(),
+                },
+                b: cyclosched::report::diff::DiffSide {
+                    label: &label_b,
+                    events: &events_b,
+                    machine: &machine_b,
+                    profile: &profile_b,
+                    certificate: Some(&certificate_b),
+                },
+            },
+            name,
+        );
+        std::fs::write(path, html).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "wrote {path} (HTML diff report, A best {} vs B best {}; validate with report-check)",
+            result.best_length, result_b.best_length
+        );
     }
     Ok(())
 }

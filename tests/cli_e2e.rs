@@ -374,6 +374,122 @@ fn heatmap_svg_export_writes_a_standalone_svg() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Spawns `schedule fig1 --machine mesh:2x2 --report-diff <path>
+/// --diff-machine complete:4` with a pinned `RAYON_NUM_THREADS`,
+/// returning the written diff-report text.
+fn diff_report_with_threads(threads: &str, path: &std::path::Path) -> String {
+    let graph = stdout_of(&bin().args(["workloads", "fig1"]).output().unwrap());
+    let mut child = bin()
+        .args([
+            "schedule",
+            "-",
+            "--machine",
+            "mesh:2x2",
+            "--report-diff",
+            path.to_str().unwrap(),
+            "--diff-machine",
+            "complete:4",
+        ])
+        .env("RAYON_NUM_THREADS", threads)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn cyclosched");
+    let _ = child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(graph.as_bytes());
+    let out = child.wait_with_output().expect("wait for cyclosched");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::read_to_string(path).expect("read diff report")
+}
+
+#[test]
+fn report_diff_export_is_valid_and_thread_count_invariant() {
+    let dir = std::env::temp_dir().join(format!("ccs_diffreport_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let r1 = diff_report_with_threads("1", &dir.join("d1.html"));
+    let r8 = diff_report_with_threads("8", &dir.join("d8.html"));
+    assert_eq!(r1, r8, "diff report must not depend on RAYON_NUM_THREADS");
+    let facts =
+        cyclosched::report::check::check_html(&r1).expect("diff report passes report-check");
+    assert_eq!(facts.sections, 4, "all four diff panels present");
+    assert!(
+        facts.conserved >= 2,
+        "both sides carry conservation totals ({} conserved)",
+        facts.conserved
+    );
+    for id in ["schedule", "heatmaps", "ledger", "certificate"] {
+        assert!(r1.contains(&format!("<section id=\"{id}\">")), "{id}");
+    }
+    for tag in ["data-side=\"a\"", "data-side=\"b\"", "data-side=\"delta\""] {
+        assert!(r1.contains(tag), "{tag}");
+    }
+    assert!(r1.contains("2-D Mesh 2x2"), "side A label present");
+    assert!(
+        r1.contains("Completely Connected 4"),
+        "side B label present"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn report_diff_policy_side_b_reuses_the_machine() {
+    let dir = std::env::temp_dir().join(format!("ccs_diffpolicy_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("policy.html");
+    let graph = stdout_of(&bin().args(["workloads", "fig1"]).output().unwrap());
+    let out = run_with_stdin(
+        &[
+            "schedule",
+            "-",
+            "--machine",
+            "mesh:2x2",
+            "--report-diff",
+            path.to_str().unwrap(),
+            "--diff-policy",
+            "reference",
+        ],
+        &graph,
+    );
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let html = std::fs::read_to_string(&path).unwrap();
+    cyclosched::report::check::check_html(&html).expect("policy diff passes report-check");
+    assert!(
+        html.contains("2-D Mesh 2x2 (reference policy)"),
+        "side B label names the policy"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn report_diff_flags_are_validated() {
+    let out = run_with_stdin(
+        &[
+            "schedule",
+            "-",
+            "--machine",
+            "complete:2",
+            "--report-diff",
+            "x.html",
+        ],
+        GRAPH,
+    );
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--diff-machine"), "{err}");
+}
+
 #[test]
 fn trace_clock_flag_is_validated() {
     let out = run_with_stdin(
