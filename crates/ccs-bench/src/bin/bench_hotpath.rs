@@ -82,6 +82,28 @@ fn machine_suite() -> Vec<Machine> {
     ]
 }
 
+/// Every root section a BENCH report may carry, in emission order.
+/// The last three appear only when `--baseline` is given.
+///
+/// This is the producer side of the `bench-section-gated` drift pass:
+/// `report_diff` must claim each section as gated or ungated, and the
+/// assert in `main` keeps this declaration honest against the report
+/// actually assembled.
+const BENCH_SECTIONS: [&str; 12] = [
+    "version",
+    "seeds",
+    "timings_ms",
+    "schedule_lengths",
+    "fingerprints",
+    "bounds",
+    "metrics",
+    "cells",
+    "candidate_scan_speedup",
+    "baseline_timings_ms",
+    "speedup",
+    "fingerprint_mismatches",
+];
+
 /// Medians `reps` timed runs of `f`, returning (median ms, last output).
 fn time_median<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     let mut out = None;
@@ -385,6 +407,13 @@ fn main() {
         ));
     }
 
+    for (key, _) in &root {
+        assert!(
+            BENCH_SECTIONS.contains(&key.as_str()),
+            "BENCH root section {key:?} is not declared in BENCH_SECTIONS; \
+             declare it so the bench-section-gated lint can see it"
+        );
+    }
     let report = Value::Object(root);
     let text = serde_json::to_string_pretty(&report).expect("serialize report");
     match &json_path {

@@ -21,6 +21,39 @@ use crate::table::TextTable;
 use serde::Value;
 use std::collections::BTreeMap;
 
+/// BENCH sections this differ gates: each is parsed out of every
+/// report and compared across the trajectory.  The consumer side of
+/// the `bench-section-gated` drift pass — together with
+/// [`UNGATED_SECTIONS`] it must cover `BENCH_SECTIONS` exactly
+/// (declared in `bench_hotpath`).
+pub const GATED_SECTIONS: [&str; 3] = ["timings_ms", "fingerprints", "bounds"];
+
+/// BENCH sections deliberately not diffed, with the reason on record:
+///
+/// * `version`, `seeds` — run provenance; labels, not measurements;
+/// * `schedule_lengths` — subsumed by `fingerprints` (any length
+///   change moves the placement hash) and rendered by `bench-report`'s
+///   sweep table instead;
+/// * `metrics`, `cells` — per-run counter registries; byte-stable but
+///   schema-fluid, diffed on demand with `ledger-diff` rather than
+///   gated here;
+/// * `candidate_scan_speedup` — intra-run A/B ratio, not comparable
+///   across trajectory points;
+/// * `baseline_timings_ms`, `speedup`, `fingerprint_mismatches` —
+///   derived from a `--baseline` run's own diff; gating them would
+///   double-count the baseline comparison.
+pub const UNGATED_SECTIONS: [&str; 9] = [
+    "version",
+    "seeds",
+    "schedule_lengths",
+    "metrics",
+    "cells",
+    "candidate_scan_speedup",
+    "baseline_timings_ms",
+    "speedup",
+    "fingerprint_mismatches",
+];
+
 /// The parts of one `bench_hotpath` JSON report the differ cares
 /// about.
 #[derive(Clone, Debug, PartialEq)]

@@ -232,6 +232,8 @@ pub(crate) fn compact_probed<P: Probe>(
                 rows: config.remap.rows_per_pass.clamp(1, prev_len.max(1)),
             });
         }
+        // CLOCK: feeds PassRecord::wall_ms, the one sanctioned timing
+        // field — excluded from fingerprints and ledger diffs.
         let t0 = Instant::now();
         // The pass mutates the working pair in place; a reverted pass
         // restores it, so nothing is cloned on the per-pass hot path.

@@ -1,0 +1,126 @@
+//! Machine-readable output for `cargo xtask lint --json`.
+//!
+//! The schema is deliberately tiny and versioned:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "files_scanned": 123,
+//!   "rules": [{"id": "...", "escape": "..." | null, "summary": "..."}],
+//!   "findings": [{"file": "...", "line": 7, "rule": "...", "message": "..."}]
+//! }
+//! ```
+//!
+//! Emission is hand-rolled (the crate stays dependency-free); the
+//! serde_json round-trip lives in the test suite, where dev-deps are
+//! allowed.
+
+use crate::{Report, RULES};
+
+/// Serializes a [`Report`] to the versioned JSON schema.  Output is
+/// deterministic: findings arrive pre-sorted and rules are emitted in
+/// catalogue order.
+pub fn emit(report: &Report) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n  \"version\": 1,\n  \"files_scanned\": ");
+    out.push_str(&report.files_scanned.to_string());
+    out.push_str(",\n  \"rules\": [\n");
+    for (i, r) in RULES.iter().enumerate() {
+        out.push_str("    {\"id\": ");
+        push_str_lit(&mut out, r.id);
+        out.push_str(", \"escape\": ");
+        match r.escape {
+            Some(tag) => push_str_lit(&mut out, tag),
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"summary\": ");
+        push_str_lit(&mut out, r.summary);
+        out.push('}');
+        if i + 1 < RULES.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n  \"findings\": [\n");
+    for (i, f) in report.findings.iter().enumerate() {
+        out.push_str("    {\"file\": ");
+        push_str_lit(&mut out, &f.file);
+        out.push_str(", \"line\": ");
+        out.push_str(&f.line.to_string());
+        out.push_str(", \"rule\": ");
+        push_str_lit(&mut out, f.rule);
+        out.push_str(", \"message\": ");
+        push_str_lit(&mut out, &f.message);
+        out.push('}');
+        if i + 1 < report.findings.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Appends `s` as a JSON string literal, escaping per RFC 8259.
+fn push_str_lit(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Finding, Report};
+
+    #[test]
+    fn escapes_specials() {
+        let mut s = String::new();
+        push_str_lit(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn emits_rules_and_findings() {
+        let report = Report {
+            files_scanned: 2,
+            findings: vec![Finding {
+                file: "crates/x/src/lib.rs".to_string(),
+                line: 3,
+                rule: crate::rules::RULE_PRINT,
+                message: "said \"hi\"".to_string(),
+            }],
+        };
+        let json = emit(&report);
+        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"files_scanned\": 2"));
+        assert!(json.contains("\"rule\": \"no-println-in-libs\""));
+        assert!(json.contains("\\\"hi\\\""));
+        // Every catalogue rule is listed.
+        for r in RULES {
+            assert!(json.contains(r.id));
+        }
+    }
+
+    #[test]
+    fn empty_findings_is_an_empty_array() {
+        let report = Report {
+            files_scanned: 0,
+            findings: Vec::new(),
+        };
+        let json = emit(&report);
+        assert!(json.contains("\"findings\": [\n  ]"));
+    }
+}

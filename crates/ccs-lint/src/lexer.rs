@@ -1,0 +1,600 @@
+//! A hand-rolled, std-only Rust lexer.
+//!
+//! The lexer's contract is deliberately narrow: split a source file
+//! into a **complete tiling** of classified byte spans.  Every byte of
+//! the input belongs to exactly one token, so concatenating the token
+//! spans reproduces the source byte-for-byte (the round-trip property
+//! the workspace test pins on every `.rs` file in the repo).  The
+//! classification is what the line-based predecessor could not do
+//! reliably:
+//!
+//! * `//` inside a string literal is string content, not a comment;
+//! * raw strings (`r"..."`, `r#"..."#`, any hash depth, plus the
+//!   `b`/`br`/`c`/`cr` prefixes) have no escapes and may span lines;
+//! * block comments nest (`/* /* */ */`) and may span lines;
+//! * `'a'` is a char literal, `'a` is a lifetime, `b'a'` is a byte
+//!   literal, and `r#ident` is a raw identifier, not a raw string.
+//!
+//! The lexer never panics: malformed input (unterminated strings or
+//! comments, stray quotes) degrades to a best-effort token that runs
+//! to end-of-input, keeping the tiling property intact.
+
+/// The classification of one source span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Whitespace, including newlines.
+    Whitespace,
+    /// A `//` comment (doc comments `///` and `//!` included), up to
+    /// but not including the terminating newline.
+    LineComment,
+    /// A `/* ... */` comment (doc comments `/** ... */` included),
+    /// nesting-aware, possibly spanning lines.
+    BlockComment,
+    /// A string literal: `"..."`, `r"..."`, `r#"..."#`, and the
+    /// `b`/`br`/`c`/`cr` prefixed forms, prefix and delimiters
+    /// included in the span.
+    Str,
+    /// A char or byte literal: `'a'`, `'\n'`, `b'x'`.
+    Char,
+    /// A lifetime or loop label: `'a`, `'static`, `'_`.
+    Lifetime,
+    /// An identifier or keyword, raw identifiers (`r#match`) included.
+    Ident,
+    /// A numeric literal (suffixes included: `1_000u64`, `0xFF`,
+    /// `1.5e-3`).
+    Number,
+    /// Any other single character (operators, brackets, `#`, ...).
+    Punct,
+}
+
+/// One token: a classified half-open byte span of the source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Span classification.
+    pub kind: TokenKind,
+    /// Start byte offset (inclusive).
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lexes `src` into a complete tiling of tokens.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let kind = self.next_kind();
+            // Defensive: every branch of `next_kind` advances, but if a
+            // future edit breaks that, degrade to a one-byte punct
+            // rather than looping forever.
+            if self.pos == start {
+                self.pos += self.char_len(start);
+                out.push(Token {
+                    kind: TokenKind::Punct,
+                    start,
+                    end: self.pos,
+                });
+                continue;
+            }
+            out.push(Token {
+                kind,
+                start,
+                end: self.pos,
+            });
+        }
+        out
+    }
+
+    /// Byte length of the UTF-8 char starting at `at` (1 for ASCII and
+    /// for trailing bytes we should never land on).
+    fn char_len(&self, at: usize) -> usize {
+        self.src[at..].chars().next().map_or(1, char::len_utf8)
+    }
+
+    fn peek(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    /// The char starting at byte offset `self.pos + off` (which must
+    /// be a char boundary to return `Some`).
+    fn peek_char_at(&self, off: usize) -> Option<char> {
+        self.src.get(self.pos + off..)?.chars().next()
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let b = self.bytes[self.pos];
+        match b {
+            b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+            b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+            b'"' => self.string(),
+            b'\'' => self.char_or_lifetime(),
+            b'0'..=b'9' => self.number(),
+            _ => {
+                let c = match self.peek_char_at(0) {
+                    Some(c) => c,
+                    None => {
+                        // Not a char boundary (cannot happen with the
+                        // tiling invariant): consume one byte.
+                        self.pos += 1;
+                        return TokenKind::Punct;
+                    }
+                };
+                if c.is_whitespace() {
+                    self.whitespace()
+                } else if c == '_' || c.is_alphabetic() {
+                    self.ident_or_prefixed()
+                } else {
+                    self.pos += c.len_utf8();
+                    TokenKind::Punct
+                }
+            }
+        }
+    }
+
+    fn whitespace(&mut self) -> TokenKind {
+        while let Some(c) = self.peek_char_at(0) {
+            if !c.is_whitespace() {
+                break;
+            }
+            self.pos += c.len_utf8();
+        }
+        TokenKind::Whitespace
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += self.char_len(self.pos);
+        }
+        TokenKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        // Consumes `/*`, then tracks nesting; unterminated comments
+        // run to end-of-input.
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() {
+            if self.peek(0) == Some(b'/') && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.peek(0) == Some(b'*') && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                self.pos += self.char_len(self.pos);
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// A normal (escaped) string literal starting at the opening `"`.
+    fn string(&mut self) -> TokenKind {
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    // Skip the escape introducer and the escaped char
+                    // (enough for `\"` and `\\`; multi-char escapes
+                    // like `\u{..}` contain no quotes after this).
+                    self.pos += 1;
+                    if self.pos < self.bytes.len() {
+                        self.pos += self.char_len(self.pos);
+                    }
+                }
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += self.char_len(self.pos),
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// A raw string starting at the `r` (any number of `#`s already
+    /// verified by the caller to lead to a `"`).  `hashes` is that
+    /// number; the prefix (`r`, `br`, ...) has already been consumed.
+    fn raw_string(&mut self, hashes: usize) -> TokenKind {
+        // Consume `#`* `"`.
+        self.pos += hashes + 1;
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'"' {
+                let mut n = 0usize;
+                while n < hashes && self.peek(1 + n) == Some(b'#') {
+                    n += 1;
+                }
+                if n == hashes {
+                    self.pos += 1 + hashes;
+                    return TokenKind::Str;
+                }
+            }
+            self.pos += self.char_len(self.pos);
+        }
+        TokenKind::Str
+    }
+
+    /// Disambiguates `'a'` (char), `'\n'` (char), `'a` / `'static`
+    /// (lifetime or label), and `'_` (placeholder lifetime).
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        // An escape can only start a char literal.
+        if self.peek(1) == Some(b'\\') {
+            return self.char_literal();
+        }
+        // `'X'` for any single char X (including `'''` degenerately):
+        // a char literal.  Otherwise a lifetime.
+        if let Some(c) = self.peek_char_at(1) {
+            if self.peek(1 + c.len_utf8()) == Some(b'\'') {
+                return self.char_literal();
+            }
+            if c == '_' || c.is_alphabetic() {
+                // Lifetime / label: `'` then ident chars.
+                self.pos += 1;
+                while let Some(c) = self.peek_char_at(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        self.pos += c.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                return TokenKind::Lifetime;
+            }
+        }
+        // Stray quote (`'` at EOF, or before a non-ident non-quote):
+        // consume just the quote so the tiling survives.
+        self.pos += 1;
+        TokenKind::Char
+    }
+
+    /// A char/byte literal starting at the opening `'`.
+    fn char_literal(&mut self) -> TokenKind {
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    self.pos += 1;
+                    if self.pos < self.bytes.len() {
+                        self.pos += self.char_len(self.pos);
+                    }
+                }
+                b'\'' => {
+                    self.pos += 1;
+                    break;
+                }
+                // A char literal cannot span lines; an unterminated one
+                // (malformed input) stops at the newline so the rest of
+                // the file still lexes line by line.
+                b'\n' => break,
+                _ => self.pos += self.char_len(self.pos),
+            }
+        }
+        TokenKind::Char
+    }
+
+    fn number(&mut self) -> TokenKind {
+        // Integer part, digit separators, hex/oct/bin bodies, and any
+        // alphanumeric suffix (`u64`, `f32`, hex digits).
+        self.eat_number_body();
+        // Fraction: a `.` followed by a digit (so `0..10` and
+        // `1.max(2)` keep their `.` as punctuation).
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+            self.eat_number_body();
+        }
+        // Exponent sign: `1e-3` / `2.5E+8` (the `e` itself was eaten
+        // as part of the alphanumeric body).
+        if matches!(self.bytes.get(self.pos.wrapping_sub(1)), Some(b'e' | b'E'))
+            && matches!(self.peek(0), Some(b'+' | b'-'))
+            && self.peek(1).is_some_and(|b| b.is_ascii_digit())
+        {
+            self.pos += 1;
+            self.eat_number_body();
+        }
+        TokenKind::Number
+    }
+
+    fn eat_number_body(&mut self) {
+        while let Some(c) = self.peek_char_at(0) {
+            if c == '_' || c.is_alphanumeric() {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// An identifier, or a prefixed literal that *starts* like one:
+    /// raw strings (`r"`, `r#"`), byte strings (`b"`, `br"`), C
+    /// strings (`c"`, `cr"`), byte chars (`b'x'`), raw identifiers
+    /// (`r#ident`).
+    fn ident_or_prefixed(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(c) = self.peek_char_at(0) {
+            if c == '_' || c.is_alphanumeric() {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        let ident = &self.src[start..self.pos];
+        match ident {
+            "r" | "br" | "b" | "c" | "cr" => {
+                // `b'x'`: a byte literal.
+                if ident == "b" && self.peek(0) == Some(b'\'') {
+                    return self.char_literal();
+                }
+                // Direct quote: `b"..."`, `r"..."`, `c"..."`.
+                if self.peek(0) == Some(b'"') {
+                    return if ident == "b" || ident == "c" {
+                        self.string()
+                    } else {
+                        self.raw_string(0)
+                    };
+                }
+                // Hash run: raw string (`r#".."#`) or raw identifier
+                // (`r#match`) — only a quote after the hashes makes it
+                // a string.
+                if ident != "b" && ident != "c" && self.peek(0) == Some(b'#') {
+                    let mut hashes = 0usize;
+                    while self.peek(hashes) == Some(b'#') {
+                        hashes += 1;
+                    }
+                    if self.peek(hashes) == Some(b'"') {
+                        return self.raw_string(hashes);
+                    }
+                    if ident == "r" && hashes == 1 {
+                        if let Some(c) = self.peek_char_at(1) {
+                            if c == '_' || c.is_alphabetic() {
+                                // Raw identifier: consume `#` + ident.
+                                self.pos += 1;
+                                while let Some(c) = self.peek_char_at(0) {
+                                    if c == '_' || c.is_alphanumeric() {
+                                        self.pos += c.len_utf8();
+                                    } else {
+                                        break;
+                                    }
+                                }
+                                return TokenKind::Ident;
+                            }
+                        }
+                    }
+                }
+                TokenKind::Ident
+            }
+            _ => TokenKind::Ident,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) -> Vec<Token> {
+        let toks = lex(src);
+        let rebuilt: String = toks.iter().map(|t| t.text(src)).collect();
+        assert_eq!(rebuilt, src, "token spans must tile the source");
+        toks
+    }
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        roundtrip(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    fn only_code(src: &str) -> Vec<String> {
+        kinds(src)
+            .into_iter()
+            .filter(|(k, _)| {
+                !matches!(
+                    k,
+                    TokenKind::Whitespace
+                        | TokenKind::LineComment
+                        | TokenKind::BlockComment
+                        | TokenKind::Str
+                )
+            })
+            .map(|(_, t)| t)
+            .collect()
+    }
+
+    #[test]
+    fn slash_slash_inside_string_is_not_a_comment() {
+        let src = r#"let url = "https://example.com"; x.unwrap();"#;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("//")));
+        assert!(
+            toks.iter().all(|(k, _)| *k != TokenKind::LineComment),
+            "{toks:?}"
+        );
+        // The code after the string survives as code tokens.
+        assert!(only_code(src).contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        for src in [
+            r###"let s = r"// not a comment";"###,
+            r###"let s = r#"quote " inside"#;"###,
+            "let s = r##\"deeper \"# still inside\"##;",
+            r###"let s = br#"bytes"#;"###,
+        ] {
+            let toks = kinds(src);
+            assert_eq!(
+                toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(),
+                1,
+                "{src}: {toks:?}"
+            );
+            assert!(toks.iter().all(|(k, _)| *k != TokenKind::LineComment));
+        }
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_raw_string() {
+        let src = "let r#match = 1;";
+        let toks = kinds(src);
+        assert!(toks.contains(&(TokenKind::Ident, "r#match".to_string())));
+        assert!(toks.iter().all(|(k, _)| *k != TokenKind::Str));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still outer */ b";
+        let toks = kinds(src);
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::BlockComment)
+                .count(),
+            1
+        );
+        assert!(toks.contains(&(TokenKind::Ident, "b".to_string())));
+    }
+
+    #[test]
+    fn block_comment_spans_lines() {
+        let src = "a /* line one\n  x.unwrap()\n*/ b";
+        let toks = kinds(src);
+        let comment = toks
+            .iter()
+            .find(|(k, _)| *k == TokenKind::BlockComment)
+            .unwrap();
+        assert!(comment.1.contains("unwrap"));
+        assert!(!only_code(src).contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let src = "let c = 'a'; let n = '\\n'; fn f<'a>(x: &'a str, _: &'static u8) {} 'outer: loop { break 'outer; }";
+        let toks = kinds(src);
+        let chars: Vec<&String> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(chars, ["'a'", "'\\n'"]);
+        let lifetimes: Vec<&String> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'static", "'outer", "'outer"]);
+    }
+
+    #[test]
+    fn byte_and_unicode_char_literals() {
+        let src = "let b = b'x'; let q = b'\\''; let u = '\u{e9}';";
+        let toks = kinds(src);
+        let chars: Vec<&String> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(chars, ["b'x'", "b'\\''", "'\u{e9}'"]);
+    }
+
+    #[test]
+    fn quote_char_literal_is_not_a_lifetime() {
+        // `'\''` and `'''` both start with a quote pair that must not
+        // open a string-like consumption of the rest of the file.
+        let src = "let a = '\\''; let b = 'x'; f()";
+        assert!(only_code(src).contains(&"f".to_string()));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let src = r#"let s = "say \"hi\" // still string"; g()"#;
+        let toks = kinds(src);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        assert!(only_code(src).contains(&"g".to_string()));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let src = "0..10; 1.max(2); 1.5e-3; 0xFF_u32; 1_000;";
+        let toks = kinds(src);
+        let nums: Vec<&String> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Number)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(nums, ["0", "10", "1", "2", "1.5e-3", "0xFF_u32", "1_000"]);
+        assert!(only_code(src).contains(&"max".to_string()));
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let src = "/// outer docs with `x.unwrap()`\n//! inner\n/** block docs */ fn f() {}";
+        assert!(!only_code(src).contains(&"unwrap".to_string()));
+        let toks = kinds(src);
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| matches!(k, TokenKind::LineComment | TokenKind::BlockComment))
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in [
+            "let s = \"never closed",
+            "/* never closed",
+            "/* /* nested unclosed */",
+            "let s = r#\"unclosed",
+            "let c = '",
+            "let c = '\\",
+            "let c = 'x",
+            "r#",
+            "b",
+            "1e+",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn attributes_lex_as_punct_and_idents() {
+        let src = "#[cfg(test)]\n#![warn(missing_docs)]\nmod t {}";
+        let toks = kinds(src);
+        assert!(toks.contains(&(TokenKind::Punct, "#".to_string())));
+        assert!(toks.contains(&(TokenKind::Ident, "cfg".to_string())));
+        assert!(toks.contains(&(TokenKind::Ident, "missing_docs".to_string())));
+    }
+
+    #[test]
+    fn non_ascii_content_roundtrips() {
+        roundtrip("// héllo wörld\nlet s = \"ünïcode\"; let c = 'ß'; idént()");
+    }
+}

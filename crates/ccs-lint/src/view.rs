@@ -1,0 +1,366 @@
+//! Token-derived views of one source file.
+//!
+//! [`SourceFile`] lexes a file once and exposes what the rules
+//! actually consume: three **parallel line grids** (code, comments,
+//! string-literal text — each line padded with spaces where the other
+//! classes live, so column positions line up with the original), plus
+//! structural masks computed by token-level brace matching
+//! (`#[cfg(test)]` items, named `fn` bodies, `if P::ACTIVE` guard
+//! blocks).
+//!
+//! Splitting the classes is what kills the old line engine's blind
+//! spots wholesale: a rule searching `code_lines` can never match
+//! inside a comment or a string literal, and a justification tag
+//! searched in `comment_lines` must really be a comment.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// One lexed source file plus the per-line views derived from it.
+pub struct SourceFile {
+    /// Repo-relative path with `/` separators.
+    pub rel: String,
+    /// The token tiling of the source.
+    pub tokens: Vec<Token>,
+    /// Per-line code text: everything except comments and string
+    /// literals, space-padded to the original column positions.
+    pub code_lines: Vec<String>,
+    /// Per-line comment text (markers included), space-padded.
+    pub comment_lines: Vec<String>,
+    /// Per-line string-literal text (delimiters included),
+    /// space-padded.
+    pub string_lines: Vec<String>,
+    /// `true` for every line inside a `#[cfg(test)]` item (attribute
+    /// line included).
+    pub test_mask: Vec<bool>,
+    /// Byte offset of each line start.
+    line_starts: Vec<usize>,
+    src_len: usize,
+}
+
+/// Which view a token's text lands in.
+fn view_of(kind: TokenKind) -> usize {
+    match kind {
+        TokenKind::LineComment | TokenKind::BlockComment => 1,
+        TokenKind::Str => 2,
+        _ => 0,
+    }
+}
+
+impl SourceFile {
+    /// Lexes `text` and builds every view.
+    pub fn new(rel: &str, text: &str) -> SourceFile {
+        let tokens = lex(text);
+        let line_starts: Vec<usize> = std::iter::once(0)
+            .chain(
+                text.bytes()
+                    .enumerate()
+                    .filter(|&(_, b)| b == b'\n')
+                    .map(|(i, _)| i + 1),
+            )
+            .collect();
+
+        // Three full-size buffers, spaces everywhere a class is
+        // absent; sliced along the *original* newline positions so the
+        // grids stay line-aligned even when a token spans lines.
+        let mut buffers = [
+            vec![b' '; text.len()],
+            vec![b' '; text.len()],
+            vec![b' '; text.len()],
+        ];
+        for t in &tokens {
+            let view = view_of(t.kind);
+            buffers[view][t.start..t.end].copy_from_slice(&text.as_bytes()[t.start..t.end]);
+        }
+
+        let slice_lines = |buf: &[u8]| -> Vec<String> {
+            line_starts
+                .iter()
+                .enumerate()
+                .map(|(i, &start)| {
+                    let end = line_starts
+                        .get(i + 1)
+                        .map_or(buf.len(), |&next| next.saturating_sub(1));
+                    let end = end.max(start);
+                    let line = &buf[start..end];
+                    // Strip the `\r` position of CRLF files (it lands
+                    // in whatever view owned the token containing it).
+                    let line = match line.last() {
+                        Some(b'\r') => &line[..line.len() - 1],
+                        _ => line,
+                    };
+                    String::from_utf8_lossy(line).into_owned()
+                })
+                .collect()
+        };
+        let code_lines = slice_lines(&buffers[0]);
+        let comment_lines = slice_lines(&buffers[1]);
+        let string_lines = slice_lines(&buffers[2]);
+
+        let mut sf = SourceFile {
+            rel: rel.to_string(),
+            tokens,
+            code_lines,
+            comment_lines,
+            string_lines,
+            test_mask: Vec::new(),
+            line_starts,
+            src_len: text.len(),
+        };
+        sf.test_mask = sf.cfg_test_mask(text);
+        sf
+    }
+
+    /// Number of lines (as the views count them).
+    pub fn num_lines(&self) -> usize {
+        self.code_lines.len()
+    }
+
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// Indices of tokens that carry code (not whitespace, comments, or
+    /// strings) — the stream structural scans walk.
+    pub fn code_token_indices(&self) -> Vec<usize> {
+        self.tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                !matches!(
+                    t.kind,
+                    TokenKind::Whitespace
+                        | TokenKind::LineComment
+                        | TokenKind::BlockComment
+                        | TokenKind::Str
+                )
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// `mask[line] == true` for every line of every `#[cfg(test)]`
+    /// item: from the attribute through the matching close brace of
+    /// the item it gates (or its terminating `;`).
+    fn cfg_test_mask(&self, src: &str) -> Vec<bool> {
+        let mut mask = vec![false; self.num_lines()];
+        let code = self.code_token_indices();
+        let texts: Vec<&str> = code.iter().map(|&i| self.tokens[i].text(src)).collect();
+        let mut k = 0usize;
+        while k < code.len() {
+            if !matches_seq(&texts[k..], &["#", "[", "cfg", "(", "test", ")", "]"]) {
+                k += 1;
+                continue;
+            }
+            let start_line = self.line_of(self.tokens[code[k]].start);
+            // Walk to the end of the gated item: the close of the
+            // first brace group, or a `;` before any brace opens.
+            let mut j = k + 7;
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut end_line = start_line;
+            while j < code.len() {
+                let t = texts[j];
+                end_line = self.line_of(self.tokens[code[j]].start);
+                match t {
+                    "{" => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    "}" => {
+                        depth -= 1;
+                        if opened && depth <= 0 {
+                            break;
+                        }
+                    }
+                    ";" if !opened && depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            // A block comment after the close brace on the same line
+            // must not leak the mask; mark [start_line, end_line].
+            for line in start_line..=end_line.min(self.num_lines()) {
+                if line >= 1 {
+                    mask[line - 1] = true;
+                }
+            }
+            k = j + 1;
+        }
+        mask
+    }
+
+    /// `mask[line] == true` for every line of the body of each `fn`
+    /// named exactly one of `names` (signature line included).
+    pub fn fn_body_mask(&self, src: &str, names: &[&str]) -> Vec<bool> {
+        let mut mask = vec![false; self.num_lines()];
+        if names.is_empty() {
+            return mask;
+        }
+        let code = self.code_token_indices();
+        let texts: Vec<&str> = code.iter().map(|&i| self.tokens[i].text(src)).collect();
+        let mut k = 0usize;
+        while k < code.len() {
+            let is_decl = texts[k] == "fn"
+                && texts.get(k + 1).is_some_and(|n| names.contains(n))
+                && matches!(texts.get(k + 2), Some(&"(") | Some(&"<"));
+            if !is_decl {
+                k += 1;
+                continue;
+            }
+            let start_line = self.line_of(self.tokens[code[k]].start);
+            let (end_line, next) = self.brace_span(&code, &texts, k, start_line);
+            for line in start_line..=end_line.min(self.num_lines()) {
+                mask[line - 1] = true;
+            }
+            k = next;
+        }
+        mask
+    }
+
+    /// `mask[line] == true` for every line of each `if P::ACTIVE {..}`
+    /// block (guard line included).  `else` arms are deliberately not
+    /// masked: an emission in the "probe inactive" arm is exactly the
+    /// bug the probe rule exists to catch.
+    pub fn active_guard_mask(&self, src: &str) -> Vec<bool> {
+        let mut mask = vec![false; self.num_lines()];
+        let code = self.code_token_indices();
+        let texts: Vec<&str> = code.iter().map(|&i| self.tokens[i].text(src)).collect();
+        let mut k = 0usize;
+        while k < code.len() {
+            if !matches_seq(&texts[k..], &["if", "P", ":", ":", "ACTIVE"]) {
+                k += 1;
+                continue;
+            }
+            let start_line = self.line_of(self.tokens[code[k]].start);
+            let (end_line, next) = self.brace_span(&code, &texts, k, start_line);
+            for line in start_line..=end_line.min(self.num_lines()) {
+                mask[line - 1] = true;
+            }
+            k = next;
+        }
+        mask
+    }
+
+    /// From code-token index `k`, finds the close of the first brace
+    /// group that opens at or after `k`.  Returns `(last line of the
+    /// group, code-token index to resume scanning at)`.
+    fn brace_span(
+        &self,
+        code: &[usize],
+        texts: &[&str],
+        k: usize,
+        start_line: usize,
+    ) -> (usize, usize) {
+        let mut depth = 0i64;
+        let mut opened = false;
+        let mut end_line = start_line;
+        let mut j = k;
+        while j < code.len() {
+            end_line = self.line_of(self.tokens[code[j]].start);
+            match texts[j] {
+                "{" => {
+                    depth += 1;
+                    opened = true;
+                }
+                "}" => {
+                    depth -= 1;
+                    if opened && depth <= 0 {
+                        return (end_line, j + 1);
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        (end_line.max(self.line_of(self.src_len)), j + 1)
+    }
+}
+
+/// `true` when `texts` starts with exactly the tokens of `pat`.
+fn matches_seq(texts: &[&str], pat: &[&str]) -> bool {
+    texts.len() >= pat.len() && texts[..pat.len()] == *pat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn views_are_line_aligned_and_classified() {
+        let src = "let a = 1; // note INVARIANT: here\nlet s = \"x.unwrap()\";\n";
+        let sf = SourceFile::new("f.rs", src);
+        assert_eq!(sf.num_lines(), 3); // trailing newline -> empty last line
+        assert!(sf.code_lines[0].contains("let a = 1;"));
+        assert!(!sf.code_lines[0].contains("INVARIANT"));
+        assert!(sf.comment_lines[0].contains("INVARIANT:"));
+        assert!(!sf.code_lines[1].contains("unwrap"));
+        assert!(sf.string_lines[1].contains("x.unwrap()"));
+        // Columns line up: `let` starts at column 0 in both raw and view.
+        assert!(sf.code_lines[1].starts_with("let s ="));
+    }
+
+    #[test]
+    fn multiline_tokens_blank_whole_lines() {
+        let src = "a();\n/* one\n   two().unwrap()\n*/\nb();\nlet s = \"l1\nl2.unwrap()\";\nc();\n";
+        let sf = SourceFile::new("f.rs", src);
+        assert!(sf.code_lines[2].trim().is_empty());
+        assert!(sf.comment_lines[2].contains("unwrap"));
+        assert!(sf.code_lines[5].contains("let s ="));
+        assert_eq!(sf.code_lines[6].trim(), ";");
+        assert!(sf.string_lines[6].contains("l2.unwrap()"));
+        assert!(sf.code_lines[7].contains("c();"));
+    }
+
+    #[test]
+    fn cfg_test_mask_covers_items() {
+        let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x(); }\n}\nfn after() {}\n";
+        let sf = SourceFile::new("f.rs", src);
+        assert_eq!(
+            sf.test_mask,
+            vec![false, true, true, true, true, false, false]
+        );
+    }
+
+    #[test]
+    fn cfg_test_mask_ignores_string_and_comment_mentions() {
+        let src = "let s = \"#[cfg(test)]\";\n// #[cfg(test)]\nfn f() { x(); }\n";
+        let sf = SourceFile::new("f.rs", src);
+        assert!(sf.test_mask.iter().all(|&m| !m), "{:?}", sf.test_mask);
+    }
+
+    #[test]
+    fn cfg_test_use_item_stops_at_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn f() { x(); }\n";
+        let sf = SourceFile::new("f.rs", src);
+        assert_eq!(sf.test_mask, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn fn_body_mask_exact_name() {
+        let src = "fn try_distance() {\n    a();\n}\npub fn distance(x: u32) {\n    b();\n}\n";
+        let sf = SourceFile::new("f.rs", src);
+        let mask = sf.fn_body_mask(src, &["distance"]);
+        assert_eq!(mask, vec![false, false, false, true, true, true, false]);
+    }
+
+    #[test]
+    fn active_guard_mask_blocks() {
+        let src = "fn f() {\n    if P::ACTIVE {\n        emit();\n    }\n    emit();\n}\n";
+        let sf = SourceFile::new("f.rs", src);
+        let mask = sf.active_guard_mask(src);
+        assert_eq!(mask, vec![false, true, true, true, false, false, false]);
+    }
+
+    #[test]
+    fn line_of_offsets() {
+        let src = "ab\ncd\nef";
+        let sf = SourceFile::new("f.rs", src);
+        assert_eq!(sf.line_of(0), 1);
+        assert_eq!(sf.line_of(3), 2);
+        assert_eq!(sf.line_of(7), 3);
+    }
+}

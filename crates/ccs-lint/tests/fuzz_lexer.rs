@@ -1,0 +1,155 @@
+//! Property fuzzing for the lexer and the rule engine: **no input
+//! panics**, and the tiling invariant holds on every input — not just
+//! well-formed Rust.
+//!
+//! Inputs are random concatenations of adversarial fragments: lone
+//! quotes, unterminated raw-string heads, block-comment halves,
+//! backslashes before EOF, multi-byte characters, CRLF — the corners
+//! where a hand-rolled lexer breaks.
+
+use ccs_lint::lexer::lex;
+use ccs_lint::rules::lint_source;
+use ccs_lint::view::SourceFile;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Fragments chosen to collide: every delimiter half, prefix, and
+/// escape that can open or close a lexing mode.
+const FRAGMENTS: [&str; 48] = [
+    "\"",
+    "'",
+    "r\"",
+    "r#\"",
+    "r##\"",
+    "\"#",
+    "\"##",
+    "b\"",
+    "br#\"",
+    "c\"",
+    "cr#\"",
+    "b'x'",
+    "'\\n'",
+    "'\\''",
+    "'a",
+    "'static",
+    "r#fn",
+    "/*",
+    "*/",
+    "/* /* */",
+    "//",
+    "// INVARIANT: ok",
+    "///",
+    "//!",
+    "\n",
+    "\r\n",
+    "\\",
+    "\\\"",
+    " ",
+    "\t",
+    "{",
+    "}",
+    "(",
+    ")",
+    ";",
+    "::",
+    "#[cfg(test)]",
+    "#![warn(missing_docs)]",
+    "fn f",
+    "let s = ",
+    ".unwrap()",
+    ".expect(\"x\")",
+    "probe.emit(",
+    "if P::ACTIVE {",
+    "0x1F_u32",
+    "1.5e-3",
+    "\u{3c0}",
+    "\u{1F980}",
+];
+
+/// Paths covering every rule scope the engine distinguishes.
+const RELS: [&str; 6] = [
+    "crates/ccs-core/src/demo.rs",
+    "crates/ccs-core/src/remap.rs",
+    "crates/ccs-report/src/lib.rs",
+    "crates/ccs-workloads/src/demo.rs",
+    "crates/ccs-bench/src/bin/bench_hotpath.rs",
+    "src/cli.rs",
+];
+
+fn assemble(parts: &[usize]) -> String {
+    parts.iter().map(|&i| FRAGMENTS[i]).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(768))]
+
+    #[test]
+    fn lexer_tiles_arbitrary_fragment_soup(
+        parts in vec(0usize..FRAGMENTS.len(), 0..48),
+    ) {
+        let src = assemble(&parts);
+        let tokens = lex(&src);
+        let mut pos = 0usize;
+        for t in &tokens {
+            prop_assert_eq!(t.start, pos, "gap/overlap in {:?}", src);
+            prop_assert!(t.end > t.start, "empty token in {:?}", src);
+            pos = t.end;
+        }
+        prop_assert_eq!(pos, src.len(), "tiling stops short in {:?}", src);
+        let rebuilt: String = tokens.iter().map(|t| t.text(&src)).collect();
+        prop_assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn views_never_panic_and_stay_aligned(
+        parts in vec(0usize..FRAGMENTS.len(), 0..48),
+    ) {
+        let src = assemble(&parts);
+        let sf = SourceFile::new("fuzz.rs", &src);
+        prop_assert_eq!(sf.num_lines(), src.split('\n').count());
+        prop_assert_eq!(sf.test_mask.len(), sf.num_lines());
+        for i in 0..sf.num_lines() {
+            // The three views never disagree about line length by
+            // more than padding (all are <= the original line).
+            let orig_len = src.split('\n').nth(i).map_or(0, str::len);
+            prop_assert!(sf.code_lines[i].len() <= orig_len);
+            prop_assert!(sf.comment_lines[i].len() <= orig_len);
+            prop_assert!(sf.string_lines[i].len() <= orig_len);
+        }
+        // Structural masks on arbitrary soup must not panic either.
+        let _ = sf.fn_body_mask(&src, &["f", "distance"]);
+        let _ = sf.active_guard_mask(&src);
+    }
+
+    #[test]
+    fn rules_never_panic_on_fragment_soup(
+        parts in vec(0usize..FRAGMENTS.len(), 0..48),
+        which in 0usize..RELS.len(),
+    ) {
+        let src = assemble(&parts);
+        // Whatever the findings are, producing them must not panic,
+        // and every finding must carry a sane line number.
+        for f in lint_source(RELS[which], &src) {
+            prop_assert!(f.line <= src.split('\n').count());
+        }
+    }
+
+    #[test]
+    fn truncation_never_panics(
+        parts in vec(0usize..FRAGMENTS.len(), 1..24),
+        cut_pct in 0usize..100,
+    ) {
+        // Cutting a valid-ish stream mid-token exercises every
+        // unterminated-input path (string, raw string, block comment,
+        // char, escape before EOF).
+        let src = assemble(&parts);
+        let cut = src.len() * cut_pct / 100;
+        let cut = (0..=cut).rev().find(|&i| src.is_char_boundary(i)).unwrap_or(0);
+        let truncated = &src[..cut];
+        let tokens = lex(truncated);
+        let total: usize = tokens.iter().map(|t| t.end - t.start).sum();
+        prop_assert_eq!(total, truncated.len());
+        let _ = SourceFile::new("fuzz.rs", truncated);
+        let _ = lint_source("crates/ccs-core/src/demo.rs", truncated);
+    }
+}

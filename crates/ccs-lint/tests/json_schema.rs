@@ -1,0 +1,92 @@
+//! The `--json` emitter's contract, checked with the real JSON parser
+//! the rest of the workspace uses: output is valid JSON, the schema
+//! fields are present with the right types, and findings round-trip
+//! losslessly.
+
+use ccs_lint::{json, Finding, Report, RULES};
+use serde_json::Value;
+
+fn sample_report() -> Report {
+    Report {
+        files_scanned: 7,
+        findings: vec![
+            Finding {
+                file: "crates/ccs-core/src/demo.rs".to_string(),
+                line: 3,
+                rule: "no-unchecked-unwrap",
+                message: "`.unwrap()` with \"quotes\", a \\ backslash,\nand a newline".to_string(),
+            },
+            Finding {
+                file: "crates/ccs-report/src/lib.rs".to_string(),
+                line: 0,
+                rule: "lib-header",
+                message: "whole-file finding".to_string(),
+            },
+        ],
+    }
+}
+
+#[test]
+fn emitted_json_parses_and_matches_the_schema() {
+    let text = json::emit(&sample_report());
+    let v: Value = serde_json::from_str(&text).expect("emitter output must be valid JSON");
+
+    assert_eq!(v["version"].as_u64(), Some(1));
+    assert_eq!(v["files_scanned"].as_u64(), Some(7));
+
+    let Value::Array(rules) = &v["rules"] else {
+        panic!("`rules` must be an array");
+    };
+    assert_eq!(rules.len(), RULES.len());
+    for (entry, info) in rules.iter().zip(RULES.iter()) {
+        assert_eq!(entry["id"].as_str(), Some(info.id));
+        assert!(!entry["summary"].as_str().unwrap().is_empty());
+        match info.escape {
+            Some(tag) => assert_eq!(entry["escape"].as_str(), Some(tag)),
+            None => assert!(matches!(entry["escape"], Value::Null)),
+        }
+    }
+
+    let Value::Array(findings) = &v["findings"] else {
+        panic!("`findings` must be an array");
+    };
+    assert_eq!(findings.len(), 2);
+    assert_eq!(
+        findings[0]["file"].as_str(),
+        Some("crates/ccs-core/src/demo.rs")
+    );
+    assert_eq!(findings[0]["line"].as_u64(), Some(3));
+    assert_eq!(findings[0]["rule"].as_str(), Some("no-unchecked-unwrap"));
+    assert_eq!(
+        findings[0]["message"].as_str(),
+        Some("`.unwrap()` with \"quotes\", a \\ backslash,\nand a newline"),
+        "escaping must round-trip through a real JSON parser"
+    );
+    assert_eq!(findings[1]["line"].as_u64(), Some(0));
+}
+
+#[test]
+fn empty_report_is_valid_json_with_empty_findings() {
+    let report = Report {
+        files_scanned: 0,
+        findings: Vec::new(),
+    };
+    let v: Value = serde_json::from_str(&json::emit(&report)).expect("valid JSON");
+    assert!(matches!(&v["findings"], Value::Array(a) if a.is_empty()));
+    assert!(matches!(&v["rules"], Value::Array(a) if a.len() == RULES.len()));
+}
+
+#[test]
+fn real_workspace_json_is_valid_and_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("repo root");
+    let report = ccs_lint::run(root).expect("lint workspace");
+    let v: Value = serde_json::from_str(&json::emit(&report)).expect("valid JSON");
+    assert_eq!(
+        v["files_scanned"].as_u64(),
+        Some(report.files_scanned as u64)
+    );
+    assert!(matches!(&v["findings"], Value::Array(a) if a.is_empty()));
+}

@@ -1,0 +1,110 @@
+//! The parity gate: the token engine must see everything the retired
+//! line engine saw.
+//!
+//! The line engine (`parity/line_engine.rs`, frozen verbatim at its
+//! retirement) and the token engine both run over the **real
+//! workspace sources**.  Every `(file, line, rule)` the line engine
+//! reports must also be reported by the token engine, except for
+//! entries on the explicit [`LINE_ENGINE_FALSE_POSITIVES`] allowlist —
+//! sites where line heuristics misread comments or string literals
+//! and the token engine is right to stay quiet.
+//!
+//! The gate is directional on purpose: the token engine may report
+//! *more* (it has new rules and fewer blind spots), never less.
+
+#[path = "parity/line_engine.rs"]
+mod line_engine;
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Line-engine findings on the current tree that are **false
+/// positives of line heuristics**: the token engine deliberately does
+/// not report them.  Each entry is `(file, rule, why the line engine
+/// is wrong)`.  Adding to this list requires the same scrutiny as a
+/// lint escape: the reason must name the comment/string construct
+/// that fooled the line engine.
+const LINE_ENGINE_FALSE_POSITIVES: [(&str, &str, &str); 2] = [
+    (
+        "crates/ccs-lint/src/rules.rs",
+        "no-unordered-iteration",
+        "the UNORDERED_TYPES rule table names \"HashMap\" inside a string \
+         literal; the line engine reads string contents as code",
+    ),
+    (
+        "crates/ccs-lint/src/rules.rs",
+        "no-println-in-libs",
+        "the PRINT_MACROS rule table names \"eprintln!(\" inside a string \
+         literal; the line engine reads string contents as code",
+    ),
+];
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/ccs-lint has the repo root two levels up")
+}
+
+#[test]
+fn token_engine_reports_a_superset_of_the_line_engine() {
+    let root = repo_root();
+    let files = ccs_lint::workspace_sources(root).expect("walk workspace");
+    assert!(
+        files.len() > 50,
+        "workspace walk looks broken: only {} files",
+        files.len()
+    );
+    let design_md =
+        std::fs::read_to_string(root.join("DESIGN.md")).expect("DESIGN.md at the repo root");
+
+    let token: BTreeSet<(String, usize, String)> = ccs_lint::lint_files(&files, &design_md)
+        .findings
+        .into_iter()
+        .map(|f| (f.file, f.line, f.rule.to_string()))
+        .collect();
+
+    let mut missing = Vec::new();
+    let mut waived = 0usize;
+    for (rel, text) in &files {
+        for f in line_engine::lint_source(rel, text) {
+            let key = (f.file.clone(), f.line, f.rule.to_string());
+            if token.contains(&key) {
+                continue;
+            }
+            if LINE_ENGINE_FALSE_POSITIVES
+                .iter()
+                .any(|(file, rule, _)| *file == f.file && *rule == f.rule)
+            {
+                waived += 1;
+                continue;
+            }
+            missing.push(f);
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "line-engine findings the token engine missed (either a token-engine \
+         bug, or a line-engine false positive to allowlist with a reason):\n{}",
+        missing
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // The allowlist must stay honest: every entry still corresponds to
+    // at least one live line-engine finding.
+    let line_hit_rules: BTreeSet<(String, String)> = files
+        .iter()
+        .flat_map(|(rel, text)| line_engine::lint_source(rel, text))
+        .map(|f| (f.file, f.rule.to_string()))
+        .collect();
+    for (file, rule, why) in LINE_ENGINE_FALSE_POSITIVES {
+        assert!(
+            line_hit_rules.contains(&(file.to_string(), rule.to_string())),
+            "stale allowlist entry ({file}, {rule}): the line engine no longer \
+             reports it — delete the entry (reason was: {why})"
+        );
+    }
+    let _ = waived;
+}

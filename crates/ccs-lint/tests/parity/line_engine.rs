@@ -1,3 +1,10 @@
+//! **Frozen parity fixture — do not extend.**  This is the retired
+//! line-based lint engine, kept verbatim as the reference point for
+//! `tests/parity.rs`: the token engine must report a superset of this
+//! engine's findings on the real workspace (modulo the allowlisted
+//! false positives that line heuristics produce).  New rules go in
+//! `src/rules.rs`, not here.
+//!
 //! The lint engine: line-based, std-only source checks enforcing the
 //! repo's panic-hygiene and documentation policies (see `DESIGN.md`
 //! §"Diagnostics", "Pass C").

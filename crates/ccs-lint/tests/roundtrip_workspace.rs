@@ -1,0 +1,89 @@
+//! The lexer's ground truth, checked against every real source file:
+//! the token stream is a complete tiling (concatenated spans
+//! reproduce the input byte-for-byte) and the derived line views stay
+//! aligned with the original.
+
+use ccs_lint::lexer::{lex, TokenKind};
+use ccs_lint::view::SourceFile;
+use std::path::Path;
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/ccs-lint has the repo root two levels up")
+}
+
+#[test]
+fn every_workspace_file_roundtrips() {
+    let files = ccs_lint::workspace_sources(repo_root()).expect("walk workspace");
+    assert!(files.len() > 50, "workspace walk looks broken");
+    for (rel, text) in &files {
+        let tokens = lex(text);
+        // Complete tiling: contiguous, gap-free, covers the input.
+        let mut pos = 0usize;
+        for t in &tokens {
+            assert_eq!(t.start, pos, "{rel}: gap or overlap at byte {pos}");
+            assert!(t.end > t.start, "{rel}: empty token at byte {pos}");
+            pos = t.end;
+        }
+        assert_eq!(pos, text.len(), "{rel}: tiling stops short of EOF");
+        let rebuilt: String = tokens.iter().map(|t| t.text(text)).collect();
+        assert_eq!(&rebuilt, text, "{rel}: concatenated spans differ");
+    }
+}
+
+#[test]
+fn views_stay_line_and_column_aligned() {
+    let files = ccs_lint::workspace_sources(repo_root()).expect("walk workspace");
+    for (rel, text) in &files {
+        let sf = SourceFile::new(rel, text);
+        let original: Vec<&str> = text.split('\n').collect();
+        assert_eq!(sf.num_lines(), original.len(), "{rel}: line count differs");
+        for (i, raw) in original.iter().enumerate() {
+            let orig = raw.strip_suffix('\r').unwrap_or(raw);
+            for view in [&sf.code_lines[i], &sf.comment_lines[i], &sf.string_lines[i]] {
+                assert!(
+                    view.len() <= orig.len(),
+                    "{rel}:{}: view longer than the original line",
+                    i + 1
+                );
+                // Column alignment: every non-space view byte matches
+                // the original at the same position.
+                for (col, (v, o)) in view.bytes().zip(orig.bytes()).enumerate() {
+                    assert!(
+                        v == b' ' || v == o,
+                        "{rel}:{}:{}: view byte {v:?} != original {o:?}",
+                        i + 1,
+                        col + 1
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn workspace_string_and_comment_volume_is_sane() {
+    // A lexer bug that misclassifies large regions (runaway raw
+    // string, comment that never closes) would tilt these ratios hard;
+    // the bounds are loose enough to survive normal growth.
+    let files = ccs_lint::workspace_sources(repo_root()).expect("walk workspace");
+    let mut by_kind = [0usize; 3];
+    let mut total = 0usize;
+    for (_, text) in &files {
+        for t in lex(text) {
+            let len = t.end - t.start;
+            total += len;
+            match t.kind {
+                TokenKind::LineComment | TokenKind::BlockComment => by_kind[1] += len,
+                TokenKind::Str => by_kind[2] += len,
+                _ => by_kind[0] += len,
+            }
+        }
+    }
+    let pct = |n: usize| n * 100 / total.max(1);
+    assert!(pct(by_kind[0]) >= 40, "code share {}%", pct(by_kind[0]));
+    assert!(pct(by_kind[1]) <= 50, "comment share {}%", pct(by_kind[1]));
+    assert!(pct(by_kind[2]) <= 20, "string share {}%", pct(by_kind[2]));
+}

@@ -1,0 +1,33 @@
+//! The burn-down gate: the repo's own sources lint clean.
+//!
+//! Every rule — including the determinism rules and the cross-file
+//! drift passes added with the token engine — reports zero findings
+//! on the tree as committed.  A failure here is the same failure
+//! `cargo xtask lint` (and the CI lint job) would report; keeping it
+//! in the test suite means plain `cargo test` catches it too.
+
+use std::path::Path;
+
+#[test]
+fn the_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/ccs-lint has the repo root two levels up");
+    let report = ccs_lint::run(root).expect("lint the workspace");
+    assert!(
+        report.files_scanned > 50,
+        "workspace walk looks broken: only {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.findings.is_empty(),
+        "the workspace must lint clean; findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -576,6 +576,21 @@ impl Sink for ProfileBuilder {
                 // cur_edges now holds the final best-schedule snapshot;
                 // finish() adopts it as the ledger.
             }
+            // The communication profile needs only traffic, load, and
+            // phase boundaries.  Everything else is deliberately
+            // skipped (`cargo xtask lint` keeps this list honest):
+            // EVENT-IGNORED: ReadyPick — startup heuristic detail, no traffic.
+            // EVENT-IGNORED: StartupPlace — placement narrative; fold.rs renders it.
+            // EVENT-IGNORED: StartupDefer — placement narrative, no traffic.
+            // EVENT-IGNORED: CompactBegin — config echo; bounds come from CompactEnd.
+            // EVENT-IGNORED: Rotate — per-pass detail below this profile's grain.
+            // EVENT-IGNORED: Candidate — scan detail below this profile's grain.
+            // EVENT-IGNORED: Placed — scan detail below this profile's grain.
+            // EVENT-IGNORED: NoSlot — scan detail below this profile's grain.
+            // EVENT-IGNORED: SlackRepair — repair detail, traffic arrives as EdgeTraffic.
+            // EVENT-IGNORED: PassStats — derived counters; the profile re-derives its own.
+            // EVENT-IGNORED: BestSnapshot — length trajectory; PassEnd carries it too.
+            // EVENT-IGNORED: OccupancySnapshot — occupancy grid; load arrives as PeLoad.
             _ => {}
         }
     }

@@ -231,6 +231,18 @@ pub fn fold(events: &[TimedEvent]) -> RunStory {
                 story.best_length = *best;
                 story.passes_run = *passes;
             }
+            // The flight-recorder story tracks placements and pass
+            // outcomes.  Everything else is deliberately skipped
+            // (`cargo xtask lint` keeps this list honest):
+            // EVENT-IGNORED: ReadyPick — pick rationale, too fine for the report.
+            // EVENT-IGNORED: StartupDefer — defers surface as later StartupPlace rows.
+            // EVENT-IGNORED: CompactBegin — config echo; totals come from CompactEnd.
+            // EVENT-IGNORED: SlackRepair — repair detail, below the story's grain.
+            // EVENT-IGNORED: PassStats — derived counters; the story re-derives its own.
+            // EVENT-IGNORED: BestSnapshot — PassEnd already carries the trajectory.
+            // EVENT-IGNORED: OccupancySnapshot — occupancy belongs to the profile pages.
+            // EVENT-IGNORED: EdgeTraffic — traffic feeds ccs-profile, not this story.
+            // EVENT-IGNORED: PeLoad — load feeds ccs-profile, not this story.
             _ => {}
         }
     }

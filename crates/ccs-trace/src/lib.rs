@@ -159,6 +159,8 @@ impl Recorder {
     /// An empty recorder; timestamps count from now.
     pub fn new() -> Self {
         Recorder {
+            // CLOCK: the Recorder is a sanctioned sink — timestamps
+            // order events for replay and never reach fingerprints.
             t0: Instant::now(),
             events: Vec::new(),
         }

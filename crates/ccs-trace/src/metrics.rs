@@ -189,18 +189,23 @@ impl Sink for MetricsSink {
     fn event(&mut self, ev: Event) {
         let m = &mut self.metrics;
         match ev {
+            // CLOCK: the MetricsSink is a sanctioned sink — the three
+            // *_wall_ms observations below are timing diagnostics,
+            // excluded from fingerprinted and golden-pinned output.
             Event::StartupBegin { .. } => self.startup_t0 = Some(Instant::now()),
             Event::StartupEnd { .. } => {
                 if let Some(ms) = ms_since(self.startup_t0.take()) {
                     m.observe("startup_wall_ms", ms);
                 }
             }
+            // CLOCK: sanctioned sink (see above).
             Event::CompactBegin { .. } => self.compact_t0 = Some(Instant::now()),
             Event::CompactEnd { .. } => {
                 if let Some(ms) = ms_since(self.compact_t0.take()) {
                     m.observe("compact_wall_ms", ms);
                 }
             }
+            // CLOCK: sanctioned sink (see above).
             Event::PassBegin { .. } => self.pass_t0 = Some(Instant::now()),
             Event::PassEnd { accepted, .. } => {
                 if let Some(ms) = ms_since(self.pass_t0.take()) {

@@ -1,97 +1,73 @@
-//! `cargo run -p xtask -- lint`: offline repo lints (no registry
-//! dependencies), run in CI next to `cargo fmt --check` / `clippy`.
+//! `cargo xtask lint [--json]`: thin driver over the [`ccs_lint`]
+//! engine (token-stream rules + cross-file drift passes).
 //!
-//! See [`lint`] for the rule catalogue.  Exit status: `0` clean,
-//! `1` findings, `2` usage/I-O failure.
+//! The driver owns only process concerns — locating the repo root,
+//! argument parsing, output format, exit status.  The rule catalogue,
+//! lexer, and workspace walk live in `crates/ccs-lint`, where they are
+//! unit-tested as a library.
+//!
+//! Exit status: `0` clean, `1` findings, `2` usage/I-O failure.
 
-mod lint;
-
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::process::ExitCode;
+
+const USAGE: &str = "TASKS:\n    lint [--json]    run the repo source lints";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => run_lint(),
+        Some("lint") => match args.get(1).map(String::as_str) {
+            None => run_lint(false),
+            Some("--json") => run_lint(true),
+            Some(other) => {
+                eprintln!("xtask lint: unknown flag {other:?}\n\n{USAGE}");
+                ExitCode::from(2)
+            }
+        },
         Some(other) => {
-            eprintln!(
-                "xtask: unknown task {other:?}\n\nTASKS:\n    lint    run the repo source lints"
-            );
+            eprintln!("xtask: unknown task {other:?}\n\n{USAGE}");
             ExitCode::from(2)
         }
         None => {
-            eprintln!("xtask: missing task\n\nTASKS:\n    lint    run the repo source lints");
+            eprintln!("xtask: missing task\n\n{USAGE}");
             ExitCode::from(2)
         }
     }
 }
 
-fn run_lint() -> ExitCode {
+fn run_lint(json: bool) -> ExitCode {
     // xtask lives at <repo>/crates/xtask, so the repo root is two up.
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
-        .expect("crates/xtask has a repo root two levels up")
-        .to_path_buf();
-    let mut files: Vec<PathBuf> = Vec::new();
-    if let Err(e) = collect_rs(&root.join("crates"), &mut files) {
-        eprintln!("xtask lint: walking crates/: {e}");
-        return ExitCode::from(2);
-    }
-    // The root crate's library sources fall under the print rule too.
-    if let Err(e) = collect_rs(&root.join("src"), &mut files) {
-        eprintln!("xtask lint: walking src/: {e}");
-        return ExitCode::from(2);
-    }
-    files.sort();
-
-    let mut findings = Vec::new();
-    for path in &files {
-        let rel = path
-            .strip_prefix(&root)
-            .unwrap_or(path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        match std::fs::read_to_string(path) {
-            Ok(text) => findings.extend(lint::lint_source(&rel, &text)),
-            Err(e) => {
-                eprintln!("xtask lint: {rel}: {e}");
-                return ExitCode::from(2);
-            }
+        .expect("crates/xtask has a repo root two levels up");
+    let report = match ccs_lint::run(root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::from(2);
         }
+    };
+    if json {
+        print!("{}", ccs_lint::json::emit(&report));
+        return if report.findings.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
     }
-
-    if findings.is_empty() {
-        println!("xtask lint: {} files clean", files.len());
+    if report.findings.is_empty() {
+        println!("xtask lint: {} files clean", report.files_scanned);
         ExitCode::SUCCESS
     } else {
-        for f in &findings {
+        for f in &report.findings {
             println!("{f}");
         }
         println!(
             "xtask lint: {} finding(s) in {} files",
-            findings.len(),
-            files.len()
+            report.findings.len(),
+            report.files_scanned
         );
         ExitCode::from(1)
     }
-}
-
-/// Recursively collects `.rs` files, skipping build output.
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    for entry in std::fs::read_dir(dir)? {
-        let entry = entry?;
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if name == "target" || name.starts_with('.') {
-                continue;
-            }
-            collect_rs(&path, out)?;
-        } else if name.ends_with(".rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
 }
